@@ -1,0 +1,49 @@
+// Extension ablation (E15): how the paper's headline comparison depends on
+// the machine's network. The paper measured one platform (IBM SP2); here we
+// rerun the SP comparison on three calibrations — the SP2, a commodity
+// Ethernet cluster (10x worse network), and a later fast-switch machine
+// (4x flops, 10x better network) — to show which conclusions are
+// platform-robust.
+//
+// Expected: the *ordering* (hand multi-partitioning >= dHPF >= PGI) holds on
+// every machine; the gaps widen as the network gets relatively slower
+// (pipeline latency and transpose volume both hurt more), and narrow on the
+// fast switch.
+#include <cstdio>
+
+#include "nas/driver.hpp"
+
+using namespace dhpf;
+using nas::App;
+using nas::Problem;
+using nas::Variant;
+
+namespace {
+
+void machine_section(const char* name, const sim::Machine& m) {
+  Problem pb = Problem::make(App::SP, nas::ProblemClass::A, 2);
+  const int nprocs = 16;
+  nas::DriverOptions opt;
+  opt.verify = false;
+  std::printf("\n--- %s (latency %.0f us, %.0f MB/s, %.0f MF/s) ---\n", name,
+              m.latency * 1e6, 1.0 / m.byte_time / 1e6, 1.0 / m.flop_time / 1e6);
+  std::printf("  %-12s %12s %10s   %s\n", "variant", "time (s)", "busy %",
+              "efficiency vs hand");
+  double hand_time = 0.0;
+  for (Variant v : {Variant::HandMPI, Variant::DhpfStyle, Variant::PgiStyle}) {
+    auto r = nas::run_variant(v, pb, nprocs, m, opt);
+    if (v == Variant::HandMPI) hand_time = r.elapsed;
+    std::printf("  %-12s %12.4f %9.1f%%   %.2f\n", nas::to_string(v), r.elapsed,
+                100.0 * r.stats.busy_fraction(nprocs), hand_time / r.elapsed);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: network sensitivity of the SP comparison (P=16, class A) ===\n");
+  machine_section("IBM SP2 (the paper's platform)", sim::Machine::sp2());
+  machine_section("Ethernet cluster", sim::Machine::ethernet_cluster());
+  machine_section("fast switch", sim::Machine::fast_switch());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Paper §6 / Figure 6.1: interprocedural selection of computation
+// partitionings — the x_solve_cell fragment from NAS BT, where 5x5 block
+// kernels (matvec_sub / matmul_sub / binvcrhs) are invoked inside the
+// parallel loops.
+//
+// With §6, the callee's entry CP (owner of its output argument) is
+// translated to each call site, so the enclosing i/j/k loops partition the
+// calls across processors. Without it, a call statement cannot be assigned
+// a data-derived CP and must execute replicated on every processor.
+#include <cstdio>
+
+#include "codegen/spmd.hpp"
+#include "comm/comm.hpp"
+#include "cp/select.hpp"
+#include "hpf/parser.hpp"
+
+using namespace dhpf;
+
+namespace {
+
+const char* kSolveCell = R"(
+  processors P(2, 2)
+  array rhs(5, 18, 18, 18) distribute (*, block:0, block:1, *) onto P
+  array lhs(5, 18, 18, 18) distribute (*, block:0, block:1, *) onto P
+  array frhs(5, 18, 18, 18) distribute (*, block:0, block:1, *) onto P
+  array flhs(5, 18, 18, 18) distribute (*, block:0, block:1, *) onto P
+  procedure matvec_sub(flhs, frhs)
+    do m = 0, 4
+      frhs(m, 0, 0, 0) = flhs(m, 0, 0, 0) + frhs(m, 0, 0, 0)
+    enddo
+  end
+  procedure binvcrhs(flhs, frhs)
+    do m = 0, 4
+      frhs(m, 0, 0, 0) = frhs(m, 0, 0, 0) + flhs(m, 0, 0, 0) + 1
+    enddo
+  end
+  procedure main()
+    do k = 1, 16
+      do j = 1, 16
+        do i = 1, 16
+          call matvec_sub(lhs(0, i, j, k), rhs(0, i, j, k))
+          call binvcrhs(lhs(0, i, j, k), rhs(0, i, j, k))
+        enddo
+      enddo
+    enddo
+  end
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6.1 reproduction: interprocedural CP selection (BT solve-cell "
+              "fragment, 4 processors) ===\n");
+
+  hpf::Program prog = hpf::parse(kSolveCell);
+
+  {
+    cp::CpResult cps = cp::select_cps(prog);
+    std::printf("\nwith sec 6 (bottom-up translation through call sites):\n");
+    std::printf("  entry CP of matvec_sub: %s\n",
+                cps.entry_cp.at("matvec_sub").to_string().c_str());
+    // ids: callee stmts get 0 and 1, calls get 2 and 3 (pre-order,
+    // bottom-up procedure processing does not renumber).
+    for (const auto& [id, sc] : cps.stmts)
+      if (sc.stmt->is_call())
+        std::printf("  call S%d CP: %s\n", id, sc.cp.to_string().c_str());
+    comm::CommPlan plan = comm::generate_comm(prog, cps);
+    codegen::SpmdResult r = codegen::run_spmd(prog, cps, plan, sim::Machine::sp2());
+    std::printf("  executed: time %.5f s, instances total %zu, per-rank:", r.elapsed,
+                r.total_instances());
+    for (auto n : r.instances_per_rank) std::printf(" %zu", n);
+    std::printf("  (verified, max err %.1e)\n", r.max_err);
+  }
+
+  {
+    cp::SelectOptions off;
+    off.interprocedural = false;
+    cp::CpResult cps = cp::select_cps(prog, off);
+    std::printf("\nwithout sec 6 (calls replicated on every processor):\n");
+    for (const auto& [id, sc] : cps.stmts)
+      if (sc.stmt->is_call())
+        std::printf("  call S%d CP: %s\n", id, sc.cp.to_string().c_str());
+    comm::CommPlan plan = comm::generate_comm(prog, cps);
+    // Replicated calls read remote sections each rank never receives (the
+    // paper inserted explicit copies for exactly this reason), so the
+    // baseline is executed for its work metric only, not verified.
+    codegen::SpmdOptions opt;
+    opt.verify = false;
+    codegen::SpmdResult r = codegen::run_spmd(prog, cps, plan, sim::Machine::sp2(), opt);
+    std::printf("  executed: time %.5f s, instances total %zu (P-fold replication of all "
+                "call work)\n",
+                r.elapsed, r.total_instances());
+  }
+
+  std::printf("\nExpected shape (paper): with sec 6 the data sub-domain parallelism of the\n"
+              "enclosing loops is realized (instances split ~evenly across processors);\n"
+              "without it, every processor redundantly executes every call.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Microbenchmarks (google-benchmark) of the numerical kernels underlying the
+// mini-NAS applications: host-side throughput of the rhs evaluation and the
+// SP/BT line solvers. These measure the *reproduction's* C++ kernels, not
+// simulated time; they are useful when tuning the functional simulation.
+#include <benchmark/benchmark.h>
+
+#include "nas/kernels.hpp"
+#include "nas/problem.hpp"
+
+namespace dhpf::nas {
+namespace {
+
+struct Fixture {
+  Problem pb;
+  rt::Field u, recips, rhs, forcing;
+
+  explicit Fixture(App app, int n)
+      : pb{app, n, 1, 0.0},
+        u(kNumComp, pb.domain(), 0),
+        recips(kNumRecip, pb.domain(), 0),
+        rhs(kNumComp, pb.domain(), 0),
+        forcing(kNumComp, pb.domain(), 0) {
+    init_u(pb, u, pb.domain());
+    init_forcing(pb, forcing, pb.domain());
+    compute_reciprocals(u, recips, pb.domain());
+  }
+};
+
+void BM_Reciprocals(benchmark::State& state) {
+  Fixture f(App::SP, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    compute_reciprocals(f.u, f.recips, f.pb.domain());
+    benchmark::DoNotOptimize(f.recips(0, 1, 1, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * f.pb.domain().volume());
+}
+BENCHMARK(BM_Reciprocals)->Arg(24)->Arg(40);
+
+void BM_ComputeRhs(benchmark::State& state) {
+  Fixture f(App::SP, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    compute_rhs(f.pb, f.u, f.recips, f.forcing, f.rhs, f.pb.interior());
+    benchmark::DoNotOptimize(f.rhs(0, 1, 1, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * f.pb.interior().volume());
+}
+BENCHMARK(BM_ComputeRhs)->Arg(24)->Arg(40);
+
+void BM_SpLineSolve(benchmark::State& state) {
+  Fixture f(App::SP, static_cast<int>(state.range(0)));
+  compute_rhs(f.pb, f.u, f.recips, f.forcing, f.rhs, f.pb.interior());
+  SpSegment seg;
+  for (auto _ : state) {
+    sp_build_segment(f.pb, f.recips, f.rhs, 1, 3, 3, 0, f.pb.n - 1, seg);
+    sp_forward(seg, nullptr, nullptr);
+    sp_backward(seg, nullptr, nullptr);
+    benchmark::DoNotOptimize(seg.r[0][0]);
+  }
+  state.SetItemsProcessed(state.iterations() * f.pb.n);
+}
+BENCHMARK(BM_SpLineSolve)->Arg(24)->Arg(40)->Arg(64);
+
+void BM_BtLineSolve(benchmark::State& state) {
+  Fixture f(App::BT, static_cast<int>(state.range(0)));
+  compute_rhs(f.pb, f.u, f.recips, f.forcing, f.rhs, f.pb.interior());
+  BtSegment seg;
+  for (auto _ : state) {
+    bt_build_segment(f.pb, f.u, f.recips, f.rhs, 1, 3, 3, 0, f.pb.n - 1, seg);
+    bt_forward(seg, nullptr, nullptr);
+    bt_backward(seg, nullptr, nullptr);
+    benchmark::DoNotOptimize(seg.r[0][0]);
+  }
+  state.SetItemsProcessed(state.iterations() * f.pb.n);
+}
+BENCHMARK(BM_BtLineSolve)->Arg(24)->Arg(40)->Arg(64);
+
+}  // namespace
+}  // namespace dhpf::nas
+
+BENCHMARK_MAIN();

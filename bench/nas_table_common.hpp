@@ -1,0 +1,135 @@
+// Shared helpers for the Table 8.1 / 8.2 reproduction benches.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nas/driver.hpp"
+#include "rt/block.hpp"
+
+namespace dhpf::bench {
+
+using nas::App;
+using nas::Problem;
+using nas::RunResult;
+using nas::Variant;
+
+struct Row {
+  int nprocs = 0;
+  std::optional<double> hand, dhpf, pgi;  // simulated seconds
+};
+
+/// Run one (variant, P) cell if supported by the variant and the problem
+/// size; verification is done in the test suite, so benches run fast.
+inline std::optional<double> time_cell(Variant v, const Problem& pb, int nprocs) {
+  if (!nas::variant_supports(v, nprocs)) return std::nullopt;
+  // Sweeps need at least two planes of the distributed dim per processor.
+  if (v == Variant::PgiStyle && pb.n < 2 * nprocs) return std::nullopt;
+  if (v == Variant::HandMPI) {
+    const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(nprocs))));
+    if (pb.n < 2 * q) return std::nullopt;
+  }
+  if (v == Variant::DhpfStyle) {
+    const auto g = rt::ProcGrid2D::squarest(nprocs);
+    if (pb.n < 2 * std::max(g.py(), g.pz())) return std::nullopt;
+  }
+  nas::DriverOptions opt;
+  opt.verify = false;  // correctness is covered by tests/nas_variants_test
+  return nas::run_variant(v, pb, nprocs, sim::Machine::sp2(), opt).elapsed;
+}
+
+/// Paper reference efficiencies (relative to hand-written MPI) at square P.
+struct PaperEff {
+  std::map<int, double> dhpf_a, dhpf_b, pgi_a, pgi_b;
+};
+
+inline void print_table(const char* title, const Problem& pa, const Problem& pb_cls,
+                        const std::vector<int>& procs, int speedup_base_procs_a,
+                        int speedup_base_procs_b, const PaperEff& paper) {
+  std::printf("%s\n", title);
+  std::printf("problem sizes: class A n=%d, class B n=%d, %d timestep(s); machine: simulated "
+              "IBM SP2 (see sim/machine.hpp)\n",
+              pa.n, pb_cls.n, pa.niter);
+  std::printf("speedups are relative to the %d-processor hand-written code (class A) / "
+              "%d-processor (class B), assumed perfect, as in the paper\n\n",
+              speedup_base_procs_a, speedup_base_procs_b);
+
+  struct Cells {
+    std::optional<double> hand_a, dhpf_a, pgi_a, hand_b, dhpf_b, pgi_b;
+  };
+  std::map<int, Cells> grid;
+  for (int np : procs) {
+    Cells& c = grid[np];
+    c.hand_a = time_cell(Variant::HandMPI, pa, np);
+    c.dhpf_a = time_cell(Variant::DhpfStyle, pa, np);
+    c.pgi_a = time_cell(Variant::PgiStyle, pa, np);
+    c.hand_b = time_cell(Variant::HandMPI, pb_cls, np);
+    c.dhpf_b = time_cell(Variant::DhpfStyle, pb_cls, np);
+    c.pgi_b = time_cell(Variant::PgiStyle, pb_cls, np);
+  }
+  const double base_a = grid[speedup_base_procs_a].hand_a.value();
+  const double base_b = grid[speedup_base_procs_b].hand_b.value();
+  auto speedup_a = [&](std::optional<double> t) {
+    return t ? std::optional<double>(speedup_base_procs_a * base_a / *t) : std::nullopt;
+  };
+  auto speedup_b = [&](std::optional<double> t) {
+    return t ? std::optional<double>(speedup_base_procs_b * base_b / *t) : std::nullopt;
+  };
+  auto cell = [](std::optional<double> v, const char* fmt) {
+    char buf[32];
+    if (!v) return std::string("     -");
+    std::snprintf(buf, sizeof buf, fmt, *v);
+    return std::string(buf);
+  };
+
+  std::printf("%4s | %-27s | %-27s | %-20s | %-20s\n", "P",
+              "exec time class A (hand/dhpf/pgi)", "exec time class B",
+              "rel speedup A (h/d/p)", "rel speedup B (h/d/p)");
+  for (int np : procs) {
+    const Cells& c = grid[np];
+    std::printf("%4d | %s %s %s | %s %s %s | %s %s %s | %s %s %s\n", np,
+                cell(c.hand_a, "%9.3f").c_str(), cell(c.dhpf_a, "%9.3f").c_str(),
+                cell(c.pgi_a, "%9.3f").c_str(), cell(c.hand_b, "%9.3f").c_str(),
+                cell(c.dhpf_b, "%9.3f").c_str(), cell(c.pgi_b, "%9.3f").c_str(),
+                cell(speedup_a(c.hand_a), "%6.2f").c_str(),
+                cell(speedup_a(c.dhpf_a), "%6.2f").c_str(),
+                cell(speedup_a(c.pgi_a), "%6.2f").c_str(),
+                cell(speedup_b(c.hand_b), "%6.2f").c_str(),
+                cell(speedup_b(c.dhpf_b), "%6.2f").c_str(),
+                cell(speedup_b(c.pgi_b), "%6.2f").c_str());
+  }
+
+  std::printf("\nrelative efficiency (variant speedup / hand speedup), measured vs paper:\n");
+  std::printf("%4s | %-23s | %-23s | %-23s | %-23s\n", "P", "dHPF class A (meas/paper)",
+              "dHPF class B", "PGI class A", "PGI class B");
+  auto eff = [](std::optional<double> v, std::optional<double> h) -> std::optional<double> {
+    if (!v || !h) return std::nullopt;
+    return *h / *v;  // efficiency = speedup ratio = T_hand / T_variant
+  };
+  auto paper_cell = [](const std::map<int, double>& m, int np) {
+    auto it = m.find(np);
+    char buf[32];
+    if (it == m.end()) return std::string("  -  ");
+    std::snprintf(buf, sizeof buf, "%5.2f", it->second);
+    return std::string(buf);
+  };
+  for (int np : procs) {
+    const Cells& c = grid[np];
+    std::printf("%4d | %s / %s | %s / %s | %s / %s | %s / %s\n", np,
+                cell(eff(c.dhpf_a, c.hand_a), "%5.2f").c_str(),
+                paper_cell(paper.dhpf_a, np).c_str(),
+                cell(eff(c.dhpf_b, c.hand_b), "%5.2f").c_str(),
+                paper_cell(paper.dhpf_b, np).c_str(),
+                cell(eff(c.pgi_a, c.hand_a), "%5.2f").c_str(),
+                paper_cell(paper.pgi_a, np).c_str(),
+                cell(eff(c.pgi_b, c.hand_b), "%5.2f").c_str(),
+                paper_cell(paper.pgi_b, np).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace dhpf::bench

@@ -1,0 +1,25 @@
+// Reproduction of paper Table 8.1: NAS SP — hand-written MPI
+// (multi-partitioning) vs dHPF-generated (2D block + pipelining) vs
+// PGI-generated (1D block + transposes), Class A and B, on the simulated SP2.
+//
+// Grid sizes are scaled (see DESIGN.md); the comparison targets are the
+// *relative* metrics — who wins, efficiency decay with P — which the final
+// section prints side by side with the paper's reported efficiencies.
+#include "nas_table_common.hpp"
+
+int main() {
+  using namespace dhpf::bench;
+
+  Problem class_a = Problem::make(App::SP, dhpf::nas::ProblemClass::A, 2);
+  Problem class_b = Problem::make(App::SP, dhpf::nas::ProblemClass::B, 2);
+
+  PaperEff paper;
+  paper.dhpf_a = {{4, 0.96}, {9, 0.76}, {16, 0.67}, {25, 0.59}};
+  paper.dhpf_b = {{4, 1.10}, {9, 0.85}, {16, 0.81}, {25, 0.67}};
+  paper.pgi_a = {{4, 0.63}, {9, 0.55}, {16, 0.59}, {25, 0.44}};
+  paper.pgi_b = {{4, 0.91}, {9, 0.77}, {16, 0.62}, {25, 0.48}};
+
+  print_table("=== Table 8.1 reproduction: SP (hand-written MPI vs dHPF vs PGI) ===",
+              class_a, class_b, {2, 4, 8, 9, 16, 25, 32}, 4, 4, paper);
+  return 0;
+}

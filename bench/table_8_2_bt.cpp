@@ -1,0 +1,21 @@
+// Reproduction of paper Table 8.2: NAS BT — hand-written MPI vs dHPF vs PGI.
+// Class B speedups are relative to the 16-processor hand-written code, as in
+// the paper (class A relative to 4 processors).
+#include "nas_table_common.hpp"
+
+int main() {
+  using namespace dhpf::bench;
+
+  Problem class_a = Problem::make(App::BT, dhpf::nas::ProblemClass::A, 2);
+  Problem class_b = Problem::make(App::BT, dhpf::nas::ProblemClass::B, 2);
+
+  PaperEff paper;
+  paper.dhpf_a = {{4, 1.07}, {9, 0.91}, {16, 1.00}, {25, 0.82}};
+  paper.dhpf_b = {{16, 0.98}, {25, 0.86}};
+  paper.pgi_a = {{4, 1.10}, {9, 0.96}, {16, 1.06}, {25, 0.78}};
+  paper.pgi_b = {{16, 0.88}, {25, 0.73}};
+
+  print_table("=== Table 8.2 reproduction: BT (hand-written MPI vs dHPF vs PGI) ===",
+              class_a, class_b, {4, 8, 9, 16, 25, 27, 32}, 4, 16, paper);
+  return 0;
+}

@@ -1,0 +1,226 @@
+#include "analysis/dependence.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/sets.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf::analysis {
+
+using iset::BasicSet;
+using iset::Constraint;
+using iset::LinExpr;
+using iset::Params;
+using iset::Set;
+
+const char* to_string(DepKind k) {
+  switch (k) {
+    case DepKind::Flow: return "flow";
+    case DepKind::Anti: return "anti";
+    case DepKind::Output: return "output";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Access {
+  const hpf::Stmt* stmt = nullptr;
+  const hpf::Ref* ref = nullptr;
+  bool write = false;
+  std::vector<const hpf::Loop*> path;  // full: outer + scope + inner
+  int order = 0;                       // lexical pre-order within the scope
+};
+
+std::vector<Access> collect_accesses(const hpf::Loop& scope,
+                                     const std::vector<const hpf::Loop*>& outer_path) {
+  std::vector<Access> out;
+  int order = 0;
+  std::vector<const hpf::Loop*> base = outer_path;
+  base.push_back(&scope);
+  hpf::walk(scope.body, [&](hpf::Stmt& s, const std::vector<const hpf::Loop*>& rel) {
+    if (!s.is_assign()) return;
+    std::vector<const hpf::Loop*> full = base;
+    full.insert(full.end(), rel.begin(), rel.end());
+    const auto& a = s.assign();
+    const int my_order = order++;
+    out.push_back(Access{&s, &a.lhs, true, full, my_order});
+    for (const auto& r : a.rhs) out.push_back(Access{&s, &r, false, full, my_order});
+  });
+  return out;
+}
+
+/// Longest common prefix (by pointer identity) of two loop paths.
+std::size_t common_depth(const std::vector<const hpf::Loop*>& a,
+                         const std::vector<const hpf::Loop*>& b) {
+  std::size_t d = 0;
+  while (d < a.size() && d < b.size() && a[d] == b[d]) ++d;
+  return d;
+}
+
+/// Build the 2-statement dependence system over (src iter vars, dst iter
+/// vars) with subscript equality. Returns nullopt if ranks differ (cannot
+/// conflict).
+BasicSet pair_system(const Access& A, const Access& B, const Params& params) {
+  const IterSpace ia = iteration_space(A.path, params);
+  const IterSpace ib = iteration_space(B.path, params);
+  const std::size_t na = ia.depth(), nb = ib.depth();
+  BasicSet sys(na + nb, params);
+  auto shift = [&](const LinExpr& e, std::size_t offset) {
+    LinExpr r = LinExpr::zero(na + nb, params.size());
+    for (std::size_t i = 0; i < e.var.size(); ++i) r.var[offset + i] = e.var[i];
+    r.param = e.param;
+    r.cst = e.cst;
+    return r;
+  };
+  for (const auto& c : ia.bounds.constraints()) sys.add(Constraint{shift(c.e, 0), c.is_eq});
+  for (const auto& c : ib.bounds.constraints()) sys.add(Constraint{shift(c.e, na), c.is_eq});
+  for (std::size_t d = 0; d < A.ref->subs.size(); ++d) {
+    const LinExpr fa = shift(subscript_expr(ia, A.ref->subs[d], params), 0);
+    const LinExpr fb = shift(subscript_expr(ib, B.ref->subs[d], params), na);
+    sys.add(Constraint::eq0(fa - fb));
+  }
+  return sys;
+}
+
+DepKind classify(bool src_write, bool dst_write) {
+  if (src_write && dst_write) return DepKind::Output;
+  return src_write ? DepKind::Flow : DepKind::Anti;
+}
+
+}  // namespace
+
+std::vector<DepEdge> dependences_in_loop(const hpf::Loop& scope,
+                                         const std::vector<const hpf::Loop*>& outer_path) {
+  const Params params;  // dependences do not involve the distribution
+  const auto accesses = collect_accesses(scope, outer_path);
+  const std::size_t scope_depth = outer_path.size();  // index of `scope` in full paths
+
+  std::vector<DepEdge> edges;
+  auto emit = [&](const DepEdge& e) {
+    for (const auto& x : edges)
+      if (x.src == e.src && x.dst == e.dst && x.array == e.array && x.kind == e.kind &&
+          x.loop_independent == e.loop_independent && x.carried_level == e.carried_level)
+        return;
+    edges.push_back(e);
+  };
+
+  for (const auto& A : accesses)
+    for (const auto& B : accesses) {
+      if (!A.write && !B.write) continue;
+      if (A.ref->array != B.ref->array) continue;
+      if (&A == &B) continue;
+      // Consider ordered pair (A source, B destination) only once per
+      // unordered pair by requiring: A.write (flow/output) or B.write (anti
+      // handled when roles swap). We simply evaluate every ordered pair and
+      // let the ordering constraints decide feasibility.
+      const std::size_t nc = common_depth(A.path, B.path);
+      const std::size_t na = A.path.size();
+      BasicSet sys = pair_system(A, B, params);
+
+      // Loop-independent: all common loop variables equal; source must be
+      // lexically earlier. (Within one statement instance reads precede the
+      // write; same-statement same-iteration pairs are not dependences.)
+      if (A.order < B.order) {
+        BasicSet li = sys;
+        for (std::size_t d = 0; d < nc; ++d)
+          li.add(Constraint::eq0(li.expr_var(d) - li.expr_var(na + d)));
+        if (!li.is_empty())
+          emit(DepEdge{A.stmt, B.stmt, A.ref->array, classify(A.write, B.write), true, -1});
+      }
+      // Carried by a common loop at or below `scope`.
+      for (std::size_t lvl = scope_depth; lvl < nc; ++lvl) {
+        BasicSet cd = sys;
+        for (std::size_t d = 0; d < lvl; ++d)
+          cd.add(Constraint::eq0(cd.expr_var(d) - cd.expr_var(na + d)));
+        cd.add(Constraint::ge0(cd.expr_var(na + lvl) - cd.expr_var(lvl) - cd.expr_const(1)));
+        if (!cd.is_empty())
+          emit(DepEdge{A.stmt, B.stmt, A.ref->array, classify(A.write, B.write), false,
+                       static_cast<int>(lvl - scope_depth)});
+      }
+    }
+  return edges;
+}
+
+std::vector<DepEdge> loop_independent_deps(const hpf::Loop& scope,
+                                           const std::vector<const hpf::Loop*>& outer_path) {
+  auto all = dependences_in_loop(scope, outer_path);
+  std::vector<DepEdge> out;
+  for (auto& e : all)
+    if (e.loop_independent) out.push_back(e);
+  return out;
+}
+
+bool check_privatizable(const hpf::Loop& scope,
+                        const std::vector<const hpf::Loop*>& outer_path,
+                        const hpf::Array& arr) {
+  const Params params;
+  const std::size_t keep = outer_path.size() + 1;  // outer vars + scope var
+
+  std::vector<const hpf::Loop*> base = outer_path;
+  base.push_back(&scope);
+
+  // Relation { (outer iters incl. scope, element) } for each access.
+  auto relation = [&](const std::vector<const hpf::Loop*>& full,
+                      const hpf::Ref& ref) -> Set {
+    const IterSpace is = iteration_space(full, params);
+    iset::AffineMap m(is.depth(), keep + ref.subs.size(), params);
+    for (std::size_t d = 0; d < keep; ++d) m.out(d) = m.expr_var(d);
+    for (std::size_t d = 0; d < ref.subs.size(); ++d)
+      m.out(keep + d) = subscript_expr(is, ref.subs[d], params);
+    return Set(is.bounds).apply(m);
+  };
+
+  const std::size_t out_dims = keep + arr.extents.size();
+  Set defs = Set::empty(out_dims, params);
+  Set uses = Set::empty(out_dims, params);
+  bool def_subscripts_exact = true;
+
+  hpf::walk(scope.body, [&](hpf::Stmt& s, const std::vector<const hpf::Loop*>& rel) {
+    if (!s.is_assign()) return;
+    std::vector<const hpf::Loop*> full = base;
+    full.insert(full.end(), rel.begin(), rel.end());
+    const auto& a = s.assign();
+    if (a.lhs.array == &arr) {
+      for (const auto& sub : a.lhs.subs)
+        for (const auto& [_, c] : sub.coef)
+          if (c != 1 && c != -1) def_subscripts_exact = false;
+      defs = defs.unite(relation(full, a.lhs));
+    }
+    for (const auto& r : a.rhs)
+      if (r.array == &arr) uses = uses.unite(relation(full, r));
+  });
+
+  // Non-unit def coefficients could make the def relation an
+  // over-approximation (lattice gaps), which would be unsound here.
+  if (!def_subscripts_exact) return false;
+  return uses.subset_of(defs);
+}
+
+std::vector<const hpf::Procedure*> bottom_up_procedures(const hpf::Program& prog) {
+  std::map<const hpf::Procedure*, std::vector<const hpf::Procedure*>> callees;
+  for (const auto& p : prog.procedures()) {
+    auto& list = callees[p.get()];
+    hpf::walk(p->body, [&](hpf::Stmt& s, const std::vector<const hpf::Loop*>&) {
+      if (!s.is_call()) return;
+      const auto* callee = prog.find_procedure(s.call().callee);
+      require(callee != nullptr, "analysis", "call to unknown procedure " + s.call().callee);
+      list.push_back(callee);
+    });
+  }
+  std::vector<const hpf::Procedure*> order;
+  std::map<const hpf::Procedure*, int> state;  // 0 new, 1 visiting, 2 done
+  std::function<void(const hpf::Procedure*)> dfs = [&](const hpf::Procedure* p) {
+    require(state[p] != 1, "analysis", "recursive call graph at " + p->name);
+    if (state[p] == 2) return;
+    state[p] = 1;
+    for (const auto* c : callees[p]) dfs(c);
+    state[p] = 2;
+    order.push_back(p);  // post-order: callees first
+  };
+  for (const auto& p : prog.procedures()) dfs(p.get());
+  return order;
+}
+
+}  // namespace dhpf::analysis

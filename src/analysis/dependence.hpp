@@ -1,0 +1,53 @@
+// Affine dependence analysis on the HPF-lite IR, built on the integer-set
+// framework: a dependence exists iff the corresponding system of iteration
+// bounds + subscript-equality + ordering constraints is non-empty.
+//
+// Used by the communication-sensitive loop distribution algorithm (§5: the
+// loop-independent edges drive CP grouping, all edges drive the SCC graph),
+// the privatizable-array analysis (§4.1: use-def links), and the data
+// availability analysis (§7: last preceding write).
+#pragma once
+
+#include <vector>
+
+#include "hpf/ir.hpp"
+#include "iset/set.hpp"
+
+namespace dhpf::analysis {
+
+enum class DepKind { Flow, Anti, Output };
+
+const char* to_string(DepKind k);
+
+struct DepEdge {
+  const hpf::Stmt* src = nullptr;  // executes first
+  const hpf::Stmt* dst = nullptr;
+  const hpf::Array* array = nullptr;
+  DepKind kind = DepKind::Flow;
+  /// True for a same-iteration (loop-independent) dependence; then
+  /// carried_level is -1. Otherwise the dependence is carried by the
+  /// common loop at this depth (0 = outermost loop of the analyzed scope).
+  bool loop_independent = false;
+  int carried_level = -1;
+};
+
+/// All dependences among assignment statements lexically inside `scope`
+/// (including statements of nested loops). `outer_path` holds the loops
+/// enclosing `scope` itself; levels are numbered with `scope` at depth 0.
+std::vector<DepEdge> dependences_in_loop(const hpf::Loop& scope,
+                                         const std::vector<const hpf::Loop*>& outer_path);
+
+/// Loop-independent dependences only (the §5 grouping input).
+std::vector<DepEdge> loop_independent_deps(const hpf::Loop& scope,
+                                           const std::vector<const hpf::Loop*>& outer_path);
+
+/// §4.1 prerequisite check for NEW variables: every element of `arr` read in
+/// an iteration of `scope` is written earlier in that same iteration.
+bool check_privatizable(const hpf::Loop& scope, const std::vector<const hpf::Loop*>& outer_path,
+                        const hpf::Array& arr);
+
+/// Call graph: procedures of a program in bottom-up (callee-first) order.
+/// Throws on recursion.
+std::vector<const hpf::Procedure*> bottom_up_procedures(const hpf::Program& prog);
+
+}  // namespace dhpf::analysis

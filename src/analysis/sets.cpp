@@ -1,0 +1,146 @@
+#include "analysis/sets.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::analysis {
+
+using iset::AffineMap;
+using iset::BasicSet;
+using iset::Constraint;
+using iset::i64;
+using iset::LinExpr;
+using iset::Params;
+using iset::Set;
+
+namespace {
+
+const hpf::ProcGrid* single_grid(const hpf::Program& prog) {
+  require(prog.grids().size() <= 1, "analysis",
+          "programs with multiple processor grids are not supported");
+  return prog.grids().empty() ? nullptr : prog.grids().front().get();
+}
+
+}  // namespace
+
+Params make_params(const hpf::Program& prog) {
+  const hpf::ProcGrid* g = single_grid(prog);
+  std::vector<std::string> names;
+  if (g) {
+    for (std::size_t d = 0; d < g->extents.size(); ++d) {
+      names.push_back("lb" + std::to_string(d));
+      names.push_back("ub" + std::to_string(d));
+    }
+  }
+  return Params(names);
+}
+
+std::vector<int> template_extents(const hpf::Program& prog) {
+  const hpf::ProcGrid* g = single_grid(prog);
+  if (!g) return {};
+  std::vector<int> ext(g->extents.size(), -1);
+  for (const auto& a : prog.arrays()) {
+    if (!a->dist.grid) continue;
+    for (std::size_t d = 0; d < a->dist.dims.size(); ++d) {
+      const auto& dim = a->dist.dims[d];
+      if (dim.kind != hpf::DistKind::Block) continue;
+      const int e = a->extents[d] + a->dist.offset(d);
+      auto& slot = ext[static_cast<std::size_t>(dim.proc_dim)];
+      if (slot < 0)
+        slot = e;
+      else
+        require(slot == e, "analysis",
+                "arrays distributed on the same grid dimension must have equal "
+                "template extents (array " + a->name + ")");
+    }
+  }
+  for (auto& e : ext)
+    if (e < 0) e = 1;  // grid dim unused by any array
+  return ext;
+}
+
+std::vector<i64> param_values_for_rank(const hpf::Program& prog, int rank) {
+  const hpf::ProcGrid* g = single_grid(prog);
+  if (!g) return {};
+  const std::vector<int> ext = template_extents(prog);
+  const std::vector<int> coords = g->coords(rank);
+  std::vector<i64> vals;
+  for (std::size_t d = 0; d < g->extents.size(); ++d) {
+    const int p = g->extents[d];
+    const int e = ext[d];
+    const int b = (e + p - 1) / p;  // HPF BLOCK: ceil division
+    const i64 lb = static_cast<i64>(coords[d]) * b;
+    const i64 ub = std::min<i64>(e - 1, lb + b - 1);
+    vals.push_back(lb);
+    vals.push_back(ub);
+  }
+  return vals;
+}
+
+std::size_t IterSpace::var_index(const std::string& name) const {
+  for (std::size_t i = 0; i < var_names.size(); ++i)
+    if (var_names[i] == name) return i;
+  fail("analysis", "unknown loop variable: " + name);
+}
+
+IterSpace iteration_space(const std::vector<const hpf::Loop*>& path, const Params& params) {
+  IterSpace is{path, {}, BasicSet(path.size(), params)};
+  for (const auto* l : path) {
+    for (const auto& existing : is.var_names)
+      require(existing != l->var, "analysis", "shadowed loop variable: " + l->var);
+    is.var_names.push_back(l->var);
+  }
+  for (std::size_t d = 0; d < path.size(); ++d) {
+    // Bounds may reference enclosing loop variables only.
+    auto to_expr = [&](const hpf::Subscript& s) {
+      LinExpr e = LinExpr::constant(path.size(), params.size(), s.cst);
+      for (const auto& [name, a] : s.coef) {
+        const std::size_t v = is.var_index(name);
+        require(v < d, "analysis", "loop bound uses non-enclosing variable: " + name);
+        e.var[v] += a;
+      }
+      return e;
+    };
+    is.bounds.add_bounds(d, to_expr(path[d]->lo), to_expr(path[d]->hi));
+  }
+  return is;
+}
+
+LinExpr subscript_expr(const IterSpace& is, const hpf::Subscript& sub, const Params& params) {
+  LinExpr e = LinExpr::constant(is.depth(), params.size(), sub.cst);
+  for (const auto& [name, a] : sub.coef) e.var[is.var_index(name)] += a;
+  return e;
+}
+
+AffineMap subscript_map(const IterSpace& is, const std::vector<hpf::Subscript>& subs,
+                        const Params& params) {
+  AffineMap m(is.depth(), subs.size(), params);
+  for (std::size_t d = 0; d < subs.size(); ++d) m.out(d) = subscript_expr(is, subs[d], params);
+  return m;
+}
+
+Set index_set(const hpf::Array& a, const Params& params) {
+  BasicSet bs(a.extents.size(), params);
+  for (std::size_t d = 0; d < a.extents.size(); ++d)
+    bs.add_bounds(d, bs.expr_const(0), bs.expr_const(a.extents[d] - 1));
+  return Set(bs);
+}
+
+Set owned_set(const hpf::Array& a, const Params& params) {
+  if (!a.distributed()) return index_set(a, params);  // replicated: all local
+  BasicSet bs(a.extents.size(), params);
+  for (std::size_t d = 0; d < a.extents.size(); ++d) {
+    bs.add_bounds(d, bs.expr_const(0), bs.expr_const(a.extents[d] - 1));
+    const auto& dim = a.dist.dims[d];
+    if (dim.kind != hpf::DistKind::Block) continue;
+    const std::string g = std::to_string(dim.proc_dim);
+    const i64 off = a.dist.offset(d);
+    // lb<g> <= x_d + off <= ub<g>
+    bs.add(Constraint::ge0(bs.expr_var(d) + bs.expr_const(off) - bs.expr_param("lb" + g)));
+    bs.add(Constraint::ge0(bs.expr_param("ub" + g) - bs.expr_var(d) - bs.expr_const(off)));
+  }
+  return Set(bs);
+}
+
+}  // namespace dhpf::analysis

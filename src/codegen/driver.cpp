@@ -1,0 +1,23 @@
+#include "codegen/driver.hpp"
+
+#include "hpf/parser.hpp"
+
+namespace dhpf::codegen {
+
+CompileResult compile(const hpf::Program& prog, const cp::SelectOptions& sopt,
+                      const comm::CommOptions& copt) {
+  CompileResult r;
+  r.cps = cp::select_cps(prog, sopt);
+  r.plan = comm::generate_comm(prog, r.cps, copt);
+  r.listing = emit_spmd(prog, r.cps, r.plan);
+  return r;
+}
+
+CompileResult compile_source(const std::string& source, hpf::Program* out_prog,
+                             const cp::SelectOptions& sopt, const comm::CommOptions& copt) {
+  require(out_prog != nullptr, "codegen", "compile_source: out_prog required");
+  *out_prog = hpf::parse(source);
+  return compile(*out_prog, sopt, copt);
+}
+
+}  // namespace dhpf::codegen

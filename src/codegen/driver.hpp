@@ -1,0 +1,32 @@
+// One-call compiler facade: HPF-lite source (or IR) -> computation
+// partitionings -> communication plan -> SPMD listing, ready to execute on
+// the simulated machine with codegen::run_spmd. This is the public entry
+// point the examples and quickstart use.
+#pragma once
+
+#include <string>
+
+#include "codegen/spmd.hpp"
+#include "comm/comm.hpp"
+#include "cp/select.hpp"
+#include "hpf/ir.hpp"
+
+namespace dhpf::codegen {
+
+struct CompileResult {
+  cp::CpResult cps;
+  comm::CommPlan plan;
+  std::string listing;  ///< pseudo-Fortran SPMD node program
+};
+
+/// Run the full dHPF pipeline over an already-built program.
+CompileResult compile(const hpf::Program& prog, const cp::SelectOptions& sopt = {},
+                      const comm::CommOptions& copt = {});
+
+/// Parse-and-compile convenience; returns the program through `out_prog`
+/// (its lifetime must cover any use of the result).
+CompileResult compile_source(const std::string& source, hpf::Program* out_prog,
+                             const cp::SelectOptions& sopt = {},
+                             const comm::CommOptions& copt = {});
+
+}  // namespace dhpf::codegen

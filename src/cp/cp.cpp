@@ -1,0 +1,121 @@
+#include "cp/cp.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::cp {
+
+std::string SubRange::to_string() const {
+  if (is_point()) return lo.to_string();
+  return lo.to_string() + ":" + hi.to_string();
+}
+
+OnHomeTerm OnHomeTerm::from_ref(const hpf::Ref& r) {
+  OnHomeTerm t;
+  t.array = r.array;
+  for (const auto& s : r.subs) t.subs.push_back(SubRange::point(s));
+  return t;
+}
+
+std::string OnHomeTerm::to_string() const {
+  std::ostringstream out;
+  out << "ON_HOME " << (array ? array->name : "?") << "(";
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    if (i) out << ",";
+    out << subs[i].to_string();
+  }
+  out << ")";
+  return out.str();
+}
+
+void CP::add_term(OnHomeTerm t) {
+  for (const auto& x : terms)
+    if (x == t) return;
+  terms.push_back(std::move(t));
+}
+
+CP CP::unite(const CP& o) const {
+  CP r = *this;
+  for (const auto& t : o.terms) r.add_term(t);
+  return r;
+}
+
+std::string CP::to_string() const {
+  if (terms.empty()) return "REPLICATED";
+  std::ostringstream out;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (i) out << " union ";
+    out << terms[i].to_string();
+  }
+  return out.str();
+}
+
+bool equivalent_partitioning(const OnHomeTerm& a, const OnHomeTerm& b) {
+  if (!a.array || !b.array) return false;
+  const auto& da = a.array->dist;
+  const auto& db = b.array->dist;
+  if (!da.grid || da.grid != db.grid) return false;
+  if (da.dims.size() != db.dims.size()) return false;
+  if (a.subs.size() != da.dims.size() || b.subs.size() != db.dims.size()) return false;
+  for (std::size_t d = 0; d < da.dims.size(); ++d) {
+    if (da.dims[d].kind != db.dims[d].kind) return false;
+    if (da.dims[d].kind != hpf::DistKind::Block) continue;  // replicated: irrelevant
+    if (da.dims[d].proc_dim != db.dims[d].proc_dim) return false;
+    // Compare template coordinates: subscript + alignment offset.
+    const long oa = da.offset(d), ob = db.offset(d);
+    if (!(a.subs[d].lo.plus(oa) == b.subs[d].lo.plus(ob)) ||
+        !(a.subs[d].hi.plus(oa) == b.subs[d].hi.plus(ob)))
+      return false;
+  }
+  return true;
+}
+
+hpf::Subscript substitute(const hpf::Subscript& s,
+                          const std::map<std::string, hpf::Subscript>& map) {
+  hpf::Subscript r;
+  r.cst = s.cst;
+  for (const auto& [name, coef] : s.coef) {
+    auto it = map.find(name);
+    if (it == map.end()) {
+      r.coef[name] += coef;
+      if (r.coef[name] == 0) r.coef.erase(name);
+      continue;
+    }
+    const hpf::Subscript& image = it->second;
+    r.cst += static_cast<long>(coef) * image.cst;
+    for (const auto& [n2, c2] : image.coef) {
+      r.coef[n2] += coef * c2;
+      if (r.coef[n2] == 0) r.coef.erase(n2);
+    }
+  }
+  return r;
+}
+
+SubRange vectorize(const SubRange& r, const std::string& var, const hpf::Subscript& lo,
+                   const hpf::Subscript& hi) {
+  auto sweep = [&](const hpf::Subscript& s, bool want_low) -> hpf::Subscript {
+    auto it = s.coef.find(var);
+    if (it == s.coef.end()) return s;
+    const int a = it->second;
+    const hpf::Subscript& end = (a > 0) == want_low ? lo : hi;
+    std::map<std::string, hpf::Subscript> m{{var, end}};
+    return substitute(s, m);
+  };
+  return SubRange{sweep(r.lo, true), sweep(r.hi, false)};
+}
+
+std::vector<std::string> term_variables(const OnHomeTerm& t) {
+  std::set<std::string> names;
+  for (const auto& sr : t.subs) {
+    for (const auto& [n, c] : sr.lo.coef)
+      if (c != 0) names.insert(n);
+    for (const auto& [n, c] : sr.hi.coef)
+      if (c != 0) names.insert(n);
+  }
+  return {names.begin(), names.end()};
+}
+
+}  // namespace dhpf::cp

@@ -1,0 +1,77 @@
+// The dHPF computation-partitioning (CP) model (paper §2).
+//
+// The CP of a statement is ON_HOME A1(f1) ∪ ... ∪ An(fn) for *arbitrary*
+// references — a strict generalization of the owner-computes rule (which is
+// the special case of a single left-hand-side reference). Subscripts in a
+// term are *ranges* of affine expressions: vectorization (used when
+// translating CPs from uses of privatizable/LOCALIZE'd arrays back to their
+// definitions, §4.1/§4.2, and when translating callee CPs through call
+// sites, §6) turns a loop-variable subscript into the range it sweeps.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpf/ir.hpp"
+
+namespace dhpf::cp {
+
+/// An inclusive range [lo, hi] of affine subscript expressions.
+struct SubRange {
+  hpf::Subscript lo, hi;
+
+  static SubRange point(hpf::Subscript s) { return SubRange{s, s}; }
+  [[nodiscard]] bool is_point() const { return lo == hi; }
+  [[nodiscard]] bool operator==(const SubRange&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// ON_HOME array(ranges...): "executed by the owners of these elements".
+struct OnHomeTerm {
+  const hpf::Array* array = nullptr;
+  std::vector<SubRange> subs;
+
+  static OnHomeTerm from_ref(const hpf::Ref& r);
+  [[nodiscard]] bool operator==(const OnHomeTerm&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A computation partitioning: union of ON_HOME terms. Empty = replicated
+/// (every processor executes the statement).
+struct CP {
+  std::vector<OnHomeTerm> terms;
+
+  static CP replicated() { return CP{}; }
+  static CP on_home(const hpf::Ref& r) { return CP{{OnHomeTerm::from_ref(r)}}; }
+
+  [[nodiscard]] bool is_replicated() const { return terms.empty(); }
+  void add_term(OnHomeTerm t);  // dedupes
+  [[nodiscard]] CP unite(const CP& o) const;
+  [[nodiscard]] bool operator==(const CP&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Two ON_HOME terms induce the same processor assignment iff the arrays
+/// share a distribution identity (same grid/template, same offsets along
+/// distributed dims) and the subscript ranges along every *distributed*
+/// dimension agree after alignment (replicated dimensions are irrelevant —
+/// the paper treats "different array references with the same data
+/// partition ... as identical", §5).
+bool equivalent_partitioning(const OnHomeTerm& a, const OnHomeTerm& b);
+
+/// Substitute loop variables in a subscript: every variable with an entry in
+/// `map` is replaced by its affine image, simultaneously (no capture).
+/// Variables without an entry are kept.
+hpf::Subscript substitute(const hpf::Subscript& s,
+                          const std::map<std::string, hpf::Subscript>& map);
+
+/// Vectorize variable `var` out of a range: the result range sweeps var over
+/// [lo, hi]. (Handles negative coefficients by swapping ends.)
+SubRange vectorize(const SubRange& r, const std::string& var, const hpf::Subscript& lo,
+                   const hpf::Subscript& hi);
+
+/// Names of loop variables appearing in a term's subscripts.
+std::vector<std::string> term_variables(const OnHomeTerm& t);
+
+}  // namespace dhpf::cp

@@ -1,0 +1,94 @@
+// Computation-partitioning selection — the paper's §2 base algorithm plus
+// the four optimizations of §4-§6:
+//
+//   * candidate CPs per statement (one ON_HOME per distributed reference);
+//   * §5 communication-sensitive grouping: statements connected by
+//     loop-independent dependences are merged with union-find, restricting
+//     each group to its common CP choices; irreconcilable pairs are marked
+//     and resolved by *selective* SCC-based loop distribution;
+//   * least-communication-cost choice among the (restricted) candidates,
+//     costed with the integer-set machinery;
+//   * §4.1: definitions of privatizable (NEW) arrays receive the union of
+//     CPs translated back from their uses (1-1 subscript mappings inverted,
+//     remaining subscripts vectorized) — partially replicating boundary
+//     computation and eliminating all communication of the private array;
+//   * §4.2: LOCALIZE'd distributed arrays get owner-computes ∪ translated
+//     use CPs, replicating boundary computation into overlap areas;
+//   * §6: bottom-up interprocedural selection — a callee's entry CP is
+//     translated through the formal→actual binding (and the arrays'
+//     template alignments) and becomes the call statement's only candidate.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "analysis/sets.hpp"
+#include "cp/cp.hpp"
+#include "hpf/ir.hpp"
+#include "iset/set.hpp"
+
+namespace dhpf::cp {
+
+/// Iteration subset of `is` assigned to the representative processor under
+/// `cp` (the union over ON_HOME terms of "some element of the term's ranges
+/// falls in myid's block"). Used by communication generation and codegen.
+iset::Set iterations_on_home(const analysis::IterSpace& is, const CP& cp,
+                             const iset::Params& params);
+
+enum class PrivMode {
+  Propagate,      ///< §4.1 (the paper's technique)
+  Replicate,      ///< baseline 1: every processor computes the whole array
+  OwnerComputes,  ///< baseline 2: owner-computes (for distributed privates)
+};
+
+struct SelectOptions {
+  PrivMode priv_mode = PrivMode::Propagate;
+  bool localize = true;         ///< §4.2 (off: owner-computes for marked arrays)
+  bool comm_sensitive = true;   ///< §5 grouping (off: per-statement choice)
+  bool interprocedural = true;  ///< §6 (off: calls execute replicated)
+};
+
+struct StmtCp {
+  const hpf::Stmt* stmt = nullptr;
+  std::vector<const hpf::Loop*> path;  ///< enclosing loops, outermost first
+  CP cp;
+};
+
+struct LoopDistInfo {
+  const hpf::Loop* loop = nullptr;
+  std::size_t num_stmts = 0;
+  std::size_t num_groups = 0;      ///< CP groups after union-find restriction
+  std::size_t num_partitions = 1;  ///< new loops after selective distribution
+  std::vector<std::pair<int, int>> separated;          ///< must-separate stmt ids
+  std::vector<std::vector<int>> partitions;            ///< stmt ids per new loop
+};
+
+struct CpResult {
+  std::map<int, StmtCp> stmts;         ///< by statement id
+  std::map<std::string, CP> entry_cp;  ///< per procedure (for §6)
+  std::vector<LoopDistInfo> loop_dist;
+  std::vector<std::string> log;        ///< human-readable decision trace
+
+  [[nodiscard]] const CP& cp_of(int stmt_id) const;
+};
+
+/// Run CP selection over the whole program (bottom-up over the call graph).
+CpResult select_cps(const hpf::Program& prog, const SelectOptions& opt = {});
+
+/// §4.1/§4.2 translation primitive, exposed for tests: translate one term of
+/// a use statement's CP into the frame of a definition statement, via the
+/// 1-1 mapping between the use's and definition's subscripts of the
+/// private/localized array, vectorizing what cannot be mapped.
+OnHomeTerm translate_term_use_to_def(const OnHomeTerm& term,
+                                     const std::vector<const hpf::Loop*>& use_path,
+                                     const hpf::Ref& use_ref,
+                                     const std::vector<const hpf::Loop*>& def_path,
+                                     const hpf::Ref& def_lhs);
+
+/// §5 grouping on the direct assignment children of `loop`, exposed for
+/// tests and the Figure 5.1 bench: returns the restricted candidate classes
+/// and must-separate pairs, plus the selective-distribution partitioning.
+LoopDistInfo comm_sensitive_distribution(const hpf::Loop& loop,
+                                         const std::vector<const hpf::Loop*>& outer_path);
+
+}  // namespace dhpf::cp

@@ -1,0 +1,100 @@
+#include "cp/transform.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::cp {
+
+using hpf::Loop;
+using hpf::Stmt;
+using hpf::StmtPtr;
+
+std::size_t apply_selective_distribution(std::vector<StmtPtr>& parent_body,
+                                         std::size_t index, const LoopDistInfo& info) {
+  require(index < parent_body.size() && parent_body[index]->is_loop(), "cp",
+          "apply_selective_distribution: index must name a loop");
+  if (info.partitions.size() <= 1) return 1;
+
+  StmtPtr original = std::move(parent_body[index]);
+  Loop& loop = original->loop();
+  require(&loop == info.loop, "cp", "distribution info does not match this loop");
+
+  // Move the children out, keyed by statement id.
+  std::map<int, StmtPtr> by_id;
+  for (auto& sp : loop.body) {
+    require(sp->is_assign(), "cp",
+            "selective distribution requires direct assignment children only");
+    const int id = sp->assign().id;
+    by_id[id] = std::move(sp);
+  }
+
+  std::vector<StmtPtr> replacements;
+  for (const auto& part : info.partitions) {
+    auto clone = std::make_unique<Stmt>();
+    Loop l;
+    l.var = loop.var;
+    l.lo = loop.lo;
+    l.hi = loop.hi;
+    l.independent = loop.independent;
+    l.new_vars = loop.new_vars;
+    l.localize_vars = loop.localize_vars;
+    for (int id : part) {
+      auto it = by_id.find(id);
+      require(it != by_id.end(), "cp", "partition references unknown statement");
+      l.body.push_back(std::move(it->second));
+      by_id.erase(it);
+    }
+    clone->node = std::move(l);
+    replacements.push_back(std::move(clone));
+  }
+  require(by_id.empty(), "cp", "distribution partitions must cover every statement");
+
+  parent_body.erase(parent_body.begin() + static_cast<std::ptrdiff_t>(index));
+  const std::size_t count = replacements.size();
+  parent_body.insert(parent_body.begin() + static_cast<std::ptrdiff_t>(index),
+                     std::make_move_iterator(replacements.begin()),
+                     std::make_move_iterator(replacements.end()));
+  return count;
+}
+
+namespace {
+
+/// Recursive sweep: distribute innermost loops (all-assign bodies) that §5
+/// marks as needing separation.
+std::size_t sweep(std::vector<StmtPtr>& body, std::vector<const Loop*>& path,
+                  std::size_t* splits) {
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (!body[i]->is_loop()) continue;
+    Loop& l = body[i]->loop();
+    bool all_assign = !l.body.empty();
+    for (const auto& sp : l.body)
+      if (!sp->is_assign()) all_assign = false;
+    if (all_assign) {
+      LoopDistInfo info = comm_sensitive_distribution(l, path);
+      if (info.num_partitions > 1) {
+        const std::size_t n = apply_selective_distribution(body, i, info);
+        ++*splits;
+        i += n - 1;  // skip the freshly inserted loops
+      }
+    } else {
+      path.push_back(&l);
+      sweep(l.body, path, splits);
+      path.pop_back();
+    }
+  }
+  return *splits;
+}
+
+}  // namespace
+
+std::size_t distribute_where_needed(hpf::Program& prog, hpf::Procedure& proc) {
+  std::size_t splits = 0;
+  std::vector<const Loop*> path;
+  sweep(proc.body, path, &splits);
+  if (splits > 0) prog.number_statements();
+  return splits;
+}
+
+}  // namespace dhpf::cp

@@ -1,0 +1,28 @@
+// IR transformations driven by CP analysis.
+//
+// apply_selective_distribution realizes the §5 decision: a loop whose direct
+// assignment children could not all be given a common CP choice is split
+// into the minimal number of consecutive loops computed by
+// comm_sensitive_distribution, so the unavoidable communication moves from
+// the inner loop to the boundary between the new loops (and can then be
+// vectorized there by communication generation).
+#pragma once
+
+#include "cp/select.hpp"
+#include "hpf/ir.hpp"
+
+namespace dhpf::cp {
+
+/// Split `parent_body[index]` (which must be a Loop whose direct children
+/// are all assignments) into `info.partitions.size()` consecutive loops with
+/// identical headers and directives. No-op when one partition. Statement ids
+/// must be re-assigned afterwards (hpf::Program::number_statements).
+/// Returns the number of loops now occupying the original slot.
+std::size_t apply_selective_distribution(std::vector<hpf::StmtPtr>& parent_body,
+                                         std::size_t index, const LoopDistInfo& info);
+
+/// Convenience: run §5 analysis on every innermost loop of `proc` and apply
+/// any required distribution. Returns the number of loops that were split.
+std::size_t distribute_where_needed(hpf::Program& prog, hpf::Procedure& proc);
+
+}  // namespace dhpf::cp

@@ -1,0 +1,261 @@
+#include "hpf/ir.hpp"
+
+#include <functional>
+#include <sstream>
+
+namespace dhpf::hpf {
+
+std::vector<int> ProcGrid::coords(int rank) const {
+  std::vector<int> c(extents.size());
+  for (std::size_t d = extents.size(); d-- > 0;) {
+    c[d] = rank % extents[d];
+    rank /= extents[d];
+  }
+  return c;
+}
+
+bool DistSpec::distributed() const {
+  if (!grid) return false;
+  for (const auto& d : dims)
+    if (d.kind == DistKind::Block) return true;
+  return false;
+}
+
+long Subscript::eval(const std::map<std::string, long>& env) const {
+  long v = cst;
+  for (const auto& [name, a] : coef) {
+    auto it = env.find(name);
+    require(it != env.end(), "hpf", "unbound loop variable in subscript: " + name);
+    v += a * it->second;
+  }
+  return v;
+}
+
+std::string Subscript::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [name, a] : coef) {
+    if (a == 0) continue;
+    if (first) {
+      if (a == -1)
+        out << "-";
+      else if (a != 1)
+        out << a << "*";
+    } else {
+      out << (a > 0 ? "+" : "-");
+      if (a != 1 && a != -1) out << (a > 0 ? a : -a) << "*";
+    }
+    out << name;
+    first = false;
+  }
+  if (first)
+    out << cst;
+  else if (cst > 0)
+    out << "+" << cst;
+  else if (cst < 0)
+    out << cst;
+  return out.str();
+}
+
+std::string Ref::to_string() const {
+  std::ostringstream out;
+  out << (array ? array->name : "?") << "(";
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    if (i) out << ",";
+    out << subs[i].to_string();
+  }
+  out << ")";
+  return out.str();
+}
+
+std::string assign_to_string(const Assign& a) {
+  std::ostringstream out;
+  out << a.lhs.to_string() << " = ";
+  for (std::size_t i = 0; i < a.rhs.size(); ++i) {
+    if (i) out << " + ";
+    out << a.rhs[i].to_string();
+  }
+  if (a.rhs.empty() || a.cst != 0.0) {
+    if (!a.rhs.empty()) out << " + ";
+    out << a.cst;
+  }
+  return out.str();
+}
+
+ProcGrid* Program::add_grid(std::string name, std::vector<int> extents) {
+  grids_.push_back(std::make_unique<ProcGrid>(ProcGrid{std::move(name), std::move(extents)}));
+  return grids_.back().get();
+}
+
+Array* Program::add_array(std::string name, std::vector<int> extents, DistSpec dist) {
+  require(find_array(name) == nullptr, "hpf", "duplicate array: " + name);
+  auto a = std::make_unique<Array>();
+  a->name = std::move(name);
+  a->extents = std::move(extents);
+  a->dist = std::move(dist);
+  if (a->dist.grid) {
+    require(a->dist.dims.size() == a->extents.size(), "hpf",
+            "distribution rank mismatch for " + a->name);
+  }
+  arrays_.push_back(std::move(a));
+  return arrays_.back().get();
+}
+
+Procedure* Program::add_procedure(std::string name) {
+  auto p = std::make_unique<Procedure>();
+  p->name = std::move(name);
+  procs_.push_back(std::move(p));
+  return procs_.back().get();
+}
+
+Array* Program::find_array(const std::string& name) {
+  for (auto& a : arrays_)
+    if (a->name == name) return a.get();
+  return nullptr;
+}
+
+const Array* Program::find_array(const std::string& name) const {
+  return const_cast<Program*>(this)->find_array(name);
+}
+
+Procedure* Program::find_procedure(const std::string& name) {
+  for (auto& p : procs_)
+    if (p->name == name) return p.get();
+  return nullptr;
+}
+
+const Procedure* Program::find_procedure(const std::string& name) const {
+  return const_cast<Program*>(this)->find_procedure(name);
+}
+
+void Program::number_statements() {
+  int next = 0;
+  for (auto& proc : procs_) {
+    walk(proc->body, [&](Stmt& s, const std::vector<const Loop*>&) {
+      if (s.is_assign()) s.assign().id = next++;
+      if (s.is_call()) s.call().id = next++;
+    });
+  }
+}
+
+StmtPtr make_assign(Ref lhs, std::vector<Ref> rhs, double cst) {
+  auto s = std::make_unique<Stmt>();
+  s->node = Assign{std::move(lhs), std::move(rhs), cst, -1};
+  return s;
+}
+
+StmtPtr make_call(std::string callee, std::vector<Ref> args) {
+  auto s = std::make_unique<Stmt>();
+  s->node = Call{std::move(callee), std::move(args), -1};
+  return s;
+}
+
+StmtPtr make_loop(std::string var, Subscript lo, Subscript hi, std::vector<StmtPtr> body) {
+  auto s = std::make_unique<Stmt>();
+  Loop l;
+  l.var = std::move(var);
+  l.lo = std::move(lo);
+  l.hi = std::move(hi);
+  l.body = std::move(body);
+  s->node = std::move(l);
+  return s;
+}
+
+namespace {
+template <class StmtT, class Fn>
+void walk_impl(std::vector<StmtPtr>& body, std::vector<const Loop*>& path, const Fn& fn) {
+  for (auto& sp : body) {
+    fn(*sp, path);
+    if (sp->is_loop()) {
+      path.push_back(&sp->loop());
+      walk_impl<StmtT>(sp->loop().body, path, fn);
+      path.pop_back();
+    }
+  }
+}
+}  // namespace
+
+void walk(const std::vector<StmtPtr>& body,
+          const std::function<void(Stmt&, const std::vector<const Loop*>&)>& fn) {
+  std::vector<const Loop*> path;
+  walk_impl<Stmt>(const_cast<std::vector<StmtPtr>&>(body), path, fn);
+}
+
+namespace {
+void print_body(std::ostringstream& out, const std::vector<StmtPtr>& body, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  for (const auto& sp : body) {
+    if (sp->is_assign()) {
+      const auto& a = sp->assign();
+      out << pad << "S" << a.id << ": " << assign_to_string(a) << "\n";
+    } else if (sp->is_call()) {
+      const auto& c = sp->call();
+      out << pad << "S" << c.id << ": call " << c.callee << "(";
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i) out << ", ";
+        out << c.args[i].to_string();
+      }
+      out << ")\n";
+    } else {
+      const auto& l = sp->loop();
+      if (l.independent || !l.new_vars.empty() || !l.localize_vars.empty()) {
+        out << pad << "!HPF$ INDEPENDENT";
+        if (!l.new_vars.empty()) {
+          out << ", NEW(";
+          for (std::size_t i = 0; i < l.new_vars.size(); ++i)
+            out << (i ? "," : "") << l.new_vars[i];
+          out << ")";
+        }
+        if (!l.localize_vars.empty()) {
+          out << ", LOCALIZE(";
+          for (std::size_t i = 0; i < l.localize_vars.size(); ++i)
+            out << (i ? "," : "") << l.localize_vars[i];
+          out << ")";
+        }
+        out << "\n";
+      }
+      out << pad << "do " << l.var << " = " << l.lo.to_string() << ", " << l.hi.to_string()
+          << "\n";
+      print_body(out, l.body, indent + 1);
+      out << pad << "enddo\n";
+    }
+  }
+}
+}  // namespace
+
+std::string Program::to_string() const {
+  std::ostringstream out;
+  for (const auto& g : grids_) {
+    out << "!HPF$ PROCESSORS " << g->name << "(";
+    for (std::size_t i = 0; i < g->extents.size(); ++i)
+      out << (i ? "," : "") << g->extents[i];
+    out << ")\n";
+  }
+  for (const auto& a : arrays_) {
+    out << "real " << a->name << "(";
+    for (std::size_t i = 0; i < a->extents.size(); ++i)
+      out << (i ? "," : "") << a->extents[i];
+    out << ")";
+    if (a->dist.grid) {
+      out << "  !HPF$ DISTRIBUTE (";
+      for (std::size_t i = 0; i < a->dist.dims.size(); ++i) {
+        out << (i ? "," : "");
+        out << (a->dist.dims[i].kind == DistKind::Block ? "BLOCK" : "*");
+      }
+      out << ") onto " << a->dist.grid->name;
+      if (!a->dist.template_name.empty()) out << "  align " << a->dist.template_name;
+    }
+    out << "\n";
+  }
+  for (const auto& p : procs_) {
+    out << "procedure " << p->name << "(";
+    for (std::size_t i = 0; i < p->formals.size(); ++i)
+      out << (i ? ", " : "") << p->formals[i]->name;
+    out << ")\n";
+    print_body(out, p->body, 1);
+    out << "end\n";
+  }
+  return out.str();
+}
+
+}  // namespace dhpf::hpf

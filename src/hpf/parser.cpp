@@ -1,0 +1,350 @@
+#include "hpf/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::hpf {
+
+namespace {
+
+struct Token {
+  enum Kind { Ident, Number, Punct, End } kind = End;
+  std::string text;
+  long value = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return cur_; }
+
+  Token next() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void error(const std::string& msg) const {
+    fail("hpf-parser", "line " + std::to_string(cur_.line) + ": " + msg +
+                           (cur_.kind == Token::End ? " (at end of input)"
+                                                    : " (at '" + cur_.text + "')"));
+  }
+
+ private:
+  void advance() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#' || (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+    cur_ = Token{};
+    cur_.line = line_;
+    if (pos_ >= src_.size()) return;
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_'))
+        ++pos_;
+      cur_.kind = Token::Ident;
+      cur_.text = src_.substr(start, pos_ - start);
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_])))
+        ++pos_;
+      cur_.kind = Token::Number;
+      cur_.text = src_.substr(start, pos_ - start);
+      cur_.value = std::stol(cur_.text);
+    } else {
+      cur_.kind = Token::Punct;
+      cur_.text = std::string(1, c);
+      ++pos_;
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token cur_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lex_(src) {}
+
+  Program run() {
+    while (lex_.peek().kind != Token::End) {
+      const std::string kw = expect_ident();
+      if (kw == "processors")
+        parse_processors();
+      else if (kw == "array")
+        parse_array();
+      else if (kw == "procedure")
+        parse_procedure();
+      else
+        lex_.error("expected 'processors', 'array' or 'procedure', got '" + kw + "'");
+    }
+    prog_.number_statements();
+    return std::move(prog_);
+  }
+
+ private:
+  std::string expect_ident() {
+    if (lex_.peek().kind != Token::Ident) lex_.error("expected identifier");
+    return lex_.next().text;
+  }
+
+  long expect_number() {
+    bool neg = false;
+    if (lex_.peek().kind == Token::Punct && lex_.peek().text == "-") {
+      lex_.next();
+      neg = true;
+    }
+    if (lex_.peek().kind != Token::Number) lex_.error("expected number");
+    const long v = lex_.next().value;
+    return neg ? -v : v;
+  }
+
+  void expect_punct(const std::string& p) {
+    if (lex_.peek().kind != Token::Punct || lex_.peek().text != p)
+      lex_.error("expected '" + p + "'");
+    lex_.next();
+  }
+
+  bool accept_punct(const std::string& p) {
+    if (lex_.peek().kind == Token::Punct && lex_.peek().text == p) {
+      lex_.next();
+      return true;
+    }
+    return false;
+  }
+
+  bool accept_ident(const std::string& kw) {
+    if (lex_.peek().kind == Token::Ident && lex_.peek().text == kw) {
+      lex_.next();
+      return true;
+    }
+    return false;
+  }
+
+  std::vector<int> int_list_paren() {
+    expect_punct("(");
+    std::vector<int> xs;
+    if (!accept_punct(")")) {
+      do {
+        xs.push_back(static_cast<int>(expect_number()));
+      } while (accept_punct(","));
+      expect_punct(")");
+    }
+    return xs;
+  }
+
+  void parse_processors() {
+    const std::string name = expect_ident();
+    prog_.add_grid(name, int_list_paren());
+  }
+
+  void parse_array() {
+    const std::string name = expect_ident();
+    std::vector<int> extents = int_list_paren();
+    DistSpec dist;
+    if (accept_ident("distribute")) {
+      expect_punct("(");
+      do {
+        DistSpec::Dim d;
+        if (accept_punct("*")) {
+          d.kind = DistKind::Replicated;
+        } else {
+          if (!accept_ident("block")) lex_.error("expected 'block' or '*'");
+          expect_punct(":");
+          d.kind = DistKind::Block;
+          d.proc_dim = static_cast<int>(expect_number());
+        }
+        dist.dims.push_back(d);
+      } while (accept_punct(","));
+      expect_punct(")");
+      if (!accept_ident("onto")) lex_.error("expected 'onto'");
+      const std::string gname = expect_ident();
+      for (const auto& g : prog_.grids())
+        if (g->name == gname) dist.grid = g.get();
+      if (!dist.grid) lex_.error("unknown processor grid '" + gname + "'");
+      if (dist.dims.size() != extents.size())
+        lex_.error("distribution rank mismatch for array '" + name + "'");
+    }
+    if (accept_ident("template")) dist.template_name = expect_ident();
+    if (accept_ident("offset")) {
+      auto off = int_list_paren();
+      dist.template_offset.assign(off.begin(), off.end());
+    }
+    prog_.add_array(name, std::move(extents), std::move(dist));
+  }
+
+  Subscript parse_affine() {
+    // term (('+'|'-') term)*, term ::= [NUM '*'] IDENT | NUM
+    Subscript s;
+    int sign = 1;
+    if (accept_punct("-")) sign = -1;
+    while (true) {
+      if (lex_.peek().kind == Token::Number) {
+        const long v = lex_.next().value;
+        if (accept_punct("*")) {
+          const std::string var = expect_ident();
+          s.coef[var] += sign * static_cast<int>(v);
+        } else {
+          s.cst += sign * v;
+        }
+      } else if (lex_.peek().kind == Token::Ident) {
+        s.coef[lex_.next().text] += sign;
+      } else {
+        lex_.error("expected affine term");
+      }
+      if (accept_punct("+"))
+        sign = 1;
+      else if (accept_punct("-"))
+        sign = -1;
+      else
+        break;
+    }
+    return s;
+  }
+
+  Ref parse_ref() {
+    const std::string name = expect_ident();
+    Array* a = prog_.find_array(name);
+    if (!a) lex_.error("unknown array '" + name + "'");
+    Ref r;
+    r.array = a;
+    expect_punct("(");
+    if (!accept_punct(")")) {
+      do {
+        r.subs.push_back(parse_affine());
+      } while (accept_punct(","));
+      expect_punct(")");
+    }
+    if (r.subs.size() != a->extents.size())
+      lex_.error("subscript rank mismatch for '" + name + "'");
+    return r;
+  }
+
+  StmtPtr parse_do() {
+    Loop l;
+    if (accept_punct("[")) {
+      do {
+        const std::string attr = expect_ident();
+        if (attr == "independent") {
+          l.independent = true;
+        } else if (attr == "new" || attr == "localize") {
+          expect_punct("(");
+          do {
+            (attr == "new" ? l.new_vars : l.localize_vars).push_back(expect_ident());
+          } while (accept_punct(","));
+          expect_punct(")");
+        } else {
+          lex_.error("unknown do attribute '" + attr + "'");
+        }
+      } while (accept_punct(","));
+      expect_punct("]");
+    }
+    l.var = expect_ident();
+    expect_punct("=");
+    l.lo = parse_affine();
+    expect_punct(",");
+    l.hi = parse_affine();
+    l.body = parse_statements(/*in_loop=*/true);
+    auto s = std::make_unique<Stmt>();
+    s->node = std::move(l);
+    return s;
+  }
+
+  std::vector<StmtPtr> parse_statements(bool in_loop) {
+    std::vector<StmtPtr> body;
+    while (true) {
+      if (lex_.peek().kind == Token::End) {
+        if (in_loop) lex_.error("missing 'enddo'");
+        lex_.error("missing 'end'");
+      }
+      if (lex_.peek().kind != Token::Ident) lex_.error("expected statement");
+      const std::string word = lex_.peek().text;
+      if (word == "enddo") {
+        if (!in_loop) lex_.error("'enddo' outside loop");
+        lex_.next();
+        return body;
+      }
+      if (word == "end") {
+        if (in_loop) lex_.error("'end' inside loop (use 'enddo')");
+        lex_.next();
+        return body;
+      }
+      if (word == "do") {
+        lex_.next();
+        body.push_back(parse_do());
+      } else if (word == "call") {
+        lex_.next();
+        const std::string callee = expect_ident();
+        std::vector<Ref> args;
+        expect_punct("(");
+        if (!accept_punct(")")) {
+          do {
+            args.push_back(parse_ref());
+          } while (accept_punct(","));
+          expect_punct(")");
+        }
+        body.push_back(make_call(callee, std::move(args)));
+      } else {
+        Ref lhs = parse_ref();
+        expect_punct("=");
+        std::vector<Ref> rhs;
+        double cst = 0.0;
+        // RHS: refs and numeric constants joined by '+'.
+        while (true) {
+          if (lex_.peek().kind == Token::Number ||
+              (lex_.peek().kind == Token::Punct && lex_.peek().text == "-")) {
+            cst += static_cast<double>(expect_number());
+          } else {
+            rhs.push_back(parse_ref());
+          }
+          if (!accept_punct("+")) break;
+        }
+        body.push_back(make_assign(std::move(lhs), std::move(rhs), cst));
+      }
+    }
+  }
+
+  void parse_procedure() {
+    const std::string name = expect_ident();
+    Procedure* proc = prog_.add_procedure(name);
+    expect_punct("(");
+    if (!accept_punct(")")) {
+      do {
+        const std::string formal = expect_ident();
+        Array* a = prog_.find_array(formal);
+        if (!a) lex_.error("unknown formal array '" + formal + "'");
+        proc->formals.push_back(a);
+      } while (accept_punct(","));
+      expect_punct(")");
+    }
+    proc->body = parse_statements(/*in_loop=*/false);
+  }
+
+  Lexer lex_;
+  Program prog_;
+};
+
+}  // namespace
+
+Program parse(const std::string& source) { return Parser(source).run(); }
+
+}  // namespace dhpf::hpf

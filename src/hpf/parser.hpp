@@ -1,0 +1,42 @@
+// Mini front-end: parses a small HPF-like textual language into the IR.
+//
+// Example:
+//
+//   processors P(2, 2)
+//   array u(16, 16) distribute (block:0, block:1) onto P
+//   array cv(16)
+//
+//   procedure main()
+//     do[independent, new(cv)] j = 1, 14
+//       do i = 1, 14
+//         cv(i) = u(i, j) + u(i, j-1)
+//         u(i, j) = cv(i-1) + cv(i+1)
+//       enddo
+//     enddo
+//   end
+//
+// Declarations:
+//   processors NAME(e0, e1, ...)
+//   array NAME(e0, ...) [distribute (SPEC, ...) onto GRID]
+//                       [template NAME] [offset (o0, ...)]
+//     SPEC ::= '*' | block:G      (G = processor-grid dimension)
+//   procedure NAME(formal, ...) ... end
+// Statements:
+//   do[ATTRS] VAR = LO, HI ... enddo   with ATTRS ⊆ {independent,
+//       new(a, b, ...), localize(a, b, ...)}
+//   REF = REF + REF + ... [+ NUMBER]
+//   call NAME(REF, ...)
+// Subscripts are affine: i, i+1, 2*i-3, 7.
+#pragma once
+
+#include <string>
+
+#include "hpf/ir.hpp"
+
+namespace dhpf::hpf {
+
+/// Parse `source` into a Program. Throws dhpf::Error with a line-numbered
+/// message on syntax errors. Statement ids are assigned.
+Program parse(const std::string& source);
+
+}  // namespace dhpf::hpf

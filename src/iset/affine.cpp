@@ -1,0 +1,172 @@
+#include "iset/affine.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::iset {
+
+i64 gcd(i64 a, i64 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::size_t Params::index(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return i;
+  fail("iset", "unknown parameter: " + name);
+}
+
+bool Params::has(const std::string& name) const {
+  for (const auto& n : names_)
+    if (n == name) return true;
+  return false;
+}
+
+LinExpr LinExpr::zero(std::size_t nvars, std::size_t nparams) {
+  LinExpr e;
+  e.var.assign(nvars, 0);
+  e.param.assign(nparams, 0);
+  return e;
+}
+
+LinExpr LinExpr::variable(std::size_t nvars, std::size_t nparams, std::size_t v, i64 coef) {
+  LinExpr e = zero(nvars, nparams);
+  require(v < nvars, "iset", "variable index out of range");
+  e.var[v] = coef;
+  return e;
+}
+
+LinExpr LinExpr::constant(std::size_t nvars, std::size_t nparams, i64 c) {
+  LinExpr e = zero(nvars, nparams);
+  e.cst = c;
+  return e;
+}
+
+LinExpr LinExpr::parameter(std::size_t nvars, std::size_t nparams, std::size_t p, i64 coef) {
+  LinExpr e = zero(nvars, nparams);
+  require(p < nparams, "iset", "parameter index out of range");
+  e.param[p] = coef;
+  return e;
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& o) {
+  require(var.size() == o.var.size() && param.size() == o.param.size(), "iset",
+          "mismatched expression spaces");
+  for (std::size_t i = 0; i < var.size(); ++i) var[i] += o.var[i];
+  for (std::size_t i = 0; i < param.size(); ++i) param[i] += o.param[i];
+  cst += o.cst;
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& o) {
+  *this += o.negated();
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(i64 s) {
+  for (auto& c : var) c *= s;
+  for (auto& c : param) c *= s;
+  cst *= s;
+  return *this;
+}
+
+LinExpr LinExpr::operator+(const LinExpr& o) const {
+  LinExpr r = *this;
+  r += o;
+  return r;
+}
+
+LinExpr LinExpr::operator-(const LinExpr& o) const {
+  LinExpr r = *this;
+  r -= o;
+  return r;
+}
+
+LinExpr LinExpr::operator*(i64 s) const {
+  LinExpr r = *this;
+  r *= s;
+  return r;
+}
+
+bool LinExpr::is_constant() const {
+  for (i64 c : var)
+    if (c != 0) return false;
+  for (i64 c : param)
+    if (c != 0) return false;
+  return true;
+}
+
+i64 LinExpr::eval(const std::vector<i64>& vars, const std::vector<i64>& params) const {
+  require(vars.size() == var.size() && params.size() == param.size(), "iset",
+          "eval: wrong number of values");
+  i64 acc = cst;
+  for (std::size_t i = 0; i < var.size(); ++i) acc += var[i] * vars[i];
+  for (std::size_t i = 0; i < param.size(); ++i) acc += param[i] * params[i];
+  return acc;
+}
+
+i64 LinExpr::normalize_gcd() {
+  i64 g = 0;
+  for (i64 c : var) g = gcd(g, c);
+  for (i64 c : param) g = gcd(g, c);
+  g = gcd(g, cst);
+  if (g > 1) {
+    for (auto& c : var) c /= g;
+    for (auto& c : param) c /= g;
+    cst /= g;
+  }
+  return g == 0 ? 1 : g;
+}
+
+namespace {
+void append_term(std::ostringstream& out, bool& first, i64 coef, const std::string& name) {
+  if (coef == 0) return;
+  if (first) {
+    if (coef == -1)
+      out << "-";
+    else if (coef != 1)
+      out << coef << "*";
+  } else {
+    out << (coef > 0 ? " + " : " - ");
+    const i64 a = coef > 0 ? coef : -coef;
+    if (a != 1) out << a << "*";
+  }
+  out << name;
+  first = false;
+}
+}  // namespace
+
+std::string LinExpr::to_string(const Params& params,
+                               const std::vector<std::string>& var_names) const {
+  std::ostringstream out;
+  bool first = true;
+  for (std::size_t i = 0; i < var.size(); ++i) {
+    const std::string name =
+        i < var_names.size() ? var_names[i] : ("x" + std::to_string(i));
+    append_term(out, first, var[i], name);
+  }
+  for (std::size_t i = 0; i < param.size(); ++i)
+    append_term(out, first, param[i], params.name(i));
+  if (first)
+    out << cst;
+  else if (cst > 0)
+    out << " + " << cst;
+  else if (cst < 0)
+    out << " - " << -cst;
+  return out.str();
+}
+
+std::string Constraint::to_string(const Params& params,
+                                  const std::vector<std::string>& var_names) const {
+  return e.to_string(params, var_names) + (is_eq ? " == 0" : " >= 0");
+}
+
+}  // namespace dhpf::iset

@@ -1,0 +1,444 @@
+#include "iset/set.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::iset {
+
+// ------------------------------------------------------------- BasicSet
+
+void BasicSet::add(Constraint c) {
+  require(c.e.var.size() == nvars_ && c.e.param.size() == params_.size(), "iset",
+          "constraint space mismatch");
+  cs_.push_back(std::move(c));
+}
+
+void BasicSet::add_bounds(std::size_t v, const LinExpr& lo, const LinExpr& hi) {
+  add(Constraint::ge0(expr_var(v) - lo));
+  add(Constraint::ge0(hi - expr_var(v)));
+}
+
+void BasicSet::add_eq(std::size_t v, const LinExpr& value) {
+  add(Constraint::eq0(expr_var(v) - value));
+}
+
+BasicSet BasicSet::intersect(const BasicSet& o) const {
+  require(nvars_ == o.nvars_ && params_ == o.params_, "iset", "intersect: space mismatch");
+  BasicSet r = *this;
+  for (const auto& c : o.cs_) r.cs_.push_back(c);
+  return r;
+}
+
+namespace {
+
+/// Remove dimension v from an expression (its coefficient must be zero).
+LinExpr drop_var(const LinExpr& e, std::size_t v) {
+  LinExpr r = e;
+  r.var.erase(r.var.begin() + static_cast<std::ptrdiff_t>(v));
+  return r;
+}
+
+}  // namespace
+
+BasicSet BasicSet::project_out(std::size_t v) const {
+  require(v < nvars_, "iset", "project_out: variable out of range");
+  BasicSet out(nvars_ - 1, params_);
+
+  // Split constraints on whether they mention v.
+  std::vector<Constraint> eqs, lowers, uppers, rest;
+  for (const auto& c : cs_) {
+    const i64 a = c.e.var[v];
+    if (a == 0)
+      rest.push_back(c);
+    else if (c.is_eq)
+      eqs.push_back(c);
+    else if (a > 0)
+      lowers.push_back(c);  // a*v + f >= 0 -> lower bound on v
+    else
+      uppers.push_back(c);  // a*v + f >= 0, a<0 -> upper bound on v
+  }
+
+  if (!eqs.empty()) {
+    // Integer-exact substitution through an equality: normalize a > 0, then
+    // for any constraint b*v + f (>=|==) 0, replace with a*f - b*g where
+    // a*v + g == 0 (scaling an inequality by a > 0 preserves it).
+    Constraint eq = eqs.front();
+    if (eq.e.var[v] < 0) eq.e *= -1;
+    const i64 a = eq.e.var[v];
+    LinExpr g = eq.e;  // a*v + g_rest; we use the whole expr and cancel v
+    auto substitute = [&](const Constraint& c) {
+      const i64 b = c.e.var[v];
+      LinExpr r = c.e * a - g * b;  // coefficient of v: b*a - a*b = 0
+      Constraint nc{drop_var(r, v), c.is_eq};
+      nc.e.normalize_gcd();
+      return nc;
+    };
+    for (std::size_t i = 1; i < eqs.size(); ++i) out.cs_.push_back(substitute(eqs[i]));
+    for (const auto& c : lowers) out.cs_.push_back(substitute(c));
+    for (const auto& c : uppers) out.cs_.push_back(substitute(c));
+    for (const auto& c : rest) out.cs_.push_back(Constraint{drop_var(c.e, v), c.is_eq});
+    return out;
+  }
+
+  // Fourier-Motzkin pairs (rational).
+  for (const auto& lo : lowers)
+    for (const auto& up : uppers) {
+      const i64 a = lo.e.var[v];    // > 0
+      const i64 b = -up.e.var[v];   // > 0
+      LinExpr r = lo.e * b + up.e * a;  // v-coefficient: a*b - b*a = 0
+      Constraint nc{drop_var(r, v), false};
+      nc.e.normalize_gcd();
+      out.cs_.push_back(std::move(nc));
+    }
+  for (const auto& c : rest) out.cs_.push_back(Constraint{drop_var(c.e, v), c.is_eq});
+  out.simplify();
+  return out;
+}
+
+bool BasicSet::simplify() {
+  std::vector<Constraint> kept;
+  for (auto c : cs_) {
+    c.e.normalize_gcd();
+    if (c.e.is_constant()) {
+      const bool ok = c.is_eq ? (c.e.cst == 0) : (c.e.cst >= 0);
+      if (!ok) {
+        // Statically infeasible: mark by a canonical false constraint.
+        cs_.clear();
+        cs_.push_back(Constraint::ge0(expr_const(-1)));
+        return false;
+      }
+      continue;  // tautology
+    }
+    bool dup = false;
+    for (const auto& k : kept)
+      if (k == c) {
+        dup = true;
+        break;
+      }
+    if (!dup) kept.push_back(std::move(c));
+  }
+  cs_ = std::move(kept);
+  return true;
+}
+
+bool BasicSet::is_empty() const {
+  BasicSet work = *this;
+  if (!work.simplify()) return true;
+  // Eliminate all tuple variables...
+  while (work.nvars_ > 0) {
+    work = work.project_out(work.nvars_ - 1);
+    if (!work.simplify()) return true;
+  }
+  // ...then treat parameters as variables and eliminate them too.
+  BasicSet ground(params_.size(), Params{});
+  for (const auto& c : work.cs_) {
+    LinExpr e = LinExpr::zero(params_.size(), 0);
+    e.var = c.e.param;
+    e.cst = c.e.cst;
+    ground.cs_.push_back(Constraint{std::move(e), c.is_eq});
+  }
+  if (!ground.simplify()) return true;
+  while (ground.nvars_ > 0) {
+    ground = ground.project_out(ground.nvars_ - 1);
+    if (!ground.simplify()) return true;
+  }
+  for (const auto& c : ground.cs_) {
+    if (c.is_eq ? (c.e.cst != 0) : (c.e.cst < 0)) return true;
+  }
+  return false;
+}
+
+bool BasicSet::contains(const std::vector<i64>& vars, const std::vector<i64>& params) const {
+  for (const auto& c : cs_)
+    if (!c.satisfied(vars, params)) return false;
+  return true;
+}
+
+std::string BasicSet::to_string(const std::vector<std::string>& var_names) const {
+  std::ostringstream out;
+  out << "{ ";
+  for (std::size_t v = 0; v < nvars_; ++v) {
+    if (v) out << ", ";
+    out << (v < var_names.size() ? var_names[v] : "x" + std::to_string(v));
+  }
+  out << " : ";
+  for (std::size_t i = 0; i < cs_.size(); ++i) {
+    if (i) out << " and ";
+    out << cs_[i].to_string(params_, var_names);
+  }
+  if (cs_.empty()) out << "true";
+  out << " }";
+  return out.str();
+}
+
+// ------------------------------------------------------------------ Set
+
+Set::Set(BasicSet bs) : nvars_(bs.nvars()), params_(bs.params()) {
+  parts_.push_back(std::move(bs));
+}
+
+void Set::add_part(BasicSet bs) {
+  require(bs.nvars() == nvars_ && bs.params() == params_, "iset", "add_part: space mismatch");
+  if (bs.simplify() && !bs.is_empty()) parts_.push_back(std::move(bs));
+}
+
+Set Set::unite(const Set& o) const {
+  require(nvars_ == o.nvars_ && params_ == o.params_, "iset", "unite: space mismatch");
+  Set r = *this;
+  for (const auto& p : o.parts_) r.parts_.push_back(p);
+  return r;
+}
+
+Set Set::intersect(const Set& o) const {
+  require(nvars_ == o.nvars_ && params_ == o.params_, "iset", "intersect: space mismatch");
+  Set r(nvars_, params_);
+  for (const auto& a : parts_)
+    for (const auto& b : o.parts_) r.add_part(a.intersect(b));
+  return r;
+}
+
+Set Set::subtract(const Set& o) const {
+  require(nvars_ == o.nvars_ && params_ == o.params_, "iset", "subtract: space mismatch");
+  // A - (B1 ∪ B2 ∪ ...) = A ∩ ¬B1 ∩ ¬B2 ∩ ...; each ¬Bi is a union over its
+  // negated constraints (integer-exact: ¬(e >= 0) is -e-1 >= 0).
+  std::vector<BasicSet> acc = parts_;
+  for (const auto& b : o.parts_) {
+    std::vector<BasicSet> next;
+    for (const auto& a : acc) {
+      for (const auto& c : b.constraints()) {
+        if (c.is_eq) {
+          BasicSet lt = a;
+          lt.add(Constraint::ge0(c.e * -1 - lt.expr_const(1) + lt.expr_zero()));
+          if (lt.simplify() && !lt.is_empty()) next.push_back(std::move(lt));
+          BasicSet gt = a;
+          gt.add(Constraint::ge0(c.e - gt.expr_const(1) + gt.expr_zero()));
+          if (gt.simplify() && !gt.is_empty()) next.push_back(std::move(gt));
+        } else {
+          BasicSet neg = a;
+          neg.add(Constraint::ge0(c.e * -1 - neg.expr_const(1) + neg.expr_zero()));
+          if (neg.simplify() && !neg.is_empty()) next.push_back(std::move(neg));
+        }
+      }
+      if (b.constraints().empty()) {
+        // Subtracting the universe annihilates everything.
+      }
+    }
+    acc = std::move(next);
+    if (acc.empty()) break;
+  }
+  Set r(nvars_, params_);
+  for (auto& bs : acc) r.parts_.push_back(std::move(bs));
+  return r;
+}
+
+Set Set::project_out(std::size_t v) const {
+  Set r(nvars_ - 1, params_);
+  for (const auto& p : parts_) r.add_part(p.project_out(v));
+  return r;
+}
+
+bool Set::is_empty() const {
+  for (const auto& p : parts_)
+    if (!p.is_empty()) return false;
+  return true;
+}
+
+bool Set::contains(const std::vector<i64>& vars, const std::vector<i64>& params) const {
+  for (const auto& p : parts_)
+    if (p.contains(vars, params)) return true;
+  return false;
+}
+
+Set Set::apply(const AffineMap& map) const {
+  require(map.n_in() == nvars_ && map.params() == params_, "iset", "apply: space mismatch");
+  const std::size_t m = map.n_out();
+  Set r(m, params_);
+  for (const auto& p : parts_) {
+    // Variables: [y_0..y_{m-1}, x_0..x_{n-1}]; add y_i == f_i(x), then
+    // eliminate the x block.
+    BasicSet ext(m + nvars_, params_);
+    for (const auto& c : p.constraints()) {
+      LinExpr e = LinExpr::zero(m + nvars_, params_.size());
+      for (std::size_t i = 0; i < nvars_; ++i) e.var[m + i] = c.e.var[i];
+      e.param = c.e.param;
+      e.cst = c.e.cst;
+      ext.add(Constraint{std::move(e), c.is_eq});
+    }
+    for (std::size_t o = 0; o < m; ++o) {
+      LinExpr e = LinExpr::zero(m + nvars_, params_.size());
+      e.var[o] = 1;
+      const LinExpr& f = map.out(o);
+      for (std::size_t i = 0; i < nvars_; ++i) e.var[m + i] -= f.var[i];
+      for (std::size_t j = 0; j < params_.size(); ++j) e.param[j] -= f.param[j];
+      e.cst -= f.cst;
+      ext.add(Constraint::eq0(std::move(e)));
+    }
+    BasicSet proj = ext;
+    for (std::size_t i = 0; i < nvars_; ++i) proj = proj.project_out(proj.nvars() - 1);
+    r.add_part(std::move(proj));
+  }
+  return r;
+}
+
+Set Set::preimage(const AffineMap& map) const {
+  require(map.n_out() == nvars_ && map.params() == params_, "iset",
+          "preimage: space mismatch");
+  Set r(map.n_in(), params_);
+  for (const auto& p : parts_) {
+    BasicSet bs(map.n_in(), params_);
+    for (const auto& c : p.constraints()) {
+      LinExpr e = LinExpr::constant(map.n_in(), params_.size(), c.e.cst);
+      for (std::size_t j = 0; j < params_.size(); ++j) e.param[j] += c.e.param[j];
+      for (std::size_t i = 0; i < nvars_; ++i) e += map.out(i) * c.e.var[i];
+      bs.add(Constraint{std::move(e), c.is_eq});
+    }
+    r.add_part(std::move(bs));
+  }
+  return r;
+}
+
+namespace {
+
+/// Rational bounds of variable v in bs (given concrete params and outer
+/// variables already substituted): returns [lo, hi] candidates.
+bool var_bounds(const BasicSet& bs, const std::vector<i64>& params, std::size_t v,
+                const std::vector<i64>& fixed, i64* lo, i64* hi) {
+  // fixed holds values for vars [0, v); vars > v must already be projected
+  // away by the caller.
+  bool has_lo = false, has_hi = false;
+  i64 best_lo = 0, best_hi = 0;
+  for (const auto& c : bs.constraints()) {
+    const i64 a = c.e.var[v];
+    // residual = contribution of fixed vars + params + cst
+    i64 res = c.e.cst;
+    for (std::size_t i = 0; i < v; ++i) res += c.e.var[i] * fixed[i];
+    for (std::size_t j = 0; j < params.size(); ++j) res += c.e.param[j] * params[j];
+    bool higher_vars = false;
+    for (std::size_t i = v + 1; i < c.e.var.size(); ++i)
+      if (c.e.var[i] != 0) higher_vars = true;
+    if (higher_vars) continue;  // handled by the projected copies
+    if (a == 0) {
+      if (c.is_eq ? (res != 0) : (res < 0)) return false;  // infeasible here
+      continue;
+    }
+    // a*v + res >= 0 (or == 0)
+    if (c.is_eq) {
+      // a*v == -res must have an integer solution.
+      if ((-res) % a != 0) return false;
+      const i64 val = -res / a;
+      if (!has_lo || val > best_lo) best_lo = val, has_lo = true;
+      if (!has_hi || val < best_hi) best_hi = val, has_hi = true;
+    } else if (a > 0) {
+      // v >= ceil(-res / a); C++ division truncates toward zero.
+      const i64 num = -res;
+      const i64 aa = (a > 0) ? a : -a;
+      i64 q = num / aa;
+      if (num % aa != 0 && num > 0) ++q;
+      if (!has_lo || q > best_lo) best_lo = q, has_lo = true;
+    } else {
+      // v <= floor(res / -a)
+      const i64 na = -a;
+      i64 q = res / na;
+      if (res % na != 0 && res < 0) --q;
+      if (!has_hi || q < best_hi) best_hi = q, has_hi = true;
+    }
+  }
+  if (!has_lo || !has_hi) return false;  // unbounded: caller treats as error
+  *lo = best_lo;
+  *hi = best_hi;
+  return best_lo <= best_hi;
+}
+
+}  // namespace
+
+void Set::enumerate(const std::vector<i64>& param_values,
+                    const std::function<void(const std::vector<i64>&)>& cb) const {
+  require(param_values.size() == params_.size(), "iset", "enumerate: wrong param count");
+  std::vector<std::vector<i64>> points;
+  for (const auto& part : parts_) {
+    // Projection cascade: proj[d] has vars 0..d (vars above projected away).
+    std::vector<BasicSet> proj(nvars_, BasicSet(0, params_));
+    if (nvars_ == 0) {
+      if (part.contains({}, param_values)) points.push_back({});
+      continue;
+    }
+    BasicSet cur = part;
+    for (std::size_t d = nvars_; d-- > 0;) {
+      proj[d] = cur;
+      if (d > 0) cur = cur.project_out(d);
+    }
+    std::vector<i64> point(nvars_, 0);
+    std::function<void(std::size_t)> descend = [&](std::size_t d) {
+      i64 lo, hi;
+      if (!var_bounds(proj[d], param_values, d, point, &lo, &hi)) return;
+      require(hi - lo < 100000000, "iset", "enumerate: variable range too large");
+      for (i64 v = lo; v <= hi; ++v) {
+        point[d] = v;
+        if (d + 1 == nvars_) {
+          // Final exactness filter against the original constraints.
+          if (part.contains(point, param_values)) points.push_back(point);
+        } else {
+          descend(d + 1);
+        }
+      }
+    };
+    descend(0);
+  }
+  // Deduplicate across union parts and emit in lexicographic order.
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  for (const auto& pt : points) cb(pt);
+}
+
+std::size_t Set::count(const std::vector<i64>& param_values) const {
+  std::size_t n = 0;
+  enumerate(param_values, [&](const std::vector<i64>&) { ++n; });
+  return n;
+}
+
+std::string Set::to_string(const std::vector<std::string>& var_names) const {
+  if (parts_.empty()) return "{ }";
+  std::ostringstream out;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i) out << " union ";
+    out << parts_[i].to_string(var_names);
+  }
+  return out.str();
+}
+
+// ------------------------------------------------------------ AffineMap
+
+AffineMap::AffineMap(std::size_t n_in, std::size_t n_out, Params params)
+    : n_in_(n_in), params_(std::move(params)),
+      outs_(n_out, LinExpr::zero(n_in, params_.size())) {}
+
+AffineMap AffineMap::identity(std::size_t n, Params params) {
+  AffineMap m(n, n, std::move(params));
+  for (std::size_t i = 0; i < n; ++i) m.outs_[i].var[i] = 1;
+  return m;
+}
+
+AffineMap AffineMap::compose(const AffineMap& inner) const {
+  require(inner.n_out() == n_in_ && inner.params() == params_, "iset",
+          "compose: map mismatch");
+  AffineMap r(inner.n_in(), n_out(), params_);
+  for (std::size_t o = 0; o < n_out(); ++o) {
+    LinExpr e = LinExpr::constant(inner.n_in(), params_.size(), outs_[o].cst);
+    for (std::size_t j = 0; j < params_.size(); ++j) e.param[j] += outs_[o].param[j];
+    for (std::size_t i = 0; i < n_in_; ++i) e += inner.out(i) * outs_[o].var[i];
+    r.outs_[o] = std::move(e);
+  }
+  return r;
+}
+
+std::vector<i64> AffineMap::eval(const std::vector<i64>& in,
+                                 const std::vector<i64>& params) const {
+  std::vector<i64> out(n_out());
+  for (std::size_t o = 0; o < n_out(); ++o) out[o] = outs_[o].eval(in, params);
+  return out;
+}
+
+}  // namespace dhpf::iset

@@ -1,0 +1,308 @@
+#include "nas/dhpf_style.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "nas/variant_util.hpp"
+#include "rt/decomp.hpp"
+#include "rt/halo.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf::nas {
+
+namespace {
+
+using rt::Box;
+using rt::Decomp2D;
+using rt::Field;
+using sim::Process;
+using sim::Task;
+
+constexpr int kTagHaloU = 100;
+constexpr int kTagHaloRecips = 110;
+constexpr int kTagFwd = 300;   // +dim
+constexpr int kTagBwd = 310;   // +dim
+constexpr int kTagWb = 320;    // +dim (owner write-back, only when §7 is off)
+constexpr int kTagAvail = 330; // +dim (owner re-fetch response, §7 off)
+
+struct SpTraits {
+  using Segment = SpSegment;
+  using Carry = SpCarry;
+  using BackCarry = SpBackCarry;
+  static constexpr double kLhs = kFlopsSpLhsPerRow;
+  static constexpr double kFwd = kFlopsSpForwardPerRow;
+  static constexpr double kBwd = kFlopsSpBackwardPerRow;
+  static void build(const Problem& pb, const Field& /*u*/, const Field& recips,
+                    const Field& rhs, int dim, int c1, int c2, int r0, int r1,
+                    Segment& seg) {
+    sp_build_segment(pb, recips, rhs, dim, c1, c2, r0, r1, seg);
+  }
+  static void fwd(Segment& s, const Carry* in, Carry* out) { sp_forward(s, in, out); }
+  static void bwd(Segment& s, const BackCarry* in, BackCarry* out) { sp_backward(s, in, out); }
+  static void store(const Segment& s, Field& rhs, int dim, int c1, int c2) {
+    sp_store_segment(s, rhs, dim, c1, c2);
+  }
+};
+
+struct BtTraits {
+  using Segment = BtSegment;
+  using Carry = BtCarry;
+  using BackCarry = BtBackCarry;
+  static constexpr double kLhs = kFlopsBtLhsPerRow;
+  static constexpr double kFwd = kFlopsBtForwardPerRow;
+  static constexpr double kBwd = kFlopsBtBackwardPerRow;
+  static void build(const Problem& pb, const Field& u, const Field& recips, const Field& rhs,
+                    int dim, int c1, int c2, int r0, int r1, Segment& seg) {
+    bt_build_segment(pb, u, recips, rhs, dim, c1, c2, r0, r1, seg);
+  }
+  static void fwd(Segment& s, const Carry* in, Carry* out) { bt_forward(s, in, out); }
+  static void bwd(Segment& s, const BackCarry* in, BackCarry* out) { bt_backward(s, in, out); }
+  static void store(const Segment& s, Field& rhs, int dim, int c1, int c2) {
+    bt_store_segment(s, rhs, dim, c1, c2);
+  }
+};
+
+/// The paper's proposed extension: pick the pipeline tile per sweep by
+/// minimizing the modeled wavefront time
+///     T(tile) ≈ (ntiles + np - 1) * (tile_compute + msg_cost)
+/// — small tiles shrink the fill/drain triangles, large tiles amortize the
+/// per-message overhead.
+template <class Tr>
+int auto_tile(const sim::Machine& m, int np, int c1_extent, long c2n, int rows) {
+  int best = 1;
+  double best_t = 1e300;
+  for (int tile = 1; tile <= c1_extent; tile = (tile < 4 ? tile + 1 : tile * 2)) {
+    const int ntiles = (c1_extent + tile - 1) / tile;
+    const double work = static_cast<double>(tile) * static_cast<double>(c2n) * rows *
+                        (Tr::kLhs + Tr::kFwd + Tr::kBwd) * m.flop_time;
+    const double bytes = static_cast<double>(tile) * static_cast<double>(c2n) *
+                         Tr::Carry::kDoubles * sizeof(double);
+    const double msg = m.send_overhead + m.latency + m.recv_overhead + bytes * m.byte_time;
+    const double t = (ntiles + np - 1) * (work + msg);
+    if (t < best_t) {
+      best_t = t;
+      best = tile;
+    }
+  }
+  return best;
+}
+
+/// Coarse-grain pipelined bi-directional sweep along distributed dim (1 or 2).
+/// Lines are tiled along the (on-processor) x index with width `tile`; each
+/// tile's elimination carries are bundled into one message, so the pipeline
+/// granularity — and hence the fill/drain cost the paper discusses — is set
+/// by `tile` (0 = per-sweep automatic selection).
+template <class Tr, class DecompT>
+Task pipelined_sweep(Process& p, const Problem& pb, const DecompT& d, const Field& u,
+                     const Field& recips, Field& rhs, int dim, int tile,
+                     bool data_availability) {
+  const Box owned = d.owned_box(p.rank());
+  const CrossRange cr = cross_range(pb, owned, dim);
+  if (cr.lines() <= 0) co_return;
+  const int r0 = owned.lo[dim], r1 = owned.hi[dim];
+  const int pred = d.neighbor(p.rank(), dim, -1);
+  const int succ = d.neighbor(p.rank(), dim, +1);
+  require(pred < 0 || r0 >= 2, "nas", "pipelined_sweep: need >= 2 rows per processor");
+  if (tile <= 0) {
+    tile = auto_tile<Tr>(p.machine(), d.procs_along(dim), cr.c1hi - cr.c1lo + 1,
+                         cr.c2hi - cr.c2lo + 1, r1 - r0 + 1);
+  }
+
+  // Tile boundaries along c1 (the x index).
+  std::vector<std::pair<int, int>> tiles;
+  for (int lo = cr.c1lo; lo <= cr.c1hi; lo += tile)
+    tiles.emplace_back(lo, std::min(lo + tile - 1, cr.c1hi));
+  const long c2n = cr.c2hi - cr.c2lo + 1;
+
+  std::vector<std::vector<typename Tr::Segment>> tile_segs(tiles.size());
+
+  // ---- forward pipeline ----
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    const auto [c1lo, c1hi] = tiles[t];
+    const long nlines = (c1hi - c1lo + 1) * c2n;
+    auto& segs = tile_segs[t];
+    segs.resize(static_cast<std::size_t>(nlines));
+
+    std::size_t li = 0;
+    for (int c2 = cr.c2lo; c2 <= cr.c2hi; ++c2)
+      for (int c1 = c1lo; c1 <= c1hi; ++c1)
+        Tr::build(pb, u, recips, rhs, dim, c1, c2, r0, r1, segs[li++]);
+    p.compute(static_cast<double>(nlines) * (r1 - r0 + 1) * Tr::kLhs);
+
+    std::vector<typename Tr::Carry> in;
+    if (pred >= 0) {
+      in = detail::unpack_carries<typename Tr::Carry>(co_await p.recv(pred, kTagFwd + dim));
+      require(in.size() == segs.size(), "nas", "pipelined_sweep: carry bundle mismatch");
+    }
+    std::vector<typename Tr::Carry> out(segs.size());
+    for (li = 0; li < segs.size(); ++li)
+      Tr::fwd(segs[li], pred >= 0 ? &in[li] : nullptr, &out[li]);
+    p.compute(static_cast<double>(nlines) * (r1 - r0 + 1) * Tr::kFwd);
+
+    if (succ >= 0) {
+      p.send(succ, kTagFwd + dim, detail::pack_carries(out));
+      if (!data_availability) {
+        // §7 disabled: the two boundary rows this processor computed as a
+        // non-owner are written back to their owner (the successor), per the
+        // dHPF communication model.
+        p.send(succ, kTagWb + dim,
+               std::vector<double>(static_cast<std::size_t>(nlines) * 2 * kNumComp, 0.0));
+      }
+    }
+  }
+
+  if (!data_availability) {
+    // §7 disabled: before the backward pipeline, every processor re-fetches
+    // from the owner the non-local values it computed itself. The owner can
+    // only answer after finishing its own forward tiles, so this traffic
+    // flows *against* the pipeline and inserts a full flush between the two
+    // sweeps — the inefficiency the paper's data availability analysis
+    // removes.
+    if (pred >= 0) {
+      for (std::size_t t = 0; t < tiles.size(); ++t) {
+        auto wb = co_await p.recv(pred, kTagWb + dim);
+        p.send(pred, kTagAvail + dim, std::move(wb));
+      }
+    }
+    if (succ >= 0) {
+      for (std::size_t t = 0; t < tiles.size(); ++t)
+        (void)co_await p.recv(succ, kTagAvail + dim);
+    }
+  }
+
+  // ---- backward pipeline ----
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    const auto [c1lo, c1hi] = tiles[t];
+    auto& segs = tile_segs[t];
+
+    std::vector<typename Tr::BackCarry> in;
+    if (succ >= 0) {
+      in = detail::unpack_carries<typename Tr::BackCarry>(
+          co_await p.recv(succ, kTagBwd + dim));
+      require(in.size() == segs.size(), "nas", "pipelined_sweep: back-carry mismatch");
+    }
+    std::vector<typename Tr::BackCarry> out(segs.size());
+    std::size_t li = 0;
+    for (int c2 = cr.c2lo; c2 <= cr.c2hi; ++c2)
+      for (int c1 = c1lo; c1 <= c1hi; ++c1) {
+        Tr::bwd(segs[li], succ >= 0 ? &in[li] : nullptr, &out[li]);
+        Tr::store(segs[li], rhs, dim, c1, c2);
+        ++li;
+      }
+    p.compute(static_cast<double>(segs.size()) * (r1 - r0 + 1) * Tr::kBwd);
+
+    if (pred >= 0) p.send(pred, kTagBwd + dim, detail::pack_carries(out));
+    segs.clear();
+    segs.shrink_to_fit();
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// One full dHPF-style run over any BLOCK decomposition (2D or 3D): local
+/// line solves along undistributed dims, pipelined wavefronts along
+/// distributed ones.
+template <class DecompT>
+Task run_dhpf_body(Process& p, Problem pb, DhpfOptions opt, const DecompT& d,
+                   Field* gather_u, double* norm_out) {
+  const Box dom = pb.domain();
+  const Box interior = pb.interior();
+  const Box owned = d.owned_box(p.rank());
+
+  Field u(kNumComp, owned, 2);
+  Field rhs(kNumComp, owned, 0);
+  Field forcing(kNumComp, owned, 0);
+  Field recips(kNumRecip, owned, 1);
+  init_u(pb, u, owned);
+  compute_forcing_exact_rhs(pb, forcing, owned);  // untimed init, as in NPB
+
+  const double solve_flops =
+      (pb.app == App::SP)
+          ? (kFlopsSpLhsPerRow + kFlopsSpForwardPerRow + kFlopsSpBackwardPerRow)
+          : (kFlopsBtLhsPerRow + kFlopsBtForwardPerRow + kFlopsBtBackwardPerRow);
+
+  for (int iter = 0; iter < pb.niter; ++iter) {
+    p.set_phase("compute_rhs");
+    for (int dim = 0; dim < 3; ++dim)
+      if (d.procs_along(dim) > 1)
+        co_await rt::exchange_halo_dim(p, d, u, dim, 2, kTagHaloU + 10 * dim);
+
+    if (opt.localize) {
+      // §4.2: replicate the boundary computation of the reciprocal arrays
+      // into the overlap areas (empty slabs along undistributed dims clamp
+      // away) — no communication of the six arrays.
+      double pts = 0.0;
+      for (const Box& b : detail::replication_boxes(owned, 1, {0, 1, 2}, dom)) {
+        compute_reciprocals(u, recips, b);
+        pts += static_cast<double>(b.volume());
+      }
+      p.compute(pts * kFlopsRecipPerPoint);
+    } else {
+      compute_reciprocals(u, recips, owned.intersect(dom));
+      p.compute(static_cast<double>(owned.volume()) * kFlopsRecipPerPoint);
+      for (int dim = 0; dim < 3; ++dim)
+        if (d.procs_along(dim) > 1)
+          co_await rt::exchange_halo_dim(p, d, recips, dim, 1, kTagHaloRecips + 10 * dim);
+    }
+
+    const Box rb = owned.intersect(interior);
+    if (!rb.empty()) {
+      compute_rhs(pb, u, recips, forcing, rhs, rb);
+      p.compute(static_cast<double>(rb.volume()) * kFlopsRhsPerPoint);
+    }
+
+    static const char* kSolveName[3] = {"x_solve", "y_solve", "z_solve"};
+    for (int dim = 0; dim < 3; ++dim) {
+      p.set_phase(kSolveName[dim]);
+      if (d.procs_along(dim) == 1) {
+        const CrossRange cr = cross_range(pb, owned, dim);
+        solve_lines_local(pb, u, recips, rhs, dim, cr.c1lo, cr.c1hi, cr.c2lo, cr.c2hi);
+        p.compute(static_cast<double>(cr.lines()) * pb.n * solve_flops);
+      } else if (pb.app == App::SP) {
+        co_await pipelined_sweep<SpTraits>(p, pb, d, u, recips, rhs, dim,
+                                           opt.pipeline_tile, opt.data_availability);
+      } else {
+        co_await pipelined_sweep<BtTraits>(p, pb, d, u, recips, rhs, dim,
+                                           opt.pipeline_tile, opt.data_availability);
+      }
+    }
+
+    p.set_phase("add");
+    if (!rb.empty()) {
+      add_update(u, rhs, rb);
+      p.compute(static_cast<double>(rb.volume()) * kFlopsAddPerPoint);
+    }
+  }
+
+  p.set_phase("norms");
+  {
+    std::vector<std::pair<const Field*, Box>> pieces;
+    pieces.emplace_back(&u, owned.intersect(interior));
+    co_await detail::interior_rms_allreduce(p, pieces, norm_out);
+  }
+
+  detail::gather_interior(u, interior, gather_u);
+  co_return;
+}
+
+}  // namespace
+
+Task run_dhpf_style(Process& p, Problem pb, DhpfOptions opt, Field* gather_u,
+                    double* norm_out) {
+  if (opt.grid3d) {
+    const rt::Decomp3D d = rt::Decomp3D::cubic(pb.n, pb.n, pb.n, p.nprocs());
+    require(pb.n >= 2 * std::max(d.p[0], std::max(d.p[1], d.p[2])), "nas",
+            "dhpf_style(3d): need at least 2 grid planes per processor");
+    co_await run_dhpf_body(p, pb, opt, d, gather_u, norm_out);
+    co_return;
+  }
+  const Decomp2D d(pb.n, pb.n, pb.n, rt::ProcGrid2D::squarest(p.nprocs()));
+  require(pb.n >= 2 * std::max(d.grid.py(), d.grid.pz()), "nas",
+          "dhpf_style: need at least 2 grid planes per processor");
+  co_await run_dhpf_body(p, pb, opt, d, gather_u, norm_out);
+  co_return;
+}
+
+}  // namespace dhpf::nas

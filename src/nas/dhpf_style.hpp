@@ -1,0 +1,45 @@
+// dHPF-style variant: what the Rice dHPF compiler generates from the
+// minimally-modified HPF source (paper §8.1/8.2).
+//
+// Arrays are distributed (*, BLOCK, BLOCK) over (y, z). Per timestep:
+//   * compute_rhs: overlap-area exchange of u (depth 2), then the reciprocal
+//     arrays are computed with *partially replicated* boundary computation
+//     (the LOCALIZE optimization, §4.2) so they are never communicated;
+//   * x_solve is fully local;
+//   * y_solve / z_solve run as coarse-grain pipelined wavefronts along the
+//     distributed dimension, exchanging forward/backward elimination carries
+//     per tile (the paper's "coarse-grain pipelining");
+//   * with the §7 data-availability optimization disabled, the spurious
+//     owner-fetch communication that flows against the pipeline is emitted,
+//     reproducing the inefficiency the paper describes.
+#pragma once
+
+#include "nas/problem.hpp"
+#include "rt/field.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace dhpf::nas {
+
+struct DhpfOptions {
+  /// Coarse-grain pipelining tile width (outer-loop blocking factor). The
+  /// paper notes dHPF uses one uniform granularity for all loop nests and
+  /// suggests per-loop selection as an improvement; pass 0 to enable that
+  /// extension: each sweep picks the tile minimizing a fill/drain +
+  /// per-message-overhead cost model.
+  int pipeline_tile = 8;
+  /// §4.2 LOCALIZE: partially replicate reciprocal-array boundary
+  /// computation instead of communicating the six reciprocal arrays.
+  bool localize = true;
+  /// §7 data availability: suppress the non-local-read communication that
+  /// would otherwise flow against the pipelines.
+  bool data_availability = true;
+  /// Use a 3D BLOCK distribution (the paper's BT option, §8.2): x_solve then
+  /// also runs as a pipelined wavefront. Default is the 2D (y,z) layout.
+  bool grid3d = false;
+};
+
+sim::Task run_dhpf_style(sim::Process& p, Problem pb, DhpfOptions opt, rt::Field* gather_u,
+                         double* norm_out = nullptr);
+
+}  // namespace dhpf::nas

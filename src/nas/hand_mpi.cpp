@@ -1,0 +1,270 @@
+#include "nas/hand_mpi.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "nas/variant_util.hpp"
+#include "rt/multipart.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf::nas {
+
+namespace {
+
+using rt::Box;
+using rt::Field;
+using rt::MultiPartMap;
+using sim::Process;
+using sim::Task;
+
+constexpr int kTagFace = 1000;
+constexpr int kTagFwd = 2000;  // +dim
+constexpr int kTagBwd = 2100;  // +dim
+
+struct Cell {
+  MultiPartMap::CellId id;
+  Box box;
+  Field u, rhs, forcing, recips;
+};
+
+int dirbit(int dir) { return dir > 0 ? 1 : 0; }
+
+Box inner_face(const Box& owned, int dim, int dir, int depth) {
+  Box b = owned;
+  if (dir > 0)
+    b.lo[dim] = b.hi[dim] - depth + 1;
+  else
+    b.hi[dim] = b.lo[dim] + depth - 1;
+  return b;
+}
+
+Box outer_face(const Box& owned, int dim, int dir, int depth) {
+  Box b = owned;
+  if (dir > 0) {
+    b.lo[dim] = owned.hi[dim] + 1;
+    b.hi[dim] = owned.hi[dim] + depth;
+  } else {
+    b.hi[dim] = owned.lo[dim] - 1;
+    b.lo[dim] = owned.lo[dim] - depth;
+  }
+  return b;
+}
+
+/// NPB copy_faces: exchange 2-deep u faces between adjacent cells (always on
+/// different ranks for q >= 2), providing everything compute_rhs needs.
+Task copy_faces(Process& p, const MultiPartMap& mp, std::vector<Cell>& cells, int depth) {
+  for (auto& c : cells)
+    for (int d = 0; d < 3; ++d)
+      for (int dir : {-1, +1}) {
+        MultiPartMap::CellId nc;
+        if (!mp.neighbor_cell(c.id, d, dir, &nc)) continue;
+        const int tag = kTagFace + ((nc.g * 3 + d) * 2 + dirbit(-dir));
+        p.send(mp.owner(nc), tag, c.u.pack(inner_face(c.box, d, dir, depth)));
+      }
+  for (auto& c : cells)
+    for (int d = 0; d < 3; ++d)
+      for (int dir : {-1, +1}) {
+        MultiPartMap::CellId nc;
+        if (!mp.neighbor_cell(c.id, d, dir, &nc)) continue;
+        const int tag = kTagFace + ((c.id.g * 3 + d) * 2 + dirbit(dir));
+        auto buf = co_await p.recv(mp.owner(nc), tag);
+        c.u.unpack(outer_face(c.box, d, dir, depth), buf);
+      }
+}
+
+// Per-app traits so the staged sweep is written once.
+struct SpTraits {
+  using Segment = SpSegment;
+  using Carry = SpCarry;
+  using BackCarry = SpBackCarry;
+  static constexpr double kLhs = kFlopsSpLhsPerRow;
+  static constexpr double kFwd = kFlopsSpForwardPerRow;
+  static constexpr double kBwd = kFlopsSpBackwardPerRow;
+  static void build(const Problem& pb, const Cell& c, int dim, int c1, int c2, int r0,
+                    int r1, Segment& seg) {
+    sp_build_segment(pb, c.recips, c.rhs, dim, c1, c2, r0, r1, seg);
+  }
+  static void fwd(Segment& s, const Carry* in, Carry* out) { sp_forward(s, in, out); }
+  static void bwd(Segment& s, const BackCarry* in, BackCarry* out) { sp_backward(s, in, out); }
+  static void store(const Segment& s, Field& rhs, int dim, int c1, int c2) {
+    sp_store_segment(s, rhs, dim, c1, c2);
+  }
+};
+
+struct BtTraits {
+  using Segment = BtSegment;
+  using Carry = BtCarry;
+  using BackCarry = BtBackCarry;
+  static constexpr double kLhs = kFlopsBtLhsPerRow;
+  static constexpr double kFwd = kFlopsBtForwardPerRow;
+  static constexpr double kBwd = kFlopsBtBackwardPerRow;
+  static void build(const Problem& pb, const Cell& c, int dim, int c1, int c2, int r0,
+                    int r1, Segment& seg) {
+    bt_build_segment(pb, c.u, c.recips, c.rhs, dim, c1, c2, r0, r1, seg);
+  }
+  static void fwd(Segment& s, const Carry* in, Carry* out) { bt_forward(s, in, out); }
+  static void bwd(Segment& s, const BackCarry* in, BackCarry* out) { bt_backward(s, in, out); }
+  static void store(const Segment& s, Field& rhs, int dim, int c1, int c2) {
+    bt_store_segment(s, rhs, dim, c1, c2);
+  }
+};
+
+/// Bi-directional staged line sweep along `dim`. At stage s, this rank works
+/// on its unique cell in slab s; forward carries flow to the fixed successor
+/// rank, backward carries to the fixed predecessor — every rank is busy at
+/// every stage, which is multi-partitioning's whole advantage.
+template <class Tr>
+Task sweep(Process& p, const Problem& pb, const MultiPartMap& mp, std::vector<Cell>& cells,
+           int dim) {
+  const int q = mp.q();
+  // Segments are kept across the forward pass for the backward substitution.
+  std::vector<std::vector<typename Tr::Segment>> stage_segs(static_cast<std::size_t>(q));
+
+  // ---- forward pipeline ----
+  for (int s = 0; s < q; ++s) {
+    const auto cid = mp.cell_at_stage(p.rank(), dim, s);
+    Cell& c = cells[static_cast<std::size_t>(cid.g)];
+    const CrossRange cr = cross_range(pb, c.box, dim);
+    const int r0 = c.box.lo[dim], r1 = c.box.hi[dim];
+    const long nlines = cr.lines();
+    auto& segs = stage_segs[static_cast<std::size_t>(s)];
+    segs.resize(static_cast<std::size_t>(nlines));
+
+    std::size_t li = 0;
+    for (int c2 = cr.c2lo; c2 <= cr.c2hi; ++c2)
+      for (int c1 = cr.c1lo; c1 <= cr.c1hi; ++c1)
+        Tr::build(pb, c, dim, c1, c2, r0, r1, segs[li++]);
+    p.compute(static_cast<double>(nlines) * (r1 - r0 + 1) * Tr::kLhs);
+
+    std::vector<typename Tr::Carry> carries_in;
+    if (s > 0) {
+      MultiPartMap::CellId prev;
+      require(mp.neighbor_cell(cid, dim, -1, &prev), "nas", "sweep: missing predecessor");
+      carries_in = detail::unpack_carries<typename Tr::Carry>(
+          co_await p.recv(mp.owner(prev), kTagFwd + dim));
+      require(carries_in.size() == static_cast<std::size_t>(nlines), "nas",
+              "sweep: carry bundle line-count mismatch");
+    }
+    std::vector<typename Tr::Carry> carries_out(static_cast<std::size_t>(nlines));
+    for (li = 0; li < segs.size(); ++li)
+      Tr::fwd(segs[li], s > 0 ? &carries_in[li] : nullptr, &carries_out[li]);
+    p.compute(static_cast<double>(nlines) * (r1 - r0 + 1) * Tr::kFwd);
+
+    if (s < q - 1) {
+      MultiPartMap::CellId next;
+      require(mp.neighbor_cell(cid, dim, +1, &next), "nas", "sweep: missing successor");
+      p.send(mp.owner(next), kTagFwd + dim, detail::pack_carries(carries_out));
+    }
+  }
+
+  // ---- backward pipeline ----
+  for (int s = q - 1; s >= 0; --s) {
+    const auto cid = mp.cell_at_stage(p.rank(), dim, s);
+    Cell& c = cells[static_cast<std::size_t>(cid.g)];
+    const CrossRange cr = cross_range(pb, c.box, dim);
+    const int r0 = c.box.lo[dim], r1 = c.box.hi[dim];
+    auto& segs = stage_segs[static_cast<std::size_t>(s)];
+
+    std::vector<typename Tr::BackCarry> carries_in;
+    if (s < q - 1) {
+      MultiPartMap::CellId next;
+      require(mp.neighbor_cell(cid, dim, +1, &next), "nas", "sweep: missing successor");
+      carries_in = detail::unpack_carries<typename Tr::BackCarry>(
+          co_await p.recv(mp.owner(next), kTagBwd + dim));
+      require(carries_in.size() == segs.size(), "nas", "sweep: back-carry mismatch");
+    }
+    std::vector<typename Tr::BackCarry> carries_out(segs.size());
+    std::size_t li = 0;
+    for (int c2 = cr.c2lo; c2 <= cr.c2hi; ++c2)
+      for (int c1 = cr.c1lo; c1 <= cr.c1hi; ++c1) {
+        Tr::bwd(segs[li], s < q - 1 ? &carries_in[li] : nullptr, &carries_out[li]);
+        Tr::store(segs[li], c.rhs, dim, c1, c2);
+        ++li;
+      }
+    p.compute(static_cast<double>(segs.size()) * (r1 - r0 + 1) * Tr::kBwd);
+
+    if (s > 0) {
+      MultiPartMap::CellId prev;
+      require(mp.neighbor_cell(cid, dim, -1, &prev), "nas", "sweep: missing predecessor");
+      p.send(mp.owner(prev), kTagBwd + dim, detail::pack_carries(carries_out));
+    }
+    segs.clear();
+    segs.shrink_to_fit();
+  }
+}
+
+}  // namespace
+
+Task run_hand_mpi(Process& p, Problem pb, Field* gather_u, double* norm_out) {
+  const int P = p.nprocs();
+  const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(P))));
+  require(q * q == P, "nas", "hand-written multi-partitioning requires a square P");
+  require(pb.n >= 2 * q, "nas", "hand_mpi: need at least 2 grid planes per slab");
+
+  const MultiPartMap mp(q, pb.n, pb.n, pb.n);
+  const Box dom = pb.domain();
+  const Box interior = pb.interior();
+
+  std::vector<Cell> cells;
+  for (const auto& id : mp.cells_of(p.rank())) {
+    const Box box = mp.cell_box(id);
+    cells.push_back(Cell{id, box, Field(kNumComp, box, 2), Field(kNumComp, box, 0),
+                         Field(kNumComp, box, 0), Field(kNumRecip, box, 1)});
+    init_u(pb, cells.back().u, box);
+    // NAS runs exact_rhs in the untimed initialization; it is a pure
+    // function of coordinates, so each cell fills its own section.
+    compute_forcing_exact_rhs(pb, cells.back().forcing, box);
+  }
+
+  for (int iter = 0; iter < pb.niter; ++iter) {
+    p.set_phase("copy_faces");
+    co_await copy_faces(p, mp, cells, 2);
+
+    p.set_phase("compute_rhs");
+    for (auto& c : cells) {
+      // Reciprocals are computed over the cell plus 1-deep face slabs — the
+      // boundary computation is replicated into the overlap areas, so the
+      // reciprocal arrays themselves are never communicated.
+      double pts = 0.0;
+      for (const Box& b : detail::replication_boxes(c.box, 1, {0, 1, 2}, dom)) {
+        compute_reciprocals(c.u, c.recips, b);
+        pts += static_cast<double>(b.volume());
+      }
+      p.compute(pts * kFlopsRecipPerPoint);
+      const Box rb = c.box.intersect(interior);
+      if (!rb.empty()) {
+        compute_rhs(pb, c.u, c.recips, c.forcing, c.rhs, rb);
+        p.compute(static_cast<double>(rb.volume()) * kFlopsRhsPerPoint);
+      }
+    }
+
+    static const char* kSolveName[3] = {"x_solve", "y_solve", "z_solve"};
+    for (int dim = 0; dim < 3; ++dim) {
+      p.set_phase(kSolveName[dim]);
+      if (pb.app == App::SP)
+        co_await sweep<SpTraits>(p, pb, mp, cells, dim);
+      else
+        co_await sweep<BtTraits>(p, pb, mp, cells, dim);
+    }
+
+    p.set_phase("add");
+    for (auto& c : cells) {
+      const Box ab = c.box.intersect(interior);
+      if (ab.empty()) continue;
+      add_update(c.u, c.rhs, ab);
+      p.compute(static_cast<double>(ab.volume()) * kFlopsAddPerPoint);
+    }
+  }
+
+  {
+    p.set_phase("norms");
+    std::vector<std::pair<const Field*, rt::Box>> pieces;
+    for (const auto& c : cells) pieces.emplace_back(&c.u, c.box.intersect(interior));
+    co_await detail::interior_rms_allreduce(p, pieces, norm_out);
+  }
+
+  for (const auto& c : cells) detail::gather_interior(c.u, interior, gather_u);
+  co_return;
+}
+
+}  // namespace dhpf::nas

@@ -1,0 +1,26 @@
+// Hand-written "MPI" variant: multi-partitioning, after NPB2.3b2.
+//
+// This is the paper's baseline (§3, §8): P = q^2 processors, the domain cut
+// into q^3 cells assigned diagonally so every stage of every directional
+// sweep keeps every processor busy on exactly one cell. Per timestep:
+// copy_faces (2-deep u face exchange between adjacent cells), compute_rhs
+// per cell, bi-directional staged line sweeps along x, y, z, and the `add`
+// update. Requires a square processor count (as the paper notes the
+// hand-written codes do).
+#pragma once
+
+#include "nas/problem.hpp"
+#include "rt/field.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace dhpf::nas {
+
+/// SPMD body for one rank. If `gather_u` is non-null, the rank's final owned
+/// interior values are copied into it for verification (instrumentation,
+/// not simulated traffic). If `norm_out` is non-null, rank 0 stores the
+/// allreduced interior RMS of u there (real collective communication).
+sim::Task run_hand_mpi(sim::Process& p, Problem pb, rt::Field* gather_u,
+                       double* norm_out = nullptr);
+
+}  // namespace dhpf::nas

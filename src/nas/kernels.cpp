@@ -1,0 +1,596 @@
+#include "nas/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::nas {
+
+namespace {
+
+/// Scheme coefficients derived from the problem. One set for all three
+/// dimensions (the grid is cubic with equal spacing).
+struct Coeffs {
+  double tx2;    // advective central-difference weight
+  double dx1;    // viscous second-difference weight
+  double dssp;   // 4th-order dissipation weight
+  double dt;
+  // SP pentadiagonal lhs
+  double dtt1, dtt2, c3c4, dmax;
+  double comz1, comz4, comz5, comz6;
+  // BT block lhs
+  double dtd1, dtd2, dd, cf1, cf2, cn1, cn2;
+
+  explicit Coeffs(const Problem& pb) {
+    const double h = pb.spacing();
+    dt = pb.timestep();
+    tx2 = 0.5 / h;
+    dx1 = 0.3 / h;
+    dssp = 0.1 / h;
+    dtt2 = dt * 0.5 / h;
+    dtt1 = dt * 0.3 / h;
+    c3c4 = 0.5;
+    dmax = 0.25;
+    comz1 = dt * 0.05 / h;
+    comz4 = 4.0 * comz1;
+    comz5 = 5.0 * comz1;
+    comz6 = 6.0 * comz1;
+    dtd2 = dtt2;
+    dtd1 = dtt1;
+    dd = 1.0;
+    cf1 = 0.05;
+    cf2 = 0.03;
+    cn1 = 0.2;
+    cn2 = 0.1;
+  }
+};
+
+}  // namespace
+
+// --------------------------------------------------------------------- RHS
+
+void compute_reciprocals(const rt::Field& u, rt::Field& recips, const rt::Box& box) {
+  require(recips.ncomp() == kNumRecip, "nas", "recips field must have 6 components");
+  for (int k = box.lo[2]; k <= box.hi[2]; ++k)
+    for (int j = box.lo[1]; j <= box.hi[1]; ++j)
+      for (int i = box.lo[0]; i <= box.hi[0]; ++i) {
+        const double rho_inv = 1.0 / u(0, i, j, k);
+        const double u1 = u(1, i, j, k), u2 = u(2, i, j, k), u3 = u(3, i, j, k);
+        recips(kRhoI, i, j, k) = rho_inv;
+        recips(kUs, i, j, k) = u1 * rho_inv;
+        recips(kVs, i, j, k) = u2 * rho_inv;
+        recips(kWs, i, j, k) = u3 * rho_inv;
+        const double sq = 0.5 * (u1 * u1 + u2 * u2 + u3 * u3) * rho_inv;
+        recips(kSquare, i, j, k) = sq;
+        recips(kQs, i, j, k) = sq * rho_inv;
+      }
+}
+
+void compute_rhs(const Problem& pb, const rt::Field& u, const rt::Field& recips,
+                 const rt::Field& forcing, rt::Field& rhs, const rt::Box& box) {
+  const Coeffs c(pb);
+  const int n = pb.n;
+  const int off[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+  for (int k = box.lo[2]; k <= box.hi[2]; ++k)
+    for (int j = box.lo[1]; j <= box.hi[1]; ++j)
+      for (int i = box.lo[0]; i <= box.hi[0]; ++i) {
+        double acc[kNumComp];
+        for (int m = 0; m < kNumComp; ++m) acc[m] = forcing(m, i, j, k);
+
+        for (int d = 0; d < 3; ++d) {
+          const int ip = i + off[d][0], jp = j + off[d][1], kp = k + off[d][2];
+          const int im = i - off[d][0], jm = j - off[d][1], km = k - off[d][2];
+          const double velp = recips(kUs + d, ip, jp, kp);
+          const double velm = recips(kUs + d, im, jm, km);
+          const double sqp = recips(kSquare, ip, jp, kp);
+          const double sqm = recips(kSquare, im, jm, km);
+
+          // continuity: d/dx_d of momentum component along d
+          acc[0] -= c.tx2 * (u(1 + d, ip, jp, kp) - u(1 + d, im, jm, km));
+          // momentum: advective flux + pressure-like square term along the
+          // sweep direction, plus viscous second differences of velocities.
+          for (int mc = 1; mc <= 3; ++mc) {
+            double fp = u(mc, ip, jp, kp) * velp;
+            double fm = u(mc, im, jm, km) * velm;
+            if (mc == 1 + d) {
+              fp += 0.3 * sqp;
+              fm += 0.3 * sqm;
+            }
+            acc[mc] -= c.tx2 * (fp - fm);
+            acc[mc] += c.dx1 * (recips(mc, ip, jp, kp) - 2.0 * recips(mc, i, j, k) +
+                                recips(mc, im, jm, km));
+          }
+          // energy: advected (u4 + square) plus qs diffusion and a rho_i
+          // gradient term — uses qs, square, rho_i at +/-1, the access
+          // pattern of the paper's Figure 4.2.
+          acc[4] -= c.tx2 * ((u(4, ip, jp, kp) + 0.3 * sqp) * velp -
+                             (u(4, im, jm, km) + 0.3 * sqm) * velm);
+          acc[4] += c.dx1 * (recips(kQs, ip, jp, kp) - 2.0 * recips(kQs, i, j, k) +
+                             recips(kQs, im, jm, km));
+          acc[4] += 0.05 * (recips(kRhoI, ip, jp, kp) - recips(kRhoI, im, jm, km));
+
+          // 4th-order dissipation with the NAS one-sided boundary stencils.
+          const int t = (d == 0) ? i : (d == 1) ? j : k;
+          for (int m = 0; m < kNumComp; ++m) {
+            auto U = [&](int s) {
+              return u(m, i + off[d][0] * (s - t), j + off[d][1] * (s - t),
+                       k + off[d][2] * (s - t));
+            };
+            double diss;
+            if (t == 1)
+              diss = 5.0 * U(t) - 4.0 * U(t + 1) + U(t + 2);
+            else if (t == 2)
+              diss = -4.0 * U(t - 1) + 6.0 * U(t) - 4.0 * U(t + 1) + U(t + 2);
+            else if (t == n - 3)
+              diss = U(t - 2) - 4.0 * U(t - 1) + 6.0 * U(t) - 4.0 * U(t + 1);
+            else if (t == n - 2)
+              diss = U(t - 2) - 4.0 * U(t - 1) + 5.0 * U(t);
+            else
+              diss = U(t - 2) - 4.0 * U(t - 1) + 6.0 * U(t) - 4.0 * U(t + 1) + U(t + 2);
+            acc[m] -= c.dssp * diss;
+          }
+        }
+        for (int m = 0; m < kNumComp; ++m) rhs(m, i, j, k) = c.dt * acc[m];
+      }
+}
+
+void compute_forcing_exact_rhs(const Problem& pb, rt::Field& forcing, const rt::Box& box) {
+  const Coeffs c(pb);
+  const int n = pb.n;
+  const double h = pb.spacing();
+  const rt::Box work = box.intersect(pb.interior());
+  if (work.empty()) return;
+
+  for (int k = work.lo[2]; k <= work.hi[2]; ++k)
+    for (int j = work.lo[1]; j <= work.hi[1]; ++j)
+      for (int i = work.lo[0]; i <= work.hi[0]; ++i)
+        for (int m = 0; m < kNumComp; ++m)
+          forcing(m, i, j, k) = forcing_term(m, i * h, j * h, k * h);
+
+  // Per-line privatizable buffers (the NAS exact_rhs ue/cuf/buf/q pattern).
+  std::vector<std::array<double, kNumComp>> ue(static_cast<std::size_t>(n));
+  std::vector<std::array<double, kNumComp>> buf(static_cast<std::size_t>(n));
+  std::vector<double> cuf(static_cast<std::size_t>(n)), q(static_cast<std::size_t>(n));
+
+  for (int d = 0; d < 3; ++d) {
+    const CrossRange cr = cross_range(pb, box, d);
+    const int tlo = std::max(0, box.lo[d] - 2);
+    const int thi = std::min(n - 1, box.hi[d] + 2);
+    for (int c2 = cr.c2lo; c2 <= cr.c2hi; ++c2)
+      for (int c1 = cr.c1lo; c1 <= cr.c1hi; ++c1) {
+        // Fill the line buffers from the exact solution.
+        for (int t = tlo; t <= thi; ++t) {
+          int i, j, k;
+          line_point(d, t, c1, c2, &i, &j, &k);
+          const auto idx = static_cast<std::size_t>(t);
+          for (int m = 0; m < kNumComp; ++m)
+            ue[idx][m] = exact_solution(m, i * h, j * h, k * h);
+          const double rho_inv = 1.0 / ue[idx][0];
+          const double vel = ue[idx][1 + d] * rho_inv;
+          q[idx] = 0.5 *
+                   (ue[idx][1] * ue[idx][1] + ue[idx][2] * ue[idx][2] +
+                    ue[idx][3] * ue[idx][3]) *
+                   rho_inv;
+          cuf[idx] = vel * vel;
+          for (int m = 0; m < kNumComp; ++m) buf[idx][m] = ue[idx][m] * vel;
+        }
+        // Accumulate the directional flux differences and dissipation of the
+        // exact solution into the forcing (so the discrete operator applied
+        // to u_exact is partially balanced, like NAS).
+        for (int t = std::max(box.lo[d], 1); t <= std::min(box.hi[d], n - 2); ++t) {
+          int i, j, k;
+          line_point(d, t, c1, c2, &i, &j, &k);
+          const auto tm = static_cast<std::size_t>(t - 1), tc = static_cast<std::size_t>(t),
+                     tp = static_cast<std::size_t>(t + 1);
+          for (int m = 0; m < kNumComp; ++m) {
+            double acc = c.tx2 * (buf[tp][m] - buf[tm][m]) -
+                         c.dx1 * (ue[tp][m] - 2.0 * ue[tc][m] + ue[tm][m]);
+            if (m == 1 + d) acc += 0.3 * c.tx2 * (q[tp] + cuf[tp] - q[tm] - cuf[tm]);
+            // 4th-order dissipation of the exact solution, with the same
+            // one-sided boundary stencils as compute_rhs.
+            auto U = [&](int s) {
+              const int cs = std::max(tlo, std::min(thi, s));
+              return ue[static_cast<std::size_t>(cs)][m];
+            };
+            double diss;
+            if (t == 1)
+              diss = 5.0 * U(t) - 4.0 * U(t + 1) + U(t + 2);
+            else if (t == 2)
+              diss = -4.0 * U(t - 1) + 6.0 * U(t) - 4.0 * U(t + 1) + U(t + 2);
+            else if (t == n - 3)
+              diss = U(t - 2) - 4.0 * U(t - 1) + 6.0 * U(t) - 4.0 * U(t + 1);
+            else if (t == n - 2)
+              diss = U(t - 2) - 4.0 * U(t - 1) + 5.0 * U(t);
+            else
+              diss = U(t - 2) - 4.0 * U(t - 1) + 6.0 * U(t) - 4.0 * U(t + 1) + U(t + 2);
+            acc += c.dssp * diss;
+            forcing(m, i, j, k) += 0.2 * acc;
+          }
+        }
+      }
+  }
+}
+
+void add_update(rt::Field& u, const rt::Field& rhs, const rt::Box& box) {
+  for (int k = box.lo[2]; k <= box.hi[2]; ++k)
+    for (int j = box.lo[1]; j <= box.hi[1]; ++j)
+      for (int i = box.lo[0]; i <= box.hi[0]; ++i)
+        for (int m = 0; m < kNumComp; ++m) u(m, i, j, k) += rhs(m, i, j, k);
+}
+
+// ------------------------------------------------------------ SP segments
+
+void SpSegment::resize(int r0_, int r1_) {
+  r0 = r0_;
+  r1 = r1_;
+  const auto sz = static_cast<std::size_t>(len());
+  b1.assign(sz, 0.0);
+  b2.assign(sz, 0.0);
+  b3.assign(sz, 0.0);
+  b4.assign(sz, 0.0);
+  b5.assign(sz, 0.0);
+  for (auto& v : r) v.assign(sz, 0.0);
+}
+
+void SpCarry::pack(double* out) const {
+  int pos = 0;
+  for (int s = 0; s < 2; ++s) {
+    out[pos++] = b4[s];
+    out[pos++] = b5[s];
+    for (int m = 0; m < kNumComp; ++m) out[pos++] = r[s][m];
+  }
+}
+
+void SpCarry::unpack(const double* in) {
+  int pos = 0;
+  for (int s = 0; s < 2; ++s) {
+    b4[s] = in[pos++];
+    b5[s] = in[pos++];
+    for (int m = 0; m < kNumComp; ++m) r[s][m] = in[pos++];
+  }
+}
+
+void SpBackCarry::pack(double* out) const {
+  int pos = 0;
+  for (int s = 0; s < 2; ++s)
+    for (int m = 0; m < kNumComp; ++m) out[pos++] = r[s][m];
+}
+
+void SpBackCarry::unpack(const double* in) {
+  int pos = 0;
+  for (int s = 0; s < 2; ++s)
+    for (int m = 0; m < kNumComp; ++m) r[s][m] = in[pos++];
+}
+
+void sp_build_segment(const Problem& pb, const rt::Field& recips, const rt::Field& rhs,
+                      int dim, int c1, int c2, int r0, int r1, SpSegment& seg) {
+  const Coeffs c(pb);
+  const int n = pb.n;
+  require(r0 >= 0 && r1 < n && r0 <= r1, "nas", "sp_build_segment: bad row range");
+  seg.resize(r0, r1);
+
+  // Privatizable per-line temporaries, as in NAS lhsx/lhsy/lhsz (paper Fig
+  // 4.1): cv = transport velocity, rhoq = clamped viscosity factor.
+  auto cv_at = [&](int t) {
+    int i, j, k;
+    line_point(dim, t, c1, c2, &i, &j, &k);
+    return recips(kUs + dim, i, j, k);
+  };
+  auto rhoq_at = [&](int t) {
+    int i, j, k;
+    line_point(dim, t, c1, c2, &i, &j, &k);
+    return std::max(c.dmax, c.c3c4 * recips(kRhoI, i, j, k));
+  };
+
+  for (int t = r0; t <= r1; ++t) {
+    const auto idx = static_cast<std::size_t>(t - r0);
+    int i, j, k;
+    line_point(dim, t, c1, c2, &i, &j, &k);
+    if (t == 0 || t == n - 1) {
+      seg.b3[idx] = 1.0;  // identity boundary row
+    } else {
+      seg.b2[idx] = -c.dtt2 * cv_at(t - 1) - c.dtt1 * rhoq_at(t - 1);
+      seg.b3[idx] = 1.0 + 2.0 * c.dtt1 * rhoq_at(t);
+      seg.b4[idx] = c.dtt2 * cv_at(t + 1) - c.dtt1 * rhoq_at(t + 1);
+      // pentadiagonal 4th-order dissipation terms (NAS boundary cases)
+      if (t == 1) {
+        seg.b3[idx] += c.comz5;
+        seg.b4[idx] -= c.comz4;
+        seg.b5[idx] += c.comz1;
+      } else if (t == 2) {
+        seg.b2[idx] -= c.comz4;
+        seg.b3[idx] += c.comz6;
+        seg.b4[idx] -= c.comz4;
+        seg.b5[idx] += c.comz1;
+      } else if (t == n - 3) {
+        seg.b1[idx] += c.comz1;
+        seg.b2[idx] -= c.comz4;
+        seg.b3[idx] += c.comz6;
+        seg.b4[idx] -= c.comz4;
+      } else if (t == n - 2) {
+        seg.b1[idx] += c.comz1;
+        seg.b2[idx] -= c.comz4;
+        seg.b3[idx] += c.comz5;
+      } else {
+        seg.b1[idx] += c.comz1;
+        seg.b2[idx] -= c.comz4;
+        seg.b3[idx] += c.comz6;
+        seg.b4[idx] -= c.comz4;
+        seg.b5[idx] += c.comz1;
+      }
+    }
+    for (int m = 0; m < kNumComp; ++m) seg.r[m][idx] = rhs(m, i, j, k);
+  }
+}
+
+void sp_forward(SpSegment& seg, const SpCarry* carry_in, SpCarry* carry_out) {
+  const int len = seg.len();
+  require(len >= 2, "nas", "sp_forward: segment length must be >= 2");
+  require(!carry_in || seg.r0 >= 2, "nas", "sp_forward: carry requires r0 >= 2");
+
+  // A finalized upstream row (B4, B5, R[]) eliminates into local rows:
+  // distance-1 neighbour uses b2 and touches (b3, b4, r); distance-2 uses b1
+  // and touches (b2, b3, r) — exactly the NAS x_solve update pattern, so
+  // segmented execution is bit-identical to the serial whole-line sweep.
+  auto dist1 = [&](double B4, double B5, const double* R, std::size_t d) {
+    const double f = seg.b2[d];
+    seg.b3[d] -= f * B4;
+    seg.b4[d] -= f * B5;
+    for (int m = 0; m < kNumComp; ++m) seg.r[m][d] -= f * R[m];
+  };
+  auto dist2 = [&](double B4, double B5, const double* R, std::size_t d) {
+    const double f = seg.b1[d];
+    seg.b2[d] -= f * B4;
+    seg.b3[d] -= f * B5;
+    for (int m = 0; m < kNumComp; ++m) seg.r[m][d] -= f * R[m];
+  };
+
+  if (carry_in) {
+    // Row r0-2 (carry slot 0) affects row r0 at distance 2; row r0-1 (slot 1)
+    // affects row r0 at distance 1 and row r0+1 at distance 2. Order matches
+    // the serial sweep.
+    dist2(carry_in->b4[0], carry_in->b5[0], carry_in->r[0], 0);
+    dist1(carry_in->b4[1], carry_in->b5[1], carry_in->r[1], 0);
+    dist2(carry_in->b4[1], carry_in->b5[1], carry_in->r[1], 1);
+  }
+
+  for (int idx = 0; idx < len; ++idx) {
+    const auto d = static_cast<std::size_t>(idx);
+    const double fac = 1.0 / seg.b3[d];
+    seg.b4[d] *= fac;
+    seg.b5[d] *= fac;
+    for (int m = 0; m < kNumComp; ++m) seg.r[m][d] *= fac;
+    double R[kNumComp];
+    for (int m = 0; m < kNumComp; ++m) R[m] = seg.r[m][d];
+    if (idx + 1 < len) dist1(seg.b4[d], seg.b5[d], R, d + 1);
+    if (idx + 2 < len) dist2(seg.b4[d], seg.b5[d], R, d + 2);
+  }
+
+  if (carry_out) {
+    for (int s = 0; s < 2; ++s) {
+      const auto d = static_cast<std::size_t>(len - 2 + s);
+      carry_out->b4[s] = seg.b4[d];
+      carry_out->b5[s] = seg.b5[d];
+      for (int m = 0; m < kNumComp; ++m) carry_out->r[s][m] = seg.r[m][d];
+    }
+  }
+}
+
+void sp_backward(SpSegment& seg, const SpBackCarry* carry_in, SpBackCarry* carry_out) {
+  const int len = seg.len();
+  require(len >= 2, "nas", "sp_backward: segment length must be >= 2");
+
+  // Solved value at a (possibly off-segment) global row.
+  auto solved = [&](int row, int m) -> double {
+    if (row <= seg.r1) return seg.r[m][static_cast<std::size_t>(row - seg.r0)];
+    require(carry_in != nullptr, "nas", "sp_backward: missing carry for off-segment row");
+    return carry_in->r[row - seg.r1 - 1][m];
+  };
+  const int last = carry_in ? seg.r1 + 2 : seg.r1;
+
+  for (int idx = len - 1; idx >= 0; --idx) {
+    const int row = seg.r0 + idx;
+    const auto d = static_cast<std::size_t>(idx);
+    for (int m = 0; m < kNumComp; ++m) {
+      double v = seg.r[m][d];
+      if (row + 1 <= last) v -= seg.b4[d] * solved(row + 1, m);
+      if (row + 2 <= last) v -= seg.b5[d] * solved(row + 2, m);
+      seg.r[m][d] = v;
+    }
+  }
+
+  if (carry_out) {
+    for (int s = 0; s < 2; ++s)
+      for (int m = 0; m < kNumComp; ++m)
+        carry_out->r[s][m] = seg.r[m][static_cast<std::size_t>(s)];
+  }
+}
+
+void sp_store_segment(const SpSegment& seg, rt::Field& rhs, int dim, int c1, int c2) {
+  for (int t = seg.r0; t <= seg.r1; ++t) {
+    int i, j, k;
+    line_point(dim, t, c1, c2, &i, &j, &k);
+    for (int m = 0; m < kNumComp; ++m)
+      rhs(m, i, j, k) = seg.r[m][static_cast<std::size_t>(t - seg.r0)];
+  }
+}
+
+// ------------------------------------------------------------ BT segments
+
+void BtSegment::resize(int r0_, int r1_) {
+  r0 = r0_;
+  r1 = r1_;
+  const auto sz = static_cast<std::size_t>(len());
+  A.assign(sz, Mat<kNumComp>{});
+  B.assign(sz, Mat<kNumComp>{});
+  C.assign(sz, Mat<kNumComp>{});
+  r.assign(sz, Vec<kNumComp>{});
+}
+
+void BtCarry::pack(double* out) const {
+  int pos = 0;
+  for (double v : C.a) out[pos++] = v;
+  for (double v : r) out[pos++] = v;
+}
+
+void BtCarry::unpack(const double* in) {
+  int pos = 0;
+  for (double& v : C.a) v = in[pos++];
+  for (double& v : r) v = in[pos++];
+}
+
+void BtBackCarry::pack(double* out) const {
+  int pos = 0;
+  for (double v : r) out[pos++] = v;
+}
+
+void BtBackCarry::unpack(const double* in) {
+  int pos = 0;
+  for (double& v : r) v = in[pos++];
+}
+
+namespace {
+
+/// Advective (flux) Jacobian at a grid point: velocity along the sweep
+/// dimension on the diagonal plus weak state-dependent off-diagonal coupling
+/// (stands in for the NAS BT fjac).
+Mat<kNumComp> flux_jacobian(const Coeffs& c, const rt::Field& u, const rt::Field& recips,
+                            int dim, int i, int j, int k) {
+  Mat<kNumComp> fj;
+  const double vel = recips(kUs + dim, i, j, k);
+  const double rho_inv = recips(kRhoI, i, j, k);
+  for (int m = 0; m < kNumComp; ++m) {
+    fj(m, m) = vel;
+    if (m + 1 < kNumComp) fj(m, m + 1) = c.cf1 * u(m + 1, i, j, k) * rho_inv;
+    if (m > 0) fj(m, m - 1) = c.cf2 * u(m - 1, i, j, k) * rho_inv;
+  }
+  return fj;
+}
+
+/// Viscous Jacobian (diagonal; stands in for the NAS BT njac).
+Mat<kNumComp> visc_jacobian(const Coeffs& c, const rt::Field& recips, int i, int j, int k) {
+  Mat<kNumComp> nj;
+  const double v = c.cn1 + c.cn2 * recips(kRhoI, i, j, k);
+  for (int m = 0; m < kNumComp; ++m) nj(m, m) = v;
+  return nj;
+}
+
+}  // namespace
+
+void bt_build_segment(const Problem& pb, const rt::Field& u, const rt::Field& recips,
+                      const rt::Field& rhs, int dim, int c1, int c2, int r0, int r1,
+                      BtSegment& seg) {
+  const Coeffs c(pb);
+  const int n = pb.n;
+  require(r0 >= 0 && r1 < n && r0 <= r1, "nas", "bt_build_segment: bad row range");
+  seg.resize(r0, r1);
+
+  for (int t = r0; t <= r1; ++t) {
+    const auto idx = static_cast<std::size_t>(t - r0);
+    int i, j, k;
+    line_point(dim, t, c1, c2, &i, &j, &k);
+    if (t == 0 || t == n - 1) {
+      seg.B[idx] = Mat<kNumComp>::identity();
+    } else {
+      int im, jm, km, ip, jp, kp;
+      line_point(dim, t - 1, c1, c2, &im, &jm, &km);
+      line_point(dim, t + 1, c1, c2, &ip, &jp, &kp);
+      const Mat<kNumComp> fjm = flux_jacobian(c, u, recips, dim, im, jm, km);
+      const Mat<kNumComp> fjp = flux_jacobian(c, u, recips, dim, ip, jp, kp);
+      const Mat<kNumComp> njm = visc_jacobian(c, recips, im, jm, km);
+      const Mat<kNumComp> njc = visc_jacobian(c, recips, i, j, k);
+      const Mat<kNumComp> njp = visc_jacobian(c, recips, ip, jp, kp);
+      for (int a = 0; a < kNumComp; ++a)
+        for (int b = 0; b < kNumComp; ++b) {
+          const double eye = (a == b) ? 1.0 : 0.0;
+          seg.A[idx](a, b) = -c.dtd2 * fjm(a, b) - c.dtd1 * njm(a, b) - c.dtd1 * c.dd * eye;
+          seg.B[idx](a, b) =
+              eye + 2.0 * c.dtd1 * njc(a, b) + 2.0 * c.dtd1 * c.dd * eye;
+          seg.C[idx](a, b) = c.dtd2 * fjp(a, b) - c.dtd1 * njp(a, b) - c.dtd1 * c.dd * eye;
+        }
+    }
+    for (int m = 0; m < kNumComp; ++m) seg.r[idx][m] = rhs(m, i, j, k);
+  }
+}
+
+void bt_forward(BtSegment& seg, const BtCarry* carry_in, BtCarry* carry_out) {
+  const int len = seg.len();
+  require(len >= 1, "nas", "bt_forward: empty segment");
+  for (int idx = 0; idx < len; ++idx) {
+    const auto d = static_cast<std::size_t>(idx);
+    if (idx == 0 && carry_in) {
+      matvec_sub(seg.A[d], carry_in->r, seg.r[d]);
+      matmul_sub(seg.A[d], carry_in->C, seg.B[d]);
+    } else if (idx > 0) {
+      matvec_sub(seg.A[d], seg.r[d - 1], seg.r[d]);
+      matmul_sub(seg.A[d], seg.C[d - 1], seg.B[d]);
+    }
+    require(binvcrhs(seg.B[d], seg.C[d], seg.r[d]), "nas",
+            "bt_forward: singular diagonal block");
+  }
+  if (carry_out) {
+    carry_out->C = seg.C[static_cast<std::size_t>(len - 1)];
+    carry_out->r = seg.r[static_cast<std::size_t>(len - 1)];
+  }
+}
+
+void bt_backward(BtSegment& seg, const BtBackCarry* carry_in, BtBackCarry* carry_out) {
+  const int len = seg.len();
+  require(len >= 1, "nas", "bt_backward: empty segment");
+  if (carry_in) matvec_sub(seg.C[static_cast<std::size_t>(len - 1)], carry_in->r,
+                           seg.r[static_cast<std::size_t>(len - 1)]);
+  for (int idx = len - 2; idx >= 0; --idx) {
+    const auto d = static_cast<std::size_t>(idx);
+    matvec_sub(seg.C[d], seg.r[d + 1], seg.r[d]);
+  }
+  if (carry_out) carry_out->r = seg.r[0];
+}
+
+void bt_store_segment(const BtSegment& seg, rt::Field& rhs, int dim, int c1, int c2) {
+  for (int t = seg.r0; t <= seg.r1; ++t) {
+    int i, j, k;
+    line_point(dim, t, c1, c2, &i, &j, &k);
+    for (int m = 0; m < kNumComp; ++m)
+      rhs(m, i, j, k) = seg.r[static_cast<std::size_t>(t - seg.r0)][m];
+  }
+}
+
+// --------------------------------------------------------- local full lines
+
+CrossRange cross_range(const Problem& pb, const rt::Box& box, int dim) {
+  const int d1 = (dim == 0) ? 1 : 0;
+  const int d2 = (dim == 2) ? 1 : 2;
+  CrossRange cr{};
+  cr.c1lo = std::max(box.lo[d1], 1);
+  cr.c1hi = std::min(box.hi[d1], pb.n - 2);
+  cr.c2lo = std::max(box.lo[d2], 1);
+  cr.c2hi = std::min(box.hi[d2], pb.n - 2);
+  return cr;
+}
+
+void solve_lines_local(const Problem& pb, const rt::Field& u, const rt::Field& recips,
+                       rt::Field& rhs, int dim, int c1lo, int c1hi, int c2lo, int c2hi) {
+  if (pb.app == App::SP) {
+    SpSegment seg;
+    for (int c2 = c2lo; c2 <= c2hi; ++c2)
+      for (int c1 = c1lo; c1 <= c1hi; ++c1) {
+        sp_build_segment(pb, recips, rhs, dim, c1, c2, 0, pb.n - 1, seg);
+        sp_forward(seg, nullptr, nullptr);
+        sp_backward(seg, nullptr, nullptr);
+        sp_store_segment(seg, rhs, dim, c1, c2);
+      }
+  } else {
+    BtSegment seg;
+    for (int c2 = c2lo; c2 <= c2hi; ++c2)
+      for (int c1 = c1lo; c1 <= c1hi; ++c1) {
+        bt_build_segment(pb, u, recips, rhs, dim, c1, c2, 0, pb.n - 1, seg);
+        bt_forward(seg, nullptr, nullptr);
+        bt_backward(seg, nullptr, nullptr);
+        bt_store_segment(seg, rhs, dim, c1, c2);
+      }
+  }
+}
+
+}  // namespace dhpf::nas

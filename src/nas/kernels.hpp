@@ -1,0 +1,168 @@
+// Numerical kernels shared by every variant (serial, hand multi-partition,
+// dHPF-style, PGI-style) of the mini-SP and mini-BT applications.
+//
+// Keeping one implementation of the arithmetic guarantees that all variants
+// compute bit-identical values (the line solvers are carefully segmented so
+// that distributed sweeps perform the same operations in the same order as
+// the serial whole-line solve), which lets tests assert exact agreement.
+//
+// Line-sweep kernels operate on *segments* of a line with explicit carry
+// state, which is what both the hand-coded multi-partitioning sweeps and the
+// dHPF-style coarse-grain pipelined sweeps exchange between processors.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "nas/problem.hpp"
+#include "rt/field.hpp"
+#include "support/small_matrix.hpp"
+
+namespace dhpf::nas {
+
+/// Map a line coordinate to a 3D point: `t` runs along `dim`; (c1, c2) are
+/// the remaining dimensions in increasing order.
+inline void line_point(int dim, int t, int c1, int c2, int* i, int* j, int* k) {
+  switch (dim) {
+    case 0: *i = t; *j = c1; *k = c2; break;
+    case 1: *i = c1; *j = t; *k = c2; break;
+    default: *i = c1; *j = c2; *k = t; break;
+  }
+}
+
+// ------------------------------------------------------------------- RHS
+
+/// Compute the six reciprocal/auxiliary arrays from u over `box`
+/// (NAS compute_rhs step 1: rho_i, us, vs, ws, square, qs).
+/// u must be valid on `box`.
+void compute_reciprocals(const rt::Field& u, rt::Field& recips, const rt::Box& box);
+
+/// Evaluate rhs = dt * (forcing - flux differences - 4th-order dissipation)
+/// over `box` (which must lie within pb.interior()).
+/// Requires u valid on box.grown(2) ∩ domain and recips on box.grown(1) ∩ domain.
+void compute_rhs(const Problem& pb, const rt::Field& u, const rt::Field& recips,
+                 const rt::Field& forcing, rt::Field& rhs, const rt::Box& box);
+
+/// u += rhs over `box` (NAS `add`).
+void add_update(rt::Field& u, const rt::Field& rhs, const rt::Box& box);
+
+/// NAS exact_rhs analogue: evaluate the forcing over `box` ∩ interior from
+/// the exact solution, sweeping lines along each dimension with per-line
+/// privatizable buffers (ue, cuf, buf, q — exactly the arrays the paper's
+/// HPF versions mark NEW in exact_rhs). A pure function of coordinates, so
+/// every processor fills its own section without communication; NPB runs
+/// this in the untimed initialization, and so do the variants here.
+void compute_forcing_exact_rhs(const Problem& pb, rt::Field& forcing, const rt::Box& box);
+
+// ------------------------------------------------- SP pentadiagonal solver
+
+/// Bands and right-hand sides for rows [r0, r1] of one line (global row
+/// indices along the sweep dimension). Storage index = row - r0.
+struct SpSegment {
+  int r0 = 0, r1 = -1;
+  std::vector<double> b1, b2, b3, b4, b5;
+  std::array<std::vector<double>, kNumComp> r;
+
+  [[nodiscard]] int len() const { return r1 - r0 + 1; }
+  void resize(int r0_, int r1_);
+};
+
+/// Forward-sweep carry: the finalized (normalized) rows r1-1 and r1 of the
+/// producing segment — index 0 is the older row, 1 the newer.
+struct SpCarry {
+  double b4[2] = {0, 0};
+  double b5[2] = {0, 0};
+  double r[2][kNumComp] = {};
+
+  static constexpr int kDoubles = 2 * (2 + kNumComp);
+  void pack(double* out) const;
+  void unpack(const double* in);
+};
+
+/// Backward-sweep carry: solved rows r1+1 (index 0) and r1+2 (index 1).
+struct SpBackCarry {
+  double r[2][kNumComp] = {};
+
+  static constexpr int kDoubles = 2 * kNumComp;
+  void pack(double* out) const;
+  void unpack(const double* in);
+};
+
+/// Build bands+rhs for rows [r0, r1] of the line (dim, c1, c2). Rows at the
+/// global line ends (0 and n-1) are identity rows. recips must be valid at
+/// rows r0-1..r1+1 clamped to the domain; rhs at rows r0..r1.
+void sp_build_segment(const Problem& pb, const rt::Field& recips, const rt::Field& rhs,
+                      int dim, int c1, int c2, int r0, int r1, SpSegment& seg);
+
+/// Forward elimination. carry_in continues a sweep started upstream
+/// (requires r0 >= 2); carry_out (rows r1-1, r1) feeds the next segment.
+/// Segment length must be >= 2.
+void sp_forward(SpSegment& seg, const SpCarry* carry_in, SpCarry* carry_out);
+
+/// Backward substitution. carry_in holds rows r1+1, r1+2; carry_out gets
+/// rows r0, r0+1. Segment length must be >= 2.
+void sp_backward(SpSegment& seg, const SpBackCarry* carry_in, SpBackCarry* carry_out);
+
+/// Scatter the segment's (solved) rhs rows back into the field.
+void sp_store_segment(const SpSegment& seg, rt::Field& rhs, int dim, int c1, int c2);
+
+// ------------------------------------------- BT block-tridiagonal solver
+
+struct BtSegment {
+  int r0 = 0, r1 = -1;
+  std::vector<Mat<kNumComp>> A, B, C;
+  std::vector<Vec<kNumComp>> r;
+
+  [[nodiscard]] int len() const { return r1 - r0 + 1; }
+  void resize(int r0_, int r1_);
+};
+
+/// Forward carry: the finalized row r1 (C-tilde block and solved-so-far rhs).
+struct BtCarry {
+  Mat<kNumComp> C;
+  Vec<kNumComp> r{};
+
+  static constexpr int kDoubles = kNumComp * kNumComp + kNumComp;
+  void pack(double* out) const;
+  void unpack(const double* in);
+};
+
+/// Backward carry: solved row r1+1.
+struct BtBackCarry {
+  Vec<kNumComp> r{};
+
+  static constexpr int kDoubles = kNumComp;
+  void pack(double* out) const;
+  void unpack(const double* in);
+};
+
+/// Build block rows [r0, r1]: flux/viscous Jacobians from u and rho_i at
+/// rows r0-1..r1+1 (clamped); identity rows at the global line ends.
+void bt_build_segment(const Problem& pb, const rt::Field& u, const rt::Field& recips,
+                      const rt::Field& rhs, int dim, int c1, int c2, int r0, int r1,
+                      BtSegment& seg);
+
+void bt_forward(BtSegment& seg, const BtCarry* carry_in, BtCarry* carry_out);
+void bt_backward(BtSegment& seg, const BtBackCarry* carry_in, BtBackCarry* carry_out);
+void bt_store_segment(const BtSegment& seg, rt::Field& rhs, int dim, int c1, int c2);
+
+// ------------------------------------------------------- whole-line sweeps
+
+/// Solve all full lines along `dim` whose cross coordinates lie in
+/// [c1lo,c1hi] x [c2lo,c2hi] entirely locally (no segmentation). Dispatches
+/// on pb.app. Fields must cover the full line extent.
+void solve_lines_local(const Problem& pb, const rt::Field& u, const rt::Field& recips,
+                       rt::Field& rhs, int dim, int c1lo, int c1hi, int c2lo, int c2hi);
+
+/// Cross-dimension ranges for sweeps over `box` along `dim`: returns the
+/// interior cross ranges (the NAS solves only sweep interior lines).
+struct CrossRange {
+  int c1lo, c1hi, c2lo, c2hi;
+  [[nodiscard]] long lines() const {
+    return std::max(0L, static_cast<long>(c1hi - c1lo + 1)) *
+           std::max(0L, static_cast<long>(c2hi - c2lo + 1));
+  }
+};
+CrossRange cross_range(const Problem& pb, const rt::Box& box, int dim);
+
+}  // namespace dhpf::nas

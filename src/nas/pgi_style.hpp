@@ -1,0 +1,18 @@
+// PGI-style variant: the strategy of the pghpf-compiled PGI HPF codes, as
+// the paper describes them (§8.1): a 1D BLOCK distribution of the principal
+// 3D arrays along z; x and y line solves are fully local; before the z line
+// solve the data is copied (transposed) into y-distributed twins, the sweep
+// runs locally, and the result is transposed back.
+#pragma once
+
+#include "nas/problem.hpp"
+#include "rt/field.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace dhpf::nas {
+
+sim::Task run_pgi_style(sim::Process& p, Problem pb, rt::Field* gather_u,
+                        double* norm_out = nullptr);
+
+}  // namespace dhpf::nas

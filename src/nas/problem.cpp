@@ -1,0 +1,70 @@
+#include "nas/problem.hpp"
+
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::nas {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+Problem Problem::make(App app, ProblemClass cls, int niter) {
+  Problem pb;
+  pb.app = app;
+  pb.niter = niter;
+  switch (cls) {
+    case ProblemClass::S: pb.n = 12; break;
+    case ProblemClass::W: pb.n = 24; break;
+    case ProblemClass::A: pb.n = 40; break;
+    case ProblemClass::B: pb.n = 64; break;
+  }
+  return pb;
+}
+
+std::string Problem::name() const {
+  std::string s = (app == App::SP) ? "SP" : "BT";
+  return s + " n=" + std::to_string(n) + " niter=" + std::to_string(niter);
+}
+
+double exact_solution(int m, double x, double y, double z) {
+  switch (m) {
+    case 0:  // density: stays in [0.9, 1.5]
+      return 1.2 + 0.3 * std::sin(kPi * x + 1.0) * std::cos(kPi * y) * std::cos(kPi * z);
+    case 1: return 0.2 * std::sin(kPi * x) * std::sin(kPi * y) * std::cos(2.0 * kPi * z);
+    case 2: return 0.2 * std::cos(2.0 * kPi * x) * std::sin(kPi * y) * std::sin(kPi * z);
+    case 3: return 0.2 * std::sin(kPi * x) * std::cos(kPi * y) * std::sin(2.0 * kPi * z);
+    default:  // energy: bounded away from zero
+      return 2.0 + 0.4 * std::cos(kPi * x) * std::cos(kPi * y) * std::cos(kPi * z);
+  }
+}
+
+double forcing_term(int m, double x, double y, double z) {
+  // A different smooth field per component so rhs != 0 and the state evolves.
+  const double base = std::sin(2.0 * kPi * x + m) * std::cos(kPi * y - m) *
+                      std::sin(kPi * z + 0.5 * m);
+  return 0.1 * base;
+}
+
+void init_u(const Problem& pb, rt::Field& u, const rt::Box& box) {
+  require(u.ncomp() == kNumComp, "nas", "init_u: field must have 5 components");
+  const double h = pb.spacing();
+  for (int k = box.lo[2]; k <= box.hi[2]; ++k)
+    for (int j = box.lo[1]; j <= box.hi[1]; ++j)
+      for (int i = box.lo[0]; i <= box.hi[0]; ++i)
+        for (int m = 0; m < kNumComp; ++m)
+          u(m, i, j, k) = exact_solution(m, i * h, j * h, k * h);
+}
+
+void init_forcing(const Problem& pb, rt::Field& forcing, const rt::Box& box) {
+  require(forcing.ncomp() == kNumComp, "nas", "init_forcing: field must have 5 components");
+  const double h = pb.spacing();
+  for (int k = box.lo[2]; k <= box.hi[2]; ++k)
+    for (int j = box.lo[1]; j <= box.hi[1]; ++j)
+      for (int i = box.lo[0]; i <= box.hi[0]; ++i)
+        for (int m = 0; m < kNumComp; ++m)
+          forcing(m, i, j, k) = forcing_term(m, i * h, j * h, k * h);
+}
+
+}  // namespace dhpf::nas

@@ -1,0 +1,83 @@
+// Problem definition shared by the mini-SP and mini-BT applications.
+//
+// These are structure-preserving miniatures of the NAS NPB2.3 SP and BT
+// benchmarks (see DESIGN.md): 3D grids of 5-component state vectors, a
+// right-hand-side evaluation built from six "reciprocal" auxiliary arrays
+// (rho_i, us, vs, ws, square, qs) plus central differences and fourth-order
+// dissipation, and approximately-factored ADI updates solved by
+// bi-directional line sweeps along x, y, z. SP solves scalar pentadiagonal
+// systems per line; BT solves 5x5 block-tridiagonal systems.
+//
+// The coefficients are our own (chosen for stability and determinism, not
+// physics); every parallel variant is verified against the serial reference
+// to ~1e-12, so the communication/computation structure — the thing the
+// paper's evaluation measures — is exercised with real data movement.
+#pragma once
+
+#include <string>
+
+#include "rt/field.hpp"
+
+namespace dhpf::nas {
+
+enum class App { SP, BT };
+
+/// Problem classes. The paper uses Class A = 64^3 and Class B = 102^3; we
+/// scale them down (A=40^3, B=64^3 by default) so the functional simulation
+/// stays laptop-sized. See DESIGN.md ("Substitutions").
+enum class ProblemClass { S, W, A, B };
+
+struct Problem {
+  App app = App::SP;
+  int n = 12;       ///< grid points per dimension
+  int niter = 3;    ///< timesteps to run
+  double dt = 0.0;  ///< timestep (derived from n if 0)
+
+  [[nodiscard]] double spacing() const { return 1.0 / (n - 1); }
+  [[nodiscard]] double timestep() const { return dt > 0 ? dt : 0.05 * spacing(); }
+  [[nodiscard]] rt::Box domain() const {
+    return rt::Box{{0, 0, 0}, {n - 1, n - 1, n - 1}};
+  }
+  /// Interior points (boundaries hold Dirichlet data and are never updated).
+  [[nodiscard]] rt::Box interior() const {
+    return rt::Box{{1, 1, 1}, {n - 2, n - 2, n - 2}};
+  }
+
+  static Problem make(App app, ProblemClass cls, int niter = 3);
+  [[nodiscard]] std::string name() const;
+};
+
+inline constexpr int kNumComp = 5;    ///< state components per grid point
+inline constexpr int kNumRecip = 6;   ///< rho_i, us, vs, ws, square, qs
+
+/// Component indices of the reciprocal field.
+enum RecipComp { kRhoI = 0, kUs = 1, kVs = 2, kWs = 3, kSquare = 4, kQs = 5 };
+
+/// Smooth exact/initial solution, bounded away from zero density.
+double exact_solution(int m, double x, double y, double z);
+
+/// Smooth forcing term (drives a non-trivial evolution).
+double forcing_term(int m, double x, double y, double z);
+
+/// Initialize u to the exact solution over `box` (global coordinates).
+void init_u(const Problem& pb, rt::Field& u, const rt::Box& box);
+
+/// Initialize the forcing field over `box`.
+void init_forcing(const Problem& pb, rt::Field& forcing, const rt::Box& box);
+
+// ---- flop-count constants for the simulated-time model -------------------
+// Rough per-point / per-row operation counts; identical constants are used
+// by every variant so comparisons are apples-to-apples. BT's much heavier
+// per-row solve cost (5x5 block algebra) is what gives BT a better
+// computation/communication ratio, as in the paper.
+inline constexpr double kFlopsRecipPerPoint = 15.0;
+inline constexpr double kFlopsRhsPerPoint = 250.0;
+inline constexpr double kFlopsAddPerPoint = 10.0;
+inline constexpr double kFlopsSpLhsPerRow = 35.0;
+inline constexpr double kFlopsSpForwardPerRow = 45.0;
+inline constexpr double kFlopsSpBackwardPerRow = 20.0;
+inline constexpr double kFlopsBtLhsPerRow = 180.0;
+inline constexpr double kFlopsBtForwardPerRow = 700.0;
+inline constexpr double kFlopsBtBackwardPerRow = 55.0;
+
+}  // namespace dhpf::nas

@@ -1,0 +1,43 @@
+#include "nas/serial.hpp"
+
+#include <cmath>
+
+namespace dhpf::nas {
+
+SerialApp::SerialApp(const Problem& pb)
+    : pb_(pb),
+      u_(kNumComp, pb.domain(), 0),
+      rhs_(kNumComp, pb.domain(), 0),
+      forcing_(kNumComp, pb.domain(), 0),
+      recips_(kNumRecip, pb.domain(), 0) {
+  init_u(pb_, u_, pb_.domain());
+  compute_forcing_exact_rhs(pb_, forcing_, pb_.domain());
+}
+
+void SerialApp::step() {
+  const rt::Box dom = pb_.domain();
+  const rt::Box interior = pb_.interior();
+  compute_reciprocals(u_, recips_, dom);
+  compute_rhs(pb_, u_, recips_, forcing_, rhs_, interior);
+  for (int dim = 0; dim < 3; ++dim) {
+    const CrossRange cr = cross_range(pb_, dom, dim);
+    solve_lines_local(pb_, u_, recips_, rhs_, dim, cr.c1lo, cr.c1hi, cr.c2lo, cr.c2hi);
+  }
+  add_update(u_, rhs_, interior);
+}
+
+void SerialApp::run() {
+  for (int it = 0; it < pb_.niter; ++it) step();
+}
+
+double SerialApp::interior_rms() const {
+  const rt::Box b = pb_.interior();
+  double acc = 0.0;
+  for (int k = b.lo[2]; k <= b.hi[2]; ++k)
+    for (int j = b.lo[1]; j <= b.hi[1]; ++j)
+      for (int i = b.lo[0]; i <= b.hi[0]; ++i)
+        for (int m = 0; m < kNumComp; ++m) acc += u_(m, i, j, k) * u_(m, i, j, k);
+  return std::sqrt(acc / (static_cast<double>(b.volume()) * kNumComp));
+}
+
+}  // namespace dhpf::nas

@@ -1,0 +1,36 @@
+// Serial reference implementation of mini-SP / mini-BT.
+//
+// Plays the role of NPB2.3-serial in the paper: the ground truth every
+// parallel variant is validated against, and the source the "HPF version"
+// is derived from.
+#pragma once
+
+#include "nas/kernels.hpp"
+#include "nas/problem.hpp"
+#include "rt/field.hpp"
+
+namespace dhpf::nas {
+
+class SerialApp {
+ public:
+  explicit SerialApp(const Problem& pb);
+
+  /// Execute one timestep (compute_rhs; x/y/z solves; add).
+  void step();
+
+  /// Execute pb.niter timesteps.
+  void run();
+
+  [[nodiscard]] const rt::Field& u() const { return u_; }
+  [[nodiscard]] const rt::Field& rhs() const { return rhs_; }
+  [[nodiscard]] const Problem& problem() const { return pb_; }
+
+  /// RMS of u over the interior (a cheap digest for regression checks).
+  [[nodiscard]] double interior_rms() const;
+
+ private:
+  Problem pb_;
+  rt::Field u_, rhs_, forcing_, recips_;
+};
+
+}  // namespace dhpf::nas

@@ -1,0 +1,97 @@
+// Internal helpers shared by the parallel mini-NAS variants.
+#pragma once
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "nas/kernels.hpp"
+#include "rt/field.hpp"
+#include "sim/collectives.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf::nas::detail {
+
+/// The regions over which the reciprocal arrays must be computed when their
+/// boundary computation is partially replicated (paper §4.2 / LOCALIZE):
+/// the owned box plus a face slab of `depth` on each side of each dim in
+/// `dims`, clamped to the domain. Face slabs (not a grown box) because only
+/// axis-aligned neighbors are ever read — corner ghost values of u are never
+/// valid and must not be touched.
+inline std::vector<rt::Box> replication_boxes(const rt::Box& owned, int depth,
+                                              std::initializer_list<int> dims,
+                                              const rt::Box& domain) {
+  std::vector<rt::Box> out;
+  out.push_back(owned.intersect(domain));
+  for (int d : dims) {
+    for (int dir : {-1, +1}) {
+      rt::Box f = owned;
+      if (dir > 0) {
+        f.lo[d] = owned.hi[d] + 1;
+        f.hi[d] = owned.hi[d] + depth;
+      } else {
+        f.hi[d] = owned.lo[d] - 1;
+        f.lo[d] = owned.lo[d] - depth;
+      }
+      f = f.intersect(domain);
+      if (!f.empty()) out.push_back(f);
+    }
+  }
+  return out;
+}
+
+/// Serialize a sequence of carry structs (SpCarry, BtCarry, ...) into one
+/// message payload.
+template <class Carry>
+std::vector<double> pack_carries(const std::vector<Carry>& carries) {
+  std::vector<double> buf(carries.size() * Carry::kDoubles);
+  for (std::size_t i = 0; i < carries.size(); ++i)
+    carries[i].pack(buf.data() + i * Carry::kDoubles);
+  return buf;
+}
+
+template <class Carry>
+std::vector<Carry> unpack_carries(const std::vector<double>& buf) {
+  require(buf.size() % Carry::kDoubles == 0, "nas", "carry bundle size mismatch");
+  std::vector<Carry> carries(buf.size() / Carry::kDoubles);
+  for (std::size_t i = 0; i < carries.size(); ++i)
+    carries[i].unpack(buf.data() + i * Carry::kDoubles);
+  return carries;
+}
+
+/// Copy the interior part of `local` (its owned region clipped to
+/// `interior`) into the shared verification field. This is instrumentation,
+/// not simulated communication: the simulator runs in one address space, so
+/// the driver collects results directly.
+inline void gather_interior(const rt::Field& local, const rt::Box& interior,
+                            rt::Field* global) {
+  if (!global) return;
+  const rt::Box b = local.owned().intersect(interior);
+  if (!b.empty()) global->copy_from(local, b);
+}
+
+/// Allreduced interior RMS of u across ranks (real collective traffic, like
+/// the NAS codes' error norms). `pieces` lists this rank's owned (field,
+/// box) fragments; every rank ends with the norm, rank 0 stores it.
+inline sim::Task interior_rms_allreduce(
+    sim::Process& p, const std::vector<std::pair<const rt::Field*, rt::Box>>& pieces,
+    double* out) {
+  std::vector<double> acc(2, 0.0);
+  for (const auto& [f, b] : pieces) {
+    if (b.empty()) continue;
+    for (int k = b.lo[2]; k <= b.hi[2]; ++k)
+      for (int j = b.lo[1]; j <= b.hi[1]; ++j)
+        for (int i = b.lo[0]; i <= b.hi[0]; ++i)
+          for (int m = 0; m < f->ncomp(); ++m) {
+            const double v = (*f)(m, i, j, k);
+            acc[0] += v * v;
+            acc[1] += 1.0;
+          }
+  }
+  co_await sim::allreduce(p, acc, sim::ReduceOp::Sum);
+  if (out && p.rank() == 0) *out = std::sqrt(acc[0] / acc[1]);
+}
+
+}  // namespace dhpf::nas::detail

@@ -1,0 +1,39 @@
+#include "rt/block.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::rt {
+
+Block1D::Block1D(int n, int p) : n_(n), p_(p) {
+  require(n >= 0 && p >= 1, "rt", "Block1D: need n >= 0 and p >= 1");
+}
+
+int Block1D::lo(int rank) const {
+  require(rank >= 0 && rank < p_, "rt", "Block1D::lo rank out of range");
+  const int base = n_ / p_, extra = n_ % p_;
+  return rank * base + (rank < extra ? rank : extra);
+}
+
+int Block1D::size(int rank) const {
+  require(rank >= 0 && rank < p_, "rt", "Block1D::size rank out of range");
+  return n_ / p_ + (rank < n_ % p_ ? 1 : 0);
+}
+
+int Block1D::owner(int i) const {
+  require(i >= 0 && i < n_, "rt", "Block1D::owner index out of range");
+  const int base = n_ / p_, extra = n_ % p_;
+  const int cut = extra * (base + 1);  // first index owned by the small chunks
+  if (i < cut) return i / (base + 1);
+  require(base > 0, "rt", "Block1D::owner: empty chunk lookup");
+  return extra + (i - cut) / base;
+}
+
+ProcGrid2D ProcGrid2D::squarest(int p) {
+  require(p >= 1, "rt", "squarest: p >= 1");
+  int best = 1;
+  for (int a = 1; a * a <= p; ++a)
+    if (p % a == 0) best = a;
+  return ProcGrid2D(best, p / best);
+}
+
+}  // namespace dhpf::rt

@@ -1,0 +1,61 @@
+// Block distributions and processor grids.
+//
+// HPF BLOCK distribution in the NAS style: n points over p processors,
+// chunk sizes differing by at most one (low ranks get the larger chunks).
+// ProcGrid2D maps between linear ranks and 2D processor coordinates for the
+// (BLOCK, BLOCK) distributions the paper's HPF versions of SP/BT use.
+#pragma once
+
+#include <utility>
+
+namespace dhpf::rt {
+
+/// 1D BLOCK partition of [0, n) over p processors.
+class Block1D {
+ public:
+  Block1D() = default;
+  Block1D(int n, int p);
+
+  [[nodiscard]] int points() const { return n_; }
+  [[nodiscard]] int procs() const { return p_; }
+
+  /// First global index owned by `rank`.
+  [[nodiscard]] int lo(int rank) const;
+  /// One past the last global index owned by `rank`.
+  [[nodiscard]] int hi(int rank) const { return lo(rank) + size(rank); }
+  /// Number of points owned by `rank`.
+  [[nodiscard]] int size(int rank) const;
+  /// Rank owning global index i.
+  [[nodiscard]] int owner(int i) const;
+  /// Largest chunk size (used for buffer sizing / cost bounds).
+  [[nodiscard]] int max_size() const { return size(0); }
+
+ private:
+  int n_ = 0;
+  int p_ = 1;
+};
+
+/// py-by-pz processor grid with row-major rank layout: rank = py_coord*pz + pz_coord.
+class ProcGrid2D {
+ public:
+  ProcGrid2D() = default;
+  ProcGrid2D(int py, int pz) : py_(py), pz_(pz) {}
+
+  [[nodiscard]] int py() const { return py_; }
+  [[nodiscard]] int pz() const { return pz_; }
+  [[nodiscard]] int nprocs() const { return py_ * pz_; }
+
+  [[nodiscard]] int rank(int cy, int cz) const { return cy * pz_ + cz; }
+  [[nodiscard]] std::pair<int, int> coords(int rank) const {
+    return {rank / pz_, rank % pz_};
+  }
+
+  /// Closest-to-square factorization of p (used to build 2D grids for any P).
+  static ProcGrid2D squarest(int p);
+
+ private:
+  int py_ = 1;
+  int pz_ = 1;
+};
+
+}  // namespace dhpf::rt

@@ -1,0 +1,34 @@
+#include "rt/decomp.hpp"
+
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::rt {
+
+Decomp3D Decomp3D::cubic(int nx, int ny, int nz, int nprocs) {
+  require(nprocs >= 1, "rt", "cubic: nprocs >= 1");
+  // Pick the factorization px*py*pz == nprocs minimizing max/min spread.
+  int best[3] = {1, 1, nprocs};
+  double best_score = 1e300;
+  for (int a = 1; a <= nprocs; ++a) {
+    if (nprocs % a) continue;
+    const int rest = nprocs / a;
+    for (int b = 1; b <= rest; ++b) {
+      if (rest % b) continue;
+      const int c = rest / b;
+      const int mx = std::max(a, std::max(b, c));
+      const int mn = std::min(a, std::min(b, c));
+      const double score = static_cast<double>(mx) / mn;
+      if (score < best_score) {
+        best_score = score;
+        best[0] = a;
+        best[1] = b;
+        best[2] = c;
+      }
+    }
+  }
+  return Decomp3D(nx, ny, nz, best[0], best[1], best[2]);
+}
+
+}  // namespace dhpf::rt

@@ -1,0 +1,149 @@
+// Domain decompositions used by the NAS variants.
+//
+// Decomp2D: the Rice HPF strategy — arrays distributed (*, BLOCK, BLOCK)
+// over (y, z) on a 2D processor grid, x kept on-processor (paper §8.1).
+//
+// Decomp1Z: the PGI strategy — 1D BLOCK along z (and a second, y-blocked
+// incarnation used around the z line solve via transposes, paper §8.1).
+#pragma once
+
+#include "rt/block.hpp"
+#include "rt/field.hpp"
+
+namespace dhpf::rt {
+
+/// (*, BLOCK, BLOCK) decomposition of an nx*ny*nz domain.
+struct Decomp2D {
+  int nx = 0, ny = 0, nz = 0;
+  ProcGrid2D grid;
+  Block1D by, bz;
+
+  Decomp2D() = default;
+  Decomp2D(int nx_, int ny_, int nz_, const ProcGrid2D& g)
+      : nx(nx_), ny(ny_), nz(nz_), grid(g), by(ny_, g.py()), bz(nz_, g.pz()) {}
+
+  [[nodiscard]] int nprocs() const { return grid.nprocs(); }
+
+  [[nodiscard]] Box owned_box(int rank) const {
+    auto [cy, cz] = grid.coords(rank);
+    Box b;
+    b.lo[0] = 0;
+    b.hi[0] = nx - 1;
+    b.lo[1] = by.lo(cy);
+    b.hi[1] = by.hi(cy) - 1;
+    b.lo[2] = bz.lo(cz);
+    b.hi[2] = bz.hi(cz) - 1;
+    return b;
+  }
+
+  /// Rank of the neighbor of `rank` one step along dim (1=y, 2=z), or -1 at
+  /// the domain edge (the NAS grids are non-periodic).
+  [[nodiscard]] int neighbor(int rank, int dim, int dir) const;
+
+  /// Number of processors along a spatial dim (x is undistributed: 1).
+  [[nodiscard]] int procs_along(int dim) const {
+    return dim == 1 ? grid.py() : (dim == 2 ? grid.pz() : 1);
+  }
+
+  /// Global box of the whole domain.
+  [[nodiscard]] Box domain() const {
+    Box b;
+    b.lo[0] = b.lo[1] = b.lo[2] = 0;
+    b.hi[0] = nx - 1;
+    b.hi[1] = ny - 1;
+    b.hi[2] = nz - 1;
+    return b;
+  }
+};
+
+/// (BLOCK, BLOCK, BLOCK) decomposition over a px*py*pz grid — the paper's
+/// "2D or 3D BLOCK distribution" option for BT (§8.2). Rank layout is
+/// row-major: rank = (cx*py + cy)*pz + cz.
+struct Decomp3D {
+  int n[3] = {0, 0, 0};
+  int p[3] = {1, 1, 1};
+  Block1D blocks[3];
+
+  Decomp3D() = default;
+  Decomp3D(int nx, int ny, int nz, int px, int py, int pz) {
+    n[0] = nx;
+    n[1] = ny;
+    n[2] = nz;
+    p[0] = px;
+    p[1] = py;
+    p[2] = pz;
+    for (int d = 0; d < 3; ++d) blocks[d] = Block1D(n[d], p[d]);
+  }
+
+  [[nodiscard]] int nprocs() const { return p[0] * p[1] * p[2]; }
+  [[nodiscard]] int procs_along(int dim) const { return p[dim]; }
+
+  void coords(int rank, int* c) const {
+    c[2] = rank % p[2];
+    rank /= p[2];
+    c[1] = rank % p[1];
+    c[0] = rank / p[1];
+  }
+  [[nodiscard]] int rank_at(const int* c) const { return (c[0] * p[1] + c[1]) * p[2] + c[2]; }
+
+  [[nodiscard]] Box owned_box(int rank) const {
+    int c[3];
+    coords(rank, c);
+    Box b;
+    for (int d = 0; d < 3; ++d) {
+      b.lo[d] = blocks[d].lo(c[d]);
+      b.hi[d] = blocks[d].hi(c[d]) - 1;
+    }
+    return b;
+  }
+
+  [[nodiscard]] int neighbor(int rank, int dim, int dir) const {
+    int c[3];
+    coords(rank, c);
+    c[dim] += dir;
+    if (c[dim] < 0 || c[dim] >= p[dim]) return -1;
+    return rank_at(c);
+  }
+
+  [[nodiscard]] Box domain() const {
+    Box b;
+    for (int d = 0; d < 3; ++d) {
+      b.lo[d] = 0;
+      b.hi[d] = n[d] - 1;
+    }
+    return b;
+  }
+
+  /// Closest-to-cubic factorization of nprocs.
+  static Decomp3D cubic(int nx, int ny, int nz, int nprocs);
+};
+
+/// 1D BLOCK decomposition along one spatial dim (1=y or 2=z), other dims full.
+struct Decomp1D {
+  int nx = 0, ny = 0, nz = 0;
+  int dim = 2;  // distributed dimension
+  Block1D blocks;
+  int nprocs_ = 1;
+
+  Decomp1D() = default;
+  Decomp1D(int nx_, int ny_, int nz_, int dim_, int p)
+      : nx(nx_), ny(ny_), nz(nz_), dim(dim_),
+        blocks(dim_ == 0 ? nx_ : (dim_ == 1 ? ny_ : nz_), p), nprocs_(p) {}
+
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+
+  [[nodiscard]] Box owned_box(int rank) const {
+    Box b;
+    b.lo[0] = 0;
+    b.hi[0] = nx - 1;
+    b.lo[1] = 0;
+    b.hi[1] = ny - 1;
+    b.lo[2] = 0;
+    b.hi[2] = nz - 1;
+    b.lo[dim] = blocks.lo(rank);
+    b.hi[dim] = blocks.hi(rank) - 1;
+    return b;
+  }
+};
+
+}  // namespace dhpf::rt

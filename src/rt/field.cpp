@@ -1,0 +1,91 @@
+#include "rt/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dhpf::rt {
+
+Box Box::intersect(const Box& other) const {
+  Box r;
+  for (int d = 0; d < 3; ++d) {
+    r.lo[d] = std::max(lo[d], other.lo[d]);
+    r.hi[d] = std::min(hi[d], other.hi[d]);
+  }
+  return r;
+}
+
+Box Box::grown(int g) const {
+  Box r = *this;
+  for (int d = 0; d < 3; ++d) {
+    r.lo[d] -= g;
+    r.hi[d] += g;
+  }
+  return r;
+}
+
+bool Box::operator==(const Box& other) const {
+  for (int d = 0; d < 3; ++d)
+    if (lo[d] != other.lo[d] || hi[d] != other.hi[d]) return false;
+  return true;
+}
+
+Field::Field(int ncomp, const Box& owned, int ghost)
+    : ncomp_(ncomp), ghost_(ghost), owned_(owned), alloc_(owned.grown(ghost)) {
+  require(ncomp >= 1 && ghost >= 0 && !owned.empty(), "rt", "Field: bad shape");
+  sx_ = static_cast<std::size_t>(alloc_.extent(0));
+  sy_ = static_cast<std::size_t>(alloc_.extent(1));
+  data_.assign(alloc_.volume() * static_cast<std::size_t>(ncomp_), 0.0);
+}
+
+double& Field::at(int m, int i, int j, int k) {
+  require(m >= 0 && m < ncomp_ && alloc_.contains(i, j, k), "rt", "Field::at out of range");
+  return data_[index(m, i, j, k)];
+}
+
+void Field::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+std::vector<double> Field::pack(const Box& b, int mlo, int mhi) const {
+  require(mlo >= 0 && mhi < ncomp_ && mlo <= mhi, "rt", "pack: bad component range");
+  require(!b.empty() && alloc_.contains(b.lo[0], b.lo[1], b.lo[2]) &&
+              alloc_.contains(b.hi[0], b.hi[1], b.hi[2]),
+          "rt", "pack: box outside allocation");
+  std::vector<double> buf;
+  buf.reserve(b.volume() * static_cast<std::size_t>(mhi - mlo + 1));
+  for (int k = b.lo[2]; k <= b.hi[2]; ++k)
+    for (int j = b.lo[1]; j <= b.hi[1]; ++j)
+      for (int i = b.lo[0]; i <= b.hi[0]; ++i)
+        for (int m = mlo; m <= mhi; ++m) buf.push_back((*this)(m, i, j, k));
+  return buf;
+}
+
+void Field::unpack(const Box& b, int mlo, int mhi, const std::vector<double>& buf) {
+  require(mlo >= 0 && mhi < ncomp_ && mlo <= mhi, "rt", "unpack: bad component range");
+  require(buf.size() == b.volume() * static_cast<std::size_t>(mhi - mlo + 1), "rt",
+          "unpack: buffer size mismatch");
+  std::size_t pos = 0;
+  for (int k = b.lo[2]; k <= b.hi[2]; ++k)
+    for (int j = b.lo[1]; j <= b.hi[1]; ++j)
+      for (int i = b.lo[0]; i <= b.hi[0]; ++i)
+        for (int m = mlo; m <= mhi; ++m) (*this)(m, i, j, k) = buf[pos++];
+}
+
+void Field::copy_from(const Field& src, const Box& b) {
+  require(src.ncomp_ == ncomp_, "rt", "copy_from: component mismatch");
+  for (int k = b.lo[2]; k <= b.hi[2]; ++k)
+    for (int j = b.lo[1]; j <= b.hi[1]; ++j)
+      for (int i = b.lo[0]; i <= b.hi[0]; ++i)
+        for (int m = 0; m < ncomp_; ++m) (*this)(m, i, j, k) = src(m, i, j, k);
+}
+
+double Field::max_abs_diff(const Field& other, const Box& b) const {
+  require(other.ncomp_ == ncomp_, "rt", "max_abs_diff: component mismatch");
+  double worst = 0.0;
+  for (int k = b.lo[2]; k <= b.hi[2]; ++k)
+    for (int j = b.lo[1]; j <= b.hi[1]; ++j)
+      for (int i = b.lo[0]; i <= b.hi[0]; ++i)
+        for (int m = 0; m < ncomp_; ++m)
+          worst = std::max(worst, std::fabs((*this)(m, i, j, k) - other(m, i, j, k)));
+  return worst;
+}
+
+}  // namespace dhpf::rt

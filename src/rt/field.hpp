@@ -1,0 +1,99 @@
+// Per-rank storage for distributed multi-component 3D fields.
+//
+// A Field holds the local section of a (possibly multi-component) 3D array:
+// an owned global box plus `ghost` layers of overlap area on every spatial
+// side (the paper's "overlap areas" that hold off-processor boundary values
+// and partially replicated computation). Indexing uses *global* coordinates,
+// so parallel kernels read like the serial code.
+//
+// Layout matches the NAS Fortran arrays u(1:5, i, j, k): component index
+// fastest, then x, y, z.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::rt {
+
+/// Inclusive 3D global index box.
+struct Box {
+  int lo[3] = {0, 0, 0};
+  int hi[3] = {-1, -1, -1};  // empty by default
+
+  [[nodiscard]] int extent(int d) const { return hi[d] - lo[d] + 1; }
+  [[nodiscard]] bool empty() const {
+    return extent(0) <= 0 || extent(1) <= 0 || extent(2) <= 0;
+  }
+  [[nodiscard]] std::size_t volume() const {
+    if (empty()) return 0;
+    return static_cast<std::size_t>(extent(0)) * static_cast<std::size_t>(extent(1)) *
+           static_cast<std::size_t>(extent(2));
+  }
+  [[nodiscard]] bool contains(int i, int j, int k) const {
+    return i >= lo[0] && i <= hi[0] && j >= lo[1] && j <= hi[1] && k >= lo[2] && k <= hi[2];
+  }
+  [[nodiscard]] Box intersect(const Box& other) const;
+  [[nodiscard]] Box grown(int g) const;
+  [[nodiscard]] bool operator==(const Box& other) const;
+};
+
+class Field {
+ public:
+  Field() = default;
+  /// Allocate storage for `owned` plus `ghost` layers on each spatial side.
+  Field(int ncomp, const Box& owned, int ghost);
+
+  [[nodiscard]] int ncomp() const { return ncomp_; }
+  [[nodiscard]] int ghost() const { return ghost_; }
+  [[nodiscard]] const Box& owned() const { return owned_; }
+  [[nodiscard]] const Box& allocated() const { return alloc_; }
+
+  /// Unchecked fast accessors (assert-only bounds checks).
+  double& operator()(int m, int i, int j, int k) { return data_[index(m, i, j, k)]; }
+  double operator()(int m, int i, int j, int k) const { return data_[index(m, i, j, k)]; }
+
+  /// Checked accessor for tests and non-hot paths.
+  double& at(int m, int i, int j, int k);
+
+  void fill(double value);
+
+  /// Copy the subbox `b` (components mlo..mhi inclusive) into a flat buffer,
+  /// component-fastest order. b must lie within the allocated region.
+  [[nodiscard]] std::vector<double> pack(const Box& b, int mlo, int mhi) const;
+  [[nodiscard]] std::vector<double> pack(const Box& b) const { return pack(b, 0, ncomp_ - 1); }
+
+  /// Inverse of pack().
+  void unpack(const Box& b, int mlo, int mhi, const std::vector<double>& buf);
+  void unpack(const Box& b, const std::vector<double>& buf) { unpack(b, 0, ncomp_ - 1, buf); }
+
+  /// Copy subbox `b` of `src` into this field (same global coordinates).
+  void copy_from(const Field& src, const Box& b);
+
+  /// Max absolute difference against `other` over box `b` (all components).
+  [[nodiscard]] double max_abs_diff(const Field& other, const Box& b) const;
+
+ private:
+  [[nodiscard]] std::size_t index(int m, int i, int j, int k) const {
+    // assert-level checks only: this is the innermost access of the
+    // functionally simulated NAS kernels.
+    #ifndef NDEBUG
+    require(m >= 0 && m < ncomp_ && alloc_.contains(i, j, k), "rt", "Field index out of range");
+    #endif
+    const std::size_t x = static_cast<std::size_t>(i - alloc_.lo[0]);
+    const std::size_t y = static_cast<std::size_t>(j - alloc_.lo[1]);
+    const std::size_t z = static_cast<std::size_t>(k - alloc_.lo[2]);
+    return ((z * sy_ + y) * sx_ + x) * static_cast<std::size_t>(ncomp_) +
+           static_cast<std::size_t>(m);
+  }
+
+  int ncomp_ = 0;
+  int ghost_ = 0;
+  Box owned_;
+  Box alloc_;
+  std::size_t sx_ = 0, sy_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dhpf::rt

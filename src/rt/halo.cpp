@@ -1,0 +1,129 @@
+#include "rt/halo.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::rt {
+
+namespace {
+
+/// The strip of `owned` of thickness `depth` adjacent to the face
+/// (dim, dir) from the inside.
+Box inner_face(const Box& owned, int dim, int dir, int depth) {
+  Box b = owned;
+  if (dir > 0)
+    b.lo[dim] = b.hi[dim] - depth + 1;
+  else
+    b.hi[dim] = b.lo[dim] + depth - 1;
+  return b;
+}
+
+/// The ghost strip of thickness `depth` just outside the face (dim, dir).
+Box outer_face(const Box& owned, int dim, int dir, int depth) {
+  Box b = owned;
+  if (dir > 0) {
+    b.lo[dim] = owned.hi[dim] + 1;
+    b.hi[dim] = owned.hi[dim] + depth;
+  } else {
+    b.hi[dim] = owned.lo[dim] - 1;
+    b.lo[dim] = owned.lo[dim] - depth;
+  }
+  return b;
+}
+
+int face_code(int dim, int dir) { return dim * 2 + (dir > 0 ? 1 : 0); }
+
+}  // namespace
+
+namespace {
+
+/// Shared face-exchange body over any decomposition providing owned_box()
+/// and neighbor().
+template <class DecompT>
+sim::Task exchange_dim_impl(sim::Process& p, const DecompT& d, Field& f, int dim, int depth,
+                            int tag_base) {
+  require(f.ghost() >= depth, "rt", "exchange_halo_dim: field ghost too small");
+  const Box owned = d.owned_box(p.rank());
+  // Send both faces first (non-blocking), then receive.
+  for (int dir : {-1, +1}) {
+    const int nb = d.neighbor(p.rank(), dim, dir);
+    if (nb < 0) continue;
+    p.send(nb, tag_base + face_code(dim, dir), f.pack(inner_face(owned, dim, dir, depth)));
+  }
+  for (int dir : {-1, +1}) {
+    const int nb = d.neighbor(p.rank(), dim, dir);
+    if (nb < 0) continue;
+    // The neighbor sent us *its* inner face on the opposite side, which is
+    // exactly our outer (ghost) face on this side.
+    auto buf = co_await p.recv(nb, tag_base + face_code(dim, -dir));
+    f.unpack(outer_face(owned, dim, dir, depth), buf);
+  }
+}
+
+}  // namespace
+
+sim::Task exchange_halo_dim(sim::Process& p, const Decomp2D& d, Field& f, int dim, int depth,
+                            int tag_base) {
+  require(dim == 1 || dim == 2, "rt", "exchange_halo_dim: dim must be 1 (y) or 2 (z)");
+  co_await exchange_dim_impl(p, d, f, dim, depth, tag_base);
+}
+
+sim::Task exchange_halo_dim(sim::Process& p, const Decomp3D& d, Field& f, int dim, int depth,
+                            int tag_base) {
+  require(dim >= 0 && dim <= 2, "rt", "exchange_halo_dim: dim must be 0..2");
+  co_await exchange_dim_impl(p, d, f, dim, depth, tag_base);
+}
+
+sim::Task exchange_halo_xyz(sim::Process& p, const Decomp3D& d, Field& f, int depth,
+                            int tag_base) {
+  for (int dim = 0; dim < 3; ++dim)
+    co_await exchange_dim_impl(p, d, f, dim, depth, tag_base + 10 * dim);
+}
+
+sim::Task exchange_halo_yz(sim::Process& p, const Decomp2D& d, Field& f, int depth,
+                           int tag_base) {
+  co_await exchange_halo_dim(p, d, f, 1, depth, tag_base);
+  co_await exchange_halo_dim(p, d, f, 2, depth, tag_base);
+}
+
+int Decomp2D::neighbor(int rank, int dim, int dir) const {
+  require(dim == 1 || dim == 2, "rt", "Decomp2D::neighbor: dim must be 1 or 2");
+  auto [cy, cz] = grid.coords(rank);
+  if (dim == 1) {
+    const int ny_ = cy + dir;
+    return (ny_ < 0 || ny_ >= grid.py()) ? -1 : grid.rank(ny_, cz);
+  }
+  const int nz_ = cz + dir;
+  return (nz_ < 0 || nz_ >= grid.pz()) ? -1 : grid.rank(cy, nz_);
+}
+
+sim::Task transpose(sim::Process& p, const Decomp1D& src_d, const Field& src,
+                    const Decomp1D& dst_d, Field& dst, int tag_base) {
+  require(src_d.nprocs() == dst_d.nprocs(), "rt", "transpose: mismatched decompositions");
+  const int n = src_d.nprocs();
+  const int me = p.rank();
+  const Box mine_src = src_d.owned_box(me);
+  const Box mine_dst = dst_d.owned_box(me);
+
+  // Send to every other rank the part of my source slab that lands in its
+  // destination slab.
+  for (int s = 0; s < n; ++s) {
+    if (s == me) continue;
+    const Box piece = mine_src.intersect(dst_d.owned_box(s));
+    if (piece.empty()) continue;
+    p.send(s, tag_base + me, src.pack(piece));
+  }
+  // Local part moves without communication.
+  {
+    const Box local = mine_src.intersect(mine_dst);
+    if (!local.empty()) dst.copy_from(src, local);
+  }
+  for (int s = 0; s < n; ++s) {
+    if (s == me) continue;
+    const Box piece = src_d.owned_box(s).intersect(mine_dst);
+    if (piece.empty()) continue;
+    auto buf = co_await p.recv(s, tag_base + s);
+    dst.unpack(piece, buf);
+  }
+}
+
+}  // namespace dhpf::rt

@@ -1,0 +1,80 @@
+#include "rt/multipart.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::rt {
+
+MultiPartMap::MultiPartMap(int q, int nx, int ny, int nz) : q_(q) {
+  require(q >= 1, "rt", "MultiPartMap: q >= 1");
+  slabs_[0] = Block1D(nx, q);
+  slabs_[1] = Block1D(ny, q);
+  slabs_[2] = Block1D(nz, q);
+}
+
+int MultiPartMap::owner(const CellId& c) const {
+  const int pi = (c.a + c.g) % q_;
+  const int pj = (c.b + c.g) % q_;
+  return pi * q_ + pj;
+}
+
+std::vector<MultiPartMap::CellId> MultiPartMap::cells_of(int rank) const {
+  const int pi = rank / q_, pj = rank % q_;
+  std::vector<CellId> cells;
+  cells.reserve(static_cast<std::size_t>(q_));
+  for (int g = 0; g < q_; ++g) {
+    CellId c;
+    c.g = g;
+    c.a = (pi - g % q_ + q_) % q_;
+    c.b = (pj - g % q_ + q_) % q_;
+    cells.push_back(c);
+  }
+  return cells;
+}
+
+Box MultiPartMap::cell_box(const CellId& c) const {
+  Box b;
+  b.lo[0] = slabs_[0].lo(c.a);
+  b.hi[0] = slabs_[0].hi(c.a) - 1;
+  b.lo[1] = slabs_[1].lo(c.b);
+  b.hi[1] = slabs_[1].hi(c.b) - 1;
+  b.lo[2] = slabs_[2].lo(c.g);
+  b.hi[2] = slabs_[2].hi(c.g) - 1;
+  return b;
+}
+
+MultiPartMap::CellId MultiPartMap::cell_at_stage(int rank, int dim, int stage) const {
+  require(dim >= 0 && dim < 3, "rt", "cell_at_stage: bad dim");
+  require(stage >= 0 && stage < q_, "rt", "cell_at_stage: bad stage");
+  const int pi = rank / q_, pj = rank % q_;
+  CellId c;
+  switch (dim) {
+    case 0:  // a = stage; (a+g)%q = pi; (b+g)%q = pj
+      c.a = stage;
+      c.g = (pi - stage + q_) % q_;
+      c.b = (pj - c.g + q_) % q_;
+      break;
+    case 1:  // b = stage
+      c.b = stage;
+      c.g = (pj - stage + q_) % q_;
+      c.a = (pi - c.g + q_) % q_;
+      break;
+    default:  // g = stage
+      c.g = stage;
+      c.a = (pi - stage + q_) % q_;
+      c.b = (pj - stage + q_) % q_;
+      break;
+  }
+  require(owner(c) == rank, "rt", "cell_at_stage: internal inconsistency");
+  return c;
+}
+
+bool MultiPartMap::neighbor_cell(const CellId& c, int dim, int dir, CellId* out) const {
+  CellId n = c;
+  int* coord = (dim == 0) ? &n.a : (dim == 1) ? &n.b : &n.g;
+  *coord += dir;
+  if (*coord < 0 || *coord >= q_) return false;
+  if (out) *out = n;
+  return true;
+}
+
+}  // namespace dhpf::rt

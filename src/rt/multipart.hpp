@@ -1,0 +1,64 @@
+// Multi-partitioning (skewed block / diagonal) distribution.
+//
+// The hand-written NPB2.3b2 MPI versions of SP and BT distribute the 3D
+// domain over P = q*q processors as q x q x q cells, assigning cell (a,b,g)
+// to processor (pi,pj) = ((a+g) mod q, (b+g) mod q). The defining properties
+// (paper §3, [Naik 95]):
+//
+//   * each processor owns exactly q disjoint cells;
+//   * for a line sweep along any dimension, every sweep stage gives every
+//     processor exactly one cell to work on (perfect load balance, no
+//     pipeline fill/drain);
+//   * the successor cell of a sweep always lives on the *same* neighbor
+//     processor (+x -> (pi+1,pj), +y -> (pi,pj+1), +z -> (pi+1,pj+1)),
+//     so communication is coarse-grained and regular.
+//
+// This distribution is NOT expressible in HPF — which is exactly the
+// handicap the paper's HPF versions run under.
+#pragma once
+
+#include <vector>
+
+#include "rt/block.hpp"
+#include "rt/field.hpp"
+
+namespace dhpf::rt {
+
+class MultiPartMap {
+ public:
+  /// P = q*q processors over an nx*ny*nz domain split into q slabs per dim.
+  MultiPartMap(int q, int nx, int ny, int nz);
+
+  [[nodiscard]] int q() const { return q_; }
+  [[nodiscard]] int nprocs() const { return q_ * q_; }
+
+  struct CellId {
+    int a = 0, b = 0, g = 0;  // slab coordinates along x, y, z
+    [[nodiscard]] bool operator==(const CellId&) const = default;
+  };
+
+  /// Rank owning cell (a,b,g).
+  [[nodiscard]] int owner(const CellId& c) const;
+
+  /// The q cells owned by `rank`, indexed by their z-slab coordinate g
+  /// (cells_of(rank)[g].g == g).
+  [[nodiscard]] std::vector<CellId> cells_of(int rank) const;
+
+  /// Global index box of a cell.
+  [[nodiscard]] Box cell_box(const CellId& c) const;
+
+  /// The unique cell `rank` works on at `stage` of a sweep along `dim`
+  /// (its slab coordinate along `dim` equals `stage`).
+  [[nodiscard]] CellId cell_at_stage(int rank, int dim, int stage) const;
+
+  /// Neighbor cell of c one step along dim (dir = ±1), if inside the domain.
+  [[nodiscard]] bool neighbor_cell(const CellId& c, int dim, int dir, CellId* out) const;
+
+  [[nodiscard]] const Block1D& slabs(int dim) const { return slabs_[dim]; }
+
+ private:
+  int q_;
+  Block1D slabs_[3];
+};
+
+}  // namespace dhpf::rt

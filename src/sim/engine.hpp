@@ -1,0 +1,157 @@
+// Deterministic discrete-event simulator of a distributed-memory machine.
+//
+// Each simulated rank runs a coroutine (`sim::Task`) against a `Process`
+// handle providing compute / send / recv primitives. Ranks interact *only*
+// through messages, so the engine may execute any runnable rank greedily
+// until it blocks on a receive; this is causality-correct and, with the
+// fixed lowest-clock-first policy used here, fully deterministic.
+//
+// Virtual time: each rank carries its own clock, advanced by the Machine
+// cost model (see machine.hpp). A receive completes at
+//   max(receiver clock, message arrival) + recv_overhead.
+// Deadlock (all unfinished ranks blocked) raises dhpf::Error with a
+// description of every blocked rank.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+
+namespace dhpf::sim {
+
+/// Wildcard source for Process::recv.
+inline constexpr int kAnySource = -1;
+
+/// An in-flight or delivered message.
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<double> data;
+  double arrival = 0.0;
+};
+
+class Engine;
+
+/// A non-blocking receive request (see Process::irecv / Process::wait).
+struct Request {
+  int src = kAnySource;
+  int tag = 0;
+};
+
+/// Per-rank handle exposed to simulated code.
+class Process {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nprocs() const;
+  [[nodiscard]] double now() const { return clock_; }
+  [[nodiscard]] const Machine& machine() const;
+
+  /// Advance the local clock by `flops` floating-point operations.
+  void compute(double flops);
+  /// Advance the local clock by raw seconds (e.g. modelled memory traffic).
+  void elapse(double seconds);
+
+  /// Label subsequent trace intervals (e.g. "y_solve"); empty clears it.
+  void set_phase(std::string phase) { phase_ = std::move(phase); }
+  [[nodiscard]] const std::string& phase() const { return phase_; }
+
+  /// Buffered, non-blocking send (the paper's codes use non-blocking MPI).
+  void send(int dst, int tag, std::vector<double> data);
+  /// Alias for send(); provided for MPI-style code.
+  void isend(int dst, int tag, std::vector<double> data) { send(dst, tag, std::move(data)); }
+
+  /// Awaitable blocking receive: `auto v = co_await p.recv(src, tag);`
+  /// src may be kAnySource.
+  struct [[nodiscard]] RecvAwaiter {
+    Process* proc;
+    int src;
+    int tag;
+    bool await_ready() const;
+    void await_suspend(std::coroutine_handle<> h);
+    std::vector<double> await_resume();
+  };
+  RecvAwaiter recv(int src, int tag) { return RecvAwaiter{this, src, tag}; }
+
+  /// Post a non-blocking receive; complete it with `co_await p.wait(req)`.
+  Request irecv(int src, int tag) { return Request{src, tag}; }
+  RecvAwaiter wait(const Request& r) { return recv(r.src, r.tag); }
+
+  /// True iff a matching message is already in the mailbox.
+  [[nodiscard]] bool has_message(int src, int tag) const;
+
+ private:
+  friend class Engine;
+  friend struct RecvAwaiter;
+
+  /// Index into mailbox_ of the best match, or npos.
+  [[nodiscard]] std::size_t find_match(int src, int tag) const;
+  void record(double start, double end, IntervalKind kind);
+
+  Engine* engine_ = nullptr;
+  int rank_ = 0;
+  double clock_ = 0.0;
+  std::string phase_;
+  std::deque<Message> mailbox_;
+
+  // scheduling state
+  bool blocked_ = false;
+  int want_src_ = 0;
+  int want_tag_ = 0;
+  std::coroutine_handle<> resume_point_;
+  bool done_ = false;
+
+  // accumulators (kept even when interval tracing is off)
+  double acc_compute_ = 0.0;
+  double acc_comm_ = 0.0;
+  double acc_idle_ = 0.0;
+};
+
+class Engine {
+ public:
+  /// `record_trace` enables full interval/message logs (space-time diagrams).
+  Engine(int nprocs, Machine machine, bool record_trace = false);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] int nprocs() const { return static_cast<int>(procs_.size()); }
+  [[nodiscard]] Process& proc(int rank);
+  [[nodiscard]] const Machine& machine() const { return machine_; }
+
+  /// Run `body(proc)` on every rank to completion. Throws dhpf::Error on
+  /// deadlock or if any rank's coroutine throws.
+  void run(const std::function<Task(Process&)>& body);
+
+  /// Simulated wall time of the last run (max final clock over ranks).
+  [[nodiscard]] double elapsed() const { return stats_.elapsed; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const TraceLog& trace() const { return trace_; }
+  [[nodiscard]] bool tracing() const { return record_trace_; }
+
+ private:
+  friend class Process;
+  friend struct Process::RecvAwaiter;
+
+  void deliver(int dst, Message msg);
+
+  Machine machine_;
+  bool record_trace_;
+  std::deque<Process> procs_;  // deque: stable addresses
+  TraceLog trace_;
+  Stats stats_;
+};
+
+/// Convenience one-shot runner. Returns simulated elapsed seconds.
+double run_spmd(int nprocs, const Machine& machine,
+                const std::function<Task(Process&)>& body, Stats* stats_out = nullptr,
+                TraceLog* trace_out = nullptr);
+
+}  // namespace dhpf::sim

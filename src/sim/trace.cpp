@@ -1,0 +1,102 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <sstream>
+
+namespace dhpf::sim {
+
+const char* to_string(IntervalKind kind) {
+  switch (kind) {
+    case IntervalKind::Compute: return "compute";
+    case IntervalKind::Send: return "send";
+    case IntervalKind::Recv: return "recv";
+    case IntervalKind::Idle: return "idle";
+  }
+  return "?";
+}
+
+std::string TraceLog::ascii_space_time(int width) const {
+  double t_end = 0.0;
+  for (const auto& rt : ranks)
+    for (const auto& iv : rt.intervals) t_end = std::max(t_end, iv.end);
+  std::ostringstream out;
+  if (t_end <= 0.0 || width <= 0) {
+    out << "(empty trace)\n";
+    return out.str();
+  }
+  const double bucket = t_end / width;
+  out << "space-time diagram  ('#'=compute  '-'=send  '='=recv  '.'=idle),  "
+      << "total " << t_end << " s, " << bucket << " s/col\n";
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    // For each bucket pick the kind covering the most time within it.
+    std::string row(static_cast<std::size_t>(width), '.');
+    std::vector<std::array<double, 4>> cover(width, {0, 0, 0, 0});
+    for (const auto& iv : ranks[r].intervals) {
+      int b0 = std::clamp(static_cast<int>(iv.start / bucket), 0, width - 1);
+      int b1 = std::clamp(static_cast<int>(iv.end / bucket), 0, width - 1);
+      for (int b = b0; b <= b1; ++b) {
+        const double lo = std::max(iv.start, b * bucket);
+        const double hi = std::min(iv.end, (b + 1) * bucket);
+        if (hi > lo) cover[b][static_cast<int>(iv.kind)] += hi - lo;
+      }
+    }
+    constexpr char glyph[] = {'#', '-', '=', '.'};
+    for (int b = 0; b < width; ++b) {
+      const auto& c = cover[b];
+      int best = 3;  // idle by default
+      double best_v = 0.0;
+      for (int k = 0; k < 4; ++k)
+        if (c[k] > best_v) {
+          best_v = c[k];
+          best = k;
+        }
+      row[static_cast<std::size_t>(b)] = glyph[best];
+    }
+    out << "P" << (r < 10 ? "0" : "") << r << " |" << row << "|\n";
+  }
+  return out.str();
+}
+
+std::string TraceLog::intervals_csv() const {
+  std::ostringstream out;
+  out << "rank,start,end,kind,phase\n";
+  for (std::size_t r = 0; r < ranks.size(); ++r)
+    for (const auto& iv : ranks[r].intervals)
+      out << r << ',' << iv.start << ',' << iv.end << ',' << to_string(iv.kind) << ','
+          << iv.phase << '\n';
+  return out.str();
+}
+
+std::string TraceLog::messages_csv() const {
+  std::ostringstream out;
+  out << "src,dst,tag,bytes,send_time,arrival\n";
+  for (const auto& m : messages)
+    out << m.src << ',' << m.dst << ',' << m.tag << ',' << m.bytes << ',' << m.send_time
+        << ',' << m.arrival << '\n';
+  return out.str();
+}
+
+std::vector<TraceLog::PhaseBreakdownRow> TraceLog::phase_breakdown() const {
+  std::map<std::string, PhaseBreakdownRow> acc;
+  for (const auto& rt : ranks) {
+    for (const auto& iv : rt.intervals) {
+      auto& row = acc[iv.phase];
+      row.phase = iv.phase;
+      const double dt = iv.end - iv.start;
+      switch (iv.kind) {
+        case IntervalKind::Compute: row.compute += dt; break;
+        case IntervalKind::Send:
+        case IntervalKind::Recv: row.comm += dt; break;
+        case IntervalKind::Idle: row.idle += dt; break;
+      }
+    }
+  }
+  std::vector<PhaseBreakdownRow> out;
+  out.reserve(acc.size());
+  for (auto& [_, row] : acc) out.push_back(std::move(row));
+  return out;
+}
+
+}  // namespace dhpf::sim

@@ -1,0 +1,85 @@
+// Execution traces of the simulated machine.
+//
+// The simulator records, per rank, a sequence of labelled time intervals
+// (compute / send / recv / idle) plus a global message log. From these we
+// render ASCII space-time diagrams in the style of the paper's Figures
+// 8.1-8.4 and compute the summary statistics (busy fraction, message counts
+// and volumes) the evaluation discusses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dhpf::sim {
+
+enum class IntervalKind : std::uint8_t { Compute, Send, Recv, Idle };
+
+/// One labelled activity interval on one rank.
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+  IntervalKind kind = IntervalKind::Compute;
+  /// Phase label active when the interval was recorded ("z_solve", ...).
+  std::string phase;
+};
+
+/// One point-to-point message.
+struct MessageRecord {
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+  double send_time = 0.0;  ///< time the send was issued
+  double arrival = 0.0;    ///< time the payload is available at dst
+};
+
+struct RankTrace {
+  std::vector<Interval> intervals;
+};
+
+/// Aggregate statistics over a run.
+struct Stats {
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  double total_compute = 0.0;  ///< sum over ranks of compute seconds
+  double total_comm = 0.0;     ///< sum over ranks of send+recv overhead seconds
+  double total_idle = 0.0;     ///< sum over ranks of recv-wait seconds
+  double elapsed = 0.0;        ///< max final clock over ranks
+
+  /// Fraction of rank-time spent computing (load-balance/efficiency proxy).
+  [[nodiscard]] double busy_fraction(int nprocs) const {
+    const double denom = elapsed * nprocs;
+    return denom > 0 ? total_compute / denom : 0.0;
+  }
+};
+
+/// Full trace of a run (present when the engine was created with tracing on).
+struct TraceLog {
+  std::vector<RankTrace> ranks;
+  std::vector<MessageRecord> messages;
+
+  /// Render an ASCII space-time diagram: one row per rank, `width` time
+  /// buckets; '#' compute, '-' send, '=' recv, '.' idle (majority per
+  /// bucket). A phase ruler is printed underneath when phases were recorded.
+  [[nodiscard]] std::string ascii_space_time(int width = 100) const;
+
+  /// CSV dump of intervals: rank,start,end,kind,phase
+  [[nodiscard]] std::string intervals_csv() const;
+
+  /// CSV dump of messages: src,dst,tag,bytes,send_time,arrival
+  [[nodiscard]] std::string messages_csv() const;
+
+  /// Per-phase aggregate seconds across ranks: phase -> (compute, comm, idle).
+  struct PhaseBreakdownRow {
+    std::string phase;
+    double compute = 0.0;
+    double comm = 0.0;
+    double idle = 0.0;
+  };
+  [[nodiscard]] std::vector<PhaseBreakdownRow> phase_breakdown() const;
+};
+
+const char* to_string(IntervalKind kind);
+
+}  // namespace dhpf::sim

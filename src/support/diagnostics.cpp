@@ -1,0 +1,13 @@
+#include "support/diagnostics.hpp"
+
+namespace dhpf {
+
+void fail(std::string_view component, std::string_view message) {
+  throw Error(component, message);
+}
+
+void require(bool condition, std::string_view component, std::string_view message) {
+  if (!condition) fail(component, message);
+}
+
+}  // namespace dhpf

@@ -1,0 +1,36 @@
+// Diagnostics: assertion and error-reporting helpers used across the library.
+//
+// The library prefers throwing a structured `dhpf::Error` over aborting so
+// that callers (tests, benchmark drivers, the SPMD simulator) can surface a
+// readable message that includes the failing component.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dhpf {
+
+/// Exception type carrying a component tag ("sim", "iset", ...) plus message.
+class Error : public std::runtime_error {
+ public:
+  Error(std::string_view component, std::string_view message)
+      : std::runtime_error(std::string(component) + ": " + std::string(message)),
+        component_(component) {}
+
+  /// Component that raised the error (e.g. "sim" for the simulator).
+  [[nodiscard]] const std::string& component() const { return component_; }
+
+ private:
+  std::string component_;
+};
+
+/// Throw a dhpf::Error unconditionally.
+[[noreturn]] void fail(std::string_view component, std::string_view message);
+
+/// Internal-consistency check. Unlike assert(), stays on in release builds:
+/// the analyses in this library are intricate enough that silent corruption
+/// is worse than the (negligible) cost of the checks.
+void require(bool condition, std::string_view component, std::string_view message);
+
+}  // namespace dhpf

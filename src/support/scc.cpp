@@ -1,0 +1,92 @@
+#include "support/scc.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf {
+
+void Digraph::add_edge(std::size_t from, std::size_t to) {
+  require(from < adj_.size() && to < adj_.size(), "support", "Digraph edge out of range");
+  adj_[from].push_back(to);
+}
+
+std::vector<std::vector<std::size_t>> SccResult::members() const {
+  std::vector<std::vector<std::size_t>> out(count);
+  for (std::size_t v = 0; v < comp.size(); ++v) out[comp[v]].push_back(v);
+  return out;
+}
+
+SccResult strongly_connected_components(const Digraph& g) {
+  constexpr std::size_t kUnvisited = std::numeric_limits<std::size_t>::max();
+  const std::size_t n = g.size();
+  SccResult result;
+  result.comp.assign(n, kUnvisited);
+
+  std::vector<std::size_t> index(n, kUnvisited), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::size_t next_index = 0;
+
+  // Explicit DFS stack: (vertex, next successor position).
+  struct Frame {
+    std::size_t v;
+    std::size_t child;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      auto& [v, child] = dfs.back();
+      if (child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      if (child < g.succ(v).size()) {
+        std::size_t w = g.succ(v)[child++];
+        if (index[w] == kUnvisited) {
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          // v is the root of an SCC: pop it.
+          while (true) {
+            std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.comp[w] = result.count;
+            if (w == v) break;
+          }
+          ++result.count;
+        }
+        std::size_t finished = v;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          std::size_t parent = dfs.back().v;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[finished]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> condensation_topo_order(const Digraph& g, const SccResult& scc) {
+  // Tarjan numbers components in reverse topological order, so sources-first
+  // is simply descending component index. Verify the invariant in debug-ish
+  // fashion: every edge must go from a >= component index to a <= one.
+  for (std::size_t v = 0; v < g.size(); ++v)
+    for (std::size_t w : g.succ(v))
+      require(scc.comp[v] >= scc.comp[w], "support", "SCC numbering violates topo order");
+  std::vector<std::size_t> order(scc.count);
+  for (std::size_t i = 0; i < scc.count; ++i) order[i] = scc.count - 1 - i;
+  return order;
+}
+
+}  // namespace dhpf

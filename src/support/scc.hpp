@@ -1,0 +1,46 @@
+// Strongly connected components (Tarjan) plus condensation utilities.
+//
+// The selective loop-distribution algorithm (paper §5) identifies SCCs of the
+// statement-level dependence graph, marks some SCC pairs as "must separate",
+// and re-fuses the remaining SCCs into the minimal number of new loops.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dhpf {
+
+/// A directed graph over vertices 0..n-1 with adjacency lists.
+class Digraph {
+ public:
+  explicit Digraph(std::size_t n) : adj_(n) {}
+
+  void add_edge(std::size_t from, std::size_t to);
+
+  [[nodiscard]] std::size_t size() const { return adj_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& succ(std::size_t v) const { return adj_[v]; }
+
+ private:
+  std::vector<std::vector<std::size_t>> adj_;
+};
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// comp[v] = index of the SCC containing v. Components are numbered in a
+  /// reverse topological order of the condensation (Tarjan's property), i.e.
+  /// comp indices increase from sinks to sources.
+  std::vector<std::size_t> comp;
+  /// Number of components.
+  std::size_t count = 0;
+
+  /// Members of each component, in vertex order.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> members() const;
+};
+
+/// Tarjan's algorithm, iterative (no recursion depth limits on big loops).
+SccResult strongly_connected_components(const Digraph& g);
+
+/// Topological order of SCC indices (sources first) for the condensation of g.
+std::vector<std::size_t> condensation_topo_order(const Digraph& g, const SccResult& scc);
+
+}  // namespace dhpf

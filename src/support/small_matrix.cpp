@@ -1,0 +1,64 @@
+#include "support/small_matrix.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace dhpf {
+namespace {
+
+template <std::size_t N>
+bool gauss_jordan(Mat<N>& lhs, Mat<N>* c, Vec<N>& r) {
+  for (std::size_t p = 0; p < N; ++p) {
+    // Partial pivoting keeps the 5x5 eliminations stable for the strongly
+    // diagonally dominant blocks BT produces, and catches degenerate input.
+    std::size_t piv = p;
+    double best = std::fabs(lhs(p, p));
+    for (std::size_t i = p + 1; i < N; ++i) {
+      if (std::fabs(lhs(i, p)) > best) {
+        best = std::fabs(lhs(i, p));
+        piv = i;
+      }
+    }
+    if (best == 0.0) return false;
+    if (piv != p) {
+      for (std::size_t j = 0; j < N; ++j) std::swap(lhs(p, j), lhs(piv, j));
+      if (c)
+        for (std::size_t j = 0; j < N; ++j) std::swap((*c)(p, j), (*c)(piv, j));
+      std::swap(r[p], r[piv]);
+    }
+    const double inv_pivot = 1.0 / lhs(p, p);
+    for (std::size_t j = 0; j < N; ++j) lhs(p, j) *= inv_pivot;
+    if (c)
+      for (std::size_t j = 0; j < N; ++j) (*c)(p, j) *= inv_pivot;
+    r[p] *= inv_pivot;
+    for (std::size_t i = 0; i < N; ++i) {
+      if (i == p) continue;
+      const double f = lhs(i, p);
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < N; ++j) lhs(i, j) -= f * lhs(p, j);
+      if (c)
+        for (std::size_t j = 0; j < N; ++j) (*c)(i, j) -= f * (*c)(p, j);
+      r[i] -= f * r[p];
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+template <std::size_t N>
+bool binvcrhs(Mat<N>& lhs, Mat<N>& c, Vec<N>& r) {
+  return gauss_jordan<N>(lhs, &c, r);
+}
+
+template <std::size_t N>
+bool binvrhs(Mat<N>& lhs, Vec<N>& r) {
+  return gauss_jordan<N>(lhs, nullptr, r);
+}
+
+template bool binvcrhs<5>(Mat<5>&, Mat<5>&, Vec<5>&);
+template bool binvrhs<5>(Mat<5>&, Vec<5>&);
+template bool binvcrhs<3>(Mat<3>&, Mat<3>&, Vec<3>&);
+template bool binvrhs<3>(Mat<3>&, Vec<3>&);
+
+}  // namespace dhpf

@@ -1,0 +1,68 @@
+// Fixed-size dense matrix/vector kernels for the BT block-tridiagonal solver.
+//
+// NAS BT solves systems whose unknowns are 5-vectors coupled by 5x5 blocks
+// (matvec_sub / matmul_sub / binvcrhs / binvrhs in the Fortran source). These
+// helpers implement those primitives for arbitrary small N (we use N=5).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace dhpf {
+
+/// Column-major fixed-size NxN matrix of doubles.
+template <std::size_t N>
+struct Mat {
+  std::array<double, N * N> a{};
+
+  double& operator()(std::size_t r, std::size_t c) { return a[c * N + r]; }
+  double operator()(std::size_t r, std::size_t c) const { return a[c * N + r]; }
+
+  static Mat identity() {
+    Mat m;
+    for (std::size_t i = 0; i < N; ++i) m(i, i) = 1.0;
+    return m;
+  }
+};
+
+template <std::size_t N>
+using Vec = std::array<double, N>;
+
+/// b -= A * x   (NAS BT matvec_sub)
+template <std::size_t N>
+void matvec_sub(const Mat<N>& A, const Vec<N>& x, Vec<N>& b) {
+  for (std::size_t r = 0; r < N; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < N; ++c) acc += A(r, c) * x[c];
+    b[r] -= acc;
+  }
+}
+
+/// C -= A * B   (NAS BT matmul_sub)
+template <std::size_t N>
+void matmul_sub(const Mat<N>& A, const Mat<N>& B, Mat<N>& C) {
+  for (std::size_t c = 0; c < N; ++c)
+    for (std::size_t k = 0; k < N; ++k) {
+      const double bkc = B(k, c);
+      for (std::size_t r = 0; r < N; ++r) C(r, c) -= A(r, k) * bkc;
+    }
+}
+
+/// In-place Gauss-Jordan with partial pivoting: on return, `lhs` holds
+/// inv(lhs_in) implicitly applied, i.e. solves lhs_in * X = [c | r] producing
+/// c := inv(lhs_in)*c and r := inv(lhs_in)*r. This is NAS BT binvcrhs.
+/// Returns false if the block is numerically singular.
+template <std::size_t N>
+bool binvcrhs(Mat<N>& lhs, Mat<N>& c, Vec<N>& r);
+
+/// Same but only a vector right-hand side (NAS BT binvrhs).
+template <std::size_t N>
+bool binvrhs(Mat<N>& lhs, Vec<N>& r);
+
+// Explicit instantiations for the block size BT uses (and 3 for tests).
+extern template bool binvcrhs<5>(Mat<5>&, Mat<5>&, Vec<5>&);
+extern template bool binvrhs<5>(Mat<5>&, Vec<5>&);
+extern template bool binvcrhs<3>(Mat<3>&, Mat<3>&, Vec<3>&);
+extern template bool binvrhs<3>(Mat<3>&, Vec<3>&);
+
+}  // namespace dhpf

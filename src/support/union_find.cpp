@@ -1,0 +1,34 @@
+#include "support/union_find.hpp"
+
+#include <numeric>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf {
+
+UnionFind::UnionFind(std::size_t n) : parent_(n), rank_(n, 0), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  require(x < parent_.size(), "support", "UnionFind::find out of range");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+std::size_t UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a), rb = find(b);
+  if (ra == rb) return ra;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return ra;
+}
+
+bool UnionFind::same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+}  // namespace dhpf

@@ -1,0 +1,38 @@
+// Union-find (disjoint set union) with path compression and union by rank.
+//
+// Used by the communication-sensitive loop distribution algorithm (paper §5),
+// which groups statements connected by loop-independent dependences in
+// near-linear time in the number of dependence edges.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dhpf {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of x's set (with path compression).
+  std::size_t find(std::size_t x);
+
+  /// Merge the sets containing a and b; returns the new representative.
+  std::size_t unite(std::size_t a, std::size_t b);
+
+  /// True iff a and b are currently in the same set.
+  bool same(std::size_t a, std::size_t b);
+
+  /// Number of elements.
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+  /// Number of distinct sets remaining.
+  [[nodiscard]] std::size_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<unsigned> rank_;
+  std::size_t num_sets_;
+};
+
+}  // namespace dhpf

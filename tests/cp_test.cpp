@@ -1,0 +1,445 @@
+#include <gtest/gtest.h>
+
+#include "cp/select.hpp"
+#include "hpf/parser.hpp"
+
+namespace dhpf::cp {
+namespace {
+
+using hpf::parse;
+using hpf::Program;
+
+// ------------------------------------------------------------ CP basics
+
+TEST(Cp, TermAndUnionPrinting) {
+  Program prog = parse(R"(
+    processors P(2)
+    array a(8) distribute (block:0) onto P
+    procedure main()
+      do i = 1, 6
+        a(i) = a(i-1)
+      enddo
+    end
+  )");
+  const auto& s = prog.main()->body[0]->loop().body[0]->assign();
+  CP cp = CP::on_home(s.lhs).unite(CP::on_home(s.rhs[0]));
+  EXPECT_EQ(cp.to_string(), "ON_HOME a(i) union ON_HOME a(i-1)");
+  EXPECT_EQ(CP::replicated().to_string(), "REPLICATED");
+  EXPECT_EQ(cp.terms.size(), 2u);
+  cp.add_term(OnHomeTerm::from_ref(s.lhs));  // dedupe
+  EXPECT_EQ(cp.terms.size(), 2u);
+}
+
+TEST(Cp, EquivalentPartitioningIgnoresReplicatedDims) {
+  // lhs(i,j,k,n+3) vs lhs(i,j,k,n+4): last dim replicated -> same partition.
+  Program prog = parse(R"(
+    processors P(2, 2)
+    array lhs(16, 16, 16, 8) distribute (*, block:0, block:1, *) onto P
+    procedure main()
+      do k = 1, 14
+        do j = 1, 14
+          do i = 1, 14
+            lhs(i, j, k, 3) = lhs(i, j, k, 4)
+          enddo
+        enddo
+      enddo
+    end
+  )");
+  const auto& s =
+      prog.main()->body[0]->loop().body[0]->loop().body[0]->loop().body[0]->assign();
+  EXPECT_TRUE(equivalent_partitioning(OnHomeTerm::from_ref(s.lhs),
+                                      OnHomeTerm::from_ref(s.rhs[0])));
+}
+
+TEST(Cp, NonEquivalentWhenDistributedDimDiffers) {
+  Program prog = parse(R"(
+    processors P(2)
+    array a(16, 16) distribute (*, block:0) onto P
+    procedure main()
+      do j = 1, 14
+        do i = 1, 14
+          a(i, j) = a(i, j+1)
+        enddo
+      enddo
+    end
+  )");
+  const auto& s = prog.main()->body[0]->loop().body[0]->loop().body[0]->assign();
+  EXPECT_FALSE(equivalent_partitioning(OnHomeTerm::from_ref(s.lhs),
+                                       OnHomeTerm::from_ref(s.rhs[0])));
+}
+
+TEST(Cp, SubstituteIsSimultaneous) {
+  // x -> y+1, y -> x+1 applied to x+y must give (y+1)+(x+1), not cascade.
+  hpf::Subscript s;
+  s.coef["x"] = 1;
+  s.coef["y"] = 1;
+  std::map<std::string, hpf::Subscript> m{{"x", hpf::Subscript::var("y", 1, 1)},
+                                          {"y", hpf::Subscript::var("x", 1, 1)}};
+  hpf::Subscript r = substitute(s, m);
+  EXPECT_EQ(r.coef["x"], 1);
+  EXPECT_EQ(r.coef["y"], 1);
+  EXPECT_EQ(r.cst, 2);
+}
+
+TEST(Cp, VectorizeSweepsRange) {
+  SubRange r = SubRange::point(hpf::Subscript::var("j", 1, -1));  // j-1
+  SubRange v = vectorize(r, "j", hpf::Subscript::constant(1), hpf::Subscript::constant(14));
+  EXPECT_EQ(v.lo.to_string(), "0");
+  EXPECT_EQ(v.hi.to_string(), "13");
+  // negative coefficient swaps the ends
+  SubRange neg = SubRange::point(hpf::Subscript::var("j", -1, 5));  // 5-j
+  SubRange vn = vectorize(neg, "j", hpf::Subscript::constant(1), hpf::Subscript::constant(4));
+  EXPECT_EQ(vn.lo.to_string(), "1");
+  EXPECT_EQ(vn.hi.to_string(), "4");
+}
+
+// ------------------------------------------- §4.1 translation (Fig 4.1)
+
+TEST(Sec41, PaperExampleTranslation) {
+  // Use: lhs(i,j,k,2) = ... cv(j-1) ...  (CP ON_HOME lhs(i,j,k,2))
+  // Def: cv(j) = ...
+  // Expected translated CP: ON_HOME lhs(i,j+1,k,2).
+  Program prog = parse(R"(
+    processors P(2, 2)
+    array lhs(16, 16, 16, 5) distribute (*, block:0, block:1, *) onto P
+    array u(16, 16, 16) distribute (block:0, block:1, *) onto P
+    array cv(16)
+    procedure main()
+      do k = 1, 14
+        do[independent, new(cv)] i = 1, 14
+          do j = 0, 15
+            cv(j) = u(j, i, k)
+          enddo
+          do j = 1, 14
+            lhs(i, j, k, 2) = cv(j-1)
+          enddo
+        enddo
+      enddo
+    end
+  )");
+  const auto& lk = prog.main()->body[0]->loop();
+  const auto& li = lk.body[0]->loop();
+  const auto& def_loop = li.body[0]->loop();
+  const auto& use_loop = li.body[1]->loop();
+  const auto& def = def_loop.body[0]->assign();
+  const auto& use = use_loop.body[0]->assign();
+
+  const OnHomeTerm use_cp = OnHomeTerm::from_ref(use.lhs);
+  const std::vector<const hpf::Loop*> use_path{&lk, &li, &use_loop};
+  const std::vector<const hpf::Loop*> def_path{&lk, &li, &def_loop};
+  const OnHomeTerm t =
+      translate_term_use_to_def(use_cp, use_path, use.rhs[0], def_path, def.lhs);
+  EXPECT_EQ(t.to_string(), "ON_HOME lhs(i,j+1,k,2)");
+}
+
+TEST(Sec41, VectorizationWhenNoMappingExists) {
+  // Use subscript is a constant: the use loop variable cannot be mapped and
+  // is vectorized through its loop range.
+  Program prog = parse(R"(
+    processors P(2)
+    array a(16, 16) distribute (*, block:0) onto P
+    array tmp(16)
+    procedure main()
+      do[independent, new(tmp)] i = 1, 14
+        do j = 0, 15
+          tmp(j) = a(0, j)
+        enddo
+        do j = 1, 14
+          a(j, i) = tmp(3)
+        enddo
+      enddo
+    end
+  )");
+  const auto& li = prog.main()->body[0]->loop();
+  const auto& def_loop = li.body[0]->loop();
+  const auto& use_loop = li.body[1]->loop();
+  const auto& def = def_loop.body[0]->assign();
+  const auto& use = use_loop.body[0]->assign();
+  const std::vector<const hpf::Loop*> use_path{&li, &use_loop};
+  const std::vector<const hpf::Loop*> def_path{&li, &def_loop};
+  const OnHomeTerm t = translate_term_use_to_def(OnHomeTerm::from_ref(use.lhs), use_path,
+                                                 use.rhs[0], def_path, def.lhs);
+  // tmp(3) gives no mapping for the use's j; ON_HOME a(j, i) vectorizes j
+  // over [1,14].
+  EXPECT_EQ(t.to_string(), "ON_HOME a(1:14,i)");
+}
+
+TEST(Sec41, SelectionGivesPrivatizableDefsUnionOfTranslatedUses) {
+  Program prog = parse(R"(
+    processors P(2, 2)
+    array lhs(16, 16, 16, 5) distribute (*, block:0, block:1, *) onto P
+    array u(16, 16, 16) distribute (block:0, block:1, *) onto P
+    array cv(16)
+    procedure main()
+      do k = 1, 14
+        do[independent, new(cv)] i = 1, 14
+          do j = 0, 15
+            cv(j) = u(j, i, k)
+          enddo
+          do j = 1, 14
+            lhs(i, j, k, 2) = cv(j-1) + cv(j) + cv(j+1)
+          enddo
+        enddo
+      enddo
+    end
+  )");
+  CpResult res = select_cps(prog);
+  // Statement 0 = cv def, statement 1 = lhs assignment.
+  const CP& use_cp = res.cp_of(1);
+  EXPECT_EQ(use_cp.to_string(), "ON_HOME lhs(i,j,k,2)");  // owner-computes
+  const CP& def_cp = res.cp_of(0);
+  ASSERT_EQ(def_cp.terms.size(), 3u);  // translated from cv(j-1), cv(j), cv(j+1)
+  EXPECT_EQ(def_cp.terms[0].to_string(), "ON_HOME lhs(i,j+1,k,2)");
+  EXPECT_EQ(def_cp.terms[1].to_string(), "ON_HOME lhs(i,j,k,2)");
+  EXPECT_EQ(def_cp.terms[2].to_string(), "ON_HOME lhs(i,j-1,k,2)");
+}
+
+TEST(Sec41, ReplicateModeReplicatesPrivateDefs) {
+  Program prog = parse(R"(
+    processors P(2)
+    array a(16, 16) distribute (*, block:0) onto P
+    array cv(16)
+    procedure main()
+      do[independent, new(cv)] i = 1, 14
+        do j = 0, 15
+          cv(j) = a(j, i)
+        enddo
+        do j = 1, 14
+          a(j, i) = cv(j-1)
+        enddo
+      enddo
+    end
+  )");
+  SelectOptions opt;
+  opt.priv_mode = PrivMode::Replicate;
+  CpResult res = select_cps(prog, opt);
+  EXPECT_TRUE(res.cp_of(0).is_replicated());
+}
+
+TEST(Sec41, ScalarPrivateGetsCopiedCp) {
+  // ru1-style scalar: uses in the same loop; translation is a plain copy.
+  Program prog = parse(R"(
+    processors P(2)
+    array a(16, 16) distribute (*, block:0) onto P
+    array ru1(1)
+    procedure main()
+      do[independent, new(ru1)] i = 1, 14
+        do j = 1, 14
+          ru1(0) = a(j, i)
+          a(j, i) = ru1(0)
+        enddo
+      enddo
+    end
+  )");
+  CpResult res = select_cps(prog);
+  EXPECT_EQ(res.cp_of(0).to_string(), res.cp_of(1).to_string());
+  EXPECT_EQ(res.cp_of(1).to_string(), "ON_HOME a(j,i)");
+}
+
+// -------------------------------------------------- §5 grouping (Fig 5.1)
+
+const char* kFig51Alignable = R"(
+  processors P(2, 2)
+  array lhs(16, 16, 16, 9) distribute (*, block:0, block:1, *) onto P
+  array rhs(16, 16, 16, 5) distribute (*, block:0, block:1, *) onto P
+  procedure main()
+    do k = 1, 14
+      do j = 1, 12
+        do i = 1, 14
+          lhs(i, j, k, 4) = lhs(i, j+1, k, 3)
+          lhs(i, j, k, 5) = lhs(i, j, k, 4)
+          rhs(i, j, k, 1) = rhs(i, j+1, k, 1) + lhs(i, j, k, 4)
+        enddo
+      enddo
+    enddo
+  end
+)";
+
+TEST(Sec5, Fig51AllStatementsGroupToOneLoop) {
+  Program prog = parse(kFig51Alignable);
+  const auto& lk = prog.main()->body[0]->loop();
+  const auto& lj = lk.body[0]->loop();
+  const auto& li = lj.body[0]->loop();
+  LoopDistInfo info = comm_sensitive_distribution(li, {&lk, &lj});
+  EXPECT_EQ(info.num_stmts, 3u);
+  EXPECT_EQ(info.num_groups, 1u);  // all localized via common CP choices
+  EXPECT_TRUE(info.separated.empty());
+  EXPECT_EQ(info.num_partitions, 1u);  // no distribution needed
+}
+
+TEST(Sec5, ConflictForcesMinimalDistribution) {
+  // Variant of the paper's discussion: statement 2's only partitioned refs
+  // disagree with statement 1's choices -> they must be distributed apart,
+  // but into exactly two loops, not one per statement.
+  Program prog = parse(R"(
+    processors P(2, 2)
+    array lhs(16, 16, 16, 9) distribute (*, block:0, block:1, *) onto P
+    procedure main()
+      do k = 1, 14
+        do j = 1, 12
+          do i = 1, 14
+            lhs(i, j, k, 4) = lhs(i, j, k, 3)
+            lhs(i, j+1, k, 5) = lhs(i, j+1, k, 4)
+            lhs(i, j, k, 6) = lhs(i, j+1, k, 5) + lhs(i, j, k, 4)
+          enddo
+        enddo
+      enddo
+    end
+  )");
+  const auto& lk = prog.main()->body[0]->loop();
+  const auto& lj = lk.body[0]->loop();
+  const auto& li = lj.body[0]->loop();
+  LoopDistInfo info = comm_sensitive_distribution(li, {&lk, &lj});
+  EXPECT_EQ(info.num_stmts, 3u);
+  EXPECT_FALSE(info.separated.empty());
+  EXPECT_EQ(info.num_partitions, 2u);  // selective, not maximal, distribution
+}
+
+TEST(Sec5, SelectionAlignsGroupedStatements) {
+  Program prog = parse(kFig51Alignable);
+  CpResult res = select_cps(prog);
+  // The three statements must end up with *equivalent* CPs: all anchored at
+  // the same (j, k) partition coordinates.
+  const CP& c0 = res.cp_of(0);
+  const CP& c1 = res.cp_of(1);
+  const CP& c2 = res.cp_of(2);
+  ASSERT_EQ(c0.terms.size(), 1u);
+  ASSERT_EQ(c1.terms.size(), 1u);
+  ASSERT_EQ(c2.terms.size(), 1u);
+  EXPECT_TRUE(equivalent_partitioning(c0.terms[0], c1.terms[0]));
+  EXPECT_TRUE(equivalent_partitioning(c1.terms[0], c2.terms[0]));
+}
+
+TEST(Sec5, FullTenStatementFigure51Groups) {
+  // The paper's Figure 5.1 at full size: ten statements chained by
+  // loop-independent dependences through cv-like lhs planes and rhs; all of
+  // them must merge into one CP group with no distribution.
+  Program prog = parse(R"(
+    processors P(2, 2)
+    array lhs(16, 16, 16, 9) distribute (*, block:0, block:1, *) onto P
+    array rhs(16, 16, 16, 5) distribute (*, block:0, block:1, *) onto P
+    procedure main()
+      do k = 1, 14
+        do j = 1, 12
+          do i = 1, 14
+            lhs(i, j, k, 1) = lhs(i, j+1, k, 1)
+            lhs(i, j, k, 2) = lhs(i, j, k, 1)
+            lhs(i, j, k, 3) = lhs(i, j, k, 1)
+            lhs(i, j, k, 4) = lhs(i, j, k, 2) + lhs(i, j+1, k, 2)
+            lhs(i, j, k, 5) = lhs(i, j+1, k, 3) + lhs(i, j, k, 2)
+            lhs(i, j, k, 6) = lhs(i, j, k, 3)
+            lhs(i, j, k, 7) = lhs(i, j, k, 4) + lhs(i, j, k, 5)
+            lhs(i, j, k, 8) = lhs(i, j, k, 6)
+            rhs(i, j, k, 1) = lhs(i, j, k, 1) + rhs(i, j+1, k, 1)
+            rhs(i, j, k, 2) = rhs(i, j, k, 1) + lhs(i, j, k, 7) + lhs(i, j, k, 8)
+          enddo
+        enddo
+      enddo
+    end
+  )");
+  const auto& lk = prog.main()->body[0]->loop();
+  const auto& lj = lk.body[0]->loop();
+  const auto& li = lj.body[0]->loop();
+  LoopDistInfo info = comm_sensitive_distribution(li, {&lk, &lj});
+  EXPECT_EQ(info.num_stmts, 10u);
+  EXPECT_EQ(info.num_groups, 1u);
+  EXPECT_TRUE(info.separated.empty());
+  EXPECT_EQ(info.num_partitions, 1u);
+  // And the selected CPs are all partition-equivalent.
+  CpResult res = select_cps(prog);
+  for (int id = 1; id < 10; ++id) {
+    ASSERT_EQ(res.cp_of(id).terms.size(), 1u);
+    EXPECT_TRUE(
+        equivalent_partitioning(res.cp_of(0).terms[0], res.cp_of(id).terms[0]))
+        << "S" << id;
+  }
+}
+
+// --------------------------------------------- §6 interprocedural (Fig 6.1)
+
+const char* kFig61 = R"(
+  processors P(2, 2)
+  array rhs(5, 16, 16, 16) distribute (*, block:0, block:1, *) onto P
+  array lhs(5, 16, 16, 16) distribute (*, block:0, block:1, *) onto P
+  array frhs(5, 16, 16, 16) distribute (*, block:0, block:1, *) onto P
+  array flhs(5, 16, 16, 16) distribute (*, block:0, block:1, *) onto P
+  procedure matvec_sub(flhs, frhs)
+    do m = 0, 4
+      frhs(m, 0, 0, 0) = flhs(m, 0, 0, 0) + frhs(m, 0, 0, 0)
+    enddo
+  end
+  procedure main()
+    do k = 1, 14
+      do j = 1, 14
+        do i = 1, 14
+          call matvec_sub(lhs(0, i-1, j, k), rhs(0, i, j, k))
+        enddo
+      enddo
+    enddo
+  end
+)";
+
+TEST(Sec6, CalleeEntryCpIsOwnerOfOutput) {
+  Program prog = parse(kFig61);
+  CpResult res = select_cps(prog);
+  const CP& entry = res.entry_cp.at("matvec_sub");
+  ASSERT_EQ(entry.terms.size(), 1u);
+  // frhs(m,0,0,0) with m vectorized over [0,4]
+  EXPECT_EQ(entry.terms[0].to_string(), "ON_HOME frhs(0:4,0,0,0)");
+}
+
+TEST(Sec6, CallSiteCpTranslatedThroughActuals) {
+  Program prog = parse(kFig61);
+  CpResult res = select_cps(prog);
+  // The call statement is id 1 (callee stmt is id 0).
+  const CP& call_cp = res.cp_of(1);
+  ASSERT_EQ(call_cp.terms.size(), 1u);
+  EXPECT_EQ(call_cp.terms[0].to_string(), "ON_HOME rhs(0:4,i,j,k)");
+}
+
+TEST(Sec6, WithoutInterproceduralCallsReplicate) {
+  Program prog = parse(kFig61);
+  SelectOptions opt;
+  opt.interprocedural = false;
+  CpResult res = select_cps(prog, opt);
+  EXPECT_TRUE(res.cp_of(1).is_replicated());
+}
+
+TEST(Sec6, TemplateOffsetsShiftTranslatedOwnership) {
+  // Callee formal aligned with template offset 1: the translated CP must
+  // reference the actual's element (so ownership follows the actual array's
+  // own alignment) — the mechanism the paper implements via templates.
+  Program prog = parse(R"(
+    processors P(2)
+    array a(15) distribute (block:0) onto P template T offset (1)
+    array b(16) distribute (block:0) onto P template T
+    procedure leaf(a)
+      a(0) = a(0) + 1
+    end
+    procedure main()
+      do i = 1, 14
+        call leaf(b(i))
+      enddo
+    end
+  )");
+  CpResult res = select_cps(prog);
+  const CP& call_cp = res.cp_of(1);
+  ASSERT_EQ(call_cp.terms.size(), 1u);
+  EXPECT_EQ(call_cp.terms[0].to_string(), "ON_HOME b(i)");
+}
+
+// ----------------------------------------------------------- entry CPs
+
+TEST(EntryCp, ReplicatedStatementMakesEntryReplicated) {
+  Program prog = parse(R"(
+    array a(8)
+    procedure main()
+      a(0) = a(1)
+    end
+  )");
+  CpResult res = select_cps(prog);
+  EXPECT_TRUE(res.entry_cp.at("main").is_replicated());
+}
+
+}  // namespace
+}  // namespace dhpf::cp

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "hpf/ir.hpp"
+#include "hpf/parser.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf::hpf {
+namespace {
+
+TEST(Ir, SubscriptEvalAndPrint) {
+  Subscript s = Subscript::var("i", 2, -3);
+  EXPECT_EQ(s.eval({{"i", 5}}), 7);
+  EXPECT_EQ(s.to_string(), "2*i-3");
+  EXPECT_EQ(Subscript::constant(4).to_string(), "4");
+  EXPECT_EQ(Subscript::var("j", -1).to_string(), "-j");
+}
+
+TEST(Ir, ProcGridCoords) {
+  ProcGrid g{"P", {2, 3}};
+  EXPECT_EQ(g.nprocs(), 6);
+  auto c = g.coords(5);
+  EXPECT_EQ(c[0], 1);
+  EXPECT_EQ(c[1], 2);
+  EXPECT_EQ(g.coords(0), (std::vector<int>{0, 0}));
+}
+
+TEST(Ir, NumberStatementsPreOrder) {
+  Program prog;
+  auto* a = prog.add_array("a", {10});
+  auto* proc = prog.add_procedure("main");
+  std::vector<StmtPtr> inner;
+  inner.push_back(make_assign(Ref{a, {Subscript::var("i")}}, {}));
+  proc->body.push_back(make_loop("i", Subscript::constant(0), Subscript::constant(9),
+                                 std::move(inner)));
+  proc->body.push_back(make_assign(Ref{a, {Subscript::constant(0)}}, {}));
+  prog.number_statements();
+  const auto& loop = proc->body[0]->loop();
+  EXPECT_EQ(loop.body[0]->assign().id, 0);
+  EXPECT_EQ(proc->body[1]->assign().id, 1);
+}
+
+TEST(Parser, FullProgramRoundTrip) {
+  const char* src = R"(
+    processors P(2, 2)
+    array u(16, 16) distribute (block:0, block:1) onto P
+    array cv(16)
+
+    procedure main()
+      do[independent, new(cv)] j = 1, 14
+        do i = 1, 14
+          cv(i) = u(i, j) + u(i, j-1)
+          u(i, j) = cv(i-1) + cv(i+1)
+        enddo
+      enddo
+    end
+  )";
+  Program prog = parse(src);
+  ASSERT_NE(prog.find_array("u"), nullptr);
+  EXPECT_TRUE(prog.find_array("u")->distributed());
+  EXPECT_FALSE(prog.find_array("cv")->distributed());
+  ASSERT_NE(prog.main(), nullptr);
+  ASSERT_EQ(prog.main()->body.size(), 1u);
+  const Loop& j = prog.main()->body[0]->loop();
+  EXPECT_TRUE(j.independent);
+  ASSERT_EQ(j.new_vars.size(), 1u);
+  EXPECT_EQ(j.new_vars[0], "cv");
+  const Loop& i = j.body[0]->loop();
+  ASSERT_EQ(i.body.size(), 2u);
+  const Assign& s1 = i.body[1]->assign();
+  EXPECT_EQ(s1.lhs.to_string(), "u(i,j)");
+  EXPECT_EQ(s1.rhs[0].to_string(), "cv(i-1)");
+  // printing mentions directives
+  const std::string printed = prog.to_string();
+  EXPECT_NE(printed.find("INDEPENDENT"), std::string::npos);
+  EXPECT_NE(printed.find("NEW(cv)"), std::string::npos);
+  EXPECT_NE(printed.find("DISTRIBUTE"), std::string::npos);
+}
+
+TEST(Parser, TemplatesAndOffsets) {
+  const char* src = R"(
+    processors P(4)
+    array a(32) distribute (block:0) onto P template T offset (1)
+    array b(32) distribute (block:0) onto P template T
+    procedure main()
+      do i = 1, 30
+        a(i) = b(i-1)
+      enddo
+    end
+  )";
+  Program prog = parse(src);
+  EXPECT_EQ(prog.find_array("a")->dist.template_name, "T");
+  EXPECT_EQ(prog.find_array("a")->dist.offset(0), 1);
+  EXPECT_EQ(prog.find_array("b")->dist.offset(0), 0);
+}
+
+TEST(Parser, CallsAndConstants) {
+  const char* src = R"(
+    processors P(2)
+    array lhs(8, 8) distribute (*, block:0) onto P
+    array rhs(8, 8) distribute (*, block:0) onto P
+    procedure solve(lhs, rhs)
+      do i = 1, 6
+        rhs(1, i) = lhs(1, i) + 3
+      enddo
+    end
+    procedure main()
+      do i = 1, 6
+        call solve(lhs(1, i), rhs(1, i))
+      enddo
+    end
+  )";
+  Program prog = parse(src);
+  const Procedure* solve = prog.find_procedure("solve");
+  ASSERT_NE(solve, nullptr);
+  EXPECT_EQ(solve->formals.size(), 2u);
+  const Procedure* main_p = prog.find_procedure("main");
+  const Call& c = main_p->body[0]->loop().body[0]->call();
+  EXPECT_EQ(c.callee, "solve");
+  EXPECT_EQ(c.args.size(), 2u);
+  // statement ids assigned across procedures
+  EXPECT_GE(c.id, 0);
+}
+
+TEST(Parser, ErrorsHaveLineNumbers) {
+  try {
+    parse("array a(4)\nprocedure main()\n  bogus!\nend\n");
+    FAIL() << "expected parse error";
+  } catch (const dhpf::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownArray) {
+  EXPECT_THROW(parse("procedure main()\n x(1) = x(2)\nend\n"), dhpf::Error);
+}
+
+TEST(Parser, RejectsRankMismatch) {
+  EXPECT_THROW(parse("array a(4, 4)\nprocedure main()\n a(1) = a(1, 2)\nend\n"),
+               dhpf::Error);
+}
+
+TEST(Parser, NegativeConstantsAndCoefficients) {
+  Program prog = parse(
+      "array a(10)\nprocedure main()\n do i = 0, 9\n  a(i) = a(2*i-3) + -2\n enddo\nend\n");
+  const Assign& s = prog.main()->body[0]->loop().body[0]->assign();
+  EXPECT_EQ(s.rhs[0].subs[0].coef.at("i"), 2);
+  EXPECT_EQ(s.rhs[0].subs[0].cst, -3);
+  EXPECT_DOUBLE_EQ(s.cst, -2.0);
+}
+
+TEST(Parser, WalkVisitsNestedStatements) {
+  Program prog = parse(R"(
+    array a(8)
+    procedure main()
+      do i = 0, 7
+        do j = 0, 7
+          a(i) = a(j)
+        enddo
+      enddo
+    end
+  )");
+  int assigns = 0, loops = 0;
+  std::size_t deepest = 0;
+  walk(prog.main()->body, [&](const Stmt& s, const std::vector<const Loop*>& path) {
+    if (s.is_assign()) {
+      ++assigns;
+      deepest = std::max(deepest, path.size());
+    }
+    if (s.is_loop()) ++loops;
+  });
+  EXPECT_EQ(assigns, 1);
+  EXPECT_EQ(loops, 2);
+  EXPECT_EQ(deepest, 2u);
+}
+
+}  // namespace
+}  // namespace dhpf::hpf

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "nas/kernels.hpp"
+#include "nas/problem.hpp"
+#include "nas/serial.hpp"
+
+namespace dhpf::nas {
+namespace {
+
+Problem small_sp() { return Problem{App::SP, 12, 2, 0.0}; }
+Problem small_bt() { return Problem{App::BT, 12, 2, 0.0}; }
+
+// A filled serial state to run line-solver tests against.
+struct Scene {
+  Problem pb;
+  rt::Field u, recips, rhs, forcing;
+
+  explicit Scene(const Problem& pb_)
+      : pb(pb_),
+        u(kNumComp, pb.domain(), 0),
+        recips(kNumRecip, pb.domain(), 0),
+        rhs(kNumComp, pb.domain(), 0),
+        forcing(kNumComp, pb.domain(), 0) {
+    init_u(pb, u, pb.domain());
+    init_forcing(pb, forcing, pb.domain());
+    compute_reciprocals(u, recips, pb.domain());
+    compute_rhs(pb, u, recips, forcing, rhs, pb.interior());
+  }
+};
+
+TEST(Problem, ClassesAreOrdered) {
+  EXPECT_LT(Problem::make(App::SP, ProblemClass::S).n, Problem::make(App::SP, ProblemClass::W).n);
+  EXPECT_LT(Problem::make(App::SP, ProblemClass::W).n, Problem::make(App::SP, ProblemClass::A).n);
+  EXPECT_LT(Problem::make(App::SP, ProblemClass::A).n, Problem::make(App::SP, ProblemClass::B).n);
+}
+
+TEST(Problem, ExactSolutionDensityBoundedAwayFromZero) {
+  for (double x = 0; x <= 1.0; x += 0.1)
+    for (double y = 0; y <= 1.0; y += 0.1)
+      for (double z = 0; z <= 1.0; z += 0.1) EXPECT_GT(exact_solution(0, x, y, z), 0.5);
+}
+
+TEST(Kernels, ReciprocalsMatchDefinition) {
+  Scene s(small_sp());
+  const int i = 3, j = 4, k = 5;
+  const double rho_inv = 1.0 / s.u(0, i, j, k);
+  EXPECT_DOUBLE_EQ(s.recips(kRhoI, i, j, k), rho_inv);
+  EXPECT_DOUBLE_EQ(s.recips(kUs, i, j, k), s.u(1, i, j, k) * rho_inv);
+  const double sq = 0.5 *
+                    (s.u(1, i, j, k) * s.u(1, i, j, k) + s.u(2, i, j, k) * s.u(2, i, j, k) +
+                     s.u(3, i, j, k) * s.u(3, i, j, k)) *
+                    rho_inv;
+  EXPECT_DOUBLE_EQ(s.recips(kSquare, i, j, k), sq);
+  EXPECT_DOUBLE_EQ(s.recips(kQs, i, j, k), sq * rho_inv);
+}
+
+TEST(Kernels, RhsLeavesBoundaryUntouched) {
+  Scene s(small_sp());
+  const int n = s.pb.n;
+  for (int j = 0; j < n; ++j)
+    for (int m = 0; m < kNumComp; ++m) {
+      EXPECT_DOUBLE_EQ(s.rhs(m, 0, j, 5), 0.0);
+      EXPECT_DOUBLE_EQ(s.rhs(m, n - 1, j, 5), 0.0);
+      EXPECT_DOUBLE_EQ(s.rhs(m, j < n ? j : 0, 0, 5), 0.0);
+    }
+}
+
+TEST(Kernels, RhsIsDeterministic) {
+  Scene a(small_sp()), b(small_sp());
+  EXPECT_DOUBLE_EQ(a.rhs.max_abs_diff(b.rhs, a.pb.interior()), 0.0);
+}
+
+TEST(Kernels, AddUpdateAppliesRhs) {
+  Scene s(small_sp());
+  rt::Field u2(kNumComp, s.pb.domain(), 0);
+  u2.copy_from(s.u, s.pb.domain());
+  add_update(u2, s.rhs, s.pb.interior());
+  EXPECT_DOUBLE_EQ(u2(2, 4, 4, 4), s.u(2, 4, 4, 4) + s.rhs(2, 4, 4, 4));
+  // boundary untouched
+  EXPECT_DOUBLE_EQ(u2(2, 0, 4, 4), s.u(2, 0, 4, 4));
+}
+
+TEST(Kernels, CrossRangeClampsToInterior) {
+  Problem pb = small_sp();
+  rt::Box box{{0, 0, 0}, {pb.n - 1, 5, pb.n - 1}};
+  CrossRange cr = cross_range(pb, box, 0);  // cross dims are y (c1) and z (c2)
+  EXPECT_EQ(cr.c1lo, 1);
+  EXPECT_EQ(cr.c1hi, 5);
+  EXPECT_EQ(cr.c2lo, 1);
+  EXPECT_EQ(cr.c2hi, pb.n - 2);
+}
+
+TEST(Kernels, CarryPackUnpackRoundTrip) {
+  std::mt19937 rng(1);
+  std::uniform_real_distribution<double> u(-3, 3);
+  SpCarry sc;
+  for (int s = 0; s < 2; ++s) {
+    sc.b4[s] = u(rng);
+    sc.b5[s] = u(rng);
+    for (int m = 0; m < kNumComp; ++m) sc.r[s][m] = u(rng);
+  }
+  double buf[SpCarry::kDoubles];
+  sc.pack(buf);
+  SpCarry sc2;
+  sc2.unpack(buf);
+  EXPECT_DOUBLE_EQ(sc.b4[1], sc2.b4[1]);
+  EXPECT_DOUBLE_EQ(sc.r[0][3], sc2.r[0][3]);
+
+  BtCarry bc;
+  for (auto& v : bc.C.a) v = u(rng);
+  for (auto& v : bc.r) v = u(rng);
+  double bbuf[BtCarry::kDoubles];
+  bc.pack(bbuf);
+  BtCarry bc2;
+  bc2.unpack(bbuf);
+  EXPECT_DOUBLE_EQ(bc.C(3, 2), bc2.C(3, 2));
+  EXPECT_DOUBLE_EQ(bc.r[4], bc2.r[4]);
+}
+
+// ---- solver correctness: A * x == rhs -----------------------------------
+
+TEST(SpSolver, SolutionSatisfiesOriginalSystem) {
+  Scene s(small_sp());
+  const int n = s.pb.n;
+  for (int dim = 0; dim < 3; ++dim) {
+    const int c1 = 3, c2 = 7;
+    SpSegment orig;
+    sp_build_segment(s.pb, s.recips, s.rhs, dim, c1, c2, 0, n - 1, orig);
+    SpSegment seg = orig;
+    sp_forward(seg, nullptr, nullptr);
+    sp_backward(seg, nullptr, nullptr);
+    // residual check against the original pentadiagonal system
+    for (int m = 0; m < kNumComp; ++m)
+      for (int i = 0; i < n; ++i) {
+        double ax = orig.b3[i] * seg.r[m][i];
+        if (i >= 1) ax += orig.b2[i] * seg.r[m][i - 1];
+        if (i >= 2) ax += orig.b1[i] * seg.r[m][i - 2];
+        if (i + 1 < n) ax += orig.b4[i] * seg.r[m][i + 1];
+        if (i + 2 < n) ax += orig.b5[i] * seg.r[m][i + 2];
+        EXPECT_NEAR(ax, orig.r[m][i], 1e-10) << "dim=" << dim << " m=" << m << " i=" << i;
+      }
+  }
+}
+
+TEST(BtSolver, SolutionSatisfiesOriginalSystem) {
+  Scene s(small_bt());
+  const int n = s.pb.n;
+  for (int dim = 0; dim < 3; ++dim) {
+    const int c1 = 2, c2 = 8;
+    BtSegment orig;
+    bt_build_segment(s.pb, s.u, s.recips, s.rhs, dim, c1, c2, 0, n - 1, orig);
+    BtSegment seg = orig;
+    bt_forward(seg, nullptr, nullptr);
+    bt_backward(seg, nullptr, nullptr);
+    for (int i = 0; i < n; ++i)
+      for (int a = 0; a < kNumComp; ++a) {
+        double ax = 0;
+        for (int b = 0; b < kNumComp; ++b) {
+          ax += orig.B[i](a, b) * seg.r[i][b];
+          if (i >= 1) ax += orig.A[i](a, b) * seg.r[i - 1][b];
+          if (i + 1 < n) ax += orig.C[i](a, b) * seg.r[i + 1][b];
+        }
+        EXPECT_NEAR(ax, orig.r[i][a], 1e-10) << "dim=" << dim << " i=" << i << " a=" << a;
+      }
+  }
+}
+
+// ---- segmentation equivalence: the linchpin of distributed sweeps -------
+
+class SegmentSplitP : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(SegmentSplitP, SpSegmentedSweepIsBitIdenticalToWholeLine) {
+  Scene s(small_sp());
+  const int n = s.pb.n;
+  const int dim = 1, c1 = 4, c2 = 6;
+
+  SpSegment whole;
+  sp_build_segment(s.pb, s.recips, s.rhs, dim, c1, c2, 0, n - 1, whole);
+  sp_forward(whole, nullptr, nullptr);
+  sp_backward(whole, nullptr, nullptr);
+
+  // Split rows [0, n-1] at the given cut points and run the carry protocol.
+  std::vector<int> cuts = GetParam();
+  std::vector<std::pair<int, int>> ranges;
+  int lo = 0;
+  for (int cut : cuts) {
+    ranges.emplace_back(lo, cut - 1);
+    lo = cut;
+  }
+  ranges.emplace_back(lo, n - 1);
+
+  std::vector<SpSegment> segs(ranges.size());
+  for (std::size_t q = 0; q < ranges.size(); ++q)
+    sp_build_segment(s.pb, s.recips, s.rhs, dim, c1, c2, ranges[q].first, ranges[q].second,
+                     segs[q]);
+  SpCarry carry;
+  for (std::size_t q = 0; q < ranges.size(); ++q) {
+    SpCarry out;
+    sp_forward(segs[q], q > 0 ? &carry : nullptr, &out);
+    carry = out;
+  }
+  SpBackCarry back;
+  for (std::size_t q = ranges.size(); q-- > 0;) {
+    SpBackCarry out;
+    sp_backward(segs[q], q + 1 < ranges.size() ? &back : nullptr, &out);
+    back = out;
+  }
+  for (std::size_t q = 0; q < ranges.size(); ++q)
+    for (int m = 0; m < kNumComp; ++m)
+      for (int t = ranges[q].first; t <= ranges[q].second; ++t)
+        EXPECT_DOUBLE_EQ(segs[q].r[m][t - ranges[q].first], whole.r[m][t])
+            << "m=" << m << " row=" << t;
+}
+
+TEST_P(SegmentSplitP, BtSegmentedSweepIsBitIdenticalToWholeLine) {
+  Scene s(small_bt());
+  const int n = s.pb.n;
+  const int dim = 2, c1 = 5, c2 = 3;
+
+  BtSegment whole;
+  bt_build_segment(s.pb, s.u, s.recips, s.rhs, dim, c1, c2, 0, n - 1, whole);
+  bt_forward(whole, nullptr, nullptr);
+  bt_backward(whole, nullptr, nullptr);
+
+  std::vector<int> cuts = GetParam();
+  std::vector<std::pair<int, int>> ranges;
+  int lo = 0;
+  for (int cut : cuts) {
+    ranges.emplace_back(lo, cut - 1);
+    lo = cut;
+  }
+  ranges.emplace_back(lo, n - 1);
+
+  std::vector<BtSegment> segs(ranges.size());
+  for (std::size_t q = 0; q < ranges.size(); ++q)
+    bt_build_segment(s.pb, s.u, s.recips, s.rhs, dim, c1, c2, ranges[q].first,
+                     ranges[q].second, segs[q]);
+  BtCarry carry;
+  for (std::size_t q = 0; q < ranges.size(); ++q) {
+    BtCarry out;
+    bt_forward(segs[q], q > 0 ? &carry : nullptr, &out);
+    carry = out;
+  }
+  BtBackCarry back;
+  for (std::size_t q = ranges.size(); q-- > 0;) {
+    BtBackCarry out;
+    bt_backward(segs[q], q + 1 < ranges.size() ? &back : nullptr, &out);
+    back = out;
+  }
+  for (std::size_t q = 0; q < ranges.size(); ++q)
+    for (int t = ranges[q].first; t <= ranges[q].second; ++t)
+      for (int m = 0; m < kNumComp; ++m)
+        EXPECT_DOUBLE_EQ(segs[q].r[t - ranges[q].first][m], whole.r[t][m])
+            << "m=" << m << " row=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, SegmentSplitP,
+                         ::testing::Values(std::vector<int>{6}, std::vector<int>{2},
+                                           std::vector<int>{10}, std::vector<int>{4, 8},
+                                           std::vector<int>{3, 6, 9},
+                                           std::vector<int>{2, 4, 6, 8, 10}));
+
+// ---- serial application ---------------------------------------------------
+
+TEST(SerialApp, StaysBoundedSP) {
+  SerialApp app(Problem{App::SP, 12, 5, 0.0});
+  app.run();
+  const double rms = app.interior_rms();
+  EXPECT_TRUE(std::isfinite(rms));
+  EXPECT_GT(rms, 0.1);
+  EXPECT_LT(rms, 10.0);
+}
+
+TEST(SerialApp, StaysBoundedBT) {
+  SerialApp app(Problem{App::BT, 12, 5, 0.0});
+  app.run();
+  const double rms = app.interior_rms();
+  EXPECT_TRUE(std::isfinite(rms));
+  EXPECT_GT(rms, 0.1);
+  EXPECT_LT(rms, 10.0);
+}
+
+TEST(SerialApp, EvolvesNontrivially) {
+  SerialApp app(small_sp());
+  rt::Field u0(kNumComp, app.problem().domain(), 0);
+  u0.copy_from(app.u(), app.problem().domain());
+  app.step();
+  EXPECT_GT(app.u().max_abs_diff(u0, app.problem().interior()), 1e-8);
+}
+
+TEST(SerialApp, SpAndBtDiverge) {
+  SerialApp sp(small_sp()), bt(small_bt());
+  sp.run();
+  bt.run();
+  EXPECT_GT(sp.u().max_abs_diff(bt.u(), sp.problem().interior()), 1e-10);
+}
+
+TEST(SerialApp, DeterministicAcrossRuns) {
+  SerialApp a(small_bt()), b(small_bt());
+  a.run();
+  b.run();
+  EXPECT_DOUBLE_EQ(a.u().max_abs_diff(b.u(), a.problem().domain()), 0.0);
+}
+
+}  // namespace
+}  // namespace dhpf::nas

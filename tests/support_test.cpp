@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "support/diagnostics.hpp"
+#include "support/scc.hpp"
+#include "support/small_matrix.hpp"
+#include "support/union_find.hpp"
+
+namespace dhpf {
+namespace {
+
+TEST(Diagnostics, FailThrowsWithComponent) {
+  try {
+    fail("unit", "boom");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.component(), "unit");
+    EXPECT_STREQ(e.what(), "unit: boom");
+  }
+}
+
+TEST(Diagnostics, RequirePassesOnTrue) { EXPECT_NO_THROW(require(true, "unit", "ok")); }
+
+TEST(Diagnostics, RequireThrowsOnFalse) {
+  EXPECT_THROW(require(false, "unit", "bad"), Error);
+}
+
+TEST(UnionFind, SingletonsInitially) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.num_sets(), 4u);
+  EXPECT_FALSE(uf.same(0, 1));
+  EXPECT_TRUE(uf.same(2, 2));
+}
+
+TEST(UnionFind, UniteMerges) {
+  UnionFind uf(5);
+  uf.unite(0, 1);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_FALSE(uf.same(0, 3));
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFind, UniteIdempotent) {
+  UnionFind uf(3);
+  uf.unite(0, 1);
+  uf.unite(0, 1);
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFind, TransitiveClosureProperty) {
+  // Property: after uniting random pairs, same() must agree with the
+  // connectivity of the corresponding undirected graph (brute-force BFS).
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 12;
+    UnionFind uf(n);
+    std::vector<std::vector<std::size_t>> adj(n);
+    std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+    for (int e = 0; e < 10; ++e) {
+      std::size_t a = pick(rng), b = pick(rng);
+      uf.unite(a, b);
+      adj[a].push_back(b);
+      adj[b].push_back(a);
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      std::vector<bool> seen(n, false);
+      std::vector<std::size_t> stack{s};
+      seen[s] = true;
+      while (!stack.empty()) {
+        auto v = stack.back();
+        stack.pop_back();
+        for (auto w : adj[v])
+          if (!seen[w]) {
+            seen[w] = true;
+            stack.push_back(w);
+          }
+      }
+      for (std::size_t t = 0; t < n; ++t) EXPECT_EQ(uf.same(s, t), seen[t]);
+    }
+  }
+}
+
+TEST(Scc, SingleCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 1u);
+  EXPECT_EQ(scc.comp[0], scc.comp[1]);
+  EXPECT_EQ(scc.comp[1], scc.comp[2]);
+}
+
+TEST(Scc, ChainIsAllSingletons) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 4u);
+  // Tarjan numbering: edges go from >= comp to <= comp (reverse topo).
+  EXPECT_GT(scc.comp[0], scc.comp[1]);
+  EXPECT_GT(scc.comp[1], scc.comp[2]);
+}
+
+TEST(Scc, TwoCyclesBridged) {
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  g.add_edge(4, 5);
+  auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 3u);
+  EXPECT_EQ(scc.comp[0], scc.comp[1]);
+  EXPECT_EQ(scc.comp[2], scc.comp[3]);
+  EXPECT_EQ(scc.comp[3], scc.comp[4]);
+  EXPECT_NE(scc.comp[0], scc.comp[2]);
+  EXPECT_NE(scc.comp[2], scc.comp[5]);
+}
+
+TEST(Scc, CondensationTopoOrderSourcesFirst) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  g.add_edge(2, 3);
+  auto scc = strongly_connected_components(g);
+  auto order = condensation_topo_order(g, scc);
+  ASSERT_EQ(order.size(), scc.count);
+  // First in order must be the component of vertex 0 (the unique source).
+  EXPECT_EQ(order.front(), scc.comp[0]);
+  EXPECT_EQ(order.back(), scc.comp[3]);
+}
+
+TEST(Scc, RandomGraphsComponentsArePartition) {
+  std::mt19937 rng(13);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 15;
+    Digraph g(n);
+    std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+    for (int e = 0; e < 30; ++e) g.add_edge(pick(rng), pick(rng));
+    auto scc = strongly_connected_components(g);
+    auto members = scc.members();
+    std::size_t total = 0;
+    for (const auto& m : members) total += m.size();
+    EXPECT_EQ(total, n);
+    EXPECT_LE(scc.count, n);
+    // Every edge must respect reverse-topological component numbering.
+    for (std::size_t v = 0; v < n; ++v)
+      for (auto w : g.succ(v)) EXPECT_GE(scc.comp[v], scc.comp[w]);
+  }
+}
+
+TEST(SmallMatrix, IdentityRoundTrip) {
+  Mat<3> a = Mat<3>::identity();
+  Vec<3> r{1.0, 2.0, 3.0};
+  ASSERT_TRUE(binvrhs(a, r));
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.0);
+  EXPECT_DOUBLE_EQ(r[2], 3.0);
+}
+
+TEST(SmallMatrix, MatvecSub) {
+  Mat<3> a;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = static_cast<double>(i + 2 * j);
+  Vec<3> x{1.0, 1.0, 1.0};
+  Vec<3> b{10.0, 10.0, 10.0};
+  matvec_sub(a, x, b);
+  // row sums: row0: 0+2+4=6, row1: 1+3+5=9, row2: 2+4+6=12
+  EXPECT_DOUBLE_EQ(b[0], 4.0);
+  EXPECT_DOUBLE_EQ(b[1], 1.0);
+  EXPECT_DOUBLE_EQ(b[2], -2.0);
+}
+
+TEST(SmallMatrix, BinvrhsSolvesRandomSystems) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    Mat<5> a;
+    for (std::size_t i = 0; i < 5; ++i) {
+      for (std::size_t j = 0; j < 5; ++j) a(i, j) = u(rng);
+      a(i, i) += 4.0;  // diagonally dominant, like BT blocks
+    }
+    Vec<5> x_true;
+    for (auto& v : x_true) v = u(rng);
+    Vec<5> rhs{};
+    for (std::size_t i = 0; i < 5; ++i)
+      for (std::size_t j = 0; j < 5; ++j) rhs[i] += a(i, j) * x_true[j];
+    Mat<5> a_copy = a;
+    ASSERT_TRUE(binvrhs(a_copy, rhs));
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(rhs[i], x_true[i], 1e-10);
+  }
+}
+
+TEST(SmallMatrix, BinvcrhsAppliesInverseToBlockAndRhs) {
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Mat<5> a, c;
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) {
+      a(i, j) = u(rng) + (i == j ? 5.0 : 0.0);
+      c(i, j) = u(rng);
+    }
+  Vec<5> r;
+  for (auto& v : r) v = u(rng);
+  Mat<5> a0 = a, c0 = c;
+  Vec<5> r0 = r;
+  ASSERT_TRUE(binvcrhs(a, c, r));
+  // Check a0 * c == c0 and a0 * r == r0.
+  for (std::size_t i = 0; i < 5; ++i) {
+    double acc = 0;
+    for (std::size_t k = 0; k < 5; ++k) acc += a0(i, k) * r[k];
+    EXPECT_NEAR(acc, r0[i], 1e-10);
+    for (std::size_t j = 0; j < 5; ++j) {
+      double accm = 0;
+      for (std::size_t k = 0; k < 5; ++k) accm += a0(i, k) * c(k, j);
+      EXPECT_NEAR(accm, c0(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(SmallMatrix, SingularBlockDetected) {
+  Mat<3> a{};  // all zeros
+  Vec<3> r{1, 2, 3};
+  EXPECT_FALSE(binvrhs(a, r));
+}
+
+TEST(SmallMatrix, MatmulSubMatchesNaive) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  Mat<5> a, b, c, c_ref;
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) {
+      a(i, j) = u(rng);
+      b(i, j) = u(rng);
+      c(i, j) = c_ref(i, j) = u(rng);
+    }
+  matmul_sub(a, b, c);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) {
+      double acc = 0;
+      for (std::size_t k = 0; k < 5; ++k) acc += a(i, k) * b(k, j);
+      EXPECT_NEAR(c(i, j), c_ref(i, j) - acc, 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace dhpf
