@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pipeline_granularity"
+  "../bench/ablation_pipeline_granularity.pdb"
+  "CMakeFiles/ablation_pipeline_granularity.dir/ablation_pipeline_granularity.cpp.o"
+  "CMakeFiles/ablation_pipeline_granularity.dir/ablation_pipeline_granularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipeline_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_4_1_privatizable"
+  "../bench/fig_4_1_privatizable.pdb"
+  "CMakeFiles/fig_4_1_privatizable.dir/fig_4_1_privatizable.cpp.o"
+  "CMakeFiles/fig_4_1_privatizable.dir/fig_4_1_privatizable.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_4_1_privatizable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_4_2_localize"
+  "../bench/fig_4_2_localize.pdb"
+  "CMakeFiles/fig_4_2_localize.dir/fig_4_2_localize.cpp.o"
+  "CMakeFiles/fig_4_2_localize.dir/fig_4_2_localize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_4_2_localize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_5_1_loop_dist"
+  "../bench/fig_5_1_loop_dist.pdb"
+  "CMakeFiles/fig_5_1_loop_dist.dir/fig_5_1_loop_dist.cpp.o"
+  "CMakeFiles/fig_5_1_loop_dist.dir/fig_5_1_loop_dist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_5_1_loop_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_5_1_loop_dist.
+# This may be replaced when dependencies are built.

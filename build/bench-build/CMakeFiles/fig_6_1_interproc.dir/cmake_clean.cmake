@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_6_1_interproc"
+  "../bench/fig_6_1_interproc.pdb"
+  "CMakeFiles/fig_6_1_interproc.dir/fig_6_1_interproc.cpp.o"
+  "CMakeFiles/fig_6_1_interproc.dir/fig_6_1_interproc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_6_1_interproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_8_1_4_traces"
+  "../bench/fig_8_1_4_traces.pdb"
+  "CMakeFiles/fig_8_1_4_traces.dir/fig_8_1_4_traces.cpp.o"
+  "CMakeFiles/fig_8_1_4_traces.dir/fig_8_1_4_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_8_1_4_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec_7_data_avail"
+  "../bench/sec_7_data_avail.pdb"
+  "CMakeFiles/sec_7_data_avail.dir/sec_7_data_avail.cpp.o"
+  "CMakeFiles/sec_7_data_avail.dir/sec_7_data_avail.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_7_data_avail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

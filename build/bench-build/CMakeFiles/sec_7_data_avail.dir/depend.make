@@ -1,0 +1,2 @@
+# Empty dependencies file for sec_7_data_avail.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_8_1_sp"
+  "../bench/table_8_1_sp.pdb"
+  "CMakeFiles/table_8_1_sp.dir/table_8_1_sp.cpp.o"
+  "CMakeFiles/table_8_1_sp.dir/table_8_1_sp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_8_1_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_8_1_sp.
+# This may be replaced when dependencies are built.

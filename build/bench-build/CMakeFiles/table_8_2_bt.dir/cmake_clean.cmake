@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_8_2_bt"
+  "../bench/table_8_2_bt.pdb"
+  "CMakeFiles/table_8_2_bt.dir/table_8_2_bt.cpp.o"
+  "CMakeFiles/table_8_2_bt.dir/table_8_2_bt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_8_2_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

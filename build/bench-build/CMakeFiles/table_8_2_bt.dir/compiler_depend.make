@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_8_2_bt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_8_2_bt.
+# This may be replaced when dependencies are built.

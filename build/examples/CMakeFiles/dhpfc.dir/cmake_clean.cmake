@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpfc.dir/dhpfc.cpp.o"
+  "CMakeFiles/dhpfc.dir/dhpfc.cpp.o.d"
+  "dhpfc"
+  "dhpfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

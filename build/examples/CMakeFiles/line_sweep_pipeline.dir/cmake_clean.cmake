@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_sweep_pipeline.dir/line_sweep_pipeline.cpp.o"
+  "CMakeFiles/line_sweep_pipeline.dir/line_sweep_pipeline.cpp.o.d"
+  "line_sweep_pipeline"
+  "line_sweep_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_sweep_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_sp_demo.dir/nas_sp_demo.cpp.o"
+  "CMakeFiles/nas_sp_demo.dir/nas_sp_demo.cpp.o.d"
+  "nas_sp_demo"
+  "nas_sp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_sp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_analysis.dir/dependence.cpp.o"
+  "CMakeFiles/dhpf_analysis.dir/dependence.cpp.o.d"
+  "CMakeFiles/dhpf_analysis.dir/sets.cpp.o"
+  "CMakeFiles/dhpf_analysis.dir/sets.cpp.o.d"
+  "libdhpf_analysis.a"
+  "libdhpf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

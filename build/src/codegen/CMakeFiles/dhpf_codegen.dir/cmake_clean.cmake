@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_codegen.dir/driver.cpp.o"
+  "CMakeFiles/dhpf_codegen.dir/driver.cpp.o.d"
+  "CMakeFiles/dhpf_codegen.dir/spmd.cpp.o"
+  "CMakeFiles/dhpf_codegen.dir/spmd.cpp.o.d"
+  "libdhpf_codegen.a"
+  "libdhpf_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_comm.dir/comm.cpp.o"
+  "CMakeFiles/dhpf_comm.dir/comm.cpp.o.d"
+  "libdhpf_comm.a"
+  "libdhpf_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_cp.dir/cp.cpp.o"
+  "CMakeFiles/dhpf_cp.dir/cp.cpp.o.d"
+  "CMakeFiles/dhpf_cp.dir/select.cpp.o"
+  "CMakeFiles/dhpf_cp.dir/select.cpp.o.d"
+  "CMakeFiles/dhpf_cp.dir/transform.cpp.o"
+  "CMakeFiles/dhpf_cp.dir/transform.cpp.o.d"
+  "libdhpf_cp.a"
+  "libdhpf_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_hpf.dir/ir.cpp.o"
+  "CMakeFiles/dhpf_hpf.dir/ir.cpp.o.d"
+  "CMakeFiles/dhpf_hpf.dir/parser.cpp.o"
+  "CMakeFiles/dhpf_hpf.dir/parser.cpp.o.d"
+  "libdhpf_hpf.a"
+  "libdhpf_hpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_hpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

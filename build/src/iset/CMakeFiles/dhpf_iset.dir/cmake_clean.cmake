@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_iset.dir/affine.cpp.o"
+  "CMakeFiles/dhpf_iset.dir/affine.cpp.o.d"
+  "CMakeFiles/dhpf_iset.dir/set.cpp.o"
+  "CMakeFiles/dhpf_iset.dir/set.cpp.o.d"
+  "libdhpf_iset.a"
+  "libdhpf_iset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_iset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/dhpf_style.cpp" "src/nas/CMakeFiles/dhpf_nas.dir/dhpf_style.cpp.o" "gcc" "src/nas/CMakeFiles/dhpf_nas.dir/dhpf_style.cpp.o.d"
+  "/root/repo/src/nas/driver.cpp" "src/nas/CMakeFiles/dhpf_nas.dir/driver.cpp.o" "gcc" "src/nas/CMakeFiles/dhpf_nas.dir/driver.cpp.o.d"
+  "/root/repo/src/nas/hand_mpi.cpp" "src/nas/CMakeFiles/dhpf_nas.dir/hand_mpi.cpp.o" "gcc" "src/nas/CMakeFiles/dhpf_nas.dir/hand_mpi.cpp.o.d"
+  "/root/repo/src/nas/kernels.cpp" "src/nas/CMakeFiles/dhpf_nas.dir/kernels.cpp.o" "gcc" "src/nas/CMakeFiles/dhpf_nas.dir/kernels.cpp.o.d"
+  "/root/repo/src/nas/pgi_style.cpp" "src/nas/CMakeFiles/dhpf_nas.dir/pgi_style.cpp.o" "gcc" "src/nas/CMakeFiles/dhpf_nas.dir/pgi_style.cpp.o.d"
+  "/root/repo/src/nas/problem.cpp" "src/nas/CMakeFiles/dhpf_nas.dir/problem.cpp.o" "gcc" "src/nas/CMakeFiles/dhpf_nas.dir/problem.cpp.o.d"
+  "/root/repo/src/nas/serial.cpp" "src/nas/CMakeFiles/dhpf_nas.dir/serial.cpp.o" "gcc" "src/nas/CMakeFiles/dhpf_nas.dir/serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dhpf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dhpf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/dhpf_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

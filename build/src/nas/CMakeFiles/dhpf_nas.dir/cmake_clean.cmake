@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_nas.dir/dhpf_style.cpp.o"
+  "CMakeFiles/dhpf_nas.dir/dhpf_style.cpp.o.d"
+  "CMakeFiles/dhpf_nas.dir/driver.cpp.o"
+  "CMakeFiles/dhpf_nas.dir/driver.cpp.o.d"
+  "CMakeFiles/dhpf_nas.dir/hand_mpi.cpp.o"
+  "CMakeFiles/dhpf_nas.dir/hand_mpi.cpp.o.d"
+  "CMakeFiles/dhpf_nas.dir/kernels.cpp.o"
+  "CMakeFiles/dhpf_nas.dir/kernels.cpp.o.d"
+  "CMakeFiles/dhpf_nas.dir/pgi_style.cpp.o"
+  "CMakeFiles/dhpf_nas.dir/pgi_style.cpp.o.d"
+  "CMakeFiles/dhpf_nas.dir/problem.cpp.o"
+  "CMakeFiles/dhpf_nas.dir/problem.cpp.o.d"
+  "CMakeFiles/dhpf_nas.dir/serial.cpp.o"
+  "CMakeFiles/dhpf_nas.dir/serial.cpp.o.d"
+  "libdhpf_nas.a"
+  "libdhpf_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

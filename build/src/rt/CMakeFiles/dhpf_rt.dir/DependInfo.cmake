@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/block.cpp" "src/rt/CMakeFiles/dhpf_rt.dir/block.cpp.o" "gcc" "src/rt/CMakeFiles/dhpf_rt.dir/block.cpp.o.d"
+  "/root/repo/src/rt/decomp.cpp" "src/rt/CMakeFiles/dhpf_rt.dir/decomp.cpp.o" "gcc" "src/rt/CMakeFiles/dhpf_rt.dir/decomp.cpp.o.d"
+  "/root/repo/src/rt/field.cpp" "src/rt/CMakeFiles/dhpf_rt.dir/field.cpp.o" "gcc" "src/rt/CMakeFiles/dhpf_rt.dir/field.cpp.o.d"
+  "/root/repo/src/rt/halo.cpp" "src/rt/CMakeFiles/dhpf_rt.dir/halo.cpp.o" "gcc" "src/rt/CMakeFiles/dhpf_rt.dir/halo.cpp.o.d"
+  "/root/repo/src/rt/multipart.cpp" "src/rt/CMakeFiles/dhpf_rt.dir/multipart.cpp.o" "gcc" "src/rt/CMakeFiles/dhpf_rt.dir/multipart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dhpf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dhpf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

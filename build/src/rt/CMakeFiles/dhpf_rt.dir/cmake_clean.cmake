@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_rt.dir/block.cpp.o"
+  "CMakeFiles/dhpf_rt.dir/block.cpp.o.d"
+  "CMakeFiles/dhpf_rt.dir/decomp.cpp.o"
+  "CMakeFiles/dhpf_rt.dir/decomp.cpp.o.d"
+  "CMakeFiles/dhpf_rt.dir/field.cpp.o"
+  "CMakeFiles/dhpf_rt.dir/field.cpp.o.d"
+  "CMakeFiles/dhpf_rt.dir/halo.cpp.o"
+  "CMakeFiles/dhpf_rt.dir/halo.cpp.o.d"
+  "CMakeFiles/dhpf_rt.dir/multipart.cpp.o"
+  "CMakeFiles/dhpf_rt.dir/multipart.cpp.o.d"
+  "libdhpf_rt.a"
+  "libdhpf_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

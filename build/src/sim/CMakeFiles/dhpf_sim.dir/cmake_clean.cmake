@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_sim.dir/collectives.cpp.o"
+  "CMakeFiles/dhpf_sim.dir/collectives.cpp.o.d"
+  "CMakeFiles/dhpf_sim.dir/engine.cpp.o"
+  "CMakeFiles/dhpf_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/dhpf_sim.dir/trace.cpp.o"
+  "CMakeFiles/dhpf_sim.dir/trace.cpp.o.d"
+  "libdhpf_sim.a"
+  "libdhpf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

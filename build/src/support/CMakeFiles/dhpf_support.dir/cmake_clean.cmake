@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhpf_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/dhpf_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/dhpf_support.dir/scc.cpp.o"
+  "CMakeFiles/dhpf_support.dir/scc.cpp.o.d"
+  "CMakeFiles/dhpf_support.dir/small_matrix.cpp.o"
+  "CMakeFiles/dhpf_support.dir/small_matrix.cpp.o.d"
+  "CMakeFiles/dhpf_support.dir/union_find.cpp.o"
+  "CMakeFiles/dhpf_support.dir/union_find.cpp.o.d"
+  "libdhpf_support.a"
+  "libdhpf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhpf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_codegen_more_test.dir/comm_codegen_more_test.cpp.o"
+  "CMakeFiles/comm_codegen_more_test.dir/comm_codegen_more_test.cpp.o.d"
+  "comm_codegen_more_test"
+  "comm_codegen_more_test.pdb"
+  "comm_codegen_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_codegen_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_e2e_test.dir/compiler_e2e_test.cpp.o"
+  "CMakeFiles/compiler_e2e_test.dir/compiler_e2e_test.cpp.o.d"
+  "compiler_e2e_test"
+  "compiler_e2e_test.pdb"
+  "compiler_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_test.dir/cp_test.cpp.o"
+  "CMakeFiles/cp_test.dir/cp_test.cpp.o.d"
+  "cp_test"
+  "cp_test.pdb"
+  "cp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iset_test.dir/iset_test.cpp.o"
+  "CMakeFiles/iset_test.dir/iset_test.cpp.o.d"
+  "iset_test"
+  "iset_test.pdb"
+  "iset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_more_test.dir/nas_more_test.cpp.o"
+  "CMakeFiles/nas_more_test.dir/nas_more_test.cpp.o.d"
+  "nas_more_test"
+  "nas_more_test.pdb"
+  "nas_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

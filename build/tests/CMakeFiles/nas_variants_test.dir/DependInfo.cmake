@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nas_variants_test.cpp" "tests/CMakeFiles/nas_variants_test.dir/nas_variants_test.cpp.o" "gcc" "tests/CMakeFiles/nas_variants_test.dir/nas_variants_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nas/CMakeFiles/dhpf_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/dhpf_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dhpf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dhpf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

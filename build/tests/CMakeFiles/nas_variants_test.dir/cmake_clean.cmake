@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_variants_test.dir/nas_variants_test.cpp.o"
+  "CMakeFiles/nas_variants_test.dir/nas_variants_test.cpp.o.d"
+  "nas_variants_test"
+  "nas_variants_test.pdb"
+  "nas_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

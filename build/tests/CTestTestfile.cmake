@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_variants_test[1]_include.cmake")
+include("/root/repo/build/tests/iset_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/cp_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/iset_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_more_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_codegen_more_test[1]_include.cmake")
