@@ -4,8 +4,9 @@
 // toggles (§4.2 LOCALIZE and §7 data availability), quantifying how much of
 // the hand-coded code's advantage each mechanism recovers.
 #include <cstdio>
+#include <vector>
 
-#include "nas/driver.hpp"
+#include "nas_table_common.hpp"
 
 using namespace dhpf;
 using nas::App;
@@ -14,61 +15,103 @@ using nas::Variant;
 
 namespace {
 
-void row(const char* label, const nas::RunResult& r, int nprocs) {
+struct Sample {
+  const char* app = nullptr;
+  const char* config = nullptr;
+  nas::RunResult r;
+};
+
+std::vector<Sample>* g_samples = nullptr;
+
+void row(const char* app, const char* label, nas::RunResult r, int nprocs) {
   std::printf("  %-34s %10.4f %9zu %10.2f %9.1f%%\n", label, r.elapsed, r.stats.messages,
               r.stats.bytes / 1.0e6, 100.0 * r.stats.busy_fraction(nprocs));
+  if (g_samples) g_samples->push_back(Sample{app, label, std::move(r)});
 }
 
-void app_section(App app) {
+void app_section(App app, nas::ProblemClass cls) {
   const int nprocs = 16;
-  Problem pb = Problem::make(app, nas::ProblemClass::A, 2);
-  std::printf("\n--- %s, P=%d, n=%d, %d steps ---\n", app == App::SP ? "SP" : "BT", nprocs,
-              pb.n, pb.niter);
+  const char* app_name = app == App::SP ? "SP" : "BT";
+  Problem pb = Problem::make(app, cls, 2);
+  std::printf("\n--- %s, P=%d, n=%d, %d steps ---\n", app_name, nprocs, pb.n, pb.niter);
   std::printf("  %-34s %10s %9s %10s %9s\n", "configuration", "time (s)", "msgs", "MB",
               "busy");
 
   nas::DriverOptions base;
   base.verify = false;
 
-  row("hand-written MPI (multi-part.)",
+  row(app_name, "hand-written MPI (multi-part.)",
       nas::run_variant(Variant::HandMPI, pb, nprocs, sim::Machine::sp2(), base), nprocs);
-  row("dHPF-style (all optimizations)",
+  row(app_name, "dHPF-style (all optimizations)",
       nas::run_variant(Variant::DhpfStyle, pb, nprocs, sim::Machine::sp2(), base), nprocs);
 
   nas::DriverOptions no_loc = base;
   no_loc.dhpf.localize = false;
-  row("dHPF-style, no LOCALIZE (sec 4.2)",
+  row(app_name, "dHPF-style, no LOCALIZE (sec 4.2)",
       nas::run_variant(Variant::DhpfStyle, pb, nprocs, sim::Machine::sp2(), no_loc), nprocs);
 
   nas::DriverOptions no_avail = base;
   no_avail.dhpf.data_availability = false;
-  row("dHPF-style, no data avail (sec 7)",
+  row(app_name, "dHPF-style, no data avail (sec 7)",
       nas::run_variant(Variant::DhpfStyle, pb, nprocs, sim::Machine::sp2(), no_avail),
       nprocs);
 
   nas::DriverOptions neither = base;
   neither.dhpf.localize = false;
   neither.dhpf.data_availability = false;
-  row("dHPF-style, neither",
+  row(app_name, "dHPF-style, neither",
       nas::run_variant(Variant::DhpfStyle, pb, nprocs, sim::Machine::sp2(), neither),
       nprocs);
 
   nas::DriverOptions cubic = base;
   cubic.dhpf.grid3d = true;
-  row("dHPF-style, 3D BLOCK (BT option)",
+  row(app_name, "dHPF-style, 3D BLOCK (BT option)",
       nas::run_variant(Variant::DhpfStyle, pb, nprocs, sim::Machine::sp2(), cubic),
       nprocs);
 
-  row("PGI-style (1D + transposes)",
+  row(app_name, "PGI-style (1D + transposes)",
       nas::run_variant(Variant::PgiStyle, pb, nprocs, sim::Machine::sp2(), base), nprocs);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  std::vector<Sample> samples;
+  g_samples = &samples;
   std::printf("=== Ablation: data distribution & dHPF optimizations (per-variant "
               "communication accounting) ===\n");
-  app_section(App::SP);
-  app_section(App::BT);
+  const auto cls = args.cls.value_or(nas::ProblemClass::A);
+  app_section(App::SP, cls);
+  app_section(App::BT, cls);
+
+  if (!args.json_path.empty()) {
+    const int nprocs = 16;
+    json::Writer w;
+    w.begin_object();
+    w.member("bench", "ablation: data distribution & dHPF optimizations");
+    w.member("nprocs", nprocs);
+    w.key("machine");
+    bench::machine_json(w, sim::Machine::sp2());
+    w.key("rows");
+    w.begin_array();
+    for (const auto& s : samples) {
+      w.begin_object();
+      w.member("app", s.app);
+      w.member("configuration", s.config);
+      w.member("elapsed", s.r.elapsed);
+      w.member("messages", s.r.stats.messages);
+      w.member("bytes", s.r.stats.bytes);
+      w.member("busy_fraction", s.r.stats.busy_fraction(nprocs));
+      w.member("comm_fraction", s.r.stats.comm_fraction(nprocs));
+      w.member("idle_fraction", s.r.stats.idle_fraction(nprocs));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics");
+    bench::snapshot_json(w, obs::Registry::global().snapshot());
+    w.end_object();
+    if (!bench::write_text_file(args.json_path, w.str())) return 1;
+  }
   return 0;
 }

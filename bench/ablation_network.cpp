@@ -10,8 +10,9 @@
 // (pipeline latency and transpose volume both hurt more), and narrow on the
 // fast switch.
 #include <cstdio>
+#include <vector>
 
-#include "nas/driver.hpp"
+#include "nas_table_common.hpp"
 
 using namespace dhpf;
 using nas::App;
@@ -20,8 +21,17 @@ using nas::Variant;
 
 namespace {
 
-void machine_section(const char* name, const sim::Machine& m) {
-  Problem pb = Problem::make(App::SP, nas::ProblemClass::A, 2);
+struct Sample {
+  const char* machine = nullptr;
+  const char* variant = nullptr;
+  sim::Machine m;
+  nas::RunResult r;
+  double efficiency_vs_hand = 0.0;
+};
+
+std::vector<Sample> machine_section(const char* name, const sim::Machine& m,
+                                    nas::ProblemClass cls) {
+  Problem pb = Problem::make(App::SP, cls, 2);
   const int nprocs = 16;
   nas::DriverOptions opt;
   opt.verify = false;
@@ -29,21 +39,59 @@ void machine_section(const char* name, const sim::Machine& m) {
               m.latency * 1e6, 1.0 / m.byte_time / 1e6, 1.0 / m.flop_time / 1e6);
   std::printf("  %-12s %12s %10s   %s\n", "variant", "time (s)", "busy %",
               "efficiency vs hand");
+  std::vector<Sample> out;
   double hand_time = 0.0;
   for (Variant v : {Variant::HandMPI, Variant::DhpfStyle, Variant::PgiStyle}) {
     auto r = nas::run_variant(v, pb, nprocs, m, opt);
     if (v == Variant::HandMPI) hand_time = r.elapsed;
+    const double eff = hand_time / r.elapsed;
     std::printf("  %-12s %12.4f %9.1f%%   %.2f\n", nas::to_string(v), r.elapsed,
-                100.0 * r.stats.busy_fraction(nprocs), hand_time / r.elapsed);
+                100.0 * r.stats.busy_fraction(nprocs), eff);
+    out.push_back(Sample{name, nas::to_string(v), m, std::move(r), eff});
   }
+  return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   std::printf("=== Ablation: network sensitivity of the SP comparison (P=16, class A) ===\n");
-  machine_section("IBM SP2 (the paper's platform)", sim::Machine::sp2());
-  machine_section("Ethernet cluster", sim::Machine::ethernet_cluster());
-  machine_section("fast switch", sim::Machine::fast_switch());
+  const auto cls = args.cls.value_or(nas::ProblemClass::A);
+  std::vector<Sample> samples;
+  for (auto& s : machine_section("IBM SP2 (the paper's platform)", sim::Machine::sp2(), cls))
+    samples.push_back(std::move(s));
+  for (auto& s : machine_section("Ethernet cluster", sim::Machine::ethernet_cluster(), cls))
+    samples.push_back(std::move(s));
+  for (auto& s : machine_section("fast switch", sim::Machine::fast_switch(), cls))
+    samples.push_back(std::move(s));
+
+  if (!args.json_path.empty()) {
+    const int nprocs = 16;
+    json::Writer w;
+    w.begin_object();
+    w.member("bench", "ablation: network sensitivity (SP, P=16)");
+    w.member("nprocs", nprocs);
+    w.key("rows");
+    w.begin_array();
+    for (const auto& s : samples) {
+      w.begin_object();
+      w.member("machine", s.machine);
+      w.key("machine_model");
+      bench::machine_json(w, s.m);
+      w.member("variant", s.variant);
+      w.member("elapsed", s.r.elapsed);
+      w.member("messages", s.r.stats.messages);
+      w.member("bytes", s.r.stats.bytes);
+      w.member("busy_fraction", s.r.stats.busy_fraction(nprocs));
+      w.member("efficiency_vs_hand", s.efficiency_vs_hand);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics");
+    bench::snapshot_json(w, obs::Registry::global().snapshot());
+    w.end_object();
+    if (!bench::write_text_file(args.json_path, w.str())) return 1;
+  }
   return 0;
 }

@@ -1,0 +1,63 @@
+// Shared helpers for the compiler-technique benches (Figures 4.1-6.1, §7):
+// `--json <path>` artifact emission without depending on the NAS layer.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+
+namespace dhpf::bench {
+
+/// Parse the single shared flag; exits with code 2 on a malformed command
+/// line. Returns the --json path ("" = off).
+inline std::string parse_json_flag(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return path;
+}
+
+inline bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  out.flush();
+  if (!out) {  // open or write failure (e.g. bad directory, full device)
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Emit the global metrics registry as a JSON object value.
+inline void global_metrics_json(json::Writer& w) {
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : snap.counters) w.member(name, v);
+  w.end_object();
+  w.key("timers");
+  w.begin_object();
+  for (const auto& [name, t] : snap.timers) {
+    w.key(name);
+    w.begin_object();
+    w.member("seconds", t.seconds);
+    w.member("calls", t.calls);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace dhpf::bench

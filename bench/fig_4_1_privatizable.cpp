@@ -11,15 +11,26 @@
 //     cv/rhoq must be communicated inside the outer loop — "a large number
 //     of small messages" (the paper's second rejected alternative).
 #include <cstdio>
+#include <vector>
 
 #include "codegen/spmd.hpp"
 #include "comm/comm.hpp"
+#include "compiler_bench_common.hpp"
 #include "cp/select.hpp"
 #include "hpf/parser.hpp"
 
 using namespace dhpf;
 
 namespace {
+
+struct Sample {
+  const char* strategy = nullptr;
+  double elapsed = 0.0;
+  std::size_t messages = 0, bytes = 0, instances = 0, priv_events = 0;
+  std::string cv_def_cp;
+};
+
+std::vector<Sample> g_samples;
 
 // The Figure 4.1 shape: privatizable 1D temporaries defined over a j-range,
 // then used at j-1/j/j+1 when building lhs, all inside a parallel i/k nest.
@@ -86,11 +97,15 @@ void run_case(const char* label, const char* source, cp::PrivMode mode) {
   std::printf("  %-36s %10.5f %9zu %10zu %12zu %10zu\n", label, r.elapsed,
               r.stats.messages, r.stats.bytes, r.total_instances(), priv_fetch_msgs);
   std::printf("      cv-def CP: %s\n", cps.cp_of(0).to_string().c_str());
+  g_samples.push_back(Sample{label, r.elapsed, r.stats.messages, r.stats.bytes,
+                             r.total_instances(), priv_fetch_msgs,
+                             cps.cp_of(0).to_string()});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
   std::printf("=== Figure 4.1 reproduction: privatizable-array computation partitioning "
               "(SP lhsy fragment, 4 processors) ===\n");
   std::printf("  %-36s %10s %9s %10s %12s %10s\n", "strategy", "sim time", "msgs", "bytes",
@@ -102,5 +117,29 @@ int main() {
               "replicated computation (instances) and any communication of the private\n"
               "arrays (priv-events), while owner-computes on a partitioned private array\n"
               "generates per-outer-iteration boundary messages.\n");
+
+  if (!json_path.empty()) {
+    json::Writer w;
+    w.begin_object();
+    w.member("bench", "figure 4.1: privatizable-array computation partitioning");
+    w.key("rows");
+    w.begin_array();
+    for (const auto& s : g_samples) {
+      w.begin_object();
+      w.member("strategy", s.strategy);
+      w.member("elapsed", s.elapsed);
+      w.member("messages", s.messages);
+      w.member("bytes", s.bytes);
+      w.member("instances", s.instances);
+      w.member("priv_events", s.priv_events);
+      w.member("cv_def_cp", s.cv_def_cp);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics");
+    bench::global_metrics_json(w);
+    w.end_object();
+    if (!bench::write_text_file(json_path, w.str())) return 1;
+  }
   return 0;
 }

@@ -5,15 +5,25 @@
 // values it needs (after one coalesced overlap fetch of u); without it, all
 // six arrays' boundaries are communicated.
 #include <cstdio>
+#include <vector>
 
 #include "codegen/spmd.hpp"
 #include "comm/comm.hpp"
+#include "compiler_bench_common.hpp"
 #include "cp/select.hpp"
 #include "hpf/parser.hpp"
 
 using namespace dhpf;
 
 namespace {
+
+struct Sample {
+  const char* config = nullptr;
+  double elapsed = 0.0;
+  std::size_t messages = 0, bytes = 0, instances = 0, u_events = 0, recip_events = 0;
+};
+
+std::vector<Sample> g_samples;
 
 const char* kComputeRhs = R"(
   processors P(2, 2)
@@ -68,11 +78,14 @@ void run_case(const char* label, bool localize) {
   }
   std::printf("  %-28s %10.5f %9zu %10zu %12zu %8zu %8zu\n", label, r.elapsed,
               r.stats.messages, r.stats.bytes, r.total_instances(), u_events, recip_events);
+  g_samples.push_back(Sample{label, r.elapsed, r.stats.messages, r.stats.bytes,
+                             r.total_instances(), u_events, recip_events});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
   std::printf("=== Figure 4.2 reproduction: LOCALIZE partial replication (BT compute_rhs "
               "fragment, 4 processors) ===\n");
   std::printf("  %-28s %10s %9s %10s %12s %8s %8s\n", "configuration", "sim time", "msgs",
@@ -82,5 +95,29 @@ int main() {
   std::printf("\nExpected shape (paper): LOCALIZE trades one coalesced overlap exchange of\n"
               "u plus a sliver of replicated computation for the boundary communication of\n"
               "all six reciprocal arrays — fewer messages and fewer bytes.\n");
+
+  if (!json_path.empty()) {
+    json::Writer w;
+    w.begin_object();
+    w.member("bench", "figure 4.2: LOCALIZE partial replication");
+    w.key("rows");
+    w.begin_array();
+    for (const auto& s : g_samples) {
+      w.begin_object();
+      w.member("configuration", s.config);
+      w.member("elapsed", s.elapsed);
+      w.member("messages", s.messages);
+      w.member("bytes", s.bytes);
+      w.member("instances", s.instances);
+      w.member("u_events", s.u_events);
+      w.member("recip_events", s.recip_events);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics");
+    bench::global_metrics_json(w);
+    w.end_object();
+    if (!bench::write_text_file(json_path, w.str())) return 1;
+  }
   return 0;
 }

@@ -7,15 +7,26 @@
 // 8 references lhs(i,j+1,k,n+4), creating an irreconcilable pair that forces
 // a *selective* two-way distribution rather than a maximal one).
 #include <cstdio>
+#include <vector>
 
 #include "codegen/spmd.hpp"
 #include "comm/comm.hpp"
+#include "compiler_bench_common.hpp"
 #include "cp/select.hpp"
 #include "hpf/parser.hpp"
 
 using namespace dhpf;
 
 namespace {
+
+struct Sample {
+  const char* input = nullptr;
+  std::size_t stmts = 0, groups = 0, separated = 0, partitions = 0;
+  double elapsed = 0.0;
+  std::size_t messages = 0, bytes = 0;
+};
+
+std::vector<Sample> g_samples;
 
 // A condensed y_solve: statements chained by loop-independent dependences on
 // lhs/rhs, all alignable to the ON_HOME lhs(.., j, ..) class.
@@ -79,11 +90,15 @@ void analyze(const char* label, const char* src) {
   codegen::SpmdResult r = codegen::run_spmd(prog, cps, plan, sim::Machine::sp2());
   std::printf("      executed: time %.5f s, %zu msgs, %zu bytes, verified (max err %.1e)\n",
               r.elapsed, r.stats.messages, r.stats.bytes, r.max_err);
+  g_samples.push_back(Sample{label, info.num_stmts, info.num_groups, info.separated.size(),
+                             info.num_partitions, r.elapsed, r.stats.messages,
+                             r.stats.bytes});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
   std::printf("=== Figure 5.1 reproduction: communication-sensitive loop distribution "
               "(SP y_solve fragment, 4 processors) ===\n");
   std::printf("  %-28s %8s %8s %10s %12s\n", "input", "stmts", "groups", "separated",
@@ -93,5 +108,30 @@ int main() {
   std::printf("\nExpected shape (paper): the original loop groups all statements into one\n"
               "CP class (no distribution); the variant forces exactly TWO new loops —\n"
               "selective distribution, not the maximal one-loop-per-statement split.\n");
+
+  if (!json_path.empty()) {
+    json::Writer w;
+    w.begin_object();
+    w.member("bench", "figure 5.1: communication-sensitive loop distribution");
+    w.key("rows");
+    w.begin_array();
+    for (const auto& s : g_samples) {
+      w.begin_object();
+      w.member("input", s.input);
+      w.member("stmts", s.stmts);
+      w.member("groups", s.groups);
+      w.member("separated", s.separated);
+      w.member("partitions", s.partitions);
+      w.member("elapsed", s.elapsed);
+      w.member("messages", s.messages);
+      w.member("bytes", s.bytes);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics");
+    bench::global_metrics_json(w);
+    w.end_object();
+    if (!bench::write_text_file(json_path, w.str())) return 1;
+  }
   return 0;
 }

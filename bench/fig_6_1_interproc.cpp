@@ -11,6 +11,7 @@
 
 #include "codegen/spmd.hpp"
 #include "comm/comm.hpp"
+#include "compiler_bench_common.hpp"
 #include "cp/select.hpp"
 #include "hpf/parser.hpp"
 
@@ -48,11 +49,15 @@ const char* kSolveCell = R"(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
   std::printf("=== Figure 6.1 reproduction: interprocedural CP selection (BT solve-cell "
               "fragment, 4 processors) ===\n");
 
   hpf::Program prog = hpf::parse(kSolveCell);
+  double elapsed_on = 0.0, elapsed_off = 0.0;
+  std::size_t instances_on = 0, instances_off = 0;
+  std::string entry_cp;
 
   {
     cp::CpResult cps = cp::select_cps(prog);
@@ -70,6 +75,9 @@ int main() {
                 r.total_instances());
     for (auto n : r.instances_per_rank) std::printf(" %zu", n);
     std::printf("  (verified, max err %.1e)\n", r.max_err);
+    elapsed_on = r.elapsed;
+    instances_on = r.total_instances();
+    entry_cp = cps.entry_cp.at("matvec_sub").to_string();
   }
 
   {
@@ -90,10 +98,36 @@ int main() {
     std::printf("  executed: time %.5f s, instances total %zu (P-fold replication of all "
                 "call work)\n",
                 r.elapsed, r.total_instances());
+    elapsed_off = r.elapsed;
+    instances_off = r.total_instances();
   }
 
   std::printf("\nExpected shape (paper): with sec 6 the data sub-domain parallelism of the\n"
               "enclosing loops is realized (instances split ~evenly across processors);\n"
               "without it, every processor redundantly executes every call.\n");
+
+  if (!json_path.empty()) {
+    json::Writer w;
+    w.begin_object();
+    w.member("bench", "figure 6.1: interprocedural CP selection");
+    w.member("entry_cp_matvec_sub", entry_cp);
+    w.key("rows");
+    w.begin_array();
+    w.begin_object();
+    w.member("configuration", "interprocedural (sec 6)");
+    w.member("elapsed", elapsed_on);
+    w.member("instances", instances_on);
+    w.end_object();
+    w.begin_object();
+    w.member("configuration", "replicated calls");
+    w.member("elapsed", elapsed_off);
+    w.member("instances", instances_off);
+    w.end_object();
+    w.end_array();
+    w.key("metrics");
+    bench::global_metrics_json(w);
+    w.end_object();
+    if (!bench::write_text_file(json_path, w.str())) return 1;
+  }
   return 0;
 }

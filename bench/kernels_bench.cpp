@@ -4,6 +4,9 @@
 // simulated time; they are useful when tuning the functional simulation.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "nas/kernels.hpp"
 #include "nas/problem.hpp"
 
@@ -77,4 +80,25 @@ BENCHMARK(BM_BtLineSolve)->Arg(24)->Arg(40)->Arg(64);
 }  // namespace
 }  // namespace dhpf::nas
 
-BENCHMARK_MAIN();
+// Custom main so the bench suite has one uniform artifact flag: `--json
+// <path>` maps onto google-benchmark's JSON reporter.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag;
+  for (int i = 1; i + 1 < static_cast<int>(args.size()); ++i) {
+    if (std::string(args[i]) == "--json") {
+      out_flag = std::string("--benchmark_out=") + args[i + 1];
+      fmt_flag = "--benchmark_out_format=json";
+      args.erase(args.begin() + i, args.begin() + i + 2);
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+      break;
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 2;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

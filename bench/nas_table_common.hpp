@@ -1,8 +1,17 @@
 // Shared helpers for the Table 8.1 / 8.2 reproduction benches.
+//
+// Every bench binary accepts:
+//   --json <path>   write a machine-readable artifact alongside the human
+//                   tables (per-cell times/speedups/efficiencies, message
+//                   statistics, machine cost-model constants, and a metrics
+//                   snapshot) — the format scripts/bench_smoke.sh validates;
+//   --class <C>     override the problem classes (S|W|A|B), e.g. `--class S`
+//                   for a seconds-long smoke run.
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
@@ -10,6 +19,8 @@
 
 #include "nas/driver.hpp"
 #include "rt/block.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
 
 namespace dhpf::bench {
 
@@ -23,9 +34,107 @@ struct Row {
   std::optional<double> hand, dhpf, pgi;  // simulated seconds
 };
 
+// ------------------------------------------------------------ CLI helpers
+
+struct BenchArgs {
+  std::string json_path;                 ///< --json <path>; empty = off
+  std::optional<nas::ProblemClass> cls;  ///< --class S|W|A|B override
+};
+
+inline const char* class_name(nas::ProblemClass c) {
+  switch (c) {
+    case nas::ProblemClass::S: return "S";
+    case nas::ProblemClass::W: return "W";
+    case nas::ProblemClass::A: return "A";
+    case nas::ProblemClass::B: return "B";
+  }
+  return "?";
+}
+
+inline std::optional<nas::ProblemClass> parse_class(const std::string& s) {
+  if (s == "S") return nas::ProblemClass::S;
+  if (s == "W") return nas::ProblemClass::W;
+  if (s == "A") return nas::ProblemClass::A;
+  if (s == "B") return nas::ProblemClass::B;
+  return std::nullopt;
+}
+
+/// Parse the shared bench flags; exits with code 2 on a malformed command
+/// line so CI catches bad invocations.
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      a.json_path = argv[++i];
+    } else if (arg == "--class" && i + 1 < argc) {
+      a.cls = parse_class(argv[++i]);
+      if (!a.cls) {
+        std::fprintf(stderr, "%s: bad --class (want S|W|A|B)\n", argv[0]);
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--class S|W|A|B]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+/// Write `content` to `path`; returns false (with a message) on failure.
+inline bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  out.flush();
+  if (!out) {  // open or write failure (e.g. bad directory, full device)
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// ----------------------------------------------------------- JSON helpers
+
+/// Emit the machine cost-model constants as a JSON object value.
+inline void machine_json(json::Writer& w, const sim::Machine& m) {
+  w.begin_object();
+  w.member("flop_time", m.flop_time);
+  w.member("latency", m.latency);
+  w.member("byte_time", m.byte_time);
+  w.member("send_overhead", m.send_overhead);
+  w.member("recv_overhead", m.recv_overhead);
+  w.end_object();
+}
+
+/// Emit a metrics snapshot as a JSON object value (counters + timers).
+inline void snapshot_json(json::Writer& w, const obs::MetricsSnapshot& snap) {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : snap.counters) w.member(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : snap.gauges) w.member(name, v);
+  w.end_object();
+  w.key("timers");
+  w.begin_object();
+  for (const auto& [name, t] : snap.timers) {
+    w.key(name);
+    w.begin_object();
+    w.member("seconds", t.seconds);
+    w.member("calls", t.calls);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+// -------------------------------------------------------------- run cells
+
 /// Run one (variant, P) cell if supported by the variant and the problem
 /// size; verification is done in the test suite, so benches run fast.
-inline std::optional<double> time_cell(Variant v, const Problem& pb, int nprocs) {
+inline std::optional<RunResult> run_cell(Variant v, const Problem& pb, int nprocs) {
   if (!nas::variant_supports(v, nprocs)) return std::nullopt;
   // Sweeps need at least two planes of the distributed dim per processor.
   if (v == Variant::PgiStyle && pb.n < 2 * nprocs) return std::nullopt;
@@ -39,7 +148,17 @@ inline std::optional<double> time_cell(Variant v, const Problem& pb, int nprocs)
   }
   nas::DriverOptions opt;
   opt.verify = false;  // correctness is covered by tests/nas_variants_test
-  return nas::run_variant(v, pb, nprocs, sim::Machine::sp2(), opt).elapsed;
+  obs::ScopedTimer timer("bench.run_variant");
+  auto r = nas::run_variant(v, pb, nprocs, sim::Machine::sp2(), opt);
+  DHPF_COUNTER("bench.cells_run");
+  DHPF_COUNTER_ADD("bench.sim_messages", r.stats.messages);
+  DHPF_COUNTER_ADD("bench.sim_bytes", r.stats.bytes);
+  return r;
+}
+
+inline std::optional<double> time_cell(Variant v, const Problem& pb, int nprocs) {
+  auto r = run_cell(v, pb, nprocs);
+  return r ? std::optional<double>(r->elapsed) : std::nullopt;
 }
 
 /// Paper reference efficiencies (relative to hand-written MPI) at square P.
@@ -49,30 +168,35 @@ struct PaperEff {
 
 inline void print_table(const char* title, const Problem& pa, const Problem& pb_cls,
                         const std::vector<int>& procs, int speedup_base_procs_a,
-                        int speedup_base_procs_b, const PaperEff& paper) {
+                        int speedup_base_procs_b, const PaperEff& paper,
+                        const BenchArgs& args = {}, const char* label_a = "A",
+                        const char* label_b = "B") {
   std::printf("%s\n", title);
-  std::printf("problem sizes: class A n=%d, class B n=%d, %d timestep(s); machine: simulated "
+  std::printf("problem sizes: class %s n=%d, class %s n=%d, %d timestep(s); machine: simulated "
               "IBM SP2 (see sim/machine.hpp)\n",
-              pa.n, pb_cls.n, pa.niter);
-  std::printf("speedups are relative to the %d-processor hand-written code (class A) / "
-              "%d-processor (class B), assumed perfect, as in the paper\n\n",
-              speedup_base_procs_a, speedup_base_procs_b);
+              label_a, pa.n, label_b, pb_cls.n, pa.niter);
+  std::printf("speedups are relative to the %d-processor hand-written code (class %s) / "
+              "%d-processor (class %s), assumed perfect, as in the paper\n\n",
+              speedup_base_procs_a, label_a, speedup_base_procs_b, label_b);
 
   struct Cells {
-    std::optional<double> hand_a, dhpf_a, pgi_a, hand_b, dhpf_b, pgi_b;
+    std::optional<RunResult> hand_a, dhpf_a, pgi_a, hand_b, dhpf_b, pgi_b;
   };
   std::map<int, Cells> grid;
   for (int np : procs) {
     Cells& c = grid[np];
-    c.hand_a = time_cell(Variant::HandMPI, pa, np);
-    c.dhpf_a = time_cell(Variant::DhpfStyle, pa, np);
-    c.pgi_a = time_cell(Variant::PgiStyle, pa, np);
-    c.hand_b = time_cell(Variant::HandMPI, pb_cls, np);
-    c.dhpf_b = time_cell(Variant::DhpfStyle, pb_cls, np);
-    c.pgi_b = time_cell(Variant::PgiStyle, pb_cls, np);
+    c.hand_a = run_cell(Variant::HandMPI, pa, np);
+    c.dhpf_a = run_cell(Variant::DhpfStyle, pa, np);
+    c.pgi_a = run_cell(Variant::PgiStyle, pa, np);
+    c.hand_b = run_cell(Variant::HandMPI, pb_cls, np);
+    c.dhpf_b = run_cell(Variant::DhpfStyle, pb_cls, np);
+    c.pgi_b = run_cell(Variant::PgiStyle, pb_cls, np);
   }
-  const double base_a = grid[speedup_base_procs_a].hand_a.value();
-  const double base_b = grid[speedup_base_procs_b].hand_b.value();
+  auto elapsed = [](const std::optional<RunResult>& r) {
+    return r ? std::optional<double>(r->elapsed) : std::nullopt;
+  };
+  const double base_a = grid[speedup_base_procs_a].hand_a.value().elapsed;
+  const double base_b = grid[speedup_base_procs_b].hand_b.value().elapsed;
   auto speedup_a = [&](std::optional<double> t) {
     return t ? std::optional<double>(speedup_base_procs_a * base_a / *t) : std::nullopt;
   };
@@ -92,15 +216,18 @@ inline void print_table(const char* title, const Problem& pa, const Problem& pb_
   for (int np : procs) {
     const Cells& c = grid[np];
     std::printf("%4d | %s %s %s | %s %s %s | %s %s %s | %s %s %s\n", np,
-                cell(c.hand_a, "%9.3f").c_str(), cell(c.dhpf_a, "%9.3f").c_str(),
-                cell(c.pgi_a, "%9.3f").c_str(), cell(c.hand_b, "%9.3f").c_str(),
-                cell(c.dhpf_b, "%9.3f").c_str(), cell(c.pgi_b, "%9.3f").c_str(),
-                cell(speedup_a(c.hand_a), "%6.2f").c_str(),
-                cell(speedup_a(c.dhpf_a), "%6.2f").c_str(),
-                cell(speedup_a(c.pgi_a), "%6.2f").c_str(),
-                cell(speedup_b(c.hand_b), "%6.2f").c_str(),
-                cell(speedup_b(c.dhpf_b), "%6.2f").c_str(),
-                cell(speedup_b(c.pgi_b), "%6.2f").c_str());
+                cell(elapsed(c.hand_a), "%9.3f").c_str(),
+                cell(elapsed(c.dhpf_a), "%9.3f").c_str(),
+                cell(elapsed(c.pgi_a), "%9.3f").c_str(),
+                cell(elapsed(c.hand_b), "%9.3f").c_str(),
+                cell(elapsed(c.dhpf_b), "%9.3f").c_str(),
+                cell(elapsed(c.pgi_b), "%9.3f").c_str(),
+                cell(speedup_a(elapsed(c.hand_a)), "%6.2f").c_str(),
+                cell(speedup_a(elapsed(c.dhpf_a)), "%6.2f").c_str(),
+                cell(speedup_a(elapsed(c.pgi_a)), "%6.2f").c_str(),
+                cell(speedup_b(elapsed(c.hand_b)), "%6.2f").c_str(),
+                cell(speedup_b(elapsed(c.dhpf_b)), "%6.2f").c_str(),
+                cell(speedup_b(elapsed(c.pgi_b)), "%6.2f").c_str());
   }
 
   std::printf("\nrelative efficiency (variant speedup / hand speedup), measured vs paper:\n");
@@ -120,16 +247,75 @@ inline void print_table(const char* title, const Problem& pa, const Problem& pb_
   for (int np : procs) {
     const Cells& c = grid[np];
     std::printf("%4d | %s / %s | %s / %s | %s / %s | %s / %s\n", np,
-                cell(eff(c.dhpf_a, c.hand_a), "%5.2f").c_str(),
+                cell(eff(elapsed(c.dhpf_a), elapsed(c.hand_a)), "%5.2f").c_str(),
                 paper_cell(paper.dhpf_a, np).c_str(),
-                cell(eff(c.dhpf_b, c.hand_b), "%5.2f").c_str(),
+                cell(eff(elapsed(c.dhpf_b), elapsed(c.hand_b)), "%5.2f").c_str(),
                 paper_cell(paper.dhpf_b, np).c_str(),
-                cell(eff(c.pgi_a, c.hand_a), "%5.2f").c_str(),
+                cell(eff(elapsed(c.pgi_a), elapsed(c.hand_a)), "%5.2f").c_str(),
                 paper_cell(paper.pgi_a, np).c_str(),
-                cell(eff(c.pgi_b, c.hand_b), "%5.2f").c_str(),
+                cell(eff(elapsed(c.pgi_b), elapsed(c.hand_b)), "%5.2f").c_str(),
                 paper_cell(paper.pgi_b, np).c_str());
   }
   std::printf("\n");
+
+  // ---- machine-readable artifact ----------------------------------------
+  if (args.json_path.empty()) return;
+  json::Writer w;
+  w.begin_object();
+  w.member("bench", title);
+  w.key("machine");
+  machine_json(w, sim::Machine::sp2());
+  w.key("classes");
+  w.begin_array();
+  for (const auto* p : {&pa, &pb_cls}) {
+    w.begin_object();
+    w.member("label", p == &pa ? label_a : label_b);
+    w.member("name", p->name());
+    w.member("n", p->n);
+    w.member("niter", p->niter);
+    w.end_object();
+  }
+  w.end_array();
+  w.member("speedup_base_procs_a", speedup_base_procs_a);
+  w.member("speedup_base_procs_b", speedup_base_procs_b);
+  w.key("rows");
+  w.begin_array();
+  auto emit_cell = [&](const char* key, const std::optional<RunResult>& r,
+                       const std::optional<RunResult>& hand,
+                       std::optional<double> speedup) {
+    w.key(key);
+    if (!r) {
+      w.null();
+      return;
+    }
+    w.begin_object();
+    w.member("elapsed", r->elapsed);
+    w.member("messages", r->stats.messages);
+    w.member("bytes", r->stats.bytes);
+    w.member("total_compute", r->stats.total_compute);
+    w.member("total_comm", r->stats.total_comm);
+    w.member("total_idle", r->stats.total_idle);
+    if (speedup) w.member("speedup", *speedup);
+    if (hand) w.member("efficiency_vs_hand", hand->elapsed / r->elapsed);
+    w.end_object();
+  };
+  for (int np : procs) {
+    const Cells& c = grid[np];
+    w.begin_object();
+    w.member("nprocs", np);
+    emit_cell("hand_a", c.hand_a, c.hand_a, speedup_a(elapsed(c.hand_a)));
+    emit_cell("dhpf_a", c.dhpf_a, c.hand_a, speedup_a(elapsed(c.dhpf_a)));
+    emit_cell("pgi_a", c.pgi_a, c.hand_a, speedup_a(elapsed(c.pgi_a)));
+    emit_cell("hand_b", c.hand_b, c.hand_b, speedup_b(elapsed(c.hand_b)));
+    emit_cell("dhpf_b", c.dhpf_b, c.hand_b, speedup_b(elapsed(c.dhpf_b)));
+    emit_cell("pgi_b", c.pgi_b, c.hand_b, speedup_b(elapsed(c.pgi_b)));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metrics");
+  snapshot_json(w, obs::Registry::global().snapshot());
+  w.end_object();
+  if (!write_text_file(args.json_path, w.str())) std::exit(1);
 }
 
 }  // namespace dhpf::bench

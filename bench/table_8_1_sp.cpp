@@ -7,11 +7,14 @@
 // section prints side by side with the paper's reported efficiencies.
 #include "nas_table_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dhpf::bench;
+  const BenchArgs args = parse_bench_args(argc, argv);
 
-  Problem class_a = Problem::make(App::SP, dhpf::nas::ProblemClass::A, 2);
-  Problem class_b = Problem::make(App::SP, dhpf::nas::ProblemClass::B, 2);
+  const auto cls_a = args.cls.value_or(dhpf::nas::ProblemClass::A);
+  const auto cls_b = args.cls.value_or(dhpf::nas::ProblemClass::B);
+  Problem class_a = Problem::make(App::SP, cls_a, 2);
+  Problem class_b = Problem::make(App::SP, cls_b, 2);
 
   PaperEff paper;
   paper.dhpf_a = {{4, 0.96}, {9, 0.76}, {16, 0.67}, {25, 0.59}};
@@ -20,6 +23,7 @@ int main() {
   paper.pgi_b = {{4, 0.91}, {9, 0.77}, {16, 0.62}, {25, 0.48}};
 
   print_table("=== Table 8.1 reproduction: SP (hand-written MPI vs dHPF vs PGI) ===",
-              class_a, class_b, {2, 4, 8, 9, 16, 25, 32}, 4, 4, paper);
+              class_a, class_b, {2, 4, 8, 9, 16, 25, 32}, 4, 4, paper, args,
+              class_name(cls_a), class_name(cls_b));
   return 0;
 }

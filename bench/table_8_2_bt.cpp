@@ -3,11 +3,14 @@
 // the paper (class A relative to 4 processors).
 #include "nas_table_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dhpf::bench;
+  const BenchArgs args = parse_bench_args(argc, argv);
 
-  Problem class_a = Problem::make(App::BT, dhpf::nas::ProblemClass::A, 2);
-  Problem class_b = Problem::make(App::BT, dhpf::nas::ProblemClass::B, 2);
+  const auto cls_a = args.cls.value_or(dhpf::nas::ProblemClass::A);
+  const auto cls_b = args.cls.value_or(dhpf::nas::ProblemClass::B);
+  Problem class_a = Problem::make(App::BT, cls_a, 2);
+  Problem class_b = Problem::make(App::BT, cls_b, 2);
 
   PaperEff paper;
   paper.dhpf_a = {{4, 1.07}, {9, 0.91}, {16, 1.00}, {25, 0.82}};
@@ -16,6 +19,7 @@ int main() {
   paper.pgi_b = {{16, 0.88}, {25, 0.73}};
 
   print_table("=== Table 8.2 reproduction: BT (hand-written MPI vs dHPF vs PGI) ===",
-              class_a, class_b, {4, 8, 9, 16, 25, 27, 32}, 4, 16, paper);
+              class_a, class_b, {4, 8, 9, 16, 25, 27, 32}, 4, 16, paper, args,
+              class_name(cls_a), class_name(cls_b));
   return 0;
 }

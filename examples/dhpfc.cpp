@@ -8,13 +8,19 @@
 //     --priv=MODE          privatizable-def CPs: propagate|replicate|owner
 //     --run                execute the SPMD program on the simulated SP2
 //                          and verify against serial interpretation
+//     --report             print the structured compile report (per-pass
+//                          times and metric deltas)
 //     --quiet              suppress the SPMD listing
 //
 // Prints the parsed program, the selected computation partitionings, the
 // communication plan, and the generated SPMD node program; with --run also
 // simulated time / message statistics.
+//
+// Exit codes: 0 success, 1 compile/run error (diagnostic on stderr),
+// 2 usage error.
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -27,7 +33,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: dhpfc [--no-localize] [--no-comm-sensitive] [--no-interproc]\n"
                "             [--no-availability] [--priv=propagate|replicate|owner]\n"
-               "             [--run] [--quiet] file.hpf\n");
+               "             [--run] [--report] [--quiet] file.hpf\n");
   return 2;
 }
 
@@ -37,7 +43,7 @@ int main(int argc, char** argv) {
   using namespace dhpf;
   cp::SelectOptions sopt;
   comm::CommOptions copt;
-  bool run = false, quiet = false;
+  bool run = false, quiet = false, report = false;
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -62,6 +68,8 @@ int main(int argc, char** argv) {
         return usage();
     } else if (arg == "--run")
       run = true;
+    else if (arg == "--report")
+      report = true;
     else if (arg == "--quiet")
       quiet = true;
     else if (!arg.empty() && arg[0] == '-')
@@ -106,8 +114,14 @@ int main(int argc, char** argv) {
       for (auto n : r.instances_per_rank) std::printf(" %zu", n);
       std::printf("\n  verified: max |err| = %.2e\n", r.max_err);
     }
+
+    if (report)
+      std::printf("\n---- compile report ----\n%s", compiled.report.to_string().c_str());
   } catch (const dhpf::Error& e) {
     std::fprintf(stderr, "dhpfc: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dhpfc: internal error: %s\n", e.what());
     return 1;
   }
   return 0;

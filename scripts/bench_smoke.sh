@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Quick sanity check of the machine-readable bench artifacts: run a tiny
+# class-S NAS table plus the compiler-technique benches with --json and
+# validate every document with a real JSON parser. Used by CI; also handy
+# locally after touching the bench or obs layers.
+#
+# usage: scripts/bench_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build_dir=${1:-build}
+bench_dir="$build_dir/bench"
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+
+if [[ ! -d "$bench_dir" ]]; then
+  echo "bench_smoke: no $bench_dir — build first (cmake --build $build_dir)" >&2
+  exit 1
+fi
+
+check() {
+  local name=$1
+  python3 -m json.tool "$out_dir/$name.json" > /dev/null
+  echo "  ok: $name"
+}
+
+echo "bench_smoke: NAS table (class S)"
+"$bench_dir/table_8_1_sp" --class S --json "$out_dir/table_8_1_sp.json" > /dev/null
+check table_8_1_sp
+
+# The artifact must carry per-variant rows and a metrics snapshot.
+python3 - "$out_dir/table_8_1_sp.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["rows"], "no rows"
+assert any(r.get("hand_a") for r in doc["rows"]), "no supported hand cells"
+assert doc["metrics"]["counters"], "empty metrics snapshot"
+assert "latency" in doc["machine"], "missing machine constants"
+EOF
+echo "  ok: table_8_1_sp row/metrics shape"
+
+echo "bench_smoke: compiler-technique figures"
+for b in fig_4_1_privatizable fig_4_2_localize fig_5_1_loop_dist \
+         fig_6_1_interproc sec_7_data_avail; do
+  "$bench_dir/$b" --json "$out_dir/$b.json" > /dev/null
+  check "$b"
+done
+
+echo "bench_smoke: trace exports"
+"$bench_dir/fig_8_1_4_traces" --json "$out_dir/traces.json" \
+  --chrome-trace "$out_dir/trace" > /dev/null
+check traces
+for f in "$out_dir"/trace.*.json; do
+  python3 -m json.tool "$f" > /dev/null
+  echo "  ok: $(basename "$f")"
+done
+
+echo "bench_smoke: all artifacts valid"

@@ -5,6 +5,7 @@
 
 #include "analysis/sets.hpp"
 #include "support/diagnostics.hpp"
+#include "support/metrics.hpp"
 
 namespace dhpf::analysis {
 
@@ -63,6 +64,7 @@ std::size_t common_depth(const std::vector<const hpf::Loop*>& a,
 /// vars) with subscript equality. Returns nullopt if ranks differ (cannot
 /// conflict).
 BasicSet pair_system(const Access& A, const Access& B, const Params& params) {
+  DHPF_COUNTER("analysis.dep_pair_systems");
   const IterSpace ia = iteration_space(A.path, params);
   const IterSpace ib = iteration_space(B.path, params);
   const std::size_t na = ia.depth(), nb = ib.depth();
@@ -103,6 +105,11 @@ std::vector<DepEdge> dependences_in_loop(const hpf::Loop& scope,
       if (x.src == e.src && x.dst == e.dst && x.array == e.array && x.kind == e.kind &&
           x.loop_independent == e.loop_independent && x.carried_level == e.carried_level)
         return;
+    switch (e.kind) {
+      case DepKind::Flow: DHPF_COUNTER("analysis.deps_flow"); break;
+      case DepKind::Anti: DHPF_COUNTER("analysis.deps_anti"); break;
+      case DepKind::Output: DHPF_COUNTER("analysis.deps_output"); break;
+    }
     edges.push_back(e);
   };
 
@@ -123,6 +130,7 @@ std::vector<DepEdge> dependences_in_loop(const hpf::Loop& scope,
       // lexically earlier. (Within one statement instance reads precede the
       // write; same-statement same-iteration pairs are not dependences.)
       if (A.order < B.order) {
+        DHPF_COUNTER("analysis.dep_tests_loop_independent");
         BasicSet li = sys;
         for (std::size_t d = 0; d < nc; ++d)
           li.add(Constraint::eq0(li.expr_var(d) - li.expr_var(na + d)));
@@ -131,6 +139,7 @@ std::vector<DepEdge> dependences_in_loop(const hpf::Loop& scope,
       }
       // Carried by a common loop at or below `scope`.
       for (std::size_t lvl = scope_depth; lvl < nc; ++lvl) {
+        DHPF_COUNTER("analysis.dep_tests_carried");
         BasicSet cd = sys;
         for (std::size_t d = 0; d < lvl; ++d)
           cd.add(Constraint::eq0(cd.expr_var(d) - cd.expr_var(na + d)));
@@ -155,6 +164,7 @@ std::vector<DepEdge> loop_independent_deps(const hpf::Loop& scope,
 bool check_privatizable(const hpf::Loop& scope,
                         const std::vector<const hpf::Loop*>& outer_path,
                         const hpf::Array& arr) {
+  DHPF_COUNTER("analysis.privatizable_checks");
   const Params params;
   const std::size_t keep = outer_path.size() + 1;  // outer vars + scope var
 

@@ -1,23 +1,134 @@
 #include "codegen/driver.hpp"
 
+#include <chrono>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
 #include "hpf/parser.hpp"
+#include "support/json.hpp"
 
 namespace dhpf::codegen {
+
+namespace {
+
+/// Run `fn`, recording its wall time and the metric delta it caused.
+template <typename Fn>
+auto timed_pass(CompileReport& report, const std::string& name, Fn&& fn) {
+  obs::Registry& reg = obs::Registry::global();
+  const obs::MetricsSnapshot before = reg.snapshot();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  PassStats ps;
+  ps.name = name;
+  ps.seconds = std::chrono::duration<double>(t1 - t0).count();
+  ps.delta = reg.snapshot().diff(before);
+  report.passes.push_back(std::move(ps));
+  return result;
+}
+
+int stmt_id_of(const hpf::Stmt& s) { return s.is_assign() ? s.assign().id : s.call().id; }
+
+void summarize_procedures(const hpf::Program& prog, const cp::CpResult& cps,
+                          const comm::CommPlan& plan, CompileReport& report) {
+  std::map<int, std::size_t> events_by_stmt;  // stmt id -> active events
+  for (const auto& ev : plan.events) {
+    ++report.comm_events_total;
+    if (ev.eliminated)
+      ++report.comm_events_eliminated;
+    else
+      ++events_by_stmt[ev.stmt_id];
+  }
+  for (const auto& p : prog.procedures()) {
+    CompileReport::ProcedureSummary ps;
+    ps.name = p->name;
+    hpf::walk(p->body, [&](hpf::Stmt& s, const std::vector<const hpf::Loop*>&) {
+      if (s.is_loop()) return;
+      ++ps.statements;
+      const int id = stmt_id_of(s);
+      if (cps.stmts.count(id) && cps.cp_of(id).is_replicated()) ++ps.replicated_cps;
+      auto it = events_by_stmt.find(id);
+      if (it != events_by_stmt.end()) ps.comm_events += it->second;
+    });
+    report.procedures.push_back(std::move(ps));
+  }
+}
+
+}  // namespace
+
+std::string CompileReport::to_string() const {
+  std::ostringstream out;
+  out << "compile report\n";
+  out << "  communication events: " << comm_events_total << " ("
+      << comm_events_eliminated << " eliminated by data availability)\n";
+  out << "  procedures:\n";
+  for (const auto& p : procedures)
+    out << "    " << p.name << ": " << p.statements << " stmts, " << p.replicated_cps
+        << " replicated CPs, " << p.comm_events << " comm events\n";
+  for (const auto& pass : passes) {
+    out << "  pass " << pass.name << ": " << std::fixed << std::setprecision(6)
+        << pass.seconds << " s\n";
+    std::istringstream lines(pass.delta.to_text());
+    for (std::string line; std::getline(lines, line);)
+      if (!line.empty()) out << "    " << line << "\n";
+  }
+  return out.str();
+}
+
+std::string CompileReport::to_json() const {
+  json::Writer w;
+  w.begin_object();
+  w.member("comm_events_total", comm_events_total);
+  w.member("comm_events_eliminated", comm_events_eliminated);
+  w.key("procedures");
+  w.begin_array();
+  for (const auto& p : procedures) {
+    w.begin_object();
+    w.member("name", p.name);
+    w.member("statements", p.statements);
+    w.member("replicated_cps", p.replicated_cps);
+    w.member("comm_events", p.comm_events);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("passes");
+  w.begin_array();
+  for (const auto& pass : passes) {
+    w.begin_object();
+    w.member("name", pass.name);
+    w.member("seconds", pass.seconds);
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, v] : pass.delta.counters) w.member(name, v);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
 
 CompileResult compile(const hpf::Program& prog, const cp::SelectOptions& sopt,
                       const comm::CommOptions& copt) {
   CompileResult r;
-  r.cps = cp::select_cps(prog, sopt);
-  r.plan = comm::generate_comm(prog, r.cps, copt);
-  r.listing = emit_spmd(prog, r.cps, r.plan);
+  r.cps = timed_pass(r.report, "cp.select", [&] { return cp::select_cps(prog, sopt); });
+  r.plan =
+      timed_pass(r.report, "comm.generate", [&] { return comm::generate_comm(prog, r.cps, copt); });
+  r.listing =
+      timed_pass(r.report, "codegen.emit", [&] { return emit_spmd(prog, r.cps, r.plan); });
+  summarize_procedures(prog, r.cps, r.plan, r.report);
   return r;
 }
 
 CompileResult compile_source(const std::string& source, hpf::Program* out_prog,
                              const cp::SelectOptions& sopt, const comm::CommOptions& copt) {
   require(out_prog != nullptr, "codegen", "compile_source: out_prog required");
-  *out_prog = hpf::parse(source);
-  return compile(*out_prog, sopt, copt);
+  CompileReport parse_report;
+  *out_prog = timed_pass(parse_report, "hpf.parse", [&] { return hpf::parse(source); });
+  CompileResult r = compile(*out_prog, sopt, copt);
+  r.report.passes.insert(r.report.passes.begin(), std::move(parse_report.passes.front()));
+  return r;
 }
 
 }  // namespace dhpf::codegen

@@ -2,21 +2,58 @@
 // partitionings -> communication plan -> SPMD listing, ready to execute on
 // the simulated machine with codegen::run_spmd. This is the public entry
 // point the examples and quickstart use.
+//
+// Each compile also produces a CompileReport: per-pass wall-clock times and
+// metric deltas (snapshot-diffed around every pass, so counters bumped deep
+// inside iset/analysis are attributed to the pass that triggered them) plus
+// per-procedure CP summaries. `dhpfc --report` prints it.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "codegen/spmd.hpp"
 #include "comm/comm.hpp"
 #include "cp/select.hpp"
 #include "hpf/ir.hpp"
+#include "support/metrics.hpp"
 
 namespace dhpf::codegen {
+
+/// Activity attributed to one pipeline pass.
+struct PassStats {
+  std::string name;            ///< "cp.select", "comm.generate", ...
+  double seconds = 0.0;        ///< wall-clock spent in the pass
+  obs::MetricsSnapshot delta;  ///< metrics bumped while the pass ran
+};
+
+/// Structured summary of one compilation (the `--report` payload).
+struct CompileReport {
+  std::vector<PassStats> passes;
+
+  struct ProcedureSummary {
+    std::string name;
+    std::size_t statements = 0;      ///< assigns + calls
+    std::size_t replicated_cps = 0;  ///< statements left replicated
+    std::size_t comm_events = 0;     ///< active plan events anchored here
+  };
+  std::vector<ProcedureSummary> procedures;
+
+  std::size_t comm_events_total = 0;
+  std::size_t comm_events_eliminated = 0;
+
+  /// Aligned human-readable report (what `dhpfc --report` prints).
+  [[nodiscard]] std::string to_string() const;
+  /// JSON document with the same content.
+  [[nodiscard]] std::string to_json() const;
+};
 
 struct CompileResult {
   cp::CpResult cps;
   comm::CommPlan plan;
   std::string listing;  ///< pseudo-Fortran SPMD node program
+  CompileReport report;
 };
 
 /// Run the full dHPF pipeline over an already-built program.

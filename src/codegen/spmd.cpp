@@ -8,6 +8,7 @@
 
 #include "analysis/sets.hpp"
 #include "support/diagnostics.hpp"
+#include "support/metrics.hpp"
 
 namespace dhpf::codegen {
 
@@ -463,6 +464,7 @@ SpmdResult run_spmd(const hpf::Program& prog, const cp::CpResult& cps,
     if (ev.eliminated) continue;
     auto cit = chains.find(ev.stmt_id);
     if (cit == chains.end()) continue;  // statement lives in a callee
+    DHPF_COUNTER("codegen.comm_events_placed");
     AnchoredEvent ae;
     ae.ev = &ev;
     const auto& chain = cit->second;
@@ -562,10 +564,12 @@ void emit_body(std::ostringstream& out, const hpf::Program& prog, const cp::CpRe
         out << pad << "! RECV " << ev->to_string() << "\n";
     if (sp->is_assign()) {
       const Assign& a = sp->assign();
+      DHPF_COUNTER("codegen.guards_emitted");
       out << pad << "if (myid in [" << cps.cp_of(a.id).to_string() << "]) S" << a.id << ": "
           << hpf::assign_to_string(a) << "\n";
     } else if (sp->is_call()) {
       const Call& c = sp->call();
+      DHPF_COUNTER("codegen.guards_emitted");
       out << pad << "if (myid in [" << cps.cp_of(c.id).to_string() << "]) S" << c.id
           << ": call " << c.callee << "(...)\n";
     } else {
@@ -586,6 +590,7 @@ void emit_body(std::ostringstream& out, const hpf::Program& prog, const cp::CpRe
 
 std::string emit_spmd(const hpf::Program& prog, const cp::CpResult& cps,
                       const comm::CommPlan& plan) {
+  obs::ScopedTimer timer("codegen.emit");
   const hpf::Procedure* main_proc = prog.find_procedure("main");
   require(main_proc != nullptr, "codegen", "program must define procedure main");
 

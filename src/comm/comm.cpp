@@ -6,6 +6,7 @@
 
 #include "analysis/sets.hpp"
 #include "support/diagnostics.hpp"
+#include "support/metrics.hpp"
 
 namespace dhpf::comm {
 
@@ -103,6 +104,7 @@ std::string CommPlan::to_string() const {
 
 CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
                        const CommOptions& opt) {
+  obs::ScopedTimer timer("comm.generate");
   const Params params = analysis::make_params(prog);
   CommPlan plan;
 
@@ -146,10 +148,13 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
 
       if (opt.coalesce && coalesced.count(r.array) &&
           coalesced[r.array].placement_depth == static_cast<int>(depth)) {
+        DHPF_COUNTER("comm.fetches_coalesced");
         coalesced[r.array].data = coalesced[r.array].data.unite(nl);
         coalesced[r.array].note += ", " + r.to_string();
         continue;
       }
+      DHPF_COUNTER("comm.fetch_events");
+      if (depth < sc->path.size()) DHPF_COUNTER("comm.messages_vectorized");
       CommEvent ev;
       ev.kind = EventKind::Fetch;
       ev.array = r.array;
@@ -193,6 +198,7 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
       depth = std::min(depth, sc->path.size());
       Set nlw = nonlocal_relation(is, iters, a.lhs, depth, params);
       if (!nlw.is_empty()) {
+        DHPF_COUNTER("comm.writeback_events");
         CommEvent ev;
         ev.kind = EventKind::WriteBack;
         ev.array = a.lhs.array;
@@ -245,6 +251,7 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
             need = need.unite(nonlocal_global(cis, citers, r, params));
       }
       if (!need.is_empty() && need.subset_of(written)) {
+        DHPF_COUNTER("comm.availability_eliminated");
         ev.eliminated = true;
         ev.note = "nonlocal read ⊆ nonlocal data written locally by S" +
                   std::to_string(la.id) + " (sec 7)";
@@ -275,6 +282,7 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
         for (std::size_t i = 0; i <= d; ++i)
           if (m.path[i] != ev.path[i]) same_prefix = false;
         if (!same_prefix) continue;
+        DHPF_COUNTER("comm.fetches_coalesced");
         m.data = m.data.unite(ev.data);
         m.note += "; S" + std::to_string(ev.stmt_id) + ": " + ev.note;
         absorbed = true;

@@ -7,6 +7,7 @@
 #include "analysis/dependence.hpp"
 #include "analysis/sets.hpp"
 #include "support/diagnostics.hpp"
+#include "support/metrics.hpp"
 #include "support/scc.hpp"
 #include "support/union_find.hpp"
 
@@ -185,10 +186,14 @@ std::vector<CandidateCp> assign_candidates(const Assign& a,
   auto push = [&](const Ref& r) {
     if (!r.array->distributed()) return;
     if (deferred.count(r.array)) return;  // private/localized refs are not anchors
+    DHPF_COUNTER("cp.candidates_enumerated");
     CandidateCp c{CP::on_home(r), {}};
     c.key = cp_class_key(c.cp);
     for (const auto& e : cands)
-      if (e.key == c.key) return;
+      if (e.key == c.key) {
+        DHPF_COUNTER("cp.candidates_pruned");
+        return;
+      }
     cands.push_back(std::move(c));
   };
   push(a.lhs);
@@ -238,6 +243,7 @@ Set nonlocal_data(const IterSpace& is, const Set& iters, const Ref& ref,
 double cost_of_choice(const hpf::Program& prog, const iset::Params& params,
                       const std::vector<iset::i64>& rep_vals, const StmtCp& sc,
                       const CP& choice, const std::set<const Array*>& deferred) {
+  DHPF_COUNTER("cp.cost_evaluations");
   if (!sc.stmt->is_assign()) return 0.0;
   const Assign& a = sc.stmt->assign();
   const IterSpace is = analysis::iteration_space(sc.path, params);
@@ -308,6 +314,7 @@ GroupingOutcome run_grouping(const Loop& loop, const std::vector<const Loop*>& o
                           group_keys[rb].begin(), group_keys[rb].end(),
                           std::inserter(inter, inter.begin()));
     if (!inter.empty()) {
+      DHPF_COUNTER("cp.group_merges");
       const std::size_t root = uf.unite(ra, rb);
       group_keys[root] = std::move(inter);
     } else {
@@ -332,6 +339,7 @@ GroupingOutcome run_grouping(const Loop& loop, const std::vector<const Loop*>& o
     g.add_edge(is_->second, id_->second);
   }
   const SccResult scc = strongly_connected_components(g);
+  DHPF_COUNTER_ADD("cp.scc_components", scc.count);
   std::set<std::pair<std::size_t, std::size_t>> sep_comps;
   for (const auto& [sa, sb] : out.info.separated) {
     std::size_t ia = 0, ib = 0;
@@ -367,6 +375,7 @@ GroupingOutcome run_grouping(const Loop& loop, const std::vector<const Loop*>& o
     partitions[k].push_back(comp);
     part_of[comp] = k;
   }
+  if (partitions.size() > 1) DHPF_COUNTER("cp.loops_distributed");
   out.info.num_partitions = std::max<std::size_t>(1, partitions.size());
   out.info.partitions.assign(out.info.num_partitions, {});
   for (std::size_t i = 0; i < stmts.size(); ++i)
@@ -689,6 +698,7 @@ const CP& CpResult::cp_of(int id) const {
 }
 
 CpResult select_cps(const hpf::Program& prog, const SelectOptions& opt) {
+  obs::ScopedTimer timer("cp.select");
   CpResult res;
   ProcContext ctx;
   ctx.prog = &prog;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/diagnostics.hpp"
+#include "support/metrics.hpp"
 
 namespace dhpf::hpf {
 
@@ -345,6 +346,9 @@ class Parser {
 
 }  // namespace
 
-Program parse(const std::string& source) { return Parser(source).run(); }
+Program parse(const std::string& source) {
+  obs::ScopedTimer timer("hpf.parse");
+  return Parser(source).run();
+}
 
 }  // namespace dhpf::hpf

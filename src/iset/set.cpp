@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/diagnostics.hpp"
+#include "support/metrics.hpp"
 
 namespace dhpf::iset {
 
@@ -45,6 +46,7 @@ LinExpr drop_var(const LinExpr& e, std::size_t v) {
 
 BasicSet BasicSet::project_out(std::size_t v) const {
   require(v < nvars_, "iset", "project_out: variable out of range");
+  DHPF_COUNTER("iset.projections");
   BasicSet out(nvars_ - 1, params_);
 
   // Split constraints on whether they mention v.
@@ -62,6 +64,7 @@ BasicSet BasicSet::project_out(std::size_t v) const {
   }
 
   if (!eqs.empty()) {
+    DHPF_COUNTER("iset.eq_substitutions");
     // Integer-exact substitution through an equality: normalize a > 0, then
     // for any constraint b*v + f (>=|==) 0, replace with a*f - b*g where
     // a*v + g == 0 (scaling an inequality by a > 0 preserves it).
@@ -84,6 +87,8 @@ BasicSet BasicSet::project_out(std::size_t v) const {
   }
 
   // Fourier-Motzkin pairs (rational).
+  DHPF_COUNTER("iset.fm_projections");
+  DHPF_COUNTER_ADD("iset.fm_pair_constraints", lowers.size() * uppers.size());
   for (const auto& lo : lowers)
     for (const auto& up : uppers) {
       const i64 a = lo.e.var[v];    // > 0
@@ -125,6 +130,7 @@ bool BasicSet::simplify() {
 }
 
 bool BasicSet::is_empty() const {
+  DHPF_COUNTER("iset.emptiness_tests");
   BasicSet work = *this;
   if (!work.simplify()) return true;
   // Eliminate all tuple variables...
@@ -182,6 +188,7 @@ Set::Set(BasicSet bs) : nvars_(bs.nvars()), params_(bs.params()) {
 
 void Set::add_part(BasicSet bs) {
   require(bs.nvars() == nvars_ && bs.params() == params_, "iset", "add_part: space mismatch");
+  DHPF_COUNTER("iset.polyhedra_created");
   if (bs.simplify() && !bs.is_empty()) parts_.push_back(std::move(bs));
 }
 
@@ -357,6 +364,7 @@ bool var_bounds(const BasicSet& bs, const std::vector<i64>& params, std::size_t 
 void Set::enumerate(const std::vector<i64>& param_values,
                     const std::function<void(const std::vector<i64>&)>& cb) const {
   require(param_values.size() == params_.size(), "iset", "enumerate: wrong param count");
+  DHPF_COUNTER("iset.enumerations");
   std::vector<std::vector<i64>> points;
   for (const auto& part : parts_) {
     // Projection cascade: proj[d] has vars 0..d (vars above projected away).

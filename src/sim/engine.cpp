@@ -20,7 +20,7 @@ bool matches(const Message& m, int src, int tag) {
 int Process::nprocs() const { return engine_->nprocs(); }
 const Machine& Process::machine() const { return engine_->machine_; }
 
-void Process::record(double start, double end, IntervalKind kind) {
+void Process::record(double start, double end, IntervalKind kind, int peer) {
   if (end <= start) return;
   switch (kind) {
     case IntervalKind::Compute: acc_compute_ += end - start; break;
@@ -30,7 +30,7 @@ void Process::record(double start, double end, IntervalKind kind) {
   }
   if (engine_->record_trace_)
     engine_->trace_.ranks[static_cast<std::size_t>(rank_)].intervals.push_back(
-        Interval{start, end, kind, phase_});
+        Interval{start, end, kind, phase_, peer});
 }
 
 void Process::compute(double flops) { elapse(flops * engine_->machine_.flop_time); }
@@ -48,7 +48,7 @@ void Process::send(int dst, int tag, std::vector<double> data) {
   const double busy = m.send_overhead + static_cast<double>(bytes) * m.byte_time;
   const double arrival = clock_ + m.send_overhead + m.latency +
                          static_cast<double>(bytes) * m.byte_time;
-  record(clock_, clock_ + busy, IntervalKind::Send);
+  record(clock_, clock_ + busy, IntervalKind::Send, dst);
   if (engine_->record_trace_)
     engine_->trace_.messages.push_back(MessageRecord{rank_, dst, tag, bytes, clock_, arrival});
   clock_ += busy;
@@ -89,8 +89,8 @@ std::vector<double> Process::RecvAwaiter::await_resume() {
 
   const Machine& m = proc->engine_->machine_;
   const double ready = std::max(proc->clock_, msg.arrival);
-  proc->record(proc->clock_, ready, IntervalKind::Idle);
-  proc->record(ready, ready + m.recv_overhead, IntervalKind::Recv);
+  proc->record(proc->clock_, ready, IntervalKind::Idle, msg.src);
+  proc->record(ready, ready + m.recv_overhead, IntervalKind::Recv, msg.src);
   proc->clock_ = ready + m.recv_overhead;
   return std::move(msg.data);
 }

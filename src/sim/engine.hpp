@@ -93,7 +93,8 @@ class Process {
 
   /// Index into mailbox_ of the best match, or npos.
   [[nodiscard]] std::size_t find_match(int src, int tag) const;
-  void record(double start, double end, IntervalKind kind);
+  /// `peer`: sender rank for Recv and its preceding Idle wait; -1 otherwise.
+  void record(double start, double end, IntervalKind kind, int peer = -1);
 
   Engine* engine_ = nullptr;
   int rank_ = 0;

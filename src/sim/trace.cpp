@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "support/json.hpp"
+
 namespace dhpf::sim {
 
 const char* to_string(IntervalKind kind) {
@@ -59,13 +61,30 @@ std::string TraceLog::ascii_space_time(int width) const {
   return out.str();
 }
 
+namespace {
+
+/// RFC-4180 CSV quoting: wrap in quotes when the field contains a comma,
+/// quote, or newline; embedded quotes double.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 std::string TraceLog::intervals_csv() const {
   std::ostringstream out;
-  out << "rank,start,end,kind,phase\n";
+  out << "rank,start,end,kind,phase,peer\n";
   for (std::size_t r = 0; r < ranks.size(); ++r)
     for (const auto& iv : ranks[r].intervals)
       out << r << ',' << iv.start << ',' << iv.end << ',' << to_string(iv.kind) << ','
-          << iv.phase << '\n';
+          << csv_field(iv.phase) << ',' << iv.peer << '\n';
   return out.str();
 }
 
@@ -97,6 +116,190 @@ std::vector<TraceLog::PhaseBreakdownRow> TraceLog::phase_breakdown() const {
   out.reserve(acc.size());
   for (auto& [_, row] : acc) out.push_back(std::move(row));
   return out;
+}
+
+TraceLog::MessageMatrix TraceLog::message_matrix() const {
+  MessageMatrix m;
+  m.nranks = static_cast<int>(ranks.size());
+  // Messages can exist without interval traces; size by the larger of the
+  // rank-trace count and the highest rank seen in the message log.
+  for (const auto& msg : messages)
+    m.nranks = std::max(m.nranks, std::max(msg.src, msg.dst) + 1);
+  m.count.assign(static_cast<std::size_t>(m.nranks) * m.nranks, 0);
+  m.bytes.assign(static_cast<std::size_t>(m.nranks) * m.nranks, 0);
+  for (const auto& msg : messages) {
+    const std::size_t at = static_cast<std::size_t>(msg.src * m.nranks + msg.dst);
+    m.count[at] += 1;
+    m.bytes[at] += msg.bytes;
+  }
+  return m;
+}
+
+std::string TraceLog::MessageMatrix::to_string() const {
+  std::ostringstream out;
+  out << "message matrix (rows = sender, cols = receiver, message counts)\n";
+  out << "      ";
+  for (int d = 0; d < nranks; ++d) {
+    out.width(6);
+    out << d;
+  }
+  out << "\n";
+  for (int s = 0; s < nranks; ++s) {
+    out << "  ";
+    out.width(4);
+    out << s;
+    for (int d = 0; d < nranks; ++d) {
+      out.width(6);
+      const std::size_t c = count_at(s, d);
+      if (c == 0)
+        out << '.';
+      else
+        out << c;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<TraceLog::PhaseCriticalPath> TraceLog::critical_path() const {
+  struct Acc {
+    double start = 0.0, end = 0.0;
+    bool any = false;
+    std::map<std::size_t, double> busy_by_rank;
+  };
+  std::map<std::string, Acc> acc;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    for (const auto& iv : ranks[r].intervals) {
+      if (iv.kind == IntervalKind::Idle) continue;
+      auto& a = acc[iv.phase];
+      if (!a.any || iv.start < a.start) a.start = iv.start;
+      if (!a.any || iv.end > a.end) a.end = iv.end;
+      a.any = true;
+      a.busy_by_rank[r] += iv.end - iv.start;
+    }
+  }
+  std::vector<PhaseCriticalPath> out;
+  out.reserve(acc.size());
+  for (const auto& [phase, a] : acc) {
+    PhaseCriticalPath row;
+    row.phase = phase;
+    row.start = a.start;
+    row.end = a.end;
+    row.span = a.end - a.start;
+    for (const auto& [r, busy] : a.busy_by_rank) {
+      if (busy > row.max_rank_busy) {
+        row.max_rank_busy = busy;
+        row.bottleneck_rank = static_cast<int>(r);
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> TraceLog::idle_attribution() const {
+  const std::size_t n = ranks.size();
+  std::vector<std::vector<double>> out(n, std::vector<double>(n + 1, 0.0));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const auto& iv : ranks[r].intervals) {
+      if (iv.kind != IntervalKind::Idle) continue;
+      const std::size_t col =
+          (iv.peer >= 0 && static_cast<std::size_t>(iv.peer) < n)
+              ? static_cast<std::size_t>(iv.peer)
+              : n;
+      out[r][col] += iv.end - iv.start;
+    }
+  }
+  return out;
+}
+
+std::string TraceLog::chrome_trace_json() const {
+  json::Writer w(/*pretty=*/false);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Track metadata: one named thread per rank inside one process.
+  w.begin_object();
+  w.member("name", "process_name");
+  w.member("ph", "M");
+  w.member("pid", 0);
+  w.key("args");
+  w.begin_object();
+  w.member("name", "simulated machine");
+  w.end_object();
+  w.end_object();
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    w.begin_object();
+    w.member("name", "thread_name");
+    w.member("ph", "M");
+    w.member("pid", 0);
+    w.member("tid", r);
+    w.key("args");
+    w.begin_object();
+    w.member("name", "rank " + std::to_string(r));
+    w.end_object();
+    w.end_object();
+  }
+
+  // Complete slices; timestamps in microseconds per the trace-event spec.
+  constexpr double kUs = 1.0e6;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    for (const auto& iv : ranks[r].intervals) {
+      if (iv.end <= iv.start) continue;
+      w.begin_object();
+      w.member("name", iv.phase.empty() ? std::string(to_string(iv.kind)) : iv.phase);
+      w.member("cat", to_string(iv.kind));
+      w.member("ph", "X");
+      w.member("pid", 0);
+      w.member("tid", r);
+      w.member("ts", iv.start * kUs);
+      w.member("dur", (iv.end - iv.start) * kUs);
+      if (iv.kind != IntervalKind::Compute || !iv.phase.empty()) {
+        w.key("args");
+        w.begin_object();
+        w.member("kind", to_string(iv.kind));
+        if (iv.peer >= 0) w.member("peer", iv.peer);
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+
+  // Message flow arrows: start on the sender at send time, finish on the
+  // receiver at arrival. Ids must be unique per flow.
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const auto& m = messages[i];
+    w.begin_object();
+    w.member("name", "msg");
+    w.member("cat", "message");
+    w.member("ph", "s");
+    w.member("id", i);
+    w.member("pid", 0);
+    w.member("tid", m.src);
+    w.member("ts", m.send_time * kUs);
+    w.key("args");
+    w.begin_object();
+    w.member("tag", m.tag);
+    w.member("bytes", m.bytes);
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    w.member("name", "msg");
+    w.member("cat", "message");
+    w.member("ph", "f");
+    w.member("bp", "e");  // bind to the enclosing slice at the arrival point
+    w.member("id", i);
+    w.member("pid", 0);
+    w.member("tid", m.dst);
+    w.member("ts", m.arrival * kUs);
+    w.end_object();
+  }
+
+  w.end_array();
+  w.member("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace dhpf::sim

@@ -3,8 +3,11 @@
 // The simulator records, per rank, a sequence of labelled time intervals
 // (compute / send / recv / idle) plus a global message log. From these we
 // render ASCII space-time diagrams in the style of the paper's Figures
-// 8.1-8.4 and compute the summary statistics (busy fraction, message counts
-// and volumes) the evaluation discusses.
+// 8.1-8.4, compute the summary statistics (busy fraction, message counts
+// and volumes) the evaluation discusses, and export structured artifacts:
+// CSV interval/message dumps, a src x dst message matrix, per-phase
+// critical-path estimates, idle-time attribution by blocking sender, and
+// Chrome trace-event JSON loadable in chrome://tracing or Perfetto.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +25,10 @@ struct Interval {
   IntervalKind kind = IntervalKind::Compute;
   /// Phase label active when the interval was recorded ("z_solve", ...).
   std::string phase;
+  /// Partner rank: for Recv (and the Idle wait preceding it) the sender
+  /// whose message resolved the wait; for Send the destination; -1 for
+  /// Compute intervals.
+  int peer = -1;
 };
 
 /// One point-to-point message.
@@ -39,6 +46,14 @@ struct RankTrace {
 };
 
 /// Aggregate statistics over a run.
+///
+/// Units: all times are simulated seconds summed over ranks, so each total
+/// lies in [0, elapsed * nprocs]. `total_comm` counts send+recv software
+/// *overhead* only (the sender/receiver busy intervals of the machine
+/// model); time spent waiting for a message that has not yet arrived is
+/// `total_idle`, and wire latency/bandwidth time overlaps with whatever the
+/// ranks do meanwhile, so the three fractions below always sum to <= 1
+/// (ranks that finish before `elapsed` leave untracked tail time).
 struct Stats {
   std::size_t messages = 0;
   std::size_t bytes = 0;
@@ -49,8 +64,21 @@ struct Stats {
 
   /// Fraction of rank-time spent computing (load-balance/efficiency proxy).
   [[nodiscard]] double busy_fraction(int nprocs) const {
+    return fraction(total_compute, nprocs);
+  }
+  /// Fraction of rank-time spent in message send/recv overhead.
+  [[nodiscard]] double comm_fraction(int nprocs) const {
+    return fraction(total_comm, nprocs);
+  }
+  /// Fraction of rank-time spent blocked waiting for messages.
+  [[nodiscard]] double idle_fraction(int nprocs) const {
+    return fraction(total_idle, nprocs);
+  }
+
+ private:
+  [[nodiscard]] double fraction(double total, int nprocs) const {
     const double denom = elapsed * nprocs;
-    return denom > 0 ? total_compute / denom : 0.0;
+    return denom > 0.0 ? total / denom : 0.0;
   }
 };
 
@@ -64,7 +92,7 @@ struct TraceLog {
   /// bucket). A phase ruler is printed underneath when phases were recorded.
   [[nodiscard]] std::string ascii_space_time(int width = 100) const;
 
-  /// CSV dump of intervals: rank,start,end,kind,phase
+  /// CSV dump of intervals: rank,start,end,kind,phase,peer (phase escaped).
   [[nodiscard]] std::string intervals_csv() const;
 
   /// CSV dump of messages: src,dst,tag,bytes,send_time,arrival
@@ -78,6 +106,51 @@ struct TraceLog {
     double idle = 0.0;
   };
   [[nodiscard]] std::vector<PhaseBreakdownRow> phase_breakdown() const;
+
+  /// src x dst point-to-point traffic summary (row-major nranks x nranks).
+  struct MessageMatrix {
+    int nranks = 0;
+    std::vector<std::size_t> count;  ///< count[src * nranks + dst]
+    std::vector<std::size_t> bytes;  ///< bytes[src * nranks + dst]
+
+    [[nodiscard]] std::size_t count_at(int src, int dst) const {
+      return count[static_cast<std::size_t>(src * nranks + dst)];
+    }
+    [[nodiscard]] std::size_t bytes_at(int src, int dst) const {
+      return bytes[static_cast<std::size_t>(src * nranks + dst)];
+    }
+    /// Aligned text rendering of the count matrix (message counts).
+    [[nodiscard]] std::string to_string() const;
+  };
+  [[nodiscard]] MessageMatrix message_matrix() const;
+
+  /// Per-phase critical-path estimate. `span` is the wall-clock extent of
+  /// the phase (max end - min start over every rank's non-idle intervals
+  /// labelled with it); `max_rank_busy` is the largest single-rank busy
+  /// (compute+send+recv) time inside the phase — a lower bound on the
+  /// phase's serial critical path. span >> max_rank_busy signals pipeline
+  /// fill/drain or load imbalance (the paper's Figures 8.2/8.4 triangles).
+  struct PhaseCriticalPath {
+    std::string phase;
+    double start = 0.0;          ///< earliest non-idle activity
+    double end = 0.0;            ///< latest non-idle activity
+    double span = 0.0;           ///< end - start
+    double max_rank_busy = 0.0;  ///< busiest rank's work inside the phase
+    int bottleneck_rank = -1;    ///< rank achieving max_rank_busy
+  };
+  [[nodiscard]] std::vector<PhaseCriticalPath> critical_path() const;
+
+  /// Idle-time attribution: seconds rank r spent blocked waiting on each
+  /// sender. Row r has nranks+1 entries; column s (< nranks) is time blocked
+  /// on messages from rank s, and the final column is idle time with no
+  /// recorded sender (e.g. traces from before peer recording).
+  [[nodiscard]] std::vector<std::vector<double>> idle_attribution() const;
+
+  /// Chrome trace-event JSON (the `{"traceEvents": [...]}` envelope): one
+  /// track per rank, complete ("X") slices named by phase (falling back to
+  /// the interval kind), and flow arrows ("s"/"f") for every message.
+  /// Load in chrome://tracing or https://ui.perfetto.dev.
+  [[nodiscard]] std::string chrome_trace_json() const;
 };
 
 const char* to_string(IntervalKind kind);

@@ -1,0 +1,154 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // %.17g round-trips every double; trim to the shortest representation that
+  // still parses back identically.
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  // "%g" may emit "inf"/"nan" spellings only for non-finite values, which are
+  // excluded above; exponents and decimal points are valid JSON as printed.
+  return buf;
+}
+
+void Writer::newline_indent() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void Writer::pre_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  require(stack_.empty() || stack_.back() == Frame::Array, "json",
+          "object member requires key()");
+  if (!stack_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+    newline_indent();
+  }
+}
+
+void Writer::begin_object() {
+  pre_value();
+  out_ += '{';
+  stack_.push_back(Frame::Object);
+  has_items_.push_back(false);
+}
+
+void Writer::end_object() {
+  require(!stack_.empty() && stack_.back() == Frame::Object, "json",
+          "end_object outside object");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) newline_indent();
+  out_ += '}';
+}
+
+void Writer::begin_array() {
+  pre_value();
+  out_ += '[';
+  stack_.push_back(Frame::Array);
+  has_items_.push_back(false);
+}
+
+void Writer::end_array() {
+  require(!stack_.empty() && stack_.back() == Frame::Array, "json",
+          "end_array outside array");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) newline_indent();
+  out_ += ']';
+}
+
+void Writer::key(std::string_view k) {
+  require(!stack_.empty() && stack_.back() == Frame::Object, "json", "key outside object");
+  require(!pending_key_, "json", "key after key");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  newline_indent();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += pretty_ ? "\": " : "\":";
+  pending_key_ = true;
+}
+
+void Writer::value(std::string_view s) {
+  pre_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+}
+
+void Writer::value(double v) {
+  pre_value();
+  out_ += number(v);
+}
+
+void Writer::value(std::int64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+}
+
+void Writer::value(std::uint64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+}
+
+void Writer::value(bool b) {
+  pre_value();
+  out_ += b ? "true" : "false";
+}
+
+void Writer::null() {
+  pre_value();
+  out_ += "null";
+}
+
+std::string Writer::str() const {
+  require(stack_.empty() && !pending_key_, "json", "document not closed");
+  return out_;
+}
+
+}  // namespace dhpf::json

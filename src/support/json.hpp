@@ -1,0 +1,80 @@
+// Minimal JSON emitter for the observability layer (dhpf::obs) and the
+// machine-readable bench artifacts.
+//
+// Zero-dependency by design: the container bakes in no JSON library, and the
+// documents we emit (metrics snapshots, Chrome trace events, bench tables)
+// are write-only from this process. The writer is stack-based and validates
+// nesting with `require`, so structurally invalid output is impossible; the
+// test suite additionally parses emitted documents back with a reference
+// reader (tests/obs_test.cpp) to pin well-formedness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dhpf::json {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string escape(std::string_view s);
+
+/// Render a double as a JSON number; non-finite values become null (JSON has
+/// no representation for them).
+std::string number(double v);
+
+/// Streaming JSON writer.
+///
+///   Writer w;
+///   w.begin_object();
+///   w.key("rows");
+///   w.begin_array();
+///   ... w.value(3.14); ...
+///   w.end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+class Writer {
+ public:
+  explicit Writer(bool pretty = true) : pretty_(pretty) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by exactly one value/container.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool b);
+  void null();
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void member(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// Whole document (all containers must be closed).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Frame : std::uint8_t { Object, Array };
+  void pre_value();  // separators/indentation before a value or container
+  void newline_indent();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+  bool pretty_ = true;
+};
+
+}  // namespace dhpf::json

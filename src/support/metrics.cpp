@@ -1,0 +1,156 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace dhpf::obs {
+
+// ------------------------------------------------------- MetricsSnapshot
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& since) const {
+  MetricsSnapshot out;
+  for (const auto& [name, v] : counters) {
+    auto it = since.counters.find(name);
+    const std::uint64_t base = it == since.counters.end() ? 0 : it->second;
+    if (v > base) out.counters[name] = v - base;
+  }
+  // Gauges are instantaneous: the diff keeps the newer value.
+  out.gauges = gauges;
+  for (const auto& [name, t] : timers) {
+    auto it = since.timers.find(name);
+    const TimerStat base = it == since.timers.end() ? TimerStat{} : it->second;
+    if (t.calls > base.calls || t.seconds > base.seconds)
+      out.timers[name] = TimerStat{std::max(0.0, t.seconds - base.seconds),
+                                   t.calls > base.calls ? t.calls - base.calls : 0};
+  }
+  return out;
+}
+
+std::uint64_t MetricsSnapshot::group_total(const std::string& group) const {
+  const std::string prefix = group + ".";
+  std::uint64_t total = 0;
+  for (auto it = counters.lower_bound(prefix); it != counters.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second;
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::size_t width = 0;
+  for (const auto& [name, _] : counters) width = std::max(width, name.size());
+  for (const auto& [name, _] : gauges) width = std::max(width, name.size());
+  for (const auto& [name, _] : timers) width = std::max(width, name.size());
+  std::ostringstream out;
+  for (const auto& [name, v] : counters)
+    out << "  " << name << std::string(width - name.size() + 2, ' ') << v << "\n";
+  for (const auto& [name, v] : gauges)
+    out << "  " << name << std::string(width - name.size() + 2, ' ') << v << "\n";
+  for (const auto& [name, t] : timers)
+    out << "  " << name << std::string(width - name.size() + 2, ' ') << t.seconds
+        << " s over " << t.calls << " call(s)\n";
+  return out.str();
+}
+
+namespace {
+
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream out;
+  out << "kind,name,value,calls\n";
+  for (const auto& [name, v] : counters) out << "counter," << csv_field(name) << ',' << v << ",\n";
+  for (const auto& [name, v] : gauges) out << "gauge," << csv_field(name) << ',' << v << ",\n";
+  for (const auto& [name, t] : timers)
+    out << "timer," << csv_field(name) << ',' << t.seconds << ',' << t.calls << "\n";
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  json::Writer w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : counters) w.member(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : gauges) w.member(name, v);
+  w.end_object();
+  w.key("timers");
+  w.begin_object();
+  for (const auto& [name, t] : timers) {
+    w.key(name);
+    w.begin_object();
+    w.member("seconds", t.seconds);
+    w.member("calls", t.calls);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+// --------------------------------------------------------------- Registry
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Timer& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timers_[name];
+}
+
+void Registry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c.value();
+  s.gauges = gauges_;
+  for (const auto& [name, t] : timers_) s.timers[name] = TimerStat{t.seconds(), t.calls()};
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c.reset();
+  for (auto& [_, t] : timers_) t.reset();
+  gauges_.clear();
+}
+
+// ------------------------------------------------------------ ScopedTimer
+
+ScopedTimer::ScopedTimer(const std::string& name)
+    : timer_(Registry::global().timer(name)), start_(std::chrono::steady_clock::now()) {}
+
+double ScopedTimer::elapsed() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+ScopedTimer::~ScopedTimer() { timer_.add(elapsed()); }
+
+}  // namespace dhpf::obs

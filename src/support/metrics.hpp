@@ -1,0 +1,168 @@
+// dhpf::obs — process-wide observability registry (paper §8 infrastructure).
+//
+// The paper's evaluation is an exercise in *observing* parallel executions;
+// this module is the measurement substrate for the compiler side: named
+// counters, gauges, and accumulated wall-clock timers that the passes bump
+// as they work (FM projections, dependence tests, CP merges, messages
+// vectorized, ...). Every future performance PR regresses against these.
+//
+// Usage:
+//   DHPF_COUNTER("iset.fm_projections");           // +1, name resolved once
+//   DHPF_COUNTER_ADD("iset.fm_pairs", pairs);      // +n
+//   { obs::ScopedTimer t("cp.select"); ... }       // accumulates seconds
+//
+//   obs::MetricsSnapshot before = obs::Registry::global().snapshot();
+//   ... work ...
+//   obs::MetricsSnapshot delta = obs::Registry::global().snapshot().diff(before);
+//   std::string doc = delta.to_json();
+//
+// Determinism: counters are plain monotonic accumulators; a single-threaded
+// run produces the same snapshot every time. Handles returned by counter()
+// and timer() stay valid for the life of the process (values live in deques;
+// reset() zeroes them in place rather than deleting them).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dhpf::obs {
+
+/// A monotonically increasing event count. Cheap to bump from hot paths.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Accumulated wall-clock time plus invocation count.
+class Timer {
+ public:
+  void add(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    seconds_ += seconds;
+    ++calls_;
+  }
+  [[nodiscard]] double seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seconds_;
+  }
+  [[nodiscard]] std::uint64_t calls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return calls_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    seconds_ = 0.0;
+    calls_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double seconds_ = 0.0;
+  std::uint64_t calls_ = 0;
+};
+
+struct TimerStat {
+  double seconds = 0.0;
+  std::uint64_t calls = 0;
+};
+
+/// Immutable point-in-time copy of the registry, with a diff API so callers
+/// (benches, the per-pass compile report) can attribute activity to an
+/// interval rather than the whole process lifetime.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerStat> timers;
+
+  /// this - since (per name; names absent from `since` count from zero).
+  /// Counter/timer deltas clamp at zero so a reset() between the snapshots
+  /// cannot produce wrapped values.
+  [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& since) const;
+
+  /// Sum of all counters whose name starts with "<group>." (e.g. "iset").
+  [[nodiscard]] std::uint64_t group_total(const std::string& group) const;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && timers.empty();
+  }
+
+  /// Aligned human-readable listing (one metric per line).
+  [[nodiscard]] std::string to_text() const;
+  /// CSV: kind,name,value,calls (values CSV-escaped).
+  [[nodiscard]] std::string to_csv() const;
+  /// JSON object {"counters": {...}, "gauges": {...}, "timers": {...}}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Named-metric registry. One process-wide instance (global()); independent
+/// instances can be created for tests.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Create-or-get. The returned references remain valid forever.
+  Counter& counter(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  /// Convenience bump without caching the handle.
+  void add(const std::string& name, std::uint64_t n = 1) { counter(name).add(n); }
+  /// Last-write-wins instantaneous value.
+  void set_gauge(const std::string& name, double value);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zero every metric in place (handles stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  // Deques would also work; map of unique_ptr-free nodes keeps iteration
+  // ordered for deterministic snapshots. Node addresses in std::map are
+  // stable under insertion, which is what the cached handles rely on.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Timer> timers_;
+  std::map<std::string, double> gauges_;
+};
+
+/// RAII wall-clock timer accumulating into Registry::global().
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const std::string& name);
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer();
+
+  /// Seconds since construction (the value the destructor will record).
+  [[nodiscard]] double elapsed() const;
+
+ private:
+  Timer& timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dhpf::obs
+
+/// Bump a process-wide counter by 1. The registry lookup happens once per
+/// call site (function-local static), so this is safe in hot loops.
+#define DHPF_COUNTER(name)                                                        \
+  do {                                                                            \
+    static ::dhpf::obs::Counter& dhpf_counter_handle_ =                           \
+        ::dhpf::obs::Registry::global().counter(name);                            \
+    dhpf_counter_handle_.add();                                                   \
+  } while (0)
+
+/// Bump a process-wide counter by `n`.
+#define DHPF_COUNTER_ADD(name, n)                                                 \
+  do {                                                                            \
+    static ::dhpf::obs::Counter& dhpf_counter_handle_ =                           \
+        ::dhpf::obs::Registry::global().counter(name);                            \
+    dhpf_counter_handle_.add(static_cast<std::uint64_t>(n));                      \
+  } while (0)
