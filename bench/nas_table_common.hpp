@@ -6,7 +6,20 @@
 //                   statistics, machine cost-model constants, and a metrics
 //                   snapshot) — the format scripts/bench_smoke.sh validates;
 //   --class <C>     override the problem classes (S|W|A|B), e.g. `--class S`
-//                   for a seconds-long smoke run.
+//                   for a seconds-long smoke run;
+//   --backend <B>   execution backend: `sim` (default; virtual-time SP2
+//                   simulator, times are *modelled* seconds) or `mp` (real
+//                   multi-threaded runtime, times are *measured* wall-clock
+//                   seconds from the monotonic clock; see docs/runtime.md).
+//
+// The JSON artifact records which backend produced it: the top-level
+// "backend" member is "sim" or "mp", every cell carries both "elapsed"
+// (modelled seconds; 0 on mp) and "wall_seconds" (real seconds), and on mp
+// the speedup/efficiency columns are computed from wall_seconds. On the mp
+// backend compute(flops) is realized as a real sleep of the modelled
+// duration (ComputeMode::Sleep, dilated by kMpTimeScale) so rank overlap —
+// and therefore measured speedup — is observable even on a single-core CI
+// host.
 #pragma once
 
 #include <cmath>
@@ -39,7 +52,15 @@ struct Row {
 struct BenchArgs {
   std::string json_path;                 ///< --json <path>; empty = off
   std::optional<nas::ProblemClass> cls;  ///< --class S|W|A|B override
+  exec::Backend backend = exec::Backend::Sim;  ///< --backend sim|mp
 };
+
+/// Dilation applied to modelled compute time when benches run on the mp
+/// backend (ComputeMode::Sleep): class-S modelled times are ~10 ms, which
+/// real thread-spawn/wakeup overhead would swamp; stretching them keeps the
+/// measured scaling signal well above the noise floor while a full smoke
+/// sweep still finishes in seconds.
+inline constexpr double kMpTimeScale = 25.0;
 
 inline const char* class_name(nas::ProblemClass c) {
   switch (c) {
@@ -73,8 +94,19 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
         std::fprintf(stderr, "%s: bad --class (want S|W|A|B)\n", argv[0]);
         std::exit(2);
       }
+    } else if (arg == "--backend" && i + 1 < argc) {
+      const std::string be = argv[++i];
+      if (be == "sim") {
+        a.backend = exec::Backend::Sim;
+      } else if (be == "mp") {
+        a.backend = exec::Backend::Mp;
+      } else {
+        std::fprintf(stderr, "%s: bad --backend (want sim|mp)\n", argv[0]);
+        std::exit(2);
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--json <path>] [--class S|W|A|B]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json <path>] [--class S|W|A|B] [--backend sim|mp]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
@@ -134,7 +166,8 @@ inline void snapshot_json(json::Writer& w, const obs::MetricsSnapshot& snap) {
 
 /// Run one (variant, P) cell if supported by the variant and the problem
 /// size; verification is done in the test suite, so benches run fast.
-inline std::optional<RunResult> run_cell(Variant v, const Problem& pb, int nprocs) {
+inline std::optional<RunResult> run_cell(Variant v, const Problem& pb, int nprocs,
+                                         exec::Backend backend = exec::Backend::Sim) {
   if (!nas::variant_supports(v, nprocs)) return std::nullopt;
   // Sweeps need at least two planes of the distributed dim per processor.
   if (v == Variant::PgiStyle && pb.n < 2 * nprocs) return std::nullopt;
@@ -148,6 +181,13 @@ inline std::optional<RunResult> run_cell(Variant v, const Problem& pb, int nproc
   }
   nas::DriverOptions opt;
   opt.verify = false;  // correctness is covered by tests/nas_variants_test
+  opt.backend = backend;
+  if (backend == exec::Backend::Mp) {
+    // Realize modelled compute as real sleeps so rank overlap (and thus
+    // measured wall-clock speedup) is observable even on one host core.
+    opt.mp.compute_mode = mp::ComputeMode::Sleep;
+    opt.mp.time_scale = kMpTimeScale;
+  }
   obs::ScopedTimer timer("bench.run_variant");
   auto r = nas::run_variant(v, pb, nprocs, sim::Machine::sp2(), opt);
   DHPF_COUNTER("bench.cells_run");
@@ -156,9 +196,16 @@ inline std::optional<RunResult> run_cell(Variant v, const Problem& pb, int nproc
   return r;
 }
 
-inline std::optional<double> time_cell(Variant v, const Problem& pb, int nprocs) {
-  auto r = run_cell(v, pb, nprocs);
-  return r ? std::optional<double>(r->elapsed) : std::nullopt;
+/// The time a cell is scored by: modelled seconds on sim, measured
+/// wall-clock seconds on mp.
+inline double scored_seconds(const RunResult& r) {
+  return r.backend == exec::Backend::Mp ? r.wall_seconds : r.elapsed;
+}
+
+inline std::optional<double> time_cell(Variant v, const Problem& pb, int nprocs,
+                                       exec::Backend backend = exec::Backend::Sim) {
+  auto r = run_cell(v, pb, nprocs, backend);
+  return r ? std::optional<double>(scored_seconds(*r)) : std::nullopt;
 }
 
 /// Paper reference efficiencies (relative to hand-written MPI) at square P.
@@ -172,9 +219,14 @@ inline void print_table(const char* title, const Problem& pa, const Problem& pb_
                         const BenchArgs& args = {}, const char* label_a = "A",
                         const char* label_b = "B") {
   std::printf("%s\n", title);
-  std::printf("problem sizes: class %s n=%d, class %s n=%d, %d timestep(s); machine: simulated "
-              "IBM SP2 (see sim/machine.hpp)\n",
-              label_a, pa.n, label_b, pb_cls.n, pa.niter);
+  if (args.backend == exec::Backend::Sim)
+    std::printf("problem sizes: class %s n=%d, class %s n=%d, %d timestep(s); machine: simulated "
+                "IBM SP2 (see sim/machine.hpp)\n",
+                label_a, pa.n, label_b, pb_cls.n, pa.niter);
+  else
+    std::printf("problem sizes: class %s n=%d, class %s n=%d, %d timestep(s); backend: mp (real "
+                "threads, measured wall-clock, compute slept at %gx model time)\n",
+                label_a, pa.n, label_b, pb_cls.n, pa.niter, kMpTimeScale);
   std::printf("speedups are relative to the %d-processor hand-written code (class %s) / "
               "%d-processor (class %s), assumed perfect, as in the paper\n\n",
               speedup_base_procs_a, label_a, speedup_base_procs_b, label_b);
@@ -185,18 +237,18 @@ inline void print_table(const char* title, const Problem& pa, const Problem& pb_
   std::map<int, Cells> grid;
   for (int np : procs) {
     Cells& c = grid[np];
-    c.hand_a = run_cell(Variant::HandMPI, pa, np);
-    c.dhpf_a = run_cell(Variant::DhpfStyle, pa, np);
-    c.pgi_a = run_cell(Variant::PgiStyle, pa, np);
-    c.hand_b = run_cell(Variant::HandMPI, pb_cls, np);
-    c.dhpf_b = run_cell(Variant::DhpfStyle, pb_cls, np);
-    c.pgi_b = run_cell(Variant::PgiStyle, pb_cls, np);
+    c.hand_a = run_cell(Variant::HandMPI, pa, np, args.backend);
+    c.dhpf_a = run_cell(Variant::DhpfStyle, pa, np, args.backend);
+    c.pgi_a = run_cell(Variant::PgiStyle, pa, np, args.backend);
+    c.hand_b = run_cell(Variant::HandMPI, pb_cls, np, args.backend);
+    c.dhpf_b = run_cell(Variant::DhpfStyle, pb_cls, np, args.backend);
+    c.pgi_b = run_cell(Variant::PgiStyle, pb_cls, np, args.backend);
   }
   auto elapsed = [](const std::optional<RunResult>& r) {
-    return r ? std::optional<double>(r->elapsed) : std::nullopt;
+    return r ? std::optional<double>(scored_seconds(*r)) : std::nullopt;
   };
-  const double base_a = grid[speedup_base_procs_a].hand_a.value().elapsed;
-  const double base_b = grid[speedup_base_procs_b].hand_b.value().elapsed;
+  const double base_a = scored_seconds(grid[speedup_base_procs_a].hand_a.value());
+  const double base_b = scored_seconds(grid[speedup_base_procs_b].hand_b.value());
   auto speedup_a = [&](std::optional<double> t) {
     return t ? std::optional<double>(speedup_base_procs_a * base_a / *t) : std::nullopt;
   };
@@ -263,6 +315,8 @@ inline void print_table(const char* title, const Problem& pa, const Problem& pb_
   json::Writer w;
   w.begin_object();
   w.member("bench", title);
+  w.member("backend", exec::to_string(args.backend));
+  if (args.backend == exec::Backend::Mp) w.member("mp_time_scale", kMpTimeScale);
   w.key("machine");
   machine_json(w, sim::Machine::sp2());
   w.key("classes");
@@ -290,13 +344,14 @@ inline void print_table(const char* title, const Problem& pa, const Problem& pb_
     }
     w.begin_object();
     w.member("elapsed", r->elapsed);
+    w.member("wall_seconds", r->wall_seconds);
     w.member("messages", r->stats.messages);
     w.member("bytes", r->stats.bytes);
     w.member("total_compute", r->stats.total_compute);
     w.member("total_comm", r->stats.total_comm);
     w.member("total_idle", r->stats.total_idle);
     if (speedup) w.member("speedup", *speedup);
-    if (hand) w.member("efficiency_vs_hand", hand->elapsed / r->elapsed);
+    if (hand) w.member("efficiency_vs_hand", scored_seconds(*hand) / scored_seconds(*r));
     w.end_object();
   };
   for (int np : procs) {

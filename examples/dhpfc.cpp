@@ -6,11 +6,18 @@
 //     --no-interproc       disable §6 interprocedural CP selection
 //     --no-availability    disable §7 data availability analysis
 //     --priv=MODE          privatizable-def CPs: propagate|replicate|owner
-//     --run                execute the SPMD program on the simulated SP2
-//                          and verify against serial interpretation
+//     --run                execute the SPMD program and verify against the
+//                          serial interpretation
+//     --backend=sim|mp     execution backend for --run: the virtual-time SP2
+//                          simulator (default) or the real multi-threaded
+//                          message-passing runtime (see docs/runtime.md)
 //     --report             print the structured compile report (per-pass
 //                          times and metric deltas)
 //     --quiet              suppress the SPMD listing
+//
+// Unknown options, bad option values, and stray extra positional arguments
+// are hard errors: the offending argument and a usage line go to stderr and
+// the exit code is 2.
 //
 // Prints the parsed program, the selected computation partitionings, the
 // communication plan, and the generated SPMD node program; with --run also
@@ -33,8 +40,13 @@ int usage() {
   std::fprintf(stderr,
                "usage: dhpfc [--no-localize] [--no-comm-sensitive] [--no-interproc]\n"
                "             [--no-availability] [--priv=propagate|replicate|owner]\n"
-               "             [--run] [--report] [--quiet] file.hpf\n");
+               "             [--run] [--backend=sim|mp] [--report] [--quiet] file.hpf\n");
   return 2;
+}
+
+int bad_arg(const char* what, const std::string& arg) {
+  std::fprintf(stderr, "dhpfc: %s: %s\n", what, arg.c_str());
+  return usage();
 }
 
 }  // namespace
@@ -43,6 +55,7 @@ int main(int argc, char** argv) {
   using namespace dhpf;
   cp::SelectOptions sopt;
   comm::CommOptions copt;
+  codegen::SpmdOptions xopt;
   bool run = false, quiet = false, report = false;
   std::string path;
 
@@ -65,7 +78,15 @@ int main(int argc, char** argv) {
       else if (mode == "owner")
         sopt.priv_mode = cp::PrivMode::OwnerComputes;
       else
-        return usage();
+        return bad_arg("unknown --priv mode", mode);
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const std::string be = arg.substr(10);
+      if (be == "sim")
+        xopt.backend = exec::Backend::Sim;
+      else if (be == "mp")
+        xopt.backend = exec::Backend::Mp;
+      else
+        return bad_arg("unknown --backend", be);
     } else if (arg == "--run")
       run = true;
     else if (arg == "--report")
@@ -73,11 +94,13 @@ int main(int argc, char** argv) {
     else if (arg == "--quiet")
       quiet = true;
     else if (!arg.empty() && arg[0] == '-')
-      return usage();
+      return bad_arg("unknown option", arg);
+    else if (!path.empty())
+      return bad_arg("unexpected extra argument", arg);
     else
       path = arg;
   }
-  if (path.empty()) return usage();
+  if (path.empty()) return bad_arg("missing input", "file.hpf");
 
   std::ifstream in(path);
   if (!in) {
@@ -106,10 +129,16 @@ int main(int argc, char** argv) {
     }
 
     if (run) {
-      auto r = codegen::run_spmd(prog, compiled.cps, compiled.plan, sim::Machine::sp2());
-      std::printf("\n---- execution (simulated SP2) ----\n");
-      std::printf("  time %.6f s, %zu messages, %zu bytes\n", r.elapsed, r.stats.messages,
-                  r.stats.bytes);
+      auto r = codegen::run_spmd(prog, compiled.cps, compiled.plan, sim::Machine::sp2(), xopt);
+      if (r.backend == exec::Backend::Sim) {
+        std::printf("\n---- execution (simulated SP2) ----\n");
+        std::printf("  time %.6f s, %zu messages, %zu bytes\n", r.elapsed, r.stats.messages,
+                    r.stats.bytes);
+      } else {
+        std::printf("\n---- execution (mp: real threads) ----\n");
+        std::printf("  wall %.6f s, %zu messages, %zu bytes\n", r.wall_seconds,
+                    r.stats.messages, r.stats.bytes);
+      }
       std::printf("  instances per rank:");
       for (auto n : r.instances_per_rank) std::printf(" %zu", n);
       std::printf("\n  verified: max |err| = %.2e\n", r.max_err);

@@ -23,20 +23,38 @@ check() {
   echo "  ok: $name"
 }
 
-echo "bench_smoke: NAS table (class S)"
+echo "bench_smoke: NAS table (class S, both backends)"
 "$bench_dir/table_8_1_sp" --class S --json "$out_dir/table_8_1_sp.json" > /dev/null
 check table_8_1_sp
+"$bench_dir/table_8_1_sp" --class S --backend mp \
+  --json "$out_dir/table_8_1_sp_mp.json" > /dev/null
+check table_8_1_sp_mp
 
 # The artifact must carry per-variant rows and a metrics snapshot.
 python3 - "$out_dir/table_8_1_sp.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
+assert doc["backend"] == "sim", "sim run must be labelled"
 assert doc["rows"], "no rows"
 assert any(r.get("hand_a") for r in doc["rows"]), "no supported hand cells"
 assert doc["metrics"]["counters"], "empty metrics snapshot"
 assert "latency" in doc["machine"], "missing machine constants"
 EOF
 echo "  ok: table_8_1_sp row/metrics shape"
+
+# The mp artifact must be labelled, carry real wall-clock times, and show
+# measured speedup > 1 at 4 ranks (class S) — rank overlap is real.
+python3 - "$out_dir/table_8_1_sp_mp.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["backend"] == "mp", "mp run must be labelled"
+rows = {r["nprocs"]: r for r in doc["rows"]}
+cell = rows[4]["dhpf_a"]
+assert cell["wall_seconds"] > 0, "no measured wall-clock time"
+assert cell["speedup"] > 1.0, f"no measured speedup at P=4: {cell['speedup']}"
+assert doc["metrics"]["counters"].get("mp.runs", 0) > 0, "mp obs counters missing"
+EOF
+echo "  ok: table_8_1_sp_mp backend/wall-clock/speedup shape"
 
 echo "bench_smoke: compiler-technique figures"
 for b in fig_4_1_privatizable fig_4_2_localize fig_5_1_loop_dist \

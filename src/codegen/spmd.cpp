@@ -1,6 +1,7 @@
 #include "codegen/spmd.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -250,7 +251,7 @@ void build_event_cache(const hpf::Program& prog, AnchoredEvent& ae, const DistIn
 }
 
 /// Execute one fetch or write-back event on rank `me`.
-sim::Task exec_event(sim::Process& p, SpmdContext& ctx, const AnchoredEvent& ae,
+exec::Task exec_event(exec::Channel& p, SpmdContext& ctx, const AnchoredEvent& ae,
                      const Env& env) {
   const int me = p.rank();
   const int n = p.nprocs();
@@ -318,10 +319,10 @@ sim::Task exec_event(sim::Process& p, SpmdContext& ctx, const AnchoredEvent& ae,
   }
 }
 
-sim::Task exec_callee_body(sim::Process& p, SpmdContext& ctx,
+exec::Task exec_callee_body(exec::Channel& p, SpmdContext& ctx,
                            const std::vector<hpf::StmtPtr>& body, Env env, Frame frame);
 
-sim::Task exec_body(sim::Process& p, SpmdContext& ctx, const std::vector<hpf::StmtPtr>& body,
+exec::Task exec_body(exec::Channel& p, SpmdContext& ctx, const std::vector<hpf::StmtPtr>& body,
                     Env& env) {
   const int me = p.rank();
   auto& store = ctx.stores[static_cast<std::size_t>(me)];
@@ -371,7 +372,7 @@ sim::Task exec_body(sim::Process& p, SpmdContext& ctx, const std::vector<hpf::St
 /// Callee bodies run unguarded under the call statement's CP; their data
 /// accesses must be local by construction (the §6 alignment) — a violation
 /// surfaces as NaN in verification.
-sim::Task exec_callee_body(sim::Process& p, SpmdContext& ctx,
+exec::Task exec_callee_body(exec::Channel& p, SpmdContext& ctx,
                            const std::vector<hpf::StmtPtr>& body, Env env, Frame frame) {
   auto& store = ctx.stores[static_cast<std::size_t>(p.rank())];
   for (const auto& sp : body) {
@@ -506,20 +507,35 @@ SpmdResult run_spmd(const hpf::Program& prog, const cp::CpResult& cps,
     }
   }
 
-  sim::Engine engine(nprocs, machine, opt.record_trace);
-  engine.run([&](sim::Process& p) -> sim::Task {
+  const auto body = [&](exec::Channel& p) -> exec::Task {
     // Non-capturing coroutine lambda: its frame holds the parameters, so no
     // dangling closure state across suspension.
-    return [](sim::Process& pp, SpmdContext& c, const hpf::Procedure* mp) -> sim::Task {
+    return [](exec::Channel& pp, SpmdContext& c, const hpf::Procedure* mproc) -> exec::Task {
       Env e;
-      co_await exec_body(pp, c, mp->body, e);
+      co_await exec_body(pp, c, mproc->body, e);
     }(p, ctx, main_proc);
-  });
+  };
 
   SpmdResult result;
-  result.elapsed = engine.elapsed();
-  result.stats = engine.stats();
-  if (opt.record_trace) result.trace = engine.trace();
+  result.backend = opt.backend;
+  if (opt.backend == exec::Backend::Sim) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sim::Engine engine(nprocs, machine, opt.record_trace);
+    engine.run(body);
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    result.elapsed = engine.elapsed();
+    result.stats = engine.stats();
+    if (opt.record_trace) result.trace = engine.trace();
+  } else {
+    // Real threads: safe because every rank touches only its own slot of
+    // ctx.stores / ctx.instances and the event caches are read-only here.
+    mp::Options mpopt = opt.mp;
+    mpopt.machine = machine;
+    result.wall_seconds = mp::run(nprocs, mpopt, body, &result.mp_stats);
+    result.stats.messages = result.mp_stats.messages;
+    result.stats.bytes = result.mp_stats.bytes;
+  }
   result.instances_per_rank = ctx.instances;
 
   if (opt.verify) {

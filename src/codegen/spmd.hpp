@@ -21,6 +21,7 @@
 #include "comm/comm.hpp"
 #include "cp/select.hpp"
 #include "hpf/ir.hpp"
+#include "mp/runtime.hpp"
 #include "sim/engine.hpp"
 #include "sim/machine.hpp"
 
@@ -36,15 +37,20 @@ using Store = std::map<const hpf::Array*, std::vector<double>>;
 Store interpret_serial(const hpf::Program& prog);
 
 struct SpmdOptions {
-  bool record_trace = false;
+  exec::Backend backend = exec::Backend::Sim;
+  mp::Options mp;                    ///< mp backend tuning (compute, timeouts)
+  bool record_trace = false;         ///< sim backend only
   double flops_per_instance = 10.0;  ///< cost model per statement instance
   bool verify = true;                ///< compare against interpret_serial
 };
 
 struct SpmdResult {
-  double elapsed = 0.0;
-  sim::Stats stats;
+  exec::Backend backend = exec::Backend::Sim;
+  double elapsed = 0.0;       ///< simulated seconds (sim backend; 0 on mp)
+  double wall_seconds = 0.0;  ///< real (monotonic-clock) seconds of the run
+  sim::Stats stats;           ///< messages/bytes filled on both backends
   sim::TraceLog trace;
+  mp::Stats mp_stats;     ///< populated on the mp backend
   double max_err = -1.0;  ///< -1 when not verified
   /// Assignment instances executed per rank (replication / load metric).
   std::vector<std::size_t> instances_per_rank;

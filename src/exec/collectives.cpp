@@ -1,10 +1,10 @@
-#include "sim/collectives.hpp"
+#include "exec/collectives.hpp"
 
 #include <algorithm>
 
 #include "support/diagnostics.hpp"
 
-namespace dhpf::sim {
+namespace dhpf::exec {
 
 namespace {
 // Internal tags; user code uses tags >= 0.
@@ -13,62 +13,62 @@ constexpr int kTagBcast = -3;
 constexpr int kTagBarrier = -4;
 
 void combine(std::vector<double>& into, const std::vector<double>& from, ReduceOp op) {
-  require(into.size() == from.size(), "sim", "reduce: mismatched vector lengths");
+  require(into.size() == from.size(), "exec", "reduce: mismatched vector lengths");
   for (std::size_t i = 0; i < into.size(); ++i)
     into[i] = (op == ReduceOp::Sum) ? into[i] + from[i] : std::max(into[i], from[i]);
 }
 }  // namespace
 
-Task reduce(Process& p, std::vector<double>& data, ReduceOp op, int root) {
-  const int n = p.nprocs();
+Task reduce(Channel& ch, std::vector<double>& data, ReduceOp op, int root) {
+  const int n = ch.nprocs();
   // Rotate ranks so the algorithm always reduces onto virtual rank 0.
-  const int vr = (p.rank() - root + n) % n;
+  const int vr = (ch.rank() - root + n) % n;
   auto real = [&](int virt) { return (virt + root) % n; };
   for (int step = 1; step < n; step *= 2) {
     if (vr % (2 * step) == step) {
-      p.send(real(vr - step), kTagReduce, data);
+      ch.send(real(vr - step), kTagReduce, data);
       co_return;  // contributed; no further role
     }
     if (vr % (2 * step) == 0 && vr + step < n) {
-      auto partial = co_await p.recv(real(vr + step), kTagReduce);
+      auto partial = co_await ch.recv(real(vr + step), kTagReduce);
       combine(data, partial, op);
     }
   }
 }
 
-Task broadcast(Process& p, std::vector<double>& data, int root) {
-  const int n = p.nprocs();
-  const int vr = (p.rank() - root + n) % n;
+Task broadcast(Channel& ch, std::vector<double>& data, int root) {
+  const int n = ch.nprocs();
+  const int vr = (ch.rank() - root + n) % n;
   auto real = [&](int virt) { return (virt + root) % n; };
   int top = 1;
   while (top < n) top *= 2;
   for (int step = top / 2; step >= 1; step /= 2) {
     if (vr % (2 * step) == step) {
-      data = co_await p.recv(real(vr - step), kTagBcast);
+      data = co_await ch.recv(real(vr - step), kTagBcast);
     } else if (vr % (2 * step) == 0 && vr + step < n) {
-      p.send(real(vr + step), kTagBcast, data);
+      ch.send(real(vr + step), kTagBcast, data);
     }
   }
 }
 
-Task allreduce(Process& p, std::vector<double>& data, ReduceOp op) {
-  co_await reduce(p, data, op, 0);
-  co_await broadcast(p, data, 0);
+Task allreduce(Channel& ch, std::vector<double>& data, ReduceOp op) {
+  co_await reduce(ch, data, op, 0);
+  co_await broadcast(ch, data, 0);
 }
 
-Task barrier(Process& p) {
+Task barrier(Channel& ch) {
   std::vector<double> token(1, 0.0);
-  const int n = p.nprocs();
+  const int n = ch.nprocs();
   for (int step = 1; step < n; step *= 2) {
-    if (p.rank() % (2 * step) == step) {
-      p.send(p.rank() - step, kTagBarrier, token);
+    if (ch.rank() % (2 * step) == step) {
+      ch.send(ch.rank() - step, kTagBarrier, token);
       // Wait for release below.
       break;
     }
-    if (p.rank() % (2 * step) == 0 && p.rank() + step < n)
-      (void)co_await p.recv(p.rank() + step, kTagBarrier);
+    if (ch.rank() % (2 * step) == 0 && ch.rank() + step < n)
+      (void)co_await ch.recv(ch.rank() + step, kTagBarrier);
   }
-  co_await broadcast(p, token, 0);
+  co_await broadcast(ch, token, 0);
 }
 
-}  // namespace dhpf::sim
+}  // namespace dhpf::exec

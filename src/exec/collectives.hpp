@@ -1,0 +1,35 @@
+// Collective operations built from point-to-point messages.
+//
+// Binomial-tree reductions/broadcasts (O(log P) steps), valid for any P.
+// These are coroutines over the same Channel API user code uses, so they
+// run unmodified on both execution backends: on the simulator their cost
+// falls out of the machine model rather than being special-cased, and on
+// the mp runtime they move real data between rank threads. The NAS drivers
+// use them for error norms and residual checks.
+//
+// Every receive names its source rank explicitly, so collective results are
+// bit-identical across backends and schedules.
+#pragma once
+
+#include <vector>
+
+#include "exec/channel.hpp"
+#include "exec/task.hpp"
+
+namespace dhpf::exec {
+
+enum class ReduceOp { Sum, Max };
+
+/// Reduce `data` elementwise onto rank `root` (result valid only there).
+Task reduce(Channel& ch, std::vector<double>& data, ReduceOp op, int root = 0);
+
+/// Broadcast `data` from `root` to all ranks (resized on non-roots).
+Task broadcast(Channel& ch, std::vector<double>& data, int root = 0);
+
+/// Elementwise allreduce: every rank ends with the combined vector.
+Task allreduce(Channel& ch, std::vector<double>& data, ReduceOp op);
+
+/// Barrier: no rank returns before every rank has entered.
+Task barrier(Channel& ch);
+
+}  // namespace dhpf::exec

@@ -1,0 +1,474 @@
+#include "mp/runtime.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "support/diagnostics.hpp"
+#include "support/metrics.hpp"
+
+namespace dhpf::mp {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_between(SteadyClock::time_point a, SteadyClock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Raised in ranks that were force-woken by the deadlock watchdog, so the
+/// driver can distinguish the (shared) abort from a rank's own failure.
+struct AbortError : Error {
+  explicit AbortError(const std::string& msg) : Error("mp", msg) {}
+};
+
+struct MpMessage {
+  int src = 0;
+  int tag = 0;
+  std::vector<double> data;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<MpMessage> q;
+};
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// First message (FIFO delivery order) matching (src, tag); src may be
+/// kAnySource. Caller holds the mailbox mutex.
+std::size_t find_match(const Mailbox& box, int src, int tag) {
+  for (std::size_t i = 0; i < box.q.size(); ++i) {
+    const MpMessage& m = box.q[i];
+    if ((src == kAnySource || m.src == src) && m.tag == tag) return i;
+  }
+  return kNpos;
+}
+
+class Runtime;
+
+class Endpoint final : public exec::Channel {
+ public:
+  Endpoint(Runtime* rt, int rank) : rt_(rt), rank_(rank) {}
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int nprocs() const override;
+  [[nodiscard]] double now() const override;
+  [[nodiscard]] const exec::Machine& machine() const override;
+
+  void compute(double flops) override;
+  void elapse(double seconds) override;
+
+  void set_phase(std::string phase) override {
+    const auto t = SteadyClock::now();
+    phase_wall_[phase_] += seconds_between(phase_enter_, t);
+    phase_ = std::move(phase);
+    phase_enter_ = t;
+  }
+  [[nodiscard]] const std::string& phase() const override { return phase_; }
+
+  void send(int dst, int tag, std::vector<double> data) override;
+  [[nodiscard]] bool has_message(int src, int tag) const override;
+
+  /// Realize any outstanding modelled compute (Spin/Sleep) in host time.
+  void flush_compute(bool force);
+  /// Close the open phase interval; called once when the rank finishes.
+  void finish();
+
+  RankStats stats;
+  /// phase -> total wall / blocked-in-recv real seconds on this rank.
+  std::map<std::string, double> phase_wall_;
+  std::map<std::string, double> phase_wait_;
+
+  /// Publish (src, tag) then raise the blocked flag, in that order.
+  void want_src_store(int src, int tag);
+
+  // Watchdog-visible blocked state. Mutated only while holding this rank's
+  // mailbox mutex (the condvar wait releases it), so the watchdog gets a
+  // consistent (blocked, wanted, mailbox) snapshot by taking the same lock.
+  std::atomic<bool> blocked{false};
+  std::atomic<bool> done{false};
+  std::atomic<int> want_src{0};
+  std::atomic<int> want_tag{0};
+
+ protected:
+  bool recv_ready(int src, int tag) override;
+  void recv_suspend(int, int, std::coroutine_handle<>) override {
+    fail("mp", "internal: coroutine suspended on the mp backend");
+  }
+  std::vector<double> recv_complete(int src, int tag) override;
+
+ private:
+  Runtime* rt_;
+  int rank_;
+  std::string phase_;
+  SteadyClock::time_point phase_enter_;
+  double debt_seconds_ = 0.0;  ///< modelled compute not yet realized
+  std::vector<double> pending_;  ///< payload stashed by recv_ready
+  int pending_src_ = kAnySource;
+  bool have_pending_ = false;
+
+  friend class Runtime;
+};
+
+class Runtime {
+ public:
+  Runtime(int nranks, const Options& opt,
+          const std::function<exec::Task(exec::Channel&)>& body)
+      : opt_(opt), body_(body) {
+    require(nranks > 0, "mp", "need at least one rank");
+    boxes_ = std::make_unique<Mailbox[]>(static_cast<std::size_t>(nranks));
+    endpoints_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) endpoints_.push_back(std::make_unique<Endpoint>(this, r));
+    errors_.resize(static_cast<std::size_t>(nranks));
+  }
+
+  [[nodiscard]] int nranks() const { return static_cast<int>(endpoints_.size()); }
+  [[nodiscard]] const Options& options() const { return opt_; }
+  [[nodiscard]] Mailbox& box(int rank) { return boxes_[static_cast<std::size_t>(rank)]; }
+  [[nodiscard]] const Mailbox& box(int rank) const {
+    return boxes_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] SteadyClock::time_point start_time() const { return start_; }
+
+  [[nodiscard]] bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  [[nodiscard]] std::string abort_message() const {
+    std::lock_guard<std::mutex> lock(abort_mu_);
+    return abort_msg_;
+  }
+
+  void deliver(int dst, MpMessage msg) {
+    require(dst >= 0 && dst < nranks(), "mp", "send: destination rank out of range");
+    Mailbox& b = box(dst);
+    {
+      std::lock_guard<std::mutex> lock(b.mu);
+      b.q.push_back(std::move(msg));
+    }
+    deliveries_.fetch_add(1, std::memory_order_release);
+    b.cv.notify_all();
+  }
+
+  double run(Stats* stats_out);
+
+ private:
+  void rank_main(int r);
+  void watchdog_main();
+  /// One precise deadlock scan; fires the abort and returns true on deadlock.
+  bool deadlock_scan();
+  void abort_run(const std::string& msg);
+
+  Options opt_;
+  const std::function<exec::Task(exec::Channel&)>& body_;
+  std::unique_ptr<Mailbox[]> boxes_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::exception_ptr> errors_;
+  SteadyClock::time_point start_;
+
+  std::atomic<std::uint64_t> deliveries_{0};
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mu_;
+  std::string abort_msg_;
+
+  // watchdog shutdown signalling
+  std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_ = false;
+
+  friend class Endpoint;
+};
+
+// ---------------------------------------------------------------- Endpoint
+
+int Endpoint::nprocs() const { return rt_->nranks(); }
+
+double Endpoint::now() const { return seconds_between(rt_->start_time(), SteadyClock::now()); }
+
+const exec::Machine& Endpoint::machine() const { return rt_->options().machine; }
+
+void Endpoint::compute(double flops) { elapse(flops * rt_->options().machine.flop_time); }
+
+void Endpoint::elapse(double seconds) {
+  require(seconds >= 0.0, "mp", "negative compute time");
+  stats.compute_seconds += seconds;
+  if (rt_->options().compute_mode != ComputeMode::Noop)
+    debt_seconds_ += seconds * rt_->options().time_scale;
+  // Batch tiny per-statement charges; sub-granularity sleeps/spins would
+  // swamp the run with syscall overhead.
+  if (debt_seconds_ > 100e-6) flush_compute(false);
+}
+
+void Endpoint::flush_compute(bool force) {
+  if (debt_seconds_ <= 0.0) return;
+  const ComputeMode mode = rt_->options().compute_mode;
+  if (mode == ComputeMode::Noop) {
+    debt_seconds_ = 0.0;
+    return;
+  }
+  if (!force && debt_seconds_ <= 50e-6) return;
+  const std::chrono::duration<double> d(debt_seconds_);
+  if (mode == ComputeMode::Sleep) {
+    std::this_thread::sleep_for(d);
+  } else {
+    const auto until = SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(d);
+    while (SteadyClock::now() < until) {
+      // busy-wait; keep the loop observable to the optimizer
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+    }
+  }
+  debt_seconds_ = 0.0;
+}
+
+void Endpoint::finish() {
+  flush_compute(true);
+  const auto t = SteadyClock::now();
+  phase_wall_[phase_] += seconds_between(phase_enter_, t);
+}
+
+void Endpoint::send(int dst, int tag, std::vector<double> data) {
+  flush_compute(false);
+  const std::size_t bytes = data.size() * sizeof(double);
+  rt_->deliver(dst, MpMessage{rank_, tag, std::move(data)});
+  ++stats.sends;
+  stats.bytes_sent += bytes;
+}
+
+bool Endpoint::has_message(int src, int tag) const {
+  const Mailbox& b = rt_->box(rank_);
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(b.mu));
+  return find_match(b, src, tag) != kNpos;
+}
+
+bool Endpoint::recv_ready(int src, int tag) {
+  require(src == kAnySource || (src >= 0 && src < rt_->nranks()), "mp",
+          "recv: source rank out of range");
+  flush_compute(false);
+  Mailbox& b = rt_->box(rank_);
+  std::unique_lock<std::mutex> lock(b.mu);
+  std::size_t idx = find_match(b, src, tag);
+  if (idx == kNpos && !rt_->aborted()) {
+    want_src_store(src, tag);
+    const auto start = SteadyClock::now();
+    const double timeout = rt_->options().recv_timeout_s;
+    const auto deadline =
+        start + std::chrono::duration_cast<SteadyClock::duration>(
+                    std::chrono::duration<double>(timeout > 0.0 ? timeout : 0.0));
+    bool timed_out = false;
+    while (true) {
+      idx = find_match(b, src, tag);
+      if (idx != kNpos || rt_->aborted()) break;
+      if (timeout > 0.0) {
+        if (b.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+          idx = find_match(b, src, tag);  // final re-check under the lock
+          if (idx != kNpos || rt_->aborted()) break;
+          timed_out = true;
+          break;
+        }
+      } else {
+        b.cv.wait(lock);
+      }
+    }
+    blocked.store(false, std::memory_order_seq_cst);
+    const double waited = seconds_between(start, SteadyClock::now());
+    stats.wait_seconds += waited;
+    phase_wait_[phase_] += waited;
+    if (timed_out) {
+      std::ostringstream msg;
+      msg << "recv timeout: rank " << rank_ << " waited "
+          << rt_->options().recv_timeout_s << "s on (src=" << src << ", tag=" << tag
+          << ") — missing send or deadlock";
+      fail("mp", msg.str());
+    }
+  }
+  if (idx == kNpos) {
+    // Force-woken by the watchdog with nothing to consume.
+    throw AbortError(rt_->abort_message());
+  }
+  MpMessage msg = std::move(b.q[idx]);
+  b.q.erase(b.q.begin() + static_cast<std::ptrdiff_t>(idx));
+  lock.unlock();
+  ++stats.recvs;
+  stats.bytes_received += msg.data.size() * sizeof(double);
+  pending_ = std::move(msg.data);
+  pending_src_ = msg.src;
+  have_pending_ = true;
+  return true;
+}
+
+void Endpoint::want_src_store(int src, int tag) {
+  // Publish what we are waiting for *before* raising the blocked flag so
+  // the watchdog never reads a stale (src, tag) for a blocked rank.
+  want_src.store(src, std::memory_order_seq_cst);
+  want_tag.store(tag, std::memory_order_seq_cst);
+  blocked.store(true, std::memory_order_seq_cst);
+}
+
+std::vector<double> Endpoint::recv_complete(int, int) {
+  require(have_pending_, "mp", "internal: recv completed without a matched message");
+  have_pending_ = false;
+  return std::move(pending_);
+}
+
+// ----------------------------------------------------------------- Runtime
+
+void Runtime::rank_main(int r) {
+  Endpoint& ep = *endpoints_[static_cast<std::size_t>(r)];
+  ep.phase_enter_ = SteadyClock::now();
+  try {
+    exec::Task root = body_(ep);
+    if (root.handle()) root.handle().resume();
+    require(root.done(), "mp", "rank returned control without completing");
+    root.rethrow_if_failed();
+  } catch (...) {
+    errors_[static_cast<std::size_t>(r)] = std::current_exception();
+  }
+  ep.finish();
+  ep.done.store(true, std::memory_order_seq_cst);
+}
+
+bool Runtime::deadlock_scan() {
+  // Sound because sends bump deliveries_ and a blocked rank can only
+  // unblock after a delivery (or abort/timeout): if no delivery happened
+  // across the scan and every unfinished rank was observed blocked with no
+  // matching pending message (under its mailbox lock, which the rank holds
+  // whenever it manipulates that state), none of them can ever make
+  // progress again.
+  const std::uint64_t before = deliveries_.load(std::memory_order_acquire);
+  std::ostringstream who;
+  int blocked_count = 0, live = 0;
+  for (int r = 0; r < nranks(); ++r) {
+    Endpoint& ep = *endpoints_[static_cast<std::size_t>(r)];
+    if (ep.done.load(std::memory_order_seq_cst)) continue;
+    ++live;
+    Mailbox& b = box(r);
+    std::lock_guard<std::mutex> lock(b.mu);
+    if (!ep.blocked.load(std::memory_order_seq_cst)) return false;
+    const int src = ep.want_src.load(std::memory_order_seq_cst);
+    const int tag = ep.want_tag.load(std::memory_order_seq_cst);
+    if (find_match(b, src, tag) != kNpos) return false;  // about to wake
+    who << " rank " << r << " waiting on (src=" << src << ", tag=" << tag << ")";
+    ++blocked_count;
+  }
+  if (live == 0 || blocked_count < live) return false;
+  if (deliveries_.load(std::memory_order_acquire) != before) return false;
+  abort_run("deadlock:" + who.str());
+  return true;
+}
+
+void Runtime::abort_run(const std::string& msg) {
+  {
+    std::lock_guard<std::mutex> lock(abort_mu_);
+    if (abort_msg_.empty()) abort_msg_ = msg;
+  }
+  aborted_.store(true, std::memory_order_release);
+  for (int r = 0; r < nranks(); ++r) {
+    // Acquire-release on each mailbox mutex so parked ranks observe the
+    // abort flag when they re-check their wait predicate.
+    std::lock_guard<std::mutex> lock(box(r).mu);
+    box(r).cv.notify_all();
+  }
+}
+
+void Runtime::watchdog_main() {
+  const auto period = std::chrono::duration<double>(opt_.watchdog_period_s);
+  std::unique_lock<std::mutex> lock(wd_mu_);
+  while (!wd_stop_) {
+    if (wd_cv_.wait_for(lock, period, [&] { return wd_stop_; })) return;
+    lock.unlock();
+    const bool fired = deadlock_scan();
+    lock.lock();
+    if (fired) return;
+  }
+}
+
+double Runtime::run(Stats* stats_out) {
+  const int n = nranks();
+  start_ = SteadyClock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) threads.emplace_back([this, r] { rank_main(r); });
+  std::thread watchdog;
+  if (opt_.watchdog_period_s > 0.0) watchdog = std::thread([this] { watchdog_main(); });
+
+  for (auto& t : threads) t.join();
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mu_);
+      wd_stop_ = true;
+    }
+    wd_cv_.notify_all();
+    watchdog.join();
+  }
+  const double wall = seconds_between(start_, SteadyClock::now());
+
+  // Rank failures: report the first rank-originated error; fall back to the
+  // watchdog's deadlock description when every failure is the shared abort.
+  std::string abort_text;
+  for (int r = 0; r < n; ++r) {
+    if (!errors_[static_cast<std::size_t>(r)]) continue;
+    try {
+      std::rethrow_exception(errors_[static_cast<std::size_t>(r)]);
+    } catch (const AbortError& e) {
+      if (abort_text.empty()) abort_text = e.what();
+    } catch (const std::exception& e) {
+      fail("mp", "rank " + std::to_string(r) + " failed: " + e.what());
+    }
+  }
+  if (!abort_text.empty()) throw Error("mp", abort_message());
+
+  Stats stats;
+  stats.wall_seconds = wall;
+  stats.ranks.reserve(static_cast<std::size_t>(n));
+  std::map<std::string, Stats::PhaseRow> phases;
+  for (int r = 0; r < n; ++r) {
+    Endpoint& ep = *endpoints_[static_cast<std::size_t>(r)];
+    stats.ranks.push_back(ep.stats);
+    stats.messages += ep.stats.sends;
+    stats.bytes += ep.stats.bytes_sent;
+    for (const auto& [name, wall_s] : ep.phase_wall_) {
+      Stats::PhaseRow& row = phases[name];
+      row.phase = name;
+      const auto wit = ep.phase_wait_.find(name);
+      const double wait_s = wit == ep.phase_wait_.end() ? 0.0 : wit->second;
+      row.busy += wall_s - wait_s;
+      row.wait += wait_s;
+    }
+  }
+  for (auto& [name, row] : phases) stats.phases.push_back(row);
+
+  // Observability: the counters/gauges/timers the benches and obs docs read.
+  obs::Registry& reg = obs::Registry::global();
+  reg.add("mp.runs");
+  reg.add("mp.messages", stats.messages);
+  reg.add("mp.bytes", stats.bytes);
+  for (int r = 0; r < n; ++r) {
+    const RankStats& rs = stats.ranks[static_cast<std::size_t>(r)];
+    const std::string prefix = "mp.rank" + std::to_string(r);
+    reg.set_gauge(prefix + ".sends", static_cast<double>(rs.sends));
+    reg.set_gauge(prefix + ".recvs", static_cast<double>(rs.recvs));
+    reg.set_gauge(prefix + ".wait_seconds", rs.wait_seconds);
+  }
+  for (const auto& row : stats.phases)
+    if (!row.phase.empty()) reg.timer("mp.phase." + row.phase).add(row.busy);
+
+  if (stats_out) *stats_out = std::move(stats);
+  return wall;
+}
+
+}  // namespace
+
+double run(int nranks, const Options& opt,
+           const std::function<exec::Task(exec::Channel&)>& body, Stats* stats_out) {
+  Runtime rt(nranks, opt, body);
+  return rt.run(stats_out);
+}
+
+double run(int nranks, const std::function<exec::Task(exec::Channel&)>& body,
+           Stats* stats_out) {
+  return run(nranks, Options{}, body, stats_out);
+}
+
+}  // namespace dhpf::mp

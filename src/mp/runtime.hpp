@@ -1,0 +1,112 @@
+// dhpf::mp — a real multi-threaded message-passing runtime.
+//
+// The second execution backend behind exec::Channel: where src/sim
+// *simulates* a distributed-memory machine in virtual time, mp *executes*
+// the same SPMD node programs on hardware, one OS thread per rank, with
+// per-rank mailboxes (mutex + condition variable), tagged send/recv with
+// wildcard source, nonblocking irecv/wait, and the shared collectives of
+// exec/collectives.hpp. This is the moral equivalent of the paper's MPI
+// runs on the 32-node SP2 (§8), scaled to a shared-memory node: the
+// compiler's communication plans are validated under real concurrency and
+// real (monotonic-clock) time instead of a cost model.
+//
+// Determinism: message order between one (source, tag) pair and a receiver
+// is FIFO, exactly as on the simulator, so node programs whose receives
+// name their sources — everything codegen emits, the NAS variants, and the
+// collectives — produce bit-identical results on both backends. Wildcard
+// (kAnySource) receives, by contrast, match in real arrival order, which
+// depends on OS scheduling: *nondeterministic across sources* on mp,
+// deterministic (earliest virtual arrival, ties by source rank) on sim.
+//
+// Liveness: CI must never hang. Every blocking receive carries a
+// configurable timeout, and a watchdog thread detects global deadlock (all
+// unfinished ranks blocked with no delivery progress across two scans) and
+// aborts the run; both raise dhpf::Error instead of hanging.
+//
+// compute(flops) does not burn host cycles by default (ComputeMode::Noop):
+// the kernels' real arithmetic is the work, and timings come from the
+// monotonic clock. For machine-model emulation studies, Spin busy-waits
+// and Sleep sleeps for the modelled duration (scaled by time_scale); Sleep
+// lets P ranks overlap their modelled compute even on a single host core,
+// which keeps measured-speedup experiments meaningful on small CI boxes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/channel.hpp"
+#include "exec/task.hpp"
+
+namespace dhpf::mp {
+
+inline constexpr int kAnySource = exec::kAnySource;
+
+/// How Channel::compute(flops)/elapse(s) behave on the real backend.
+enum class ComputeMode {
+  Noop,   ///< account modelled seconds only; no host time consumed
+  Spin,   ///< busy-wait for the modelled duration * time_scale
+  Sleep,  ///< sleep for the modelled duration * time_scale (overlaps ranks)
+};
+
+struct Options {
+  ComputeMode compute_mode = ComputeMode::Noop;
+  /// Cost model used to convert flops to seconds for Spin/Sleep and served
+  /// by Channel::machine() for cost heuristics (e.g. pipeline tiling).
+  exec::Machine machine = exec::Machine::sp2();
+  /// Dilation factor applied to modelled compute time in Spin/Sleep modes.
+  double time_scale = 1.0;
+  /// Per-receive timeout in real seconds; a receive that waits longer
+  /// raises dhpf::Error. <= 0 disables (the watchdog still guards CI).
+  double recv_timeout_s = 30.0;
+  /// Blocked-rank watchdog scan period in real seconds; <= 0 disables.
+  double watchdog_period_s = 0.05;
+};
+
+/// Per-rank activity counters (real seconds where noted).
+struct RankStats {
+  std::size_t sends = 0;
+  std::size_t recvs = 0;
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
+  double wait_seconds = 0.0;     ///< real time blocked in recv
+  double compute_seconds = 0.0;  ///< *modelled* seconds via compute()/elapse()
+};
+
+struct Stats {
+  double wall_seconds = 0.0;  ///< real elapsed time of the run
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  std::vector<RankStats> ranks;
+
+  /// Real-time phase breakdown summed over ranks: for each phase label (see
+  /// Channel::set_phase) the wall time ranks spent inside it, split into
+  /// busy (executing) and wait (blocked in recv) seconds.
+  struct PhaseRow {
+    std::string phase;
+    double busy = 0.0;
+    double wait = 0.0;
+  };
+  std::vector<PhaseRow> phases;
+};
+
+/// Execute `body(channel)` once per rank, each rank on its own OS thread,
+/// and return the real elapsed seconds. Throws dhpf::Error if any rank's
+/// coroutine throws, a receive times out, or the watchdog detects deadlock.
+///
+/// Side effect: bumps dhpf::obs — counters mp.runs / mp.messages /
+/// mp.bytes, per-rank gauges mp.rank<r>.{sends,recvs,wait_seconds}, and
+/// timers mp.phase.<label> accumulating real busy seconds per phase.
+double run(int nranks, const Options& opt,
+           const std::function<exec::Task(exec::Channel&)>& body, Stats* stats_out = nullptr);
+
+/// Convenience overload with default options.
+double run(int nranks, const std::function<exec::Task(exec::Channel&)>& body,
+           Stats* stats_out = nullptr);
+
+}  // namespace dhpf::mp

@@ -15,8 +15,8 @@ namespace {
 using rt::Box;
 using rt::Decomp2D;
 using rt::Field;
-using sim::Process;
-using sim::Task;
+using exec::Channel;
+using exec::Task;
 
 constexpr int kTagHaloU = 100;
 constexpr int kTagHaloRecips = 110;
@@ -68,7 +68,7 @@ struct BtTraits {
 /// — small tiles shrink the fill/drain triangles, large tiles amortize the
 /// per-message overhead.
 template <class Tr>
-int auto_tile(const sim::Machine& m, int np, int c1_extent, long c2n, int rows) {
+int auto_tile(const exec::Machine& m, int np, int c1_extent, long c2n, int rows) {
   int best = 1;
   double best_t = 1e300;
   for (int tile = 1; tile <= c1_extent; tile = (tile < 4 ? tile + 1 : tile * 2)) {
@@ -93,7 +93,7 @@ int auto_tile(const sim::Machine& m, int np, int c1_extent, long c2n, int rows) 
 /// granularity — and hence the fill/drain cost the paper discusses — is set
 /// by `tile` (0 = per-sweep automatic selection).
 template <class Tr, class DecompT>
-Task pipelined_sweep(Process& p, const Problem& pb, const DecompT& d, const Field& u,
+Task pipelined_sweep(Channel& p, const Problem& pb, const DecompT& d, const Field& u,
                      const Field& recips, Field& rhs, int dim, int tile,
                      bool data_availability) {
   const Box owned = d.owned_box(p.rank());
@@ -205,7 +205,7 @@ namespace {
 /// line solves along undistributed dims, pipelined wavefronts along
 /// distributed ones.
 template <class DecompT>
-Task run_dhpf_body(Process& p, Problem pb, DhpfOptions opt, const DecompT& d,
+Task run_dhpf_body(Channel& p, Problem pb, DhpfOptions opt, const DecompT& d,
                    Field* gather_u, double* norm_out) {
   const Box dom = pb.domain();
   const Box interior = pb.interior();
@@ -289,7 +289,7 @@ Task run_dhpf_body(Process& p, Problem pb, DhpfOptions opt, const DecompT& d,
 
 }  // namespace
 
-Task run_dhpf_style(Process& p, Problem pb, DhpfOptions opt, Field* gather_u,
+Task run_dhpf_style(Channel& p, Problem pb, DhpfOptions opt, Field* gather_u,
                     double* norm_out) {
   if (opt.grid3d) {
     const rt::Decomp3D d = rt::Decomp3D::cubic(pb.n, pb.n, pb.n, p.nprocs());

@@ -16,8 +16,8 @@
 
 #include "nas/problem.hpp"
 #include "rt/field.hpp"
-#include "sim/engine.hpp"
-#include "sim/task.hpp"
+#include "exec/channel.hpp"
+#include "exec/task.hpp"
 
 namespace dhpf::nas {
 
@@ -39,7 +39,7 @@ struct DhpfOptions {
   bool grid3d = false;
 };
 
-sim::Task run_dhpf_style(sim::Process& p, Problem pb, DhpfOptions opt, rt::Field* gather_u,
+exec::Task run_dhpf_style(exec::Channel& p, Problem pb, DhpfOptions opt, rt::Field* gather_u,
                          double* norm_out = nullptr);
 
 }  // namespace dhpf::nas

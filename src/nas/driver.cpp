@@ -1,5 +1,6 @@
 #include "nas/driver.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "nas/hand_mpi.hpp"
@@ -39,19 +40,34 @@ RunResult run_variant(Variant v, const Problem& pb, int nprocs, const sim::Machi
   init_u(pb, gathered, pb.domain());
 
   RunResult result;
-  sim::Engine engine(nprocs, machine, opt.record_trace);
-  engine.run([&](sim::Process& p) -> sim::Task {
+  result.backend = opt.backend;
+  const auto body = [&](exec::Channel& p) -> exec::Task {
     switch (v) {
       case Variant::HandMPI: return run_hand_mpi(p, pb, &gathered, &result.norm);
       case Variant::DhpfStyle:
         return run_dhpf_style(p, pb, opt.dhpf, &gathered, &result.norm);
       default: return run_pgi_style(p, pb, &gathered, &result.norm);
     }
-  });
+  };
 
-  result.elapsed = engine.elapsed();
-  result.stats = engine.stats();
-  if (opt.record_trace) result.trace = engine.trace();
+  if (opt.backend == exec::Backend::Sim) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sim::Engine engine(nprocs, machine, opt.record_trace);
+    engine.run(body);
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    result.elapsed = engine.elapsed();
+    result.stats = engine.stats();
+    if (opt.record_trace) result.trace = engine.trace();
+  } else {
+    // Real execution: ranks race on the gather field, but every rank writes
+    // only its own owned box (disjoint), so no synchronization is needed.
+    mp::Options mpopt = opt.mp;
+    mpopt.machine = machine;
+    result.wall_seconds = mp::run(nprocs, mpopt, body, &result.mp_stats);
+    result.stats.messages = result.mp_stats.messages;
+    result.stats.bytes = result.mp_stats.bytes;
+  }
 
   if (opt.verify) {
     SerialApp reference(pb);

@@ -14,8 +14,8 @@ namespace {
 using rt::Box;
 using rt::Field;
 using rt::MultiPartMap;
-using sim::Process;
-using sim::Task;
+using exec::Channel;
+using exec::Task;
 
 constexpr int kTagFace = 1000;
 constexpr int kTagFwd = 2000;  // +dim
@@ -52,7 +52,7 @@ Box outer_face(const Box& owned, int dim, int dir, int depth) {
 
 /// NPB copy_faces: exchange 2-deep u faces between adjacent cells (always on
 /// different ranks for q >= 2), providing everything compute_rhs needs.
-Task copy_faces(Process& p, const MultiPartMap& mp, std::vector<Cell>& cells, int depth) {
+Task copy_faces(Channel& p, const MultiPartMap& mp, std::vector<Cell>& cells, int depth) {
   for (auto& c : cells)
     for (int d = 0; d < 3; ++d)
       for (int dir : {-1, +1}) {
@@ -114,7 +114,7 @@ struct BtTraits {
 /// rank, backward carries to the fixed predecessor — every rank is busy at
 /// every stage, which is multi-partitioning's whole advantage.
 template <class Tr>
-Task sweep(Process& p, const Problem& pb, const MultiPartMap& mp, std::vector<Cell>& cells,
+Task sweep(Channel& p, const Problem& pb, const MultiPartMap& mp, std::vector<Cell>& cells,
            int dim) {
   const int q = mp.q();
   // Segments are kept across the forward pass for the backward substitution.
@@ -195,7 +195,7 @@ Task sweep(Process& p, const Problem& pb, const MultiPartMap& mp, std::vector<Ce
 
 }  // namespace
 
-Task run_hand_mpi(Process& p, Problem pb, Field* gather_u, double* norm_out) {
+Task run_hand_mpi(Channel& p, Problem pb, Field* gather_u, double* norm_out) {
   const int P = p.nprocs();
   const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(P))));
   require(q * q == P, "nas", "hand-written multi-partitioning requires a square P");

@@ -11,8 +11,8 @@
 
 #include "nas/problem.hpp"
 #include "rt/field.hpp"
-#include "sim/engine.hpp"
-#include "sim/task.hpp"
+#include "exec/channel.hpp"
+#include "exec/task.hpp"
 
 namespace dhpf::nas {
 
@@ -20,7 +20,7 @@ namespace dhpf::nas {
 /// interior values are copied into it for verification (instrumentation,
 /// not simulated traffic). If `norm_out` is non-null, rank 0 stores the
 /// allreduced interior RMS of u there (real collective communication).
-sim::Task run_hand_mpi(sim::Process& p, Problem pb, rt::Field* gather_u,
+exec::Task run_hand_mpi(exec::Channel& p, Problem pb, rt::Field* gather_u,
                        double* norm_out = nullptr);
 
 }  // namespace dhpf::nas

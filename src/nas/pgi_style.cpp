@@ -10,8 +10,8 @@ namespace dhpf::nas {
 namespace {
 using rt::Box;
 using rt::Field;
-using sim::Process;
-using sim::Task;
+using exec::Channel;
+using exec::Task;
 
 constexpr int kTagHaloU = 100;
 constexpr int kTagXposeU = 500;
@@ -19,7 +19,7 @@ constexpr int kTagXposeRhs = 600;
 constexpr int kTagXposeBack = 700;
 }  // namespace
 
-Task run_pgi_style(Process& p, Problem pb, Field* gather_u, double* norm_out) {
+Task run_pgi_style(Channel& p, Problem pb, Field* gather_u, double* norm_out) {
   const int P = p.nprocs();
   require(pb.n >= 2 * P, "nas", "pgi_style: need at least 2 grid planes per processor");
   // z-blocked primary layout; y-blocked twins used around the z solve.

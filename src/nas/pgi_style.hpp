@@ -7,12 +7,12 @@
 
 #include "nas/problem.hpp"
 #include "rt/field.hpp"
-#include "sim/engine.hpp"
-#include "sim/task.hpp"
+#include "exec/channel.hpp"
+#include "exec/task.hpp"
 
 namespace dhpf::nas {
 
-sim::Task run_pgi_style(sim::Process& p, Problem pb, rt::Field* gather_u,
+exec::Task run_pgi_style(exec::Channel& p, Problem pb, rt::Field* gather_u,
                         double* norm_out = nullptr);
 
 }  // namespace dhpf::nas

@@ -7,9 +7,9 @@
 
 #include "nas/kernels.hpp"
 #include "rt/field.hpp"
-#include "sim/collectives.hpp"
-#include "sim/engine.hpp"
-#include "sim/task.hpp"
+#include "exec/collectives.hpp"
+#include "exec/channel.hpp"
+#include "exec/task.hpp"
 #include "support/diagnostics.hpp"
 
 namespace dhpf::nas::detail {
@@ -75,8 +75,8 @@ inline void gather_interior(const rt::Field& local, const rt::Box& interior,
 /// Allreduced interior RMS of u across ranks (real collective traffic, like
 /// the NAS codes' error norms). `pieces` lists this rank's owned (field,
 /// box) fragments; every rank ends with the norm, rank 0 stores it.
-inline sim::Task interior_rms_allreduce(
-    sim::Process& p, const std::vector<std::pair<const rt::Field*, rt::Box>>& pieces,
+inline exec::Task interior_rms_allreduce(
+    exec::Channel& p, const std::vector<std::pair<const rt::Field*, rt::Box>>& pieces,
     double* out) {
   std::vector<double> acc(2, 0.0);
   for (const auto& [f, b] : pieces) {
@@ -90,7 +90,7 @@ inline sim::Task interior_rms_allreduce(
             acc[1] += 1.0;
           }
   }
-  co_await sim::allreduce(p, acc, sim::ReduceOp::Sum);
+  co_await exec::allreduce(p, acc, exec::ReduceOp::Sum);
   if (out && p.rank() == 0) *out = std::sqrt(acc[0] / acc[1]);
 }
 

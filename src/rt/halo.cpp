@@ -39,7 +39,7 @@ namespace {
 /// Shared face-exchange body over any decomposition providing owned_box()
 /// and neighbor().
 template <class DecompT>
-sim::Task exchange_dim_impl(sim::Process& p, const DecompT& d, Field& f, int dim, int depth,
+exec::Task exchange_dim_impl(exec::Channel& p, const DecompT& d, Field& f, int dim, int depth,
                             int tag_base) {
   require(f.ghost() >= depth, "rt", "exchange_halo_dim: field ghost too small");
   const Box owned = d.owned_box(p.rank());
@@ -61,25 +61,25 @@ sim::Task exchange_dim_impl(sim::Process& p, const DecompT& d, Field& f, int dim
 
 }  // namespace
 
-sim::Task exchange_halo_dim(sim::Process& p, const Decomp2D& d, Field& f, int dim, int depth,
+exec::Task exchange_halo_dim(exec::Channel& p, const Decomp2D& d, Field& f, int dim, int depth,
                             int tag_base) {
   require(dim == 1 || dim == 2, "rt", "exchange_halo_dim: dim must be 1 (y) or 2 (z)");
   co_await exchange_dim_impl(p, d, f, dim, depth, tag_base);
 }
 
-sim::Task exchange_halo_dim(sim::Process& p, const Decomp3D& d, Field& f, int dim, int depth,
+exec::Task exchange_halo_dim(exec::Channel& p, const Decomp3D& d, Field& f, int dim, int depth,
                             int tag_base) {
   require(dim >= 0 && dim <= 2, "rt", "exchange_halo_dim: dim must be 0..2");
   co_await exchange_dim_impl(p, d, f, dim, depth, tag_base);
 }
 
-sim::Task exchange_halo_xyz(sim::Process& p, const Decomp3D& d, Field& f, int depth,
+exec::Task exchange_halo_xyz(exec::Channel& p, const Decomp3D& d, Field& f, int depth,
                             int tag_base) {
   for (int dim = 0; dim < 3; ++dim)
     co_await exchange_dim_impl(p, d, f, dim, depth, tag_base + 10 * dim);
 }
 
-sim::Task exchange_halo_yz(sim::Process& p, const Decomp2D& d, Field& f, int depth,
+exec::Task exchange_halo_yz(exec::Channel& p, const Decomp2D& d, Field& f, int depth,
                            int tag_base) {
   co_await exchange_halo_dim(p, d, f, 1, depth, tag_base);
   co_await exchange_halo_dim(p, d, f, 2, depth, tag_base);
@@ -96,7 +96,7 @@ int Decomp2D::neighbor(int rank, int dim, int dir) const {
   return (nz_ < 0 || nz_ >= grid.pz()) ? -1 : grid.rank(cy, nz_);
 }
 
-sim::Task transpose(sim::Process& p, const Decomp1D& src_d, const Field& src,
+exec::Task transpose(exec::Channel& p, const Decomp1D& src_d, const Field& src,
                     const Decomp1D& dst_d, Field& dst, int tag_base) {
   require(src_d.nprocs() == dst_d.nprocs(), "rt", "transpose: mismatched decompositions");
   const int n = src_d.nprocs();

@@ -3,12 +3,14 @@
 // These are the runtime communication primitives the generated/hand-written
 // SPMD codes use: face exchanges for stencil overlap areas, and the full 3D
 // transpose the PGI-style SP/BT implementations perform around the z solve.
+// Written against exec::Channel, so they run unchanged on the deterministic
+// simulator (sim::Process) and the real multi-threaded runtime (mp).
 #pragma once
 
+#include "exec/channel.hpp"
+#include "exec/task.hpp"
 #include "rt/decomp.hpp"
 #include "rt/field.hpp"
-#include "sim/engine.hpp"
-#include "sim/task.hpp"
 
 namespace dhpf::rt {
 
@@ -17,24 +19,24 @@ namespace dhpf::rt {
 /// exchanged (the NAS stencils are axis-aligned). `f` must have
 /// ghost() >= depth and owned() == d.owned_box(p.rank()).
 /// Tags used: tag_base .. tag_base+3.
-sim::Task exchange_halo_yz(sim::Process& p, const Decomp2D& d, Field& f, int depth,
+exec::Task exchange_halo_yz(exec::Channel& p, const Decomp2D& d, Field& f, int depth,
                            int tag_base);
 
 /// Exchange only along one dimension (1=y or 2=z); used by solvers that only
 /// need overlap in the sweep direction.
-sim::Task exchange_halo_dim(sim::Process& p, const Decomp2D& d, Field& f, int dim, int depth,
+exec::Task exchange_halo_dim(exec::Channel& p, const Decomp2D& d, Field& f, int dim, int depth,
                             int tag_base);
 
 /// 3D-decomposition variants (any dim 0..2).
-sim::Task exchange_halo_dim(sim::Process& p, const Decomp3D& d, Field& f, int dim, int depth,
+exec::Task exchange_halo_dim(exec::Channel& p, const Decomp3D& d, Field& f, int dim, int depth,
                             int tag_base);
-sim::Task exchange_halo_xyz(sim::Process& p, const Decomp3D& d, Field& f, int depth,
+exec::Task exchange_halo_xyz(exec::Channel& p, const Decomp3D& d, Field& f, int depth,
                             int tag_base);
 
 /// Redistribute `src` (1D-blocked along src_d.dim) into `dst` (1D-blocked
 /// along dst_d.dim) — the PGI transpose. Fields carry the same logical array.
 /// Tags used: tag_base .. tag_base+nprocs-1.
-sim::Task transpose(sim::Process& p, const Decomp1D& src_d, const Field& src,
+exec::Task transpose(exec::Channel& p, const Decomp1D& src_d, const Field& src,
                     const Decomp1D& dst_d, Field& dst, int tag_base);
 
 }  // namespace dhpf::rt

@@ -1,30 +1,20 @@
-// Collective operations built from point-to-point messages.
-//
-// Binomial-tree reductions/broadcasts (O(log P) steps), valid for any P.
-// These are coroutines over the same Process API user code uses, so their
-// cost falls out of the machine model rather than being special-cased.
-// The NAS drivers use them for error norms and residual checks.
+// Compatibility aliases: the collectives are implemented once over the
+// abstract exec::Channel (exec/collectives.hpp) and therefore run on both
+// the simulator and the mp runtime. Existing code that spells
+// `sim::allreduce(p, ...)` keeps compiling unchanged because sim::Process
+// is-a exec::Channel.
 #pragma once
 
-#include <vector>
-
+#include "exec/collectives.hpp"
 #include "sim/engine.hpp"
-#include "sim/task.hpp"
 
 namespace dhpf::sim {
 
-enum class ReduceOp { Sum, Max };
+using exec::ReduceOp;
 
-/// Reduce `data` elementwise onto rank `root` (result valid only there).
-Task reduce(Process& p, std::vector<double>& data, ReduceOp op, int root = 0);
-
-/// Broadcast `data` from `root` to all ranks (resized on non-roots).
-Task broadcast(Process& p, std::vector<double>& data, int root = 0);
-
-/// Elementwise allreduce: every rank ends with the combined vector.
-Task allreduce(Process& p, std::vector<double>& data, ReduceOp op);
-
-/// Barrier: no rank returns before every rank has entered.
-Task barrier(Process& p);
+using exec::allreduce;
+using exec::barrier;
+using exec::broadcast;
+using exec::reduce;
 
 }  // namespace dhpf::sim

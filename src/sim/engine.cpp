@@ -72,26 +72,24 @@ std::size_t Process::find_match(int src, int tag) const {
 
 bool Process::has_message(int src, int tag) const { return find_match(src, tag) != kNpos; }
 
-bool Process::RecvAwaiter::await_ready() const { return proc->has_message(src, tag); }
-
-void Process::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
-  proc->blocked_ = true;
-  proc->want_src_ = src;
-  proc->want_tag_ = tag;
-  proc->resume_point_ = h;
+void Process::recv_suspend(int src, int tag, std::coroutine_handle<> h) {
+  blocked_ = true;
+  want_src_ = src;
+  want_tag_ = tag;
+  resume_point_ = h;
 }
 
-std::vector<double> Process::RecvAwaiter::await_resume() {
-  const std::size_t idx = proc->find_match(src, tag);
+std::vector<double> Process::recv_complete(int src, int tag) {
+  const std::size_t idx = find_match(src, tag);
   require(idx != kNpos, "sim", "recv resumed without a matching message");
-  Message msg = std::move(proc->mailbox_[static_cast<std::size_t>(idx)]);
-  proc->mailbox_.erase(proc->mailbox_.begin() + static_cast<std::ptrdiff_t>(idx));
+  Message msg = std::move(mailbox_[static_cast<std::size_t>(idx)]);
+  mailbox_.erase(mailbox_.begin() + static_cast<std::ptrdiff_t>(idx));
 
-  const Machine& m = proc->engine_->machine_;
-  const double ready = std::max(proc->clock_, msg.arrival);
-  proc->record(proc->clock_, ready, IntervalKind::Idle, msg.src);
-  proc->record(ready, ready + m.recv_overhead, IntervalKind::Recv, msg.src);
-  proc->clock_ = ready + m.recv_overhead;
+  const Machine& m = engine_->machine_;
+  const double ready = std::max(clock_, msg.arrival);
+  record(clock_, ready, IntervalKind::Idle, msg.src);
+  record(ready, ready + m.recv_overhead, IntervalKind::Recv, msg.src);
+  clock_ = ready + m.recv_overhead;
   return std::move(msg.data);
 }
 

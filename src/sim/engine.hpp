@@ -1,16 +1,20 @@
 // Deterministic discrete-event simulator of a distributed-memory machine.
 //
-// Each simulated rank runs a coroutine (`sim::Task`) against a `Process`
-// handle providing compute / send / recv primitives. Ranks interact *only*
-// through messages, so the engine may execute any runnable rank greedily
-// until it blocks on a receive; this is causality-correct and, with the
-// fixed lowest-clock-first policy used here, fully deterministic.
+// Each simulated rank runs a coroutine (`exec::Task`) against a `Process`
+// handle implementing the abstract `exec::Channel` interface (compute /
+// send / recv primitives). Ranks interact *only* through messages, so the
+// engine may execute any runnable rank greedily until it blocks on a
+// receive; this is causality-correct and, with the fixed
+// lowest-clock-first policy used here, fully deterministic.
 //
 // Virtual time: each rank carries its own clock, advanced by the Machine
-// cost model (see machine.hpp). A receive completes at
+// cost model (see exec/machine.hpp). A receive completes at
 //   max(receiver clock, message arrival) + recv_overhead.
 // Deadlock (all unfinished ranks blocked) raises dhpf::Error with a
 // description of every blocked rank.
+//
+// The real-hardware counterpart of this backend is mp::Runtime (src/mp);
+// node programs written against exec::Channel run unmodified on either.
 #pragma once
 
 #include <coroutine>
@@ -21,14 +25,17 @@
 #include <string>
 #include <vector>
 
+#include "exec/channel.hpp"
 #include "sim/machine.hpp"
 #include "sim/task.hpp"
 #include "sim/trace.hpp"
 
 namespace dhpf::sim {
 
-/// Wildcard source for Process::recv.
-inline constexpr int kAnySource = -1;
+/// Wildcard source for Process::recv (same value as exec::kAnySource).
+inline constexpr int kAnySource = exec::kAnySource;
+
+using Request = exec::Request;
 
 /// An in-flight or delivered message.
 struct Message {
@@ -40,56 +47,38 @@ struct Message {
 
 class Engine;
 
-/// A non-blocking receive request (see Process::irecv / Process::wait).
-struct Request {
-  int src = kAnySource;
-  int tag = 0;
-};
-
 /// Per-rank handle exposed to simulated code.
-class Process {
+class Process final : public exec::Channel {
  public:
-  [[nodiscard]] int rank() const { return rank_; }
-  [[nodiscard]] int nprocs() const;
-  [[nodiscard]] double now() const { return clock_; }
-  [[nodiscard]] const Machine& machine() const;
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int nprocs() const override;
+  [[nodiscard]] double now() const override { return clock_; }
+  [[nodiscard]] const Machine& machine() const override;
 
   /// Advance the local clock by `flops` floating-point operations.
-  void compute(double flops);
+  void compute(double flops) override;
   /// Advance the local clock by raw seconds (e.g. modelled memory traffic).
-  void elapse(double seconds);
+  void elapse(double seconds) override;
 
   /// Label subsequent trace intervals (e.g. "y_solve"); empty clears it.
-  void set_phase(std::string phase) { phase_ = std::move(phase); }
-  [[nodiscard]] const std::string& phase() const { return phase_; }
+  void set_phase(std::string phase) override { phase_ = std::move(phase); }
+  [[nodiscard]] const std::string& phase() const override { return phase_; }
 
   /// Buffered, non-blocking send (the paper's codes use non-blocking MPI).
-  void send(int dst, int tag, std::vector<double> data);
-  /// Alias for send(); provided for MPI-style code.
-  void isend(int dst, int tag, std::vector<double> data) { send(dst, tag, std::move(data)); }
-
-  /// Awaitable blocking receive: `auto v = co_await p.recv(src, tag);`
-  /// src may be kAnySource.
-  struct [[nodiscard]] RecvAwaiter {
-    Process* proc;
-    int src;
-    int tag;
-    bool await_ready() const;
-    void await_suspend(std::coroutine_handle<> h);
-    std::vector<double> await_resume();
-  };
-  RecvAwaiter recv(int src, int tag) { return RecvAwaiter{this, src, tag}; }
-
-  /// Post a non-blocking receive; complete it with `co_await p.wait(req)`.
-  Request irecv(int src, int tag) { return Request{src, tag}; }
-  RecvAwaiter wait(const Request& r) { return recv(r.src, r.tag); }
+  void send(int dst, int tag, std::vector<double> data) override;
 
   /// True iff a matching message is already in the mailbox.
-  [[nodiscard]] bool has_message(int src, int tag) const;
+  [[nodiscard]] bool has_message(int src, int tag) const override;
+
+ protected:
+  // exec::Channel receive protocol: ready iff a matching message is in the
+  // mailbox; otherwise park the coroutine until the engine delivers one.
+  bool recv_ready(int src, int tag) override { return has_message(src, tag); }
+  void recv_suspend(int src, int tag, std::coroutine_handle<> h) override;
+  std::vector<double> recv_complete(int src, int tag) override;
 
  private:
   friend class Engine;
-  friend struct RecvAwaiter;
 
   /// Index into mailbox_ of the best match, or npos.
   [[nodiscard]] std::size_t find_match(int src, int tag) const;
@@ -139,7 +128,6 @@ class Engine {
 
  private:
   friend class Process;
-  friend struct Process::RecvAwaiter;
 
   void deliver(int dst, Message msg);
 

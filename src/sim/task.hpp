@@ -1,97 +1,12 @@
-// Minimal coroutine task type for simulated SPMD processes.
-//
-// Each simulated rank runs a `sim::Task` coroutine. Tasks are eagerly-started
-// by the engine, may co_await other Tasks (symmetric transfer, so deep call
-// chains do not grow the machine stack), and propagate exceptions to the
-// awaiter / the engine.
+// Compatibility alias: the coroutine task type now lives in exec/task.hpp so
+// both execution backends (sim and mp) share it. Existing code that spells
+// `sim::Task` keeps compiling unchanged.
 #pragma once
 
-#include <coroutine>
-#include <exception>
-#include <utility>
+#include "exec/task.hpp"
 
 namespace dhpf::sim {
 
-class [[nodiscard]] Task {
- public:
-  struct promise_type {
-    std::coroutine_handle<> continuation;  // who to resume when we finish
-    std::exception_ptr exception;
-
-    Task get_return_object() {
-      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
-    }
-    std::suspend_always initial_suspend() noexcept { return {}; }
-
-    struct FinalAwaiter {
-      bool await_ready() noexcept { return false; }
-      std::coroutine_handle<> await_suspend(std::coroutine_handle<promise_type> h) noexcept {
-        auto cont = h.promise().continuation;
-        return cont ? cont : std::noop_coroutine();
-      }
-      void await_resume() noexcept {}
-    };
-    FinalAwaiter final_suspend() noexcept { return {}; }
-
-    void return_void() {}
-    void unhandled_exception() { exception = std::current_exception(); }
-  };
-
-  Task() = default;
-  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
-  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
-  Task& operator=(Task&& other) noexcept {
-    if (this != &other) {
-      destroy();
-      handle_ = std::exchange(other.handle_, nullptr);
-    }
-    return *this;
-  }
-  Task(const Task&) = delete;
-  Task& operator=(const Task&) = delete;
-  ~Task() { destroy(); }
-
-  [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
-  [[nodiscard]] std::coroutine_handle<promise_type> handle() const { return handle_; }
-
-  /// Rethrow any exception that escaped the task body (call once done()).
-  void rethrow_if_failed() const {
-    if (handle_ && handle_.promise().exception)
-      std::rethrow_exception(handle_.promise().exception);
-  }
-
-  /// Awaiting a task runs it to completion (suspending the awaiter across
-  /// any blocking communication the task performs).
-  auto operator co_await() & noexcept {
-    struct Awaiter {
-      std::coroutine_handle<promise_type> child;
-      bool await_ready() const noexcept { return !child || child.done(); }
-      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
-        child.promise().continuation = parent;
-        return child;  // symmetric transfer into the child
-      }
-      void await_resume() const {
-        if (child && child.promise().exception)
-          std::rethrow_exception(child.promise().exception);
-      }
-    };
-    return Awaiter{handle_};
-  }
-  auto operator co_await() && noexcept {
-    // The temporary Task lives for the whole co_await full-expression (and
-    // across suspension, since it is part of the coroutine frame), so the
-    // lvalue awaiter is safe to reuse.
-    return static_cast<Task&>(*this).operator co_await();
-  }
-
- private:
-  void destroy() {
-    if (handle_) {
-      handle_.destroy();
-      handle_ = nullptr;
-    }
-  }
-  std::coroutine_handle<promise_type> handle_;
-};
+using Task = exec::Task;
 
 }  // namespace dhpf::sim

@@ -1,0 +1,454 @@
+// Tests for dhpf::mp, the real multi-threaded message-passing runtime, and
+// for backend parity: the same node programs (collectives, generated SPMD
+// programs, NAS variants) must produce bit-identical results on the
+// virtual-time simulator and on real threads.
+//
+// Determinism policy under test (see docs/runtime.md):
+//   * messages between one (source, tag) pair are FIFO on both backends;
+//   * receives that name their source are fully deterministic on both
+//     backends — this covers everything codegen emits, the NAS variants,
+//     and the collectives;
+//   * wildcard (kAnySource) receives are deterministic on sim (earliest
+//     virtual arrival, ties by source rank) but match in real arrival
+//     order on mp — nondeterministic across sources, so tests only assert
+//     the *set* of received messages there.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "codegen/spmd.hpp"
+#include "comm/comm.hpp"
+#include "cp/select.hpp"
+#include "exec/collectives.hpp"
+#include "hpf/parser.hpp"
+#include "mp/runtime.hpp"
+#include "nas/driver.hpp"
+#include "sim/engine.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf {
+namespace {
+
+using exec::Channel;
+using exec::Task;
+
+// Run `body` on the sim backend and return nothing; helper for parity tests.
+void run_on_sim(int nranks, const std::function<Task(Channel&)>& body) {
+  sim::Engine engine(nranks, sim::Machine::sp2());
+  engine.run([&](sim::Process& p) -> Task { return body(p); });
+}
+
+// ------------------------------------------------------ point-to-point
+
+TEST(MpRuntime, SendRecvDeliversPayload) {
+  std::vector<double> got;
+  mp::run(2, [&](Channel& p) -> Task {
+    if (p.rank() == 0) {
+      p.send(1, 7, {1.5, 2.5, 3.5});
+    } else {
+      got = co_await p.recv(0, 7);
+    }
+    co_return;
+  });
+  EXPECT_EQ(got, (std::vector<double>{1.5, 2.5, 3.5}));
+}
+
+TEST(MpRuntime, SameSourceSameTagIsFifo) {
+  constexpr int kN = 200;
+  std::vector<double> seq;
+  mp::run(2, [&](Channel& p) -> Task {
+    if (p.rank() == 0) {
+      for (int i = 0; i < kN; ++i) p.send(1, 3, {static_cast<double>(i)});
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        auto v = co_await p.recv(0, 3);
+        seq.push_back(v.at(0));
+      }
+    }
+    co_return;
+  });
+  ASSERT_EQ(seq.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(seq[static_cast<std::size_t>(i)], i);
+}
+
+TEST(MpRuntime, TagsMatchIndependentlyOfArrivalOrder) {
+  std::vector<double> first, second;
+  mp::run(2, [&](Channel& p) -> Task {
+    if (p.rank() == 0) {
+      p.send(1, 1, {10.0});
+      p.send(1, 2, {20.0});
+    } else {
+      second = co_await p.recv(0, 2);  // posted before tag 1 is drained
+      first = co_await p.recv(0, 1);
+    }
+    co_return;
+  });
+  EXPECT_EQ(second, std::vector<double>{20.0});
+  EXPECT_EQ(first, std::vector<double>{10.0});
+}
+
+TEST(MpRuntime, IrecvWaitCompletesLikeRecv) {
+  std::vector<double> got;
+  mp::run(2, [&](Channel& p) -> Task {
+    if (p.rank() == 0) {
+      p.send(1, 9, {42.0});
+    } else {
+      exec::Request req = p.irecv(0, 9);
+      got = co_await p.wait(req);
+    }
+    co_return;
+  });
+  EXPECT_EQ(got, std::vector<double>{42.0});
+}
+
+// Wildcard policy on mp: arrival order across sources is up to the OS
+// scheduler, so assert only that every message is received exactly once.
+TEST(MpRuntime, WildcardReceivesEachMessageExactlyOnce) {
+  constexpr int kRanks = 6;
+  std::vector<double> got;
+  mp::run(kRanks, [&](Channel& p) -> Task {
+    if (p.rank() == 0) {
+      for (int i = 1; i < kRanks; ++i) {
+        auto v = co_await p.recv(exec::kAnySource, 4);
+        got.push_back(v.at(0));
+      }
+    } else {
+      p.send(0, 4, {static_cast<double>(p.rank())});
+    }
+    co_return;
+  });
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<double>{1, 2, 3, 4, 5}));
+}
+
+// On the simulator the same wildcard program is deterministic: matching is
+// by earliest virtual arrival with ties broken by source rank, so repeated
+// runs give the same order. (This is the other half of the policy above.)
+TEST(MpVsSim, WildcardOrderIsDeterministicOnSim) {
+  auto once = [] {
+    std::vector<double> got;
+    sim::Engine engine(4, sim::Machine::sp2());
+    engine.run([&](sim::Process& p) -> Task {
+      if (p.rank() == 0) {
+        p.compute(1e6);  // all sends arrive before the first receive
+        for (int i = 1; i < 4; ++i) {
+          auto v = co_await p.recv(exec::kAnySource, 4);
+          got.push_back(v.at(0));
+        }
+      } else {
+        p.compute(1e3 * p.rank());  // stagger send times
+        p.send(0, 4, {static_cast<double>(p.rank())});
+      }
+      co_return;
+    });
+    return got;
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_EQ(a, b);
+  // Earliest virtual arrival first: rank 1 computed least, so sent first.
+  EXPECT_EQ(a, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+// ---------------------------------------------------------- collectives
+
+TEST(MpCollectives, ParityWithSim) {
+  // Five ranks (non-power-of-two exercises the binomial trees' edge cases);
+  // every rank contributes rank-dependent data, every rank checks results.
+  constexpr int kRanks = 5;
+  auto contribution = [](int r) {
+    return std::vector<double>{1.0 + r, 0.5 * r, r == 3 ? 100.0 : -1.0};
+  };
+  struct Results {
+    std::vector<std::vector<double>> allreduce_sum, allreduce_max, bcast;
+    std::vector<double> reduce_on_root;
+  };
+  auto run_with = [&](auto&& runner) {
+    Results res;
+    res.allreduce_sum.resize(kRanks);
+    res.allreduce_max.resize(kRanks);
+    res.bcast.resize(kRanks);
+    runner([&](Channel& p) -> Task {
+      const auto r = static_cast<std::size_t>(p.rank());
+      auto sum = contribution(p.rank());
+      co_await exec::allreduce(p, sum, exec::ReduceOp::Sum);
+      res.allreduce_sum[r] = sum;
+
+      auto mx = contribution(p.rank());
+      co_await exec::allreduce(p, mx, exec::ReduceOp::Max);
+      res.allreduce_max[r] = mx;
+
+      std::vector<double> b;
+      if (p.rank() == 2) b = {3.25, -7.5};
+      co_await exec::broadcast(p, b, 2);
+      res.bcast[r] = b;
+
+      auto red = contribution(p.rank());
+      co_await exec::reduce(p, red, exec::ReduceOp::Sum, 1);
+      if (p.rank() == 1) res.reduce_on_root = red;
+
+      co_await exec::barrier(p);
+      co_return;
+    });
+    return res;
+  };
+
+  const Results on_sim =
+      run_with([&](const std::function<Task(Channel&)>& body) { run_on_sim(kRanks, body); });
+  const Results on_mp =
+      run_with([&](const std::function<Task(Channel&)>& body) { mp::run(kRanks, body); });
+
+  // Bit-identical: the collectives' receives all name their sources, so the
+  // combine order is the same tree on both backends.
+  EXPECT_EQ(on_sim.allreduce_sum, on_mp.allreduce_sum);
+  EXPECT_EQ(on_sim.allreduce_max, on_mp.allreduce_max);
+  EXPECT_EQ(on_sim.bcast, on_mp.bcast);
+  EXPECT_EQ(on_sim.reduce_on_root, on_mp.reduce_on_root);
+  // Every rank agrees on the allreduce result.
+  for (int r = 1; r < kRanks; ++r) {
+    EXPECT_EQ(on_mp.allreduce_sum[static_cast<std::size_t>(r)], on_mp.allreduce_sum[0]);
+    EXPECT_EQ(on_mp.allreduce_max[static_cast<std::size_t>(r)], on_mp.allreduce_max[0]);
+  }
+}
+
+TEST(MpCollectives, BarrierOrdersSideEffects) {
+  constexpr int kRanks = 4;
+  std::atomic<int> entered{0};
+  std::vector<int> seen_at_exit(kRanks, -1);
+  mp::run(kRanks, [&](Channel& p) -> Task {
+    entered.fetch_add(1);
+    co_await exec::barrier(p);
+    // After the barrier every rank must observe all kRanks entries.
+    seen_at_exit[static_cast<std::size_t>(p.rank())] = entered.load();
+    co_return;
+  });
+  for (int r = 0; r < kRanks; ++r) EXPECT_EQ(seen_at_exit[static_cast<std::size_t>(r)], kRanks);
+}
+
+// ------------------------------------------------------ failure handling
+
+TEST(MpRuntime, DeadlockWatchdogFires) {
+  mp::Options opt;
+  opt.recv_timeout_s = 0.0;       // only the watchdog may intervene
+  opt.watchdog_period_s = 0.02;
+  try {
+    mp::run(2, opt, [&](Channel& p) -> Task {
+      // Both ranks wait for a message nobody sends.
+      co_await p.recv(1 - p.rank(), 99);
+      co_return;
+    });
+    FAIL() << "expected deadlock to be detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos) << e.what();
+  }
+}
+
+TEST(MpRuntime, RecvTimeoutRaisesInsteadOfHanging) {
+  mp::Options opt;
+  opt.recv_timeout_s = 0.05;
+  opt.watchdog_period_s = 0.0;  // timeout path, not the watchdog
+  try {
+    mp::run(2, opt, [&](Channel& p) -> Task {
+      if (p.rank() == 0) co_await p.recv(1, 5);  // rank 1 never sends
+      co_return;
+    });
+    FAIL() << "expected recv timeout";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("timeout"), std::string::npos) << e.what();
+  }
+}
+
+TEST(MpRuntime, RankExceptionIsReportedWithRank) {
+  try {
+    mp::run(3, [&](Channel& p) -> Task {
+      if (p.rank() == 1) fail("test", "boom");
+      co_await exec::barrier(p);
+      co_return;
+    });
+    FAIL() << "expected rank failure to propagate";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 1 failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("boom"), std::string::npos) << msg;
+  }
+}
+
+// ------------------------------------------------------------ statistics
+
+TEST(MpRuntime, StatsCountTrafficPerRank) {
+  mp::Stats stats;
+  const double wall = mp::run(2, [&](Channel& p) -> Task {
+    p.set_phase("exchange");
+    if (p.rank() == 0) {
+      p.send(1, 1, {1.0, 2.0});
+    } else {
+      (void)co_await p.recv(0, 1);
+    }
+    p.set_phase("");
+    co_return;
+  }, &stats);
+  EXPECT_GT(wall, 0.0);
+  EXPECT_EQ(stats.wall_seconds, wall);
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.bytes, 2 * sizeof(double));
+  ASSERT_EQ(stats.ranks.size(), 2u);
+  EXPECT_EQ(stats.ranks[0].sends, 1u);
+  EXPECT_EQ(stats.ranks[0].recvs, 0u);
+  EXPECT_EQ(stats.ranks[1].recvs, 1u);
+  EXPECT_EQ(stats.ranks[1].bytes_received, 2 * sizeof(double));
+  // The labelled phase appears in the real-time breakdown.
+  bool found = false;
+  for (const auto& row : stats.phases) found = found || row.phase == "exchange";
+  EXPECT_TRUE(found);
+}
+
+TEST(MpRuntime, SleepComputeModeRealizesModelledTime) {
+  mp::Options opt;
+  opt.compute_mode = mp::ComputeMode::Sleep;
+  opt.time_scale = 1.0;
+  mp::Stats stats;
+  const double wall = mp::run(2, opt, [&](Channel& p) -> Task {
+    p.elapse(0.03);  // 30 ms of modelled compute, slept for real
+    co_await exec::barrier(p);
+    co_return;
+  }, &stats);
+  EXPECT_GE(wall, 0.025);
+  EXPECT_NEAR(stats.ranks[0].compute_seconds, 0.03, 1e-12);  // modelled accounting
+}
+
+// ------------------------------------------- run_spmd backend cross-check
+//
+// The generated SPMD programs must execute identically on both backends and
+// match the serial oracle bit-for-bit (max_err == 0: the runs perform the
+// same floating-point operations in the same order, and NaN-poisoning turns
+// any missing message into a hard failure).
+
+codegen::SpmdResult compile_and_run(const std::string& src, exec::Backend backend) {
+  hpf::Program prog = hpf::parse(src);
+  cp::CpResult cps = cp::select_cps(prog);
+  comm::CommPlan plan = comm::generate_comm(prog, cps);
+  codegen::SpmdOptions opt;
+  opt.backend = backend;
+  return codegen::run_spmd(prog, cps, plan, sim::Machine::sp2(), opt);
+}
+
+std::string stencil_1d(int nprocs) {
+  return R"(
+    processors P()" + std::to_string(nprocs) + R"()
+    array a(64) distribute (block:0) onto P
+    array b(64) distribute (block:0) onto P
+    procedure main()
+      do t = 1, 3
+        do i = 1, 62
+          a(i) = b(i-1) + b(i+1)
+        enddo
+        do i = 1, 62
+          b(i) = a(i)
+        enddo
+      enddo
+    end
+  )";
+}
+
+// §4.1 privatizable-array example (paper Fig 4.1 shape).
+const char* kFig41 = R"(
+  processors P(2, 2)
+  array lhs(12, 12, 5) distribute (block:0, block:1, *) onto P
+  array u(12, 12) distribute (block:0, block:1) onto P
+  array cv(12)
+  procedure main()
+    do[independent, new(cv)] k = 1, 10
+      do j = 0, 11
+        cv(j) = u(j, k)
+      enddo
+      do j = 1, 10
+        lhs(j, k, 2) = cv(j-1) + cv(j) + cv(j+1)
+      enddo
+    enddo
+  end
+)";
+
+// §4.2 LOCALIZE example (paper Fig 4.2 shape).
+const char* kFig42 = R"(
+  processors P(2, 2)
+  array rhs(12, 12, 5) distribute (block:0, block:1, *) onto P
+  array rho_i(12, 12) distribute (block:0, block:1) onto P
+  array us(12, 12) distribute (block:0, block:1) onto P
+  array u(12, 12) distribute (block:0, block:1) onto P
+  procedure main()
+    do[independent, localize(rho_i, us)] onetrip = 1, 1
+      do j = 0, 11
+        do i = 0, 11
+          rho_i(i, j) = u(i, j)
+          us(i, j) = u(i, j) + 1
+        enddo
+      enddo
+      do j = 1, 10
+        do i = 1, 10
+          rhs(i, j, 1) = rho_i(i-1, j) + rho_i(i+1, j) + rho_i(i, j-1) + rho_i(i, j+1)
+          rhs(i, j, 2) = us(i-1, j) + us(i+1, j) + us(i, j-1) + us(i, j+1)
+        enddo
+      enddo
+    enddo
+  end
+)";
+
+TEST(MpSpmd, Stencil1DMatchesOracleAt2To16Ranks) {
+  for (int nprocs : {2, 4, 8, 16}) {
+    SCOPED_TRACE("nprocs=" + std::to_string(nprocs));
+    auto on_sim = compile_and_run(stencil_1d(nprocs), exec::Backend::Sim);
+    auto on_mp = compile_and_run(stencil_1d(nprocs), exec::Backend::Mp);
+    // Bit-for-bit against the serial interpretation, identical tolerance on
+    // both backends.
+    EXPECT_EQ(on_sim.max_err, 0.0);
+    EXPECT_EQ(on_mp.max_err, 0.0);
+    EXPECT_EQ(on_sim.stats.messages, on_mp.stats.messages);
+    EXPECT_EQ(on_sim.stats.bytes, on_mp.stats.bytes);
+    EXPECT_EQ(on_sim.instances_per_rank, on_mp.instances_per_rank);
+    EXPECT_GT(on_mp.wall_seconds, 0.0);
+  }
+}
+
+TEST(MpSpmd, Fig41PrivatizableMatchesOracleOnBothBackends) {
+  auto on_sim = compile_and_run(kFig41, exec::Backend::Sim);
+  auto on_mp = compile_and_run(kFig41, exec::Backend::Mp);
+  EXPECT_EQ(on_sim.max_err, 0.0);
+  EXPECT_EQ(on_mp.max_err, 0.0);
+  EXPECT_EQ(on_sim.instances_per_rank, on_mp.instances_per_rank);
+}
+
+TEST(MpSpmd, Fig42LocalizeMatchesOracleOnBothBackends) {
+  auto on_sim = compile_and_run(kFig42, exec::Backend::Sim);
+  auto on_mp = compile_and_run(kFig42, exec::Backend::Mp);
+  EXPECT_EQ(on_sim.max_err, 0.0);
+  EXPECT_EQ(on_mp.max_err, 0.0);
+  EXPECT_EQ(on_sim.instances_per_rank, on_mp.instances_per_rank);
+}
+
+// ------------------------------------------------- NAS variants on mp
+
+TEST(MpNas, DhpfStyleVariantVerifiesOnRealThreads) {
+  nas::Problem pb{nas::App::SP, 12, 2, 0.0};
+  nas::DriverOptions opt;
+  opt.backend = exec::Backend::Mp;
+  nas::RunResult r = nas::run_variant(nas::Variant::DhpfStyle, pb, 4, sim::Machine::sp2(), opt);
+  EXPECT_TRUE(r.verified);
+  EXPECT_LT(r.max_err, 1e-10);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.stats.messages, 0u);
+}
+
+TEST(MpNas, HandMpiVariantVerifiesOnRealThreads) {
+  nas::Problem pb{nas::App::SP, 12, 2, 0.0};
+  nas::DriverOptions opt;
+  opt.backend = exec::Backend::Mp;
+  nas::RunResult r = nas::run_variant(nas::Variant::HandMPI, pb, 4, sim::Machine::sp2(), opt);
+  EXPECT_TRUE(r.verified);
+  EXPECT_LT(r.max_err, 1e-10);
+}
+
+}  // namespace
+}  // namespace dhpf
