@@ -1,110 +1,45 @@
 // dhpfc — command-line driver for the dHPF-reproduction compiler.
 //
-//   dhpfc [options] file.hpf
-//     --no-localize        disable §4.2 partial replication
-//     --no-comm-sensitive  disable §5 CP grouping
-//     --no-interproc       disable §6 interprocedural CP selection
-//     --no-availability    disable §7 data availability analysis
-//     --priv=MODE          privatizable-def CPs: propagate|replicate|owner
-//     --run                execute the SPMD program and verify against the
-//                          serial interpretation
-//     --backend=sim|mp     execution backend for --run: the virtual-time SP2
-//                          simulator (default) or the real multi-threaded
-//                          message-passing runtime (see docs/runtime.md)
-//     --report             print the structured compile report (per-pass
-//                          times and metric deltas)
-//     --quiet              suppress the SPMD listing
+// The flag set lives in src/cli/cli.hpp as a single options table that
+// drives both parsing and --help; run `dhpfc --help` for the list. Beyond
+// compiling and printing the CPs / communication plan / SPMD program, the
+// driver can execute the program (--run, --backend=sim|mp) and statically
+// verify the lowered plan (--verify, docs/verifier.md) — read coverage,
+// replicated-write consistency, halo sufficiency, schedule safety and a
+// dead-communication lint, with concrete witnesses on violations.
 //
-// Unknown options, bad option values, and stray extra positional arguments
-// are hard errors: the offending argument and a usage line go to stderr and
-// the exit code is 2.
-//
-// Prints the parsed program, the selected computation partitionings, the
-// communication plan, and the generated SPMD node program; with --run also
-// simulated time / message statistics.
-//
-// Exit codes: 0 success, 1 compile/run error (diagnostic on stderr),
-// 2 usage error.
+// Exit codes: 0 success, 1 compile/run error or verification violation
+// (diagnostics on stderr), 2 usage error.
 #include <cstdio>
-#include <cstring>
 #include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "cli/cli.hpp"
 #include "codegen/driver.hpp"
-
-namespace {
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: dhpfc [--no-localize] [--no-comm-sensitive] [--no-interproc]\n"
-               "             [--no-availability] [--priv=propagate|replicate|owner]\n"
-               "             [--run] [--backend=sim|mp] [--report] [--quiet] file.hpf\n");
-  return 2;
-}
-
-int bad_arg(const char* what, const std::string& arg) {
-  std::fprintf(stderr, "dhpfc: %s: %s\n", what, arg.c_str());
-  return usage();
-}
-
-}  // namespace
+#include "support/json.hpp"
+#include "verify/mutate.hpp"
+#include "verify/verify.hpp"
 
 int main(int argc, char** argv) {
   using namespace dhpf;
-  cp::SelectOptions sopt;
-  comm::CommOptions copt;
-  codegen::SpmdOptions xopt;
-  bool run = false, quiet = false, report = false;
-  std::string path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--no-localize")
-      sopt.localize = false;
-    else if (arg == "--no-comm-sensitive")
-      sopt.comm_sensitive = false;
-    else if (arg == "--no-interproc")
-      sopt.interprocedural = false;
-    else if (arg == "--no-availability")
-      copt.data_availability = false;
-    else if (arg.rfind("--priv=", 0) == 0) {
-      const std::string mode = arg.substr(7);
-      if (mode == "propagate")
-        sopt.priv_mode = cp::PrivMode::Propagate;
-      else if (mode == "replicate")
-        sopt.priv_mode = cp::PrivMode::Replicate;
-      else if (mode == "owner")
-        sopt.priv_mode = cp::PrivMode::OwnerComputes;
-      else
-        return bad_arg("unknown --priv mode", mode);
-    } else if (arg.rfind("--backend=", 0) == 0) {
-      const std::string be = arg.substr(10);
-      if (be == "sim")
-        xopt.backend = exec::Backend::Sim;
-      else if (be == "mp")
-        xopt.backend = exec::Backend::Mp;
-      else
-        return bad_arg("unknown --backend", be);
-    } else if (arg == "--run")
-      run = true;
-    else if (arg == "--report")
-      report = true;
-    else if (arg == "--quiet")
-      quiet = true;
-    else if (!arg.empty() && arg[0] == '-')
-      return bad_arg("unknown option", arg);
-    else if (!path.empty())
-      return bad_arg("unexpected extra argument", arg);
-    else
-      path = arg;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  cli::ParseResult parsed = cli::parse_args(args);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "dhpfc: %s\n%s", parsed.error.c_str(), cli::usage_text().c_str());
+    return 2;
   }
-  if (path.empty()) return bad_arg("missing input", "file.hpf");
+  const cli::Options& o = parsed.opts;
+  if (o.help) {
+    std::fputs(cli::usage_text().c_str(), stdout);
+    return 0;
+  }
 
-  std::ifstream in(path);
+  std::ifstream in(o.input);
   if (!in) {
-    std::fprintf(stderr, "dhpfc: cannot open %s\n", path.c_str());
+    std::fprintf(stderr, "dhpfc: cannot open %s\n", o.input.c_str());
     return 1;
   }
   std::ostringstream src;
@@ -112,9 +47,10 @@ int main(int argc, char** argv) {
 
   try {
     hpf::Program prog;
-    codegen::CompileResult compiled = codegen::compile_source(src.str(), &prog, sopt, copt);
+    codegen::CompileResult compiled =
+        codegen::compile_source(src.str(), &prog, o.sopt, o.copt);
 
-    if (!quiet) {
+    if (!o.quiet) {
       std::printf("---- program ----\n%s\n", prog.to_string().c_str());
       std::printf("---- computation partitionings ----\n");
       for (const auto& [id, sc] : compiled.cps.stmts)
@@ -128,8 +64,39 @@ int main(int argc, char** argv) {
       std::printf("\n---- SPMD node program ----\n%s", compiled.listing.c_str());
     }
 
-    if (run) {
-      auto r = codegen::run_spmd(prog, compiled.cps, compiled.plan, sim::Machine::sp2(), xopt);
+    bool violations = false;
+    std::string verify_json;
+    if (o.verify || o.verify_selftest) {
+      const verify::CompiledPlan bound =
+          verify::bind(prog, compiled.cps, compiled.plan);
+      if (o.verify) {
+        const verify::Report rep = verify::check(bound);
+        verify_json = rep.to_json();
+        if (!o.quiet || !rep.clean())
+          std::printf("\n---- static verification ----\n%s", rep.to_string().c_str());
+        if (!rep.clean()) {
+          violations = true;
+          for (const auto& d : rep.diagnostics)
+            if (d.severity == verify::Severity::Error)
+              std::fprintf(stderr, "dhpfc: verify: %s\n", d.to_string().c_str());
+        }
+      }
+      if (o.verify_selftest) {
+        const verify::HarnessResult h = verify::run_harness(bound);
+        std::printf("\n---- verification self-test (fault injection) ----\n");
+        for (const auto& line : h.lines) std::printf("  %s\n", line.c_str());
+        std::printf("  %zu/%zu seeded defects caught\n", h.caught, h.seeded);
+        if (!h.all_caught()) {
+          std::fprintf(stderr, "dhpfc: verify-selftest: %zu seeded defect(s) escaped\n",
+                       h.seeded - h.caught);
+          violations = true;
+        }
+      }
+    }
+
+    if (o.run) {
+      auto r =
+          codegen::run_spmd(prog, compiled.cps, compiled.plan, sim::Machine::sp2(), o.xopt);
       if (r.backend == exec::Backend::Sim) {
         std::printf("\n---- execution (simulated SP2) ----\n");
         std::printf("  time %.6f s, %zu messages, %zu bytes\n", r.elapsed, r.stats.messages,
@@ -144,8 +111,34 @@ int main(int argc, char** argv) {
       std::printf("\n  verified: max |err| = %.2e\n", r.max_err);
     }
 
-    if (report)
+    if (o.report)
       std::printf("\n---- compile report ----\n%s", compiled.report.to_string().c_str());
+
+    if (!o.report_json.empty()) {
+      json::Writer w(/*pretty=*/true);
+      w.begin_object();
+      w.member("input", o.input);
+      w.key("compile");
+      w.raw(compiled.report.to_json());
+      if (!verify_json.empty()) {
+        w.key("verify");
+        w.raw(verify_json);
+      }
+      w.end_object();
+      const std::string doc = w.str() + "\n";
+      if (o.report_json == "-") {
+        std::fputs(doc.c_str(), stdout);
+      } else {
+        std::ofstream out(o.report_json);
+        if (!out) {
+          std::fprintf(stderr, "dhpfc: cannot write %s\n", o.report_json.c_str());
+          return 1;
+        }
+        out << doc;
+      }
+    }
+
+    if (violations) return 1;
   } catch (const dhpf::Error& e) {
     std::fprintf(stderr, "dhpfc: %s\n", e.what());
     return 1;

@@ -1,0 +1,172 @@
+#include "cli/cli.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dhpf::cli {
+
+namespace {
+
+OptionSpec flag(std::string name, std::string help, std::function<void(Options&)> set) {
+  OptionSpec s;
+  s.display = name;
+  s.name = std::move(name);
+  s.takes_value = false;
+  s.help = std::move(help);
+  s.apply = [set = std::move(set)](Options& o, const std::string&) {
+    set(o);
+    return true;
+  };
+  return s;
+}
+
+OptionSpec valued(std::string display, std::string name, std::string help,
+                  std::function<bool(Options&, const std::string&)> apply) {
+  OptionSpec s;
+  s.display = std::move(display);
+  s.name = std::move(name);
+  s.takes_value = true;
+  s.help = std::move(help);
+  s.apply = std::move(apply);
+  return s;
+}
+
+std::vector<OptionSpec> make_table() {
+  std::vector<OptionSpec> t;
+  t.push_back(flag("--no-localize", "disable the §4.2 LOCALIZE partial replication",
+                   [](Options& o) { o.sopt.localize = false; }));
+  t.push_back(flag("--no-comm-sensitive", "disable the §5 communication-sensitive CP grouping",
+                   [](Options& o) { o.sopt.comm_sensitive = false; }));
+  t.push_back(flag("--no-interproc", "disable the §6 interprocedural CP selection",
+                   [](Options& o) { o.sopt.interprocedural = false; }));
+  t.push_back(flag("--no-availability", "disable the §7 data availability analysis",
+                   [](Options& o) { o.copt.data_availability = false; }));
+  t.push_back(valued("--priv=propagate|replicate|owner", "--priv",
+                     "CP mode for privatizable (NEW) array definitions",
+                     [](Options& o, const std::string& v) {
+                       if (v == "propagate")
+                         o.sopt.priv_mode = cp::PrivMode::Propagate;
+                       else if (v == "replicate")
+                         o.sopt.priv_mode = cp::PrivMode::Replicate;
+                       else if (v == "owner")
+                         o.sopt.priv_mode = cp::PrivMode::OwnerComputes;
+                       else
+                         return false;
+                       return true;
+                     }));
+  t.push_back(flag("--run", "execute the SPMD program and check it against the serial result",
+                   [](Options& o) { o.run = true; }));
+  t.push_back(valued("--backend=sim|mp", "--backend",
+                     "execution backend for --run: virtual-time SP2 simulator or the real "
+                     "multi-threaded runtime",
+                     [](Options& o, const std::string& v) {
+                       if (v == "sim")
+                         o.xopt.backend = exec::Backend::Sim;
+                       else if (v == "mp")
+                         o.xopt.backend = exec::Backend::Mp;
+                       else
+                         return false;
+                       return true;
+                     }));
+  t.push_back(flag("--verify",
+                   "statically verify the compiled plan (read coverage, replica "
+                   "consistency, halos, schedule, dead comm); violations exit 1",
+                   [](Options& o) { o.verify = true; }));
+  t.push_back(flag("--verify-selftest",
+                   "run the fault-injection harness: seed defects into the plan and "
+                   "require the verifier to catch every one",
+                   [](Options& o) { o.verify_selftest = true; }));
+  t.push_back(flag("--report", "print the structured compile report (pass times, metrics)",
+                   [](Options& o) { o.report = true; }));
+  t.push_back(valued("--report-json=FILE", "--report-json",
+                     "write the compile (and, with --verify, verification) report as "
+                     "JSON to FILE ('-' for stdout)",
+                     [](Options& o, const std::string& v) {
+                       if (v.empty()) return false;
+                       o.report_json = v;
+                       return true;
+                     }));
+  t.push_back(flag("--quiet", "suppress the program / CP / plan / SPMD listings",
+                   [](Options& o) { o.quiet = true; }));
+  t.push_back(flag("--help", "print this help and exit", [](Options& o) { o.help = true; }));
+  return t;
+}
+
+}  // namespace
+
+const std::vector<OptionSpec>& option_table() {
+  static const std::vector<OptionSpec> table = make_table();
+  return table;
+}
+
+std::string usage_text() {
+  std::size_t width = 0;
+  for (const auto& s : option_table()) width = std::max(width, s.display.size());
+  std::ostringstream out;
+  out << "usage: dhpfc [options] file.hpf\n\n"
+         "Compile an HPF-lite program with the dHPF pipeline and print the\n"
+         "selected computation partitionings, the communication plan, and the\n"
+         "SPMD node program.\n\noptions:\n";
+  for (const auto& s : option_table()) {
+    out << "  " << s.display << std::string(width - s.display.size() + 2, ' ');
+    // Wrap help text at ~72 columns, continuation lines aligned.
+    const std::string pad(width + 4, ' ');
+    std::istringstream words(s.help);
+    std::string word;
+    std::size_t col = width + 4;
+    bool first = true;
+    while (words >> word) {
+      if (!first && col + 1 + word.size() > 78) {
+        out << "\n" << pad;
+        col = pad.size();
+      } else if (!first) {
+        out << " ";
+        ++col;
+      }
+      out << word;
+      col += word.size();
+      first = false;
+    }
+    out << "\n";
+  }
+  out << "\nexit codes: 0 success, 1 compile/run/verification failure, 2 usage error\n";
+  return out.str();
+}
+
+ParseResult parse_args(const std::vector<std::string>& args) {
+  ParseResult r;
+  for (const std::string& arg : args) {
+    if (arg.empty()) continue;
+    if (arg[0] != '-') {
+      if (!r.opts.input.empty()) {
+        r.error = "unexpected extra argument: " + arg;
+        return r;
+      }
+      r.opts.input = arg;
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string name = arg.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    const OptionSpec* spec = nullptr;
+    for (const auto& s : option_table())
+      if (s.name == name) spec = &s;
+    if (!spec) {
+      r.error = "unknown option: " + arg;
+      return r;
+    }
+    if (spec->takes_value != (eq != std::string::npos)) {
+      r.error = spec->takes_value ? "option requires a value: " + arg
+                                  : "option takes no value: " + arg;
+      return r;
+    }
+    if (!spec->apply(r.opts, value)) {
+      r.error = "bad value for " + name + ": " + value;
+      return r;
+    }
+  }
+  if (r.opts.input.empty() && !r.opts.help) r.error = "missing input: file.hpf";
+  return r;
+}
+
+}  // namespace dhpf::cli

@@ -1,0 +1,63 @@
+// dhpfc's command-line surface as a library, so the flag set is testable.
+//
+// A single options table drives BOTH parsing and --help generation: each
+// OptionSpec carries its display form, help text and the apply function the
+// parser calls, and usage_text() is rendered from the same table. There is
+// no second list to drift out of sync — a flag the parser accepts is, by
+// construction, a flag --help documents (tests/cli_test.cpp asserts it).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "codegen/driver.hpp"
+#include "codegen/spmd.hpp"
+
+namespace dhpf::cli {
+
+/// Everything dhpfc's flags can set.
+struct Options {
+  cp::SelectOptions sopt;
+  comm::CommOptions copt;
+  codegen::SpmdOptions xopt;
+  bool run = false;
+  bool quiet = false;
+  bool report = false;
+  bool help = false;
+  bool verify = false;           ///< run the static verifier over the plan
+  bool verify_selftest = false;  ///< run the fault-injection harness
+  std::string report_json;       ///< write machine-readable report here ("-" = stdout)
+  std::string input;             ///< positional file.hpf
+};
+
+/// One row of the options table.
+struct OptionSpec {
+  std::string display;  ///< e.g. "--priv=propagate|replicate|owner"
+  std::string name;     ///< match key, e.g. "--priv" (value options match "--priv=")
+  bool takes_value = false;
+  std::string help;
+  /// Applies the (possibly empty) value; returns false on a bad value.
+  std::function<bool(Options&, const std::string&)> apply;
+};
+
+/// The table. Order is the order --help lists the flags in.
+const std::vector<OptionSpec>& option_table();
+
+/// Usage text rendered from the table (what --help prints and what usage
+/// errors point at).
+std::string usage_text();
+
+struct ParseResult {
+  Options opts;
+  std::string error;  ///< empty on success
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Parse argv (without argv[0]). A missing input file is an error unless
+/// --help was given. Unknown options, bad values and extra positionals are
+/// errors with the offending argument in `error`.
+ParseResult parse_args(const std::vector<std::string>& args);
+
+}  // namespace dhpf::cli

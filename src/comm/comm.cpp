@@ -159,6 +159,7 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
       ev.kind = EventKind::Fetch;
       ev.array = r.array;
       ev.stmt_id = a.id;
+      ev.consumers = {a.id};
       ev.placement_depth = static_cast<int>(depth);
       ev.data = std::move(nl);
       ev.note = r.to_string();
@@ -203,6 +204,7 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
         ev.kind = EventKind::WriteBack;
         ev.array = a.lhs.array;
         ev.stmt_id = a.id;
+        ev.consumers = {a.id};
         ev.placement_depth = static_cast<int>(depth);
         ev.data = std::move(nlw);
         ev.note = a.lhs.to_string();
@@ -285,6 +287,9 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
         DHPF_COUNTER("comm.fetches_coalesced");
         m.data = m.data.unite(ev.data);
         m.note += "; S" + std::to_string(ev.stmt_id) + ": " + ev.note;
+        for (int c : ev.consumers)
+          if (std::find(m.consumers.begin(), m.consumers.end(), c) == m.consumers.end())
+            m.consumers.push_back(c);
         absorbed = true;
         break;
       }
@@ -292,6 +297,9 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
     }
     plan.events = std::move(merged);
   }
+  // Stable plan-unique event ids (the verifier's message ids refer to these).
+  for (std::size_t i = 0; i < plan.events.size(); ++i)
+    plan.events[i].id = static_cast<int>(i);
   return plan;
 }
 

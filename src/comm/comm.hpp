@@ -33,7 +33,12 @@ enum class EventKind { Fetch, WriteBack };
 struct CommEvent {
   EventKind kind = EventKind::Fetch;
   const hpf::Array* array = nullptr;
+  int id = -1;               ///< plan-unique event id (assigned by generate_comm)
   int stmt_id = -1;          ///< consuming (fetch) / producing (write-back) stmt
+  /// Every statement this event serves. Starts as {stmt_id}; message
+  /// coalescing appends the absorbed events' consumers. The verifier keys
+  /// read-coverage on this, so it survives cross-statement coalescing.
+  std::vector<int> consumers;
   int placement_depth = 0;   ///< # enclosing loops the event stays inside
   /// Non-local elements, as a set over
   /// [outer loop vars (placement_depth)] + [array dims].

@@ -407,6 +407,14 @@ std::size_t Set::count(const std::vector<i64>& param_values) const {
   return n;
 }
 
+std::optional<std::vector<i64>> Set::sample(const std::vector<i64>& param_values) const {
+  std::optional<std::vector<i64>> first;
+  enumerate(param_values, [&](const std::vector<i64>& pt) {
+    if (!first) first = pt;
+  });
+  return first;
+}
+
 std::string Set::to_string(const std::vector<std::string>& var_names) const {
   if (parts_.empty()) return "{ }";
   std::ostringstream out;

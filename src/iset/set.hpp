@@ -126,6 +126,13 @@ class Set {
   /// Number of points (enumerate-based; for tests and cost estimation).
   [[nodiscard]] std::size_t count(const std::vector<i64>& param_values) const;
 
+  /// Lexicographically least integer point for concrete parameter values, or
+  /// nullopt when the set is empty there. Exact (same machinery as
+  /// enumerate()); the verifier uses this to extract counterexample
+  /// witnesses from non-empty difference sets.
+  [[nodiscard]] std::optional<std::vector<i64>> sample(
+      const std::vector<i64>& param_values) const;
+
   [[nodiscard]] std::string to_string(const std::vector<std::string>& var_names = {}) const;
 
  private:

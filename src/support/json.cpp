@@ -146,6 +146,11 @@ void Writer::null() {
   out_ += "null";
 }
 
+void Writer::raw(std::string_view json) {
+  pre_value();
+  out_ += json;
+}
+
 std::string Writer::str() const {
   require(stack_.empty() && !pending_key_, "json", "document not closed");
   return out_;

@@ -55,6 +55,11 @@ class Writer {
   void value(bool b);
   void null();
 
+  /// Splice a pre-serialized JSON value (must itself be a complete, valid
+  /// document). Used to embed one module's to_json() output inside another
+  /// document without re-parsing.
+  void raw(std::string_view json);
+
   /// Convenience: key + scalar value in one call.
   template <typename T>
   void member(std::string_view k, const T& v) {

@@ -1,0 +1,363 @@
+#include "verify/mutate.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "analysis/sets.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf::verify {
+
+using comm::CommEvent;
+using comm::EventKind;
+using iset::Params;
+using iset::Set;
+
+const char* to_string(Mutation m) {
+  switch (m) {
+    case Mutation::DropEvent: return "drop-event";
+    case Mutation::DropMessage: return "drop-message";
+    case Mutation::ShrinkHalo: return "shrink-halo";
+    case Mutation::PerturbCp: return "perturb-cp";
+    case Mutation::RecvBeforeSend: return "recv-before-send";
+    case Mutation::WidenMessage: return "widen-message";
+  }
+  return "?";
+}
+
+Check MutationSite::expected_check() const {
+  switch (kind) {
+    case Mutation::DropEvent: return Check::ReadCoverage;
+    case Mutation::DropMessage: return Check::ScheduleSafety;
+    case Mutation::ShrinkHalo: return Check::HaloSufficiency;
+    case Mutation::PerturbCp: return Check::ReadCoverage;  // or ReplicaConsistency
+    case Mutation::RecvBeforeSend: return Check::ScheduleSafety;
+    case Mutation::WidenMessage: return Check::DeadComm;
+  }
+  return Check::ReadCoverage;
+}
+
+Severity MutationSite::expected_severity() const {
+  return kind == Mutation::WidenMessage ? Severity::Warning : Severity::Error;
+}
+
+namespace {
+
+/// First BLOCK-distributed dimension of an array, or -1.
+int first_block_dim(const hpf::Array& a) {
+  for (std::size_t d = 0; d < a.dist.dims.size(); ++d)
+    if (a.dist.dims[d].kind == hpf::DistKind::Block) return static_cast<int>(d);
+  return -1;
+}
+
+/// Payload a WidenMessage mutation adds to `ev`: one halo layer beyond the
+/// *declared* overlap. Elements of the ring that a consumer happens to read
+/// are harmless (the lint only counts unread traffic), so the ring is NOT
+/// trimmed symbolically — subtracting the consumers' many-part read images
+/// fragments the difference combinatorially.
+Set widen_ring(const CompiledPlan& plan, const CommEvent& ev, const Params& params) {
+  std::vector<int> declared(ev.array->extents.size(), 0);
+  for (const auto& decl : plan.overlaps)
+    if (decl.array == ev.array) declared = decl.width;
+  std::vector<int> wider = declared;
+  for (std::size_t d = 0; d < wider.size(); ++d)
+    if (ev.array->dist.dims[d].kind == hpf::DistKind::Block) ++wider[d];
+  return extended_owned(*ev.array, wider, params)
+      .subtract(extended_owned(*ev.array, declared, params));
+}
+
+/// Does shrinking `decl` by one along `dim` concretely uncover a footprint
+/// point on some rank? Declared widths are the *symbolically* minimal ones
+/// (safe for arbitrary block positions), which on a concrete grid can exceed
+/// what any rank actually reads — e.g. a transpose halo of width N-block is
+/// one wider than the loop bounds ever reach. Shrinking such a halo is not an
+/// observable defect, so it is not a valid fault-injection site.
+bool shrink_uncovers_point(const CompiledPlan& plan, const OverlapDecl& decl, std::size_t dim,
+                           const Params& params) {
+  std::vector<int> shrunk = decl.width;
+  --shrunk[dim];
+  const Set ext = extended_owned(*decl.array, shrunk, params);
+  const Set bounds = analysis::index_set(*decl.array, params);
+  const int n = plan.prog->grids().empty() ? 1 : plan.prog->grids().front()->nprocs();
+  for (const auto& [id, sc] : plan.cps.stmts) {
+    (void)id;
+    if (!sc.stmt->is_assign()) continue;
+    const analysis::IterSpace is = analysis::iteration_space(sc.path, params);
+    const Set iters = cp::iterations_on_home(is, sc.cp, params);
+    for (const auto& r : sc.stmt->assign().rhs) {
+      if (r.array != decl.array) continue;
+      const Set fp =
+          iters.apply(analysis::subscript_map(is, r.subs, params)).intersect(bounds);
+      for (int q = 0; q < n; ++q) {
+        const std::vector<iset::i64> v = analysis::param_values_for_rank(*plan.prog, q);
+        bool uncovered = false;
+        fp.enumerate(v, [&](const std::vector<iset::i64>& pt) {
+          if (!uncovered && !ext.contains(pt, v)) uncovered = true;
+        });
+        if (uncovered) return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Does the widen ring hold at least one concrete element no consumer of the
+/// event reads? Only then does widening seed a defect the dead-comm lint is
+/// guaranteed to flag. Checked by exact per-rank enumeration; the consumers'
+/// read images are kept as separate sets and tested by membership.
+bool ring_has_dead_point(const CompiledPlan& plan, const CommEvent& ev, const Params& params) {
+  const Set ring = widen_ring(plan, ev, params);
+  std::vector<Set> images;
+  for (int cid : ev.consumers) {
+    const auto it = plan.cps.stmts.find(cid);
+    if (it == plan.cps.stmts.end() || !it->second.stmt->is_assign()) continue;
+    const cp::StmtCp& sc = it->second;
+    const analysis::IterSpace is = analysis::iteration_space(sc.path, params);
+    const Set iters = cp::iterations_on_home(is, sc.cp, params);
+    for (const auto& r : sc.stmt->assign().rhs)
+      if (r.array == ev.array)
+        images.push_back(iters.apply(analysis::subscript_map(is, r.subs, params)));
+  }
+  const int n = plan.prog->grids().empty() ? 1 : plan.prog->grids().front()->nprocs();
+  bool dead = false;
+  for (int q = 0; q < n && !dead; ++q) {
+    const std::vector<iset::i64> v = analysis::param_values_for_rank(*plan.prog, q);
+    ring.enumerate(v, [&](const std::vector<iset::i64>& pt) {
+      if (dead) return;
+      for (const Set& img : images)
+        if (img.contains(pt, v)) return;
+      dead = true;
+    });
+  }
+  return dead;
+}
+
+MutationSite make_site(Mutation kind, int index, int dim, std::string describe) {
+  MutationSite s;
+  s.kind = kind;
+  s.index = index;
+  s.dim = dim;
+  s.describe = std::move(describe);
+  return s;
+}
+
+}  // namespace
+
+std::vector<MutationSite> mutation_sites(const CompiledPlan& plan, Mutation kind) {
+  std::vector<MutationSite> sites;
+  switch (kind) {
+    case Mutation::DropEvent:
+      for (const auto& ev : plan.plan.events)
+        if (ev.kind == EventKind::Fetch && !ev.eliminated)
+          sites.push_back(make_site(kind, ev.id, -1,
+                                    "drop fetch ev#" + std::to_string(ev.id) + " of " +
+                                        ev.array->name));
+      break;
+
+    case Mutation::DropMessage:
+      for (const auto& m : plan.schedule.messages)
+        sites.push_back(make_site(kind, m.id, -1, "drop send of " + m.to_string()));
+      break;
+
+    case Mutation::ShrinkHalo: {
+      const Params params = analysis::make_params(*plan.prog);
+      for (std::size_t i = 0; i < plan.overlaps.size(); ++i) {
+        const OverlapDecl& decl = plan.overlaps[i];
+        for (std::size_t d = 0; d < decl.width.size(); ++d)
+          if (decl.width[d] >= 1 && shrink_uncovers_point(plan, decl, d, params))
+            sites.push_back(make_site(kind, static_cast<int>(i), static_cast<int>(d),
+                                      "shrink " + decl.to_string() + " dim " +
+                                          std::to_string(d) + " by 1"));
+      }
+      break;
+    }
+
+    case Mutation::PerturbCp:
+      for (const auto& [id, sc] : plan.cps.stmts) {
+        if (!sc.stmt->is_assign()) continue;
+        bool shiftable = false;
+        for (const cp::OnHomeTerm& term : sc.cp.terms)
+          if (first_block_dim(*term.array) >= 0) shiftable = true;
+        if (shiftable)
+          sites.push_back(make_site(kind, id, -1,
+                                    "shift CP of S" + std::to_string(id) + " (" +
+                                        sc.cp.to_string() + ") by +1"));
+      }
+      break;
+
+    case Mutation::RecvBeforeSend: {
+      // One site per unordered rank pair that exchanges messages in both
+      // directions: hoisting receives above sends on *both* endpoints turns
+      // the exchange into a classic head-to-head deadlock.
+      std::set<std::pair<int, int>> done;
+      for (const auto& m1 : plan.schedule.messages) {
+        for (const auto& m2 : plan.schedule.messages) {
+          if (m1.from != m2.to || m1.to != m2.from || m1.from == m1.to) continue;
+          const auto pr = std::minmax(m1.from, m1.to);
+          if (!done.insert({pr.first, pr.second}).second) continue;
+          sites.push_back(make_site(kind, m1.id, m2.id,
+                                    "recv-before-send on ranks " + std::to_string(m1.from) +
+                                        "<->" + std::to_string(m1.to)));
+        }
+      }
+      break;
+    }
+
+    case Mutation::WidenMessage: {
+      const Params params = analysis::make_params(*plan.prog);
+      for (const auto& ev : plan.plan.events)
+        if (ev.kind == EventKind::Fetch && !ev.eliminated && ev.placement_depth == 0 &&
+            first_block_dim(*ev.array) >= 0 &&
+            ring_has_dead_point(plan, ev, params))
+          sites.push_back(make_site(kind, ev.id, -1,
+                                    "widen fetch ev#" + std::to_string(ev.id) + " of " +
+                                        ev.array->name + " by one dead halo layer"));
+      break;
+    }
+  }
+  return sites;
+}
+
+std::vector<MutationSite> all_mutation_sites(const CompiledPlan& plan) {
+  std::vector<MutationSite> all;
+  for (Mutation m : {Mutation::DropEvent, Mutation::DropMessage, Mutation::ShrinkHalo,
+                     Mutation::PerturbCp, Mutation::RecvBeforeSend, Mutation::WidenMessage}) {
+    auto s = mutation_sites(plan, m);
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  return all;
+}
+
+CompiledPlan mutate(const CompiledPlan& plan, const MutationSite& site) {
+  require(plan.prog != nullptr, "verify", "mutate: plan not bound");
+  CompiledPlan out = plan;
+
+  switch (site.kind) {
+    case Mutation::DropEvent: {
+      bool found = false;
+      for (auto& ev : out.plan.events)
+        if (ev.id == site.index && ev.kind == EventKind::Fetch && !ev.eliminated) {
+          ev.eliminated = true;  // "availability pass wrongly removed this fetch"
+          ev.note = "mutated: dropped";
+          found = true;
+        }
+      require(found, "verify", "mutate: no droppable event " + std::to_string(site.index));
+      out.schedule = derive_schedule(*out.prog, out.plan);
+      return out;
+    }
+
+    case Mutation::DropMessage: {
+      const Message& m = out.schedule.message(site.index);  // throws if absent
+      auto& ops = out.schedule.rank_ops[static_cast<std::size_t>(m.from)];
+      const auto it = std::find_if(ops.begin(), ops.end(), [&](const ScheduleOp& op) {
+        return op.kind == ScheduleOp::Kind::Send && op.msg == m.id;
+      });
+      require(it != ops.end(), "verify",
+              "mutate: message " + std::to_string(m.id) + " has no send op");
+      ops.erase(it);
+      return out;
+    }
+
+    case Mutation::ShrinkHalo: {
+      require(site.index >= 0 &&
+                  static_cast<std::size_t>(site.index) < out.overlaps.size(),
+              "verify", "mutate: no overlap decl " + std::to_string(site.index));
+      OverlapDecl& decl = out.overlaps[static_cast<std::size_t>(site.index)];
+      require(site.dim >= 0 && static_cast<std::size_t>(site.dim) < decl.width.size() &&
+                  decl.width[static_cast<std::size_t>(site.dim)] >= 1,
+              "verify", "mutate: halo dim not shrinkable");
+      --decl.width[static_cast<std::size_t>(site.dim)];
+      return out;
+    }
+
+    case Mutation::PerturbCp: {
+      auto it = out.cps.stmts.find(site.index);
+      require(it != out.cps.stmts.end(), "verify",
+              "mutate: no statement S" + std::to_string(site.index));
+      auto& terms = it->second.cp.terms;
+      require(!terms.empty(), "verify", "mutate: replicated CP cannot be perturbed");
+      // Shift EVERY term by +1 along its first BLOCK dim — a uniform shift
+      // of the whole executed set. (Shifting a single term of a §4.1/§4.2
+      // union CP can be absorbed by the remaining terms' redundancy, which
+      // would be a benign mutation, not a seeded defect.)
+      bool shifted = false;
+      for (cp::OnHomeTerm& term : terms) {
+        const int d = first_block_dim(*term.array);
+        if (d < 0) continue;
+        term.subs[static_cast<std::size_t>(d)].lo =
+            term.subs[static_cast<std::size_t>(d)].lo.plus(1);
+        term.subs[static_cast<std::size_t>(d)].hi =
+            term.subs[static_cast<std::size_t>(d)].hi.plus(1);
+        shifted = true;
+      }
+      require(shifted, "verify", "mutate: no CP term over a BLOCK-distributed array");
+      // The comm plan, overlaps and schedule intentionally stay stale: the
+      // defect is the inconsistency between the CP and the rest of the plan.
+      return out;
+    }
+
+    case Mutation::RecvBeforeSend: {
+      const Message& m1 = out.schedule.message(site.index);
+      const Message& m2 = out.schedule.message(site.dim);
+      require(m1.from == m2.to && m1.to == m2.from, "verify",
+              "mutate: messages are not an opposing pair");
+      for (int r : {m1.to, m2.to}) {
+        auto& ops = out.schedule.rank_ops[static_cast<std::size_t>(r)];
+        std::stable_partition(ops.begin(), ops.end(), [](const ScheduleOp& op) {
+          return op.kind == ScheduleOp::Kind::Recv;
+        });
+      }
+      return out;
+    }
+
+    case Mutation::WidenMessage: {
+      bool found = false;
+      const Params params = analysis::make_params(*out.prog);
+      for (auto& ev : out.plan.events) {
+        if (ev.id != site.index) continue;
+        require(ev.kind == EventKind::Fetch && !ev.eliminated && ev.placement_depth == 0,
+                "verify", "mutate: event not widenable");
+        ev.data = ev.data.unite(widen_ring(plan, ev, params));
+        ev.note += " (mutated: widened)";
+        found = true;
+      }
+      require(found, "verify", "mutate: no event " + std::to_string(site.index));
+      out.schedule = derive_schedule(*out.prog, out.plan);
+      return out;
+    }
+  }
+  fail("verify", "mutate: unknown mutation kind");
+}
+
+HarnessResult run_harness(const CompiledPlan& plan, const VerifyOptions& opt) {
+  HarnessResult res;
+  for (const MutationSite& site : all_mutation_sites(plan)) {
+    ++res.seeded;
+    const auto t0 = std::chrono::steady_clock::now();
+    const CompiledPlan broken = mutate(plan, site);
+    const Report rep = check(broken, opt);
+    const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                            .count();
+    bool hit = false;
+    for (const auto& d : rep.diagnostics) {
+      if (d.severity != site.expected_severity()) continue;
+      if (d.check == site.expected_check() ||
+          (site.kind == Mutation::PerturbCp && d.check == Check::ReplicaConsistency)) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) ++res.caught;
+    std::ostringstream line;
+    line << (hit ? "caught " : "MISSED ") << to_string(site.kind) << ": " << site.describe
+         << " (" << std::fixed << std::setprecision(2) << secs << "s)";
+    res.lines.push_back(line.str());
+  }
+  return res;
+}
+
+}  // namespace dhpf::verify

@@ -1,0 +1,73 @@
+// Fault-injection harness for the verifier: seeded defects over a bound
+// plan, one mutation per defect class the checks must catch.
+//
+// Each mutator edits a *copy* of the CompiledPlan (declarations included),
+// returning the mutated plan plus a description of what was broken and the
+// Check expected to fire. The verify tests (and `dhpfc --verify-selftest`)
+// enumerate every applicable mutation of a plan and assert that check()
+// reports an error of the expected class with a witness naming the broken
+// artifact — this is what makes "a clean report is trustworthy" an empirical
+// claim and not just a design intention.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/plan.hpp"
+#include "verify/verify.hpp"
+
+namespace dhpf::verify {
+
+/// The seeded defect classes.
+enum class Mutation {
+  DropEvent,       ///< delete one fetch event entirely → ReadCoverage
+  DropMessage,     ///< remove one message's Send op → ScheduleSafety
+  ShrinkHalo,      ///< decrement one declared overlap width → HaloSufficiency
+  PerturbCp,       ///< shift a statement's whole CP by one → ReadCoverage /
+                   ///< ReplicaConsistency
+  RecvBeforeSend,  ///< hoist recvs above sends on an exchanging rank pair
+                   ///< → ScheduleSafety (deadlock cycle)
+  WidenMessage,    ///< fetch one extra unread boundary layer → DeadComm (warning)
+};
+
+const char* to_string(Mutation m);
+
+/// One applicable mutation site in a plan.
+struct MutationSite {
+  Mutation kind = Mutation::DropEvent;
+  int index = -1;       ///< event id / message id / overlap ordinal / stmt id / rank
+  int dim = -1;         ///< array dim (ShrinkHalo) or term ordinal (PerturbCp)
+  std::string describe;
+
+  [[nodiscard]] Check expected_check() const;
+  [[nodiscard]] Severity expected_severity() const;
+};
+
+/// Enumerate every applicable site of `kind` in the plan (empty when the
+/// plan has no artifact the mutation could break — e.g. no halo of width
+/// ≥ 1 to shrink).
+std::vector<MutationSite> mutation_sites(const CompiledPlan& plan, Mutation kind);
+
+/// All applicable sites of all mutation kinds.
+std::vector<MutationSite> all_mutation_sites(const CompiledPlan& plan);
+
+/// Apply one mutation to a copy of the plan. The schedule is re-derived
+/// when the mutation edits the events (the declarations stay as-is: the
+/// point is an inconsistency between artifacts, which is what the checks
+/// detect). Throws dhpf::Error if the site does not exist in this plan.
+CompiledPlan mutate(const CompiledPlan& plan, const MutationSite& site);
+
+/// Run the whole harness: apply every applicable mutation and verify each
+/// one is caught (an error of the expected class, or for WidenMessage a
+/// warning). Returns human-readable one-line results; `all_caught` is false
+/// if any seeded defect escaped.
+struct HarnessResult {
+  std::vector<std::string> lines;
+  std::size_t seeded = 0;
+  std::size_t caught = 0;
+
+  [[nodiscard]] bool all_caught() const { return caught == seeded; }
+};
+HarnessResult run_harness(const CompiledPlan& plan, const VerifyOptions& opt = {});
+
+}  // namespace dhpf::verify

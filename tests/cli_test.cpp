@@ -1,0 +1,89 @@
+// dhpfc CLI surface tests: the options table is the single source of truth
+// for parsing AND --help, so every accepted flag must appear in the usage
+// text, parse successfully, and reject bad values with useful errors.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+namespace dhpf::cli {
+namespace {
+
+TEST(Cli, EveryAcceptedFlagAppearsInHelp) {
+  const std::string help = usage_text();
+  for (const OptionSpec& s : option_table()) {
+    EXPECT_NE(help.find(s.display), std::string::npos)
+        << s.name << " missing from --help (display form: " << s.display << ")";
+    EXPECT_NE(help.find(s.name), std::string::npos);
+    EXPECT_FALSE(s.help.empty()) << s.name << " has no help text";
+    EXPECT_NE(help.find(s.help.substr(0, 24)), std::string::npos)
+        << s.name << "'s help text not rendered";
+  }
+}
+
+TEST(Cli, EveryFlagParsesWithAnExampleValue) {
+  for (const OptionSpec& s : option_table()) {
+    // The display form doubles as a parseable example: for valued options it
+    // is "--name=v1|v2..." — take the first alternative.
+    std::string arg = s.display;
+    const auto bar = arg.find('|');
+    if (bar != std::string::npos) arg = arg.substr(0, bar);
+    if (s.takes_value && arg.find('=') == arg.size() - 1) arg += "x";  // FILE-style
+    if (arg == "--report-json=FILE") arg = "--report-json=out.json";
+    ParseResult r = parse_args({arg, "prog.hpf"});
+    EXPECT_TRUE(r.ok()) << arg << ": " << r.error;
+  }
+}
+
+TEST(Cli, DefaultsMatchCompilerDefaults) {
+  ParseResult r = parse_args({"prog.hpf"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.opts.input, "prog.hpf");
+  EXPECT_TRUE(r.opts.sopt.localize);
+  EXPECT_TRUE(r.opts.sopt.comm_sensitive);
+  EXPECT_TRUE(r.opts.sopt.interprocedural);
+  EXPECT_TRUE(r.opts.copt.data_availability);
+  EXPECT_FALSE(r.opts.run);
+  EXPECT_FALSE(r.opts.verify);
+  EXPECT_FALSE(r.opts.report);
+  EXPECT_TRUE(r.opts.report_json.empty());
+}
+
+TEST(Cli, FlagsSetTheirOptions) {
+  ParseResult r = parse_args({"--no-localize", "--no-availability", "--priv=owner",
+                              "--backend=mp", "--verify", "--report-json=-", "x.hpf"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.opts.sopt.localize);
+  EXPECT_FALSE(r.opts.copt.data_availability);
+  EXPECT_EQ(r.opts.sopt.priv_mode, cp::PrivMode::OwnerComputes);
+  EXPECT_EQ(r.opts.xopt.backend, exec::Backend::Mp);
+  EXPECT_TRUE(r.opts.verify);
+  EXPECT_EQ(r.opts.report_json, "-");
+}
+
+TEST(Cli, ErrorsNameTheOffendingArgument) {
+  EXPECT_NE(parse_args({"--frobnicate", "x.hpf"}).error.find("--frobnicate"),
+            std::string::npos);
+  EXPECT_NE(parse_args({"--priv=bogus", "x.hpf"}).error.find("bogus"), std::string::npos);
+  EXPECT_NE(parse_args({"--backend=cray", "x.hpf"}).error.find("cray"), std::string::npos);
+  EXPECT_NE(parse_args({"--priv", "x.hpf"}).error.find("requires a value"),
+            std::string::npos);
+  EXPECT_NE(parse_args({"--run=yes", "x.hpf"}).error.find("takes no value"),
+            std::string::npos);
+  EXPECT_NE(parse_args({"a.hpf", "b.hpf"}).error.find("b.hpf"), std::string::npos);
+  EXPECT_NE(parse_args({}).error.find("missing input"), std::string::npos);
+}
+
+TEST(Cli, HelpNeedsNoInputFile) {
+  ParseResult r = parse_args({"--help"});
+  EXPECT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.opts.help);
+  const std::string help = usage_text();
+  EXPECT_NE(help.find("usage: dhpfc"), std::string::npos);
+  EXPECT_NE(help.find("exit codes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dhpf::cli

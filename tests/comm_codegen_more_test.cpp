@@ -33,7 +33,9 @@ TEST(CommPlacement, IndependentInputsHoistFully) {
   )");
   auto c = codegen::compile(prog);
   for (const auto& ev : c.plan.events)
-    if (ev.kind == EventKind::Fetch) EXPECT_EQ(ev.placement_depth, 0);
+    if (ev.kind == EventKind::Fetch) {
+      EXPECT_EQ(ev.placement_depth, 0);
+    }
   auto r = run_spmd(prog, c.cps, c.plan, sim::Machine::sp2());
   EXPECT_LT(r.max_err, 1e-12);
   // One hoisted exchange total, even though the loop runs 10 times.
@@ -81,8 +83,9 @@ TEST(CommPlacement, DisjointComponentPlanesDoNotPinPlacement) {
   )");
   auto c = codegen::compile(prog);
   for (const auto& ev : c.plan.events)
-    if (ev.kind == EventKind::Fetch && ev.array->name == "src")
+    if (ev.kind == EventKind::Fetch && ev.array->name == "src") {
       EXPECT_EQ(ev.placement_depth, 0);
+    }
   auto r = run_spmd(prog, c.cps, c.plan, sim::Machine::sp2());
   EXPECT_LT(r.max_err, 1e-12);
 }

@@ -127,8 +127,9 @@ TEST(E2E, TwoStageProducerConsumerHoistsToMiddle) {
   CpResult cps = cp::select_cps(prog);
   CommPlan plan = comm::generate_comm(prog, cps);
   for (const auto& ev : plan.events)
-    if (ev.kind == comm::EventKind::Fetch && ev.array->name == "b")
+    if (ev.kind == comm::EventKind::Fetch && ev.array->name == "b") {
       EXPECT_EQ(ev.placement_depth, 0);
+    }
   SpmdResult r = run_spmd(prog, cps, plan, sim::Machine::sp2());
   EXPECT_LT(r.max_err, 1e-12);
   // 2 interior boundaries x 2 directions x 1 vectorized message... plus no

@@ -82,7 +82,9 @@ TEST(IsetStress, ProjectionIsExactShadowForRandomPolyhedra) {
     s.enumerate({}, [&](const std::vector<i64>& p) { shadow.insert(p[0]); });
     for (i64 x : shadow) EXPECT_TRUE(proj.contains({x}, {}));
     // and the projection of an empty set is empty
-    if (shadow.empty()) EXPECT_TRUE(proj.is_empty());
+    if (shadow.empty()) {
+      EXPECT_TRUE(proj.is_empty());
+    }
   }
 }
 

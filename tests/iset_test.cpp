@@ -290,6 +290,58 @@ TEST(Set, ProjectOutMatchesShadow) {
   EXPECT_EQ(pts.size(), 6u);
 }
 
+TEST(Set, DifferenceToEmptyIsExactlyEmpty) {
+  // a − b where b ⊇ a must answer empty (the soundness direction the
+  // verifier's clean reports depend on), for single parts and for unions.
+  Set a = interval(2, 7);
+  EXPECT_TRUE(a.subtract(interval(0, 10)).is_empty());
+  EXPECT_TRUE(a.subtract(a).is_empty());
+  Set cover = interval(0, 4).unite(interval(5, 10));
+  EXPECT_TRUE(a.subtract(cover).is_empty());
+  // And the one-element-short cover is NOT empty — with the right witness.
+  Set short_cover = interval(0, 4).unite(interval(6, 10));
+  Set diff = a.subtract(short_cover);
+  EXPECT_FALSE(diff.is_empty());
+  auto w = diff.sample({});
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, (std::vector<i64>{5}));
+}
+
+TEST(Set, SampleExtractsLexLeastWitness) {
+  // sample() is the verifier's witness extractor: lexicographically least
+  // point of the set, nullopt on empty sets.
+  EXPECT_FALSE(interval(5, 3).sample({}).has_value());
+  auto p = box2(2, 4, 7, 9).sample({});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (std::vector<i64>{2, 7}));
+  // Union parts don't disturb lexicographic order.
+  auto q = interval(6, 8).unite(interval(1, 3)).sample({});
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, (std::vector<i64>{1}));
+  // Parametric set: the witness tracks the parameter values.
+  Params ps({"n"});
+  BasicSet bs(1, ps);
+  bs.add_bounds(0, bs.expr_param("n"), bs.expr_param("n") + bs.expr_const(2));
+  EXPECT_EQ(*Set(bs).sample({40}), (std::vector<i64>{40}));
+  EXPECT_FALSE(Set(bs).subtract(Set(bs)).sample({40}).has_value());
+}
+
+TEST(Set, EmptyInputIdentities) {
+  // ∅ is the identity of union and the absorbing element of intersection,
+  // including for the nullary Set::empty() constructor form.
+  Set e = Set::empty(1, no_params);
+  Set a = interval(3, 6);
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_EQ(points_of(a.unite(e)).size(), 4u);
+  EXPECT_EQ(points_of(e.unite(a)).size(), 4u);
+  EXPECT_TRUE(e.intersect(a).is_empty());
+  EXPECT_TRUE(a.intersect(e).is_empty());
+  EXPECT_TRUE(e.subtract(a).is_empty());
+  EXPECT_EQ(points_of(a.subtract(e)).size(), 4u);
+  EXPECT_EQ(e.count({}), 0u);
+  EXPECT_FALSE(e.sample({}).has_value());
+}
+
 TEST(Set, ToStringReadable) {
   Params ps({"N"});
   BasicSet bs(1, ps);

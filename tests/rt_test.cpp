@@ -158,7 +158,9 @@ TEST(Decomp2D, NeighborsAreReciprocal) {
     for (int dim : {1, 2})
       for (int dir : {-1, 1}) {
         int nb = d.neighbor(r, dim, dir);
-        if (nb >= 0) EXPECT_EQ(d.neighbor(nb, dim, -dir), r);
+        if (nb >= 0) {
+          EXPECT_EQ(d.neighbor(nb, dim, -dir), r);
+        }
       }
 }
 
@@ -293,7 +295,9 @@ TEST(Halo3D, NeighborsReciprocalAllDims) {
     for (int dim = 0; dim < 3; ++dim)
       for (int dir : {-1, 1}) {
         const int nb = d.neighbor(r, dim, dir);
-        if (nb >= 0) EXPECT_EQ(d.neighbor(nb, dim, -dir), r);
+        if (nb >= 0) {
+          EXPECT_EQ(d.neighbor(nb, dim, -dir), r);
+        }
       }
 }
 
@@ -399,9 +403,12 @@ TEST_P(MultiPartP, SweepSuccessorIsOnFixedNeighbor) {
       MultiPartMap::CellId nxt;
       if (!mp.neighbor_cell(c, 0, +1, &nxt)) continue;
       EXPECT_EQ(mp.owner(nxt), ((pi + 1) % q) * q + pj);
-      if (mp.neighbor_cell(c, 1, +1, &nxt)) EXPECT_EQ(mp.owner(nxt), pi * q + (pj + 1) % q);
-      if (mp.neighbor_cell(c, 2, +1, &nxt))
+      if (mp.neighbor_cell(c, 1, +1, &nxt)) {
+        EXPECT_EQ(mp.owner(nxt), pi * q + (pj + 1) % q);
+      }
+      if (mp.neighbor_cell(c, 2, +1, &nxt)) {
         EXPECT_EQ(mp.owner(nxt), ((pi + 1) % q) * q + (pj + 1) % q);
+      }
     }
   }
 }

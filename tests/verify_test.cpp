@@ -1,0 +1,283 @@
+// dhpf::verify acceptance tests: each of the five check classes must fire
+// on a fault-injected plan with the right witness (element tuple / message
+// id / wait-for cycle / byte count), clean compiles must verify clean, and
+// on the NAS class-S dHPF-style plan every single dropped message and every
+// halo shrunk by one must be caught statically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "codegen/driver.hpp"
+#include "hpf/parser.hpp"
+#include "verify/mutate.hpp"
+#include "verify/verify.hpp"
+
+namespace dhpf::verify {
+namespace {
+
+/// 1D nearest-neighbour stencil: 4 ranks, one fetch event, overlap width 1,
+/// six boundary messages. Small enough that every witness is predictable.
+constexpr const char* kStencil1d = R"(
+processors P(4)
+array a(16) distribute (block:0) onto P
+array b(16) distribute (block:0) onto P
+
+procedure main()
+  do i = 1, 14
+    b(i) = a(i-1) + a(i+1)
+  enddo
+end
+)";
+
+/// The NAS mini-SP class-S dHPF-style model (mirrors
+/// examples/nas/sp_dhpf_style.hpf): (*, BLOCK, BLOCK) over (y, z), depth-2
+/// overlap exchange, a LOCALIZE'd reciprocal array, pipelined y/z sweeps.
+constexpr const char* kNasSpDhpfS = R"(
+processors P(2, 2)
+array u(12, 12, 12) distribute (*, block:0, block:1) onto P
+array rhs(12, 12, 12) distribute (*, block:0, block:1) onto P
+array rho(12, 12, 12) distribute (*, block:0, block:1) onto P
+
+procedure main()
+  do k = 1, 10
+    do[independent, localize(rho)] j = 2, 9
+      do i = 1, 10
+        rho(i, j, k) = u(i, j, k)
+      enddo
+      do i = 1, 10
+        rhs(i, j, k) = u(i, j-2, k) + u(i, j+2, k) + u(i, j, k-1) + u(i, j, k+1) + rho(i, j-1, k) + rho(i, j+1, k)
+      enddo
+    enddo
+  enddo
+  do k = 1, 10
+    do i = 1, 10
+      do j = 2, 10
+        rhs(i, j, k) = rhs(i, j-1, k) + u(i, j, k)
+      enddo
+    enddo
+  enddo
+  do j = 1, 10
+    do i = 1, 10
+      do k = 2, 10
+        rhs(i, j, k) = rhs(i, j, k-1) + u(i, j, k)
+      enddo
+    enddo
+  enddo
+  do k = 1, 10
+    do j = 1, 10
+      do i = 1, 10
+        u(i, j, k) = u(i, j, k) + rhs(i, j, k)
+      enddo
+    enddo
+  enddo
+end
+)";
+
+struct Compiled {
+  hpf::Program prog;
+  CompiledPlan plan;
+};
+
+Compiled compile_and_bind(const std::string& src) {
+  Compiled c;
+  codegen::CompileResult r = codegen::compile_source(src, &c.prog);
+  c.plan = bind(c.prog, std::move(r.cps), std::move(r.plan));
+  return c;
+}
+
+const Diagnostic* find_error(const Report& rep, Check check) {
+  for (const auto& d : rep.diagnostics)
+    if (d.check == check && d.severity == Severity::Error) return &d;
+  return nullptr;
+}
+
+TEST(Verify, CleanCompileVerifiesClean) {
+  Compiled c = compile_and_bind(kStencil1d);
+  Report rep = check(c.plan);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+  EXPECT_EQ(rep.errors(), 0u);
+  EXPECT_GT(rep.checks_run, 0u);
+  EXPECT_NO_THROW(check_or_throw(c.plan));
+}
+
+TEST(Verify, BindDerivesMinimalHaloAndSchedule) {
+  Compiled c = compile_and_bind(kStencil1d);
+  // Every distributed array gets a declaration; only `a` needs real width.
+  ASSERT_EQ(c.plan.overlaps.size(), 2u);
+  for (const OverlapDecl& decl : c.plan.overlaps) {
+    if (decl.array->name == "a")
+      EXPECT_EQ(decl.width, (std::vector<int>{1}));
+    else
+      EXPECT_EQ(decl.width, (std::vector<int>{0}));
+  }
+  // 4 ranks in a line, depth-1 stencil: 3 neighbour pairs * 2 directions.
+  EXPECT_EQ(c.plan.schedule.messages.size(), 6u);
+  for (const auto& m : c.plan.schedule.messages) {
+    EXPECT_EQ(m.elems, 1u);
+    EXPECT_EQ(std::abs(m.from - m.to), 1);
+  }
+}
+
+TEST(Verify, ReadCoverageCatchesDroppedFetchWithElementWitness) {
+  Compiled c = compile_and_bind(kStencil1d);
+  auto sites = mutation_sites(c.plan, Mutation::DropEvent);
+  ASSERT_FALSE(sites.empty());
+  Report rep = check(mutate(c.plan, sites[0]));
+  const Diagnostic* d = find_error(rep, Check::ReadCoverage);
+  ASSERT_NE(d, nullptr) << rep.to_string();
+  // Rank 0 owns a(0..3) and reads a(4) through a(i+1): the first
+  // lexicographic witness is exactly that element tuple.
+  EXPECT_EQ(d->witness.array->name, "a");
+  EXPECT_EQ(d->witness.element, (std::vector<iset::i64>{4}));
+  EXPECT_EQ(d->witness.rank, 0);
+  EXPECT_THROW(check_or_throw(mutate(c.plan, sites[0])), VerifyError);
+}
+
+TEST(Verify, ReplicaConsistencyCatchesLostWriteBack) {
+  Compiled c = compile_and_bind(kStencil1d);
+  // Rewrite S0's CP to ON_HOME b(1): rank 0 executes everything, writes
+  // b(4..14) it does not own, and no write-back event covers them.
+  CompiledPlan broken = c.plan;
+  auto& sc = broken.cps.stmts.begin()->second;
+  cp::OnHomeTerm t;
+  t.array = sc.stmt->assign().lhs.array;
+  t.subs = {cp::SubRange::point(hpf::Subscript::constant(1))};
+  sc.cp.terms = {t};
+  Report rep = check(broken);
+  const Diagnostic* d = find_error(rep, Check::ReplicaConsistency);
+  ASSERT_NE(d, nullptr) << rep.to_string();
+  EXPECT_EQ(d->witness.array->name, "b");
+  EXPECT_EQ(d->witness.rank, 0);
+  EXPECT_EQ(d->witness.element, (std::vector<iset::i64>{4}));  // first non-owned
+}
+
+TEST(Verify, ReplicaConsistencyCatchesDroppedInstances) {
+  Compiled c = compile_and_bind(kStencil1d);
+  // ON_HOME b(20): outside the template, so NO rank executes any instance.
+  CompiledPlan broken = c.plan;
+  auto& sc = broken.cps.stmts.begin()->second;
+  cp::OnHomeTerm t;
+  t.array = sc.stmt->assign().lhs.array;
+  t.subs = {cp::SubRange::point(hpf::Subscript::constant(20))};
+  sc.cp.terms = {t};
+  Report rep = check(broken);
+  const Diagnostic* d = find_error(rep, Check::ReplicaConsistency);
+  ASSERT_NE(d, nullptr) << rep.to_string();
+  // First dropped instance is i=1, i.e. the owner copy of b(1) goes stale.
+  EXPECT_EQ(d->witness.element, (std::vector<iset::i64>{1}));
+  EXPECT_NE(d->message.find("drops"), std::string::npos);
+}
+
+TEST(Verify, HaloSufficiencyCatchesShrunkOverlapWithElementWitness) {
+  Compiled c = compile_and_bind(kStencil1d);
+  auto sites = mutation_sites(c.plan, Mutation::ShrinkHalo);
+  ASSERT_EQ(sites.size(), 1u);  // overlap a(1), dim 0
+  Report rep = check(mutate(c.plan, sites[0]));
+  const Diagnostic* d = find_error(rep, Check::HaloSufficiency);
+  ASSERT_NE(d, nullptr) << rep.to_string();
+  EXPECT_EQ(d->witness.array->name, "a");
+  // The a(i-1) footprint is checked first: with width 0 it first escapes a
+  // rank's region at a(3), read by rank 1 (which owns a(4..7)).
+  EXPECT_EQ(d->witness.element, (std::vector<iset::i64>{3}));
+  EXPECT_EQ(d->witness.rank, 1);
+}
+
+TEST(Verify, ScheduleSafetyCatchesDroppedSendWithMessageWitness) {
+  Compiled c = compile_and_bind(kStencil1d);
+  for (const MutationSite& site : mutation_sites(c.plan, Mutation::DropMessage)) {
+    Report rep = check(mutate(c.plan, site));
+    const Diagnostic* d = find_error(rep, Check::ScheduleSafety);
+    ASSERT_NE(d, nullptr) << site.describe << "\n" << rep.to_string();
+    EXPECT_EQ(d->witness.message_id, site.index);
+    EXPECT_NE(d->message.find("never sent"), std::string::npos);
+  }
+}
+
+TEST(Verify, ScheduleSafetyCatchesDeadlockWithCycleWitness) {
+  Compiled c = compile_and_bind(kStencil1d);
+  auto sites = mutation_sites(c.plan, Mutation::RecvBeforeSend);
+  ASSERT_FALSE(sites.empty());
+  Report rep = check(mutate(c.plan, sites[0]));
+  const Diagnostic* d = find_error(rep, Check::ScheduleSafety);
+  ASSERT_NE(d, nullptr) << rep.to_string();
+  EXPECT_GE(d->witness.cycle.size(), 2u);
+  EXPECT_NE(d->message.find("deadlock"), std::string::npos);
+  // The cycle names real schedule messages.
+  for (int id : d->witness.cycle)
+    EXPECT_NO_THROW(static_cast<void>(c.plan.schedule.message(id)));
+}
+
+TEST(Verify, DeadCommLintReportsBytes) {
+  Compiled c = compile_and_bind(kStencil1d);
+  auto sites = mutation_sites(c.plan, Mutation::WidenMessage);
+  ASSERT_FALSE(sites.empty());
+  Report rep = check(mutate(c.plan, sites[0]));
+  EXPECT_TRUE(rep.clean());  // a lint, not an error
+  ASSERT_EQ(rep.by_check(Check::DeadComm).size(), 1u);
+  const Diagnostic* d = rep.by_check(Check::DeadComm)[0];
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_GT(d->witness.bytes, 0u);
+  EXPECT_EQ(d->witness.bytes % sizeof(double), 0u);
+  // The lint is optional.
+  VerifyOptions opt;
+  opt.lint_dead_comm = false;
+  EXPECT_TRUE(check(mutate(c.plan, sites[0]), opt).diagnostics.empty());
+}
+
+TEST(Verify, ReportJsonIsWellFormedEnough) {
+  Compiled c = compile_and_bind(kStencil1d);
+  auto sites = mutation_sites(c.plan, Mutation::DropEvent);
+  ASSERT_FALSE(sites.empty());
+  Report rep = check(mutate(c.plan, sites[0]));
+  const std::string js = rep.to_json();
+  EXPECT_NE(js.find("\"clean\":false"), std::string::npos);
+  EXPECT_NE(js.find("\"read-coverage\""), std::string::npos);
+  EXPECT_NE(js.find("\"element\""), std::string::npos);
+}
+
+TEST(Verify, HarnessCatchesEverySeededDefectOnStencil) {
+  Compiled c = compile_and_bind(kStencil1d);
+  HarnessResult h = run_harness(c.plan);
+  EXPECT_GT(h.seeded, 0u);
+  EXPECT_TRUE(h.all_caught()) << [&] {
+    std::string all;
+    for (const auto& l : h.lines) all += l + "\n";
+    return all;
+  }();
+}
+
+// ---- NAS class-S acceptance: the ISSUE's headline property -------------
+
+TEST(Verify, NasClassSVerifiesClean) {
+  Compiled c = compile_and_bind(kNasSpDhpfS);
+  Report rep = check(c.plan);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+TEST(Verify, NasClassSDroppingAnySingleMessageIsCaught) {
+  Compiled c = compile_and_bind(kNasSpDhpfS);
+  auto sites = mutation_sites(c.plan, Mutation::DropMessage);
+  ASSERT_GT(sites.size(), 4u);
+  for (const MutationSite& site : sites) {
+    Report rep = check(mutate(c.plan, site));
+    const Diagnostic* d = find_error(rep, Check::ScheduleSafety);
+    ASSERT_NE(d, nullptr) << site.describe << "\n" << rep.to_string();
+    EXPECT_EQ(d->witness.message_id, site.index) << site.describe;
+  }
+}
+
+TEST(Verify, NasClassSShrinkingAnyHaloByOneIsCaught) {
+  Compiled c = compile_and_bind(kNasSpDhpfS);
+  auto sites = mutation_sites(c.plan, Mutation::ShrinkHalo);
+  ASSERT_GT(sites.size(), 2u);  // u, rhs and rho all carry overlap widths
+  for (const MutationSite& site : sites) {
+    Report rep = check(mutate(c.plan, site));
+    const Diagnostic* d = find_error(rep, Check::HaloSufficiency);
+    ASSERT_NE(d, nullptr) << site.describe << "\n" << rep.to_string();
+    EXPECT_FALSE(d->witness.element.empty()) << site.describe;
+  }
+}
+
+}  // namespace
+}  // namespace dhpf::verify
