@@ -1,0 +1,241 @@
+// Model-accuracy bench: how well does the analytic cost model (dhpf::model)
+// predict measured execution, before and after calibration?
+//
+// Cells are compiled plans — the three NAS SP HPF-lite variants under
+// examples/nas/ plus the dhpfc sample — each compiled under a spread of
+// optimization-flag settings (default plus every single-axis flip, the same
+// spread the --calibrate flow measures). For every cell the bench records
+// the model's exact critical-path aggregates (C, M, B), the predicted wall
+// time under the machine-default parameters, the measured time on the
+// chosen backend, and the prediction re-scored with parameters fitted by
+// least squares over all cells.
+//
+//   model_accuracy [--json <path>] [--backend sim|mp]
+//
+// The JSON artifact carries per-cell errors and the median
+// predicted-vs-measured relative error before ("median_error_default") and
+// after ("median_error_calibrated") calibration; scripts/bench_smoke.sh
+// asserts the calibrated median stays within the 25% acceptance bound.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/driver.hpp"
+#include "model/calibrate.hpp"
+#include "model/model.hpp"
+#include "support/buildinfo.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "tune/tune.hpp"
+
+#ifndef DHPF_SOURCE_DIR
+#define DHPF_SOURCE_DIR "."
+#endif
+
+namespace {
+
+using namespace dhpf;
+
+struct Cell {
+  std::string label;
+  model::Sample sample;          // exact C/M/B + measured seconds
+  double predicted_default = 0;  // wall under machine defaults
+  double predicted_fitted = 0;   // wall under the fitted parameters
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+};
+
+double rel_error(double pred, double meas) {
+  return meas > 0.0 ? std::fabs(pred - meas) / meas : 0.0;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t m = v.size();
+  return m % 2 == 1 ? v[m / 2] : 0.5 * (v[m / 2 - 1] + v[m / 2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  exec::Backend backend = exec::Backend::Sim;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--backend" && i + 1 < argc) {
+      const std::string be = argv[++i];
+      if (be == "sim") {
+        backend = exec::Backend::Sim;
+      } else if (be == "mp") {
+        backend = exec::Backend::Mp;
+      } else {
+        std::fprintf(stderr, "%s: bad --backend (want sim|mp)\n", argv[0]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--backend sim|mp]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const char* sources[] = {
+      "examples/sample.hpf",
+      "examples/nas/sp_hand_mpi.hpf",
+      "examples/nas/sp_dhpf_style.hpf",
+      "examples/nas/sp_pgi_style.hpf",
+  };
+  const exec::Machine machine = exec::Machine::sp2();
+  const model::ModelParams defaults = model::ModelParams::from_machine(machine);
+
+  // Same single-axis-flip spread --calibrate measures.
+  std::vector<tune::VariantSpec> variants;
+  for (const tune::VariantSpec& v : tune::enumerate_variants()) {
+    const cp::SelectOptions ds;
+    const comm::CommOptions dc;
+    int off = 0;
+    if (v.sopt.priv_mode != ds.priv_mode) ++off;
+    if (v.sopt.localize != ds.localize) ++off;
+    if (v.sopt.comm_sensitive != ds.comm_sensitive) ++off;
+    if (v.copt.data_availability != dc.data_availability) ++off;
+    if (v.copt.coalesce != dc.coalesce) ++off;
+    if (off <= 1) variants.push_back(v);
+  }
+
+  std::vector<Cell> cells;
+  for (const char* rel : sources) {
+    const std::string path = std::string(DHPF_SOURCE_DIR) + "/" + rel;
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open %s\n", argv[0], path.c_str());
+      return 1;
+    }
+    std::ostringstream src;
+    src << in.rdbuf();
+    for (const tune::VariantSpec& v : variants) {
+      try {
+        hpf::Program prog;
+        codegen::CompileResult compiled =
+            codegen::compile_source(src.str(), &prog, v.sopt, v.copt);
+        const model::Prediction pred =
+            model::predict(prog, compiled.cps, compiled.plan, machine);
+        codegen::SpmdOptions xopt;
+        xopt.backend = backend;
+        xopt.verify = false;
+        const codegen::SpmdResult run =
+            codegen::run_spmd(prog, compiled.cps, compiled.plan, machine, xopt);
+        Cell c;
+        c.label = std::string(rel) + " [" + v.name + "]";
+        c.sample.label = c.label;
+        c.sample.compute_seconds = pred.compute_seconds_critical;
+        c.sample.messages = pred.critical_messages;
+        c.sample.bytes = pred.critical_bytes;
+        c.sample.measured_seconds =
+            run.backend == exec::Backend::Mp ? run.wall_seconds : run.elapsed;
+        c.predicted_default = pred.wall(defaults);
+        c.messages = pred.messages;
+        c.bytes = pred.bytes;
+        if (c.sample.measured_seconds > 0.0) cells.push_back(std::move(c));
+      } catch (const dhpf::Error& e) {
+        std::fprintf(stderr, "  skip %s [%s]: %s\n", rel, v.name.c_str(), e.what());
+      }
+    }
+  }
+  if (cells.empty()) {
+    std::fprintf(stderr, "%s: no cells measured\n", argv[0]);
+    return 1;
+  }
+
+  std::vector<model::Sample> samples;
+  for (const Cell& c : cells) samples.push_back(c.sample);
+  const model::Calibration cal = model::fit(samples, defaults);
+
+  std::vector<double> errs_default, errs_fitted;
+  for (Cell& c : cells) {
+    c.predicted_fitted = cal.params.gamma * c.sample.compute_seconds +
+                         cal.params.alpha * c.sample.messages +
+                         cal.params.beta * c.sample.bytes;
+    errs_default.push_back(rel_error(c.predicted_default, c.sample.measured_seconds));
+    errs_fitted.push_back(rel_error(c.predicted_fitted, c.sample.measured_seconds));
+  }
+  const double med_default = median(errs_default);
+  const double med_fitted = median(errs_fitted);
+
+  std::printf("model accuracy (%zu cells, backend %s)\n", cells.size(),
+              exec::to_string(backend));
+  std::printf("  defaults: %s\n", defaults.to_string().c_str());
+  std::printf("  fitted:   %s\n", cal.params.to_string().c_str());
+  std::printf("  %-64s | %10s | %10s | %7s | %7s\n", "cell", "measured s", "pred s",
+              "err.def", "err.fit");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::printf("  %-64s | %10.6f | %10.6f | %6.1f%% | %6.1f%%\n", c.label.c_str(),
+                c.sample.measured_seconds, c.predicted_fitted, 100.0 * errs_default[i],
+                100.0 * errs_fitted[i]);
+  }
+  std::printf("  median error: %.1f%% default -> %.1f%% calibrated\n", 100.0 * med_default,
+              100.0 * med_fitted);
+
+  if (!json_path.empty()) {
+    json::Writer w;
+    w.begin_object();
+    w.member("bench", "model_accuracy");
+    w.member("backend", exec::to_string(backend));
+    w.key("build");
+    w.raw(buildinfo::to_json());
+    w.key("machine");
+    w.begin_object();
+    w.member("flop_time", machine.flop_time);
+    w.member("latency", machine.latency);
+    w.member("byte_time", machine.byte_time);
+    w.member("send_overhead", machine.send_overhead);
+    w.member("recv_overhead", machine.recv_overhead);
+    w.end_object();
+    w.key("calibration");
+    w.raw(cal.to_json());
+    w.member("median_error_default", med_default);
+    w.member("median_error_calibrated", med_fitted);
+    w.key("cells");
+    w.begin_array();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      w.begin_object();
+      w.member("label", c.label);
+      w.member("measured_seconds", c.sample.measured_seconds);
+      w.member("predicted_default", c.predicted_default);
+      w.member("predicted_calibrated", c.predicted_fitted);
+      w.member("rel_error_default", errs_default[i]);
+      w.member("rel_error_calibrated", errs_fitted[i]);
+      w.member("compute_seconds", c.sample.compute_seconds);
+      w.member("critical_messages", c.sample.messages);
+      w.member("critical_bytes", c.sample.bytes);
+      w.member("messages", static_cast<std::uint64_t>(c.messages));
+      w.member("bytes", static_cast<std::uint64_t>(c.bytes));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics");
+    w.begin_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, v] : obs::Registry::global().snapshot().counters)
+      w.member(name, v);
+    w.end_object();
+    w.end_object();
+    w.end_object();
+    std::ofstream out(json_path);
+    out << w.str() << "\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0], json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -18,7 +18,11 @@
 
 #include "cli/cli.hpp"
 #include "codegen/driver.hpp"
+#include "model/calibrate.hpp"
+#include "model/model.hpp"
+#include "support/buildinfo.hpp"
 #include "support/json.hpp"
+#include "tune/tune.hpp"
 #include "verify/mutate.hpp"
 #include "verify/verify.hpp"
 
@@ -94,6 +98,45 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Model parameters: machine defaults unless a calibration file is given.
+    model::ModelParams mparams = model::ModelParams::from_machine(sim::Machine::sp2());
+    if (!o.calibration_in.empty()) mparams = model::load_params(o.calibration_in);
+
+    std::string model_json;
+    if (o.model_report || !o.report_json.empty()) {
+      const model::Prediction pred = model::predict(prog, compiled.cps, compiled.plan,
+                                                    sim::Machine::sp2(),
+                                                    o.xopt.flops_per_instance);
+      model_json = pred.to_json(mparams);
+      if (o.model_report)
+        std::printf("\n---- performance model ----\n%s", pred.to_string(mparams).c_str());
+    }
+
+    std::string calibration_json;
+    if (!o.calibrate_out.empty()) {
+      tune::TuneOptions topt;
+      topt.xopt = o.xopt;
+      const model::Calibration cal = tune::calibrate_program(prog, topt);
+      model::save(cal, o.calibrate_out);
+      calibration_json = cal.to_json();
+      std::printf("\n---- calibration ----\n  %zu samples, median error %.1f%% -> %.1f%%\n"
+                  "  fitted: %s\n  written: %s\n",
+                  cal.samples, 100.0 * cal.median_error_default,
+                  100.0 * cal.median_error_fitted, cal.params.to_string().c_str(),
+                  o.calibrate_out.c_str());
+    }
+
+    std::string tune_json;
+    if (o.tune) {
+      tune::TuneOptions topt;
+      topt.measure_top_k = o.tune_measure;
+      topt.xopt = o.xopt;
+      topt.params = mparams;
+      const tune::TuneReport rep = tune::tune(prog, topt);
+      tune_json = rep.to_json();
+      std::printf("\n---- autotuner ----\n%s", rep.to_string().c_str());
+    }
+
     if (o.run) {
       auto r =
           codegen::run_spmd(prog, compiled.cps, compiled.plan, sim::Machine::sp2(), o.xopt);
@@ -118,11 +161,25 @@ int main(int argc, char** argv) {
       json::Writer w(/*pretty=*/true);
       w.begin_object();
       w.member("input", o.input);
+      w.key("build");
+      w.raw(buildinfo::to_json());
       w.key("compile");
       w.raw(compiled.report.to_json());
       if (!verify_json.empty()) {
         w.key("verify");
         w.raw(verify_json);
+      }
+      if (!model_json.empty()) {
+        w.key("model");
+        w.raw(model_json);
+      }
+      if (!calibration_json.empty()) {
+        w.key("calibration");
+        w.raw(calibration_json);
+      }
+      if (!tune_json.empty()) {
+        w.key("tune");
+        w.raw(tune_json);
       }
       w.end_object();
       const std::string doc = w.str() + "\n";

@@ -63,6 +63,25 @@ for b in fig_4_1_privatizable fig_4_2_localize fig_5_1_loop_dist \
   check "$b"
 done
 
+echo "bench_smoke: model accuracy (sim backend)"
+"$bench_dir/model_accuracy" --json "$out_dir/model_accuracy.json" > /dev/null
+check model_accuracy
+
+# The calibrated model must land within the acceptance bound, and the
+# artifact must carry the calibration + per-cell errors + build provenance.
+python3 - "$out_dir/model_accuracy.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "model_accuracy"
+assert doc["cells"], "no measured cells"
+assert "git" in doc["build"], "missing build provenance"
+assert "params" in doc["calibration"], "missing fitted parameters"
+med = doc["median_error_calibrated"]
+assert med <= 0.25, f"calibrated median error {med:.3f} exceeds 25% bound"
+assert med <= doc["median_error_default"] + 1e-12, "calibration made the model worse"
+EOF
+echo "  ok: model_accuracy calibrated median error within 25%"
+
 echo "bench_smoke: trace exports"
 "$bench_dir/fig_8_1_4_traces" --json "$out_dir/traces.json" \
   --chrome-trace "$out_dir/trace" > /dev/null

@@ -76,6 +76,55 @@ std::vector<OptionSpec> make_table() {
                    "run the fault-injection harness: seed defects into the plan and "
                    "require the verifier to catch every one",
                    [](Options& o) { o.verify_selftest = true; }));
+  t.push_back(flag("--model-report",
+                   "print the analytic cost-model prediction for the compiled plan "
+                   "(predicted wall time, per-statement and per-event costs)",
+                   [](Options& o) { o.model_report = true; }));
+  t.push_back(valued("--calibrate=FILE", "--calibrate",
+                     "fit the cost model's alpha/beta/gamma from measured runs of "
+                     "option-variants of the input (on --backend) and write the "
+                     "calibration JSON to FILE",
+                     [](Options& o, const std::string& v) {
+                       if (v.empty()) return false;
+                       o.calibrate_out = v;
+                       return true;
+                     }));
+  t.push_back(valued("--calibration=FILE", "--calibration",
+                     "load fitted model parameters from a calibration JSON (written "
+                     "by --calibrate) instead of the machine defaults",
+                     [](Options& o, const std::string& v) {
+                       if (v.empty()) return false;
+                       o.calibration_in = v;
+                       return true;
+                     }));
+  t.push_back(flag("--tune",
+                   "enumerate optimization-flag variants, prune with the verifier, "
+                   "rank by the cost model, measure the top candidates (on "
+                   "--backend) and report the best plan",
+                   [](Options& o) { o.tune = true; }));
+  t.push_back(valued("--tune-backend=sim|mp", "--tune-backend",
+                     "execution backend for --tune's (and --calibrate's) measured "
+                     "runs; same as --backend",
+                     [](Options& o, const std::string& v) {
+                       if (v == "sim")
+                         o.xopt.backend = exec::Backend::Sim;
+                       else if (v == "mp")
+                         o.xopt.backend = exec::Backend::Mp;
+                       else
+                         return false;
+                       return true;
+                     }));
+  t.push_back(valued("--tune-measure=K", "--tune-measure",
+                     "measured confirmations for --tune beyond the default variant "
+                     "(default 3; 0 ranks purely by prediction)",
+                     [](Options& o, const std::string& v) {
+                       try {
+                         o.tune_measure = std::stoi(v);
+                       } catch (const std::exception&) {
+                         return false;
+                       }
+                       return o.tune_measure >= 0;
+                     }));
   t.push_back(flag("--report", "print the structured compile report (pass times, metrics)",
                    [](Options& o) { o.report = true; }));
   t.push_back(valued("--report-json=FILE", "--report-json",

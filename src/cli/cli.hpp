@@ -27,6 +27,11 @@ struct Options {
   bool help = false;
   bool verify = false;           ///< run the static verifier over the plan
   bool verify_selftest = false;  ///< run the fault-injection harness
+  bool model_report = false;     ///< print the analytic cost-model prediction
+  bool tune = false;             ///< run the variant autotuner
+  int tune_measure = 3;          ///< measured confirmations beyond the default
+  std::string calibrate_out;     ///< --calibrate FILE: fit + write calibration
+  std::string calibration_in;    ///< --calibration FILE: load fitted params
   std::string report_json;       ///< write machine-readable report here ("-" = stdout)
   std::string input;             ///< positional file.hpf
 };

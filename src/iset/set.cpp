@@ -407,6 +407,87 @@ std::size_t Set::count(const std::vector<i64>& param_values) const {
   return n;
 }
 
+namespace {
+
+/// Points of one BasicSet under concrete params, without materializing them:
+/// the same projection-cascade descent enumerate() uses, with the final
+/// exactness re-check against the original constraints, but only a counter.
+std::size_t count_basic(const BasicSet& part, const std::vector<i64>& params) {
+  const std::size_t nvars = part.nvars();
+  if (nvars == 0) return part.contains({}, params) ? 1 : 0;
+  std::vector<BasicSet> proj(nvars, BasicSet(0, part.params()));
+  BasicSet cur = part;
+  for (std::size_t d = nvars; d-- > 0;) {
+    proj[d] = cur;
+    if (d > 0) cur = cur.project_out(d);
+  }
+  std::size_t total = 0;
+  std::vector<i64> point(nvars, 0);
+  std::function<void(std::size_t)> descend = [&](std::size_t d) {
+    i64 lo, hi;
+    if (!var_bounds(proj[d], params, d, point, &lo, &hi)) return;
+    require(hi - lo < 100000000, "iset", "cardinality: variable range too large");
+    for (i64 v = lo; v <= hi; ++v) {
+      point[d] = v;
+      if (d + 1 == nvars) {
+        if (part.contains(point, params)) ++total;
+      } else {
+        descend(d + 1);
+      }
+    }
+  };
+  descend(0);
+  return total;
+}
+
+}  // namespace
+
+namespace {
+
+/// A - B as a *pairwise disjoint* list of BasicSets (Set::subtract's pieces
+/// may overlap, which is fine for emptiness but fatal for counting): piece i
+/// keeps B's constraints c_1..c_{i-1} and violates c_i, so distinct pieces
+/// disagree on the first violated constraint. Negating an equality yields
+/// the two (themselves disjoint) strict sides.
+std::vector<BasicSet> subtract_disjoint(const BasicSet& a, const BasicSet& b) {
+  std::vector<BasicSet> pieces;
+  BasicSet prefix = a;  // a ∩ c_1 ∩ ... ∩ c_{i-1}
+  for (const auto& c : b.constraints()) {
+    auto emit = [&](const LinExpr& violated) {
+      BasicSet piece = prefix;
+      piece.add(Constraint::ge0(violated));
+      if (piece.simplify() && !piece.is_empty()) pieces.push_back(std::move(piece));
+    };
+    // ¬(e >= 0) is -e-1 >= 0; ¬(e == 0) is (-e-1 >= 0) ∪ (e-1 >= 0).
+    emit(c.e * -1 - a.expr_const(1) + a.expr_zero());
+    if (c.is_eq) emit(c.e - a.expr_const(1) + a.expr_zero());
+    prefix.add(c);
+    if (!prefix.simplify()) break;  // remaining pieces all empty
+  }
+  return pieces;
+}
+
+}  // namespace
+
+std::size_t Set::cardinality(const std::vector<i64>& param_values) const {
+  require(param_values.size() == params_.size(), "iset", "cardinality: wrong param count");
+  DHPF_COUNTER("iset.cardinalities");
+  // Make the union disjoint: piece lists start from each part with every
+  // earlier part subtracted (disjointly), so per-piece counts add up exactly.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    std::vector<BasicSet> pieces{parts_[i]};
+    for (std::size_t j = 0; j < i && !pieces.empty(); ++j) {
+      std::vector<BasicSet> next;
+      for (const auto& piece : pieces)
+        for (auto& p : subtract_disjoint(piece, parts_[j])) next.push_back(std::move(p));
+      pieces = std::move(next);
+    }
+    for (const auto& piece : pieces) total += count_basic(piece, param_values);
+  }
+  return total;
+}
+
 std::optional<std::vector<i64>> Set::sample(const std::vector<i64>& param_values) const {
   std::optional<std::vector<i64>> first;
   enumerate(param_values, [&](const std::vector<i64>& pt) {

@@ -126,6 +126,15 @@ class Set {
   /// Number of points (enumerate-based; for tests and cost estimation).
   [[nodiscard]] std::size_t count(const std::vector<i64>& param_values) const;
 
+  /// Exact number of integer points for concrete parameter values. Agrees
+  /// with count() but never materializes the point list: union parts are
+  /// made disjoint by subtraction (so overlap is not double-counted) and
+  /// each disjoint polyhedron is counted by a bounded descent that re-checks
+  /// the original constraints — the same exactness argument as enumerate().
+  /// This is the cost model's workhorse (dhpf::model); bumps the
+  /// iset.cardinalities counter.
+  [[nodiscard]] std::size_t cardinality(const std::vector<i64>& param_values) const;
+
   /// Lexicographically least integer point for concrete parameter values, or
   /// nullopt when the set is empty there. Exact (same machinery as
   /// enumerate()); the verifier uses this to extract counterexample

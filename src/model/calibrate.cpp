@@ -1,0 +1,169 @@
+#include "model/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/buildinfo.hpp"
+#include "support/diagnostics.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/small_matrix.hpp"
+
+namespace dhpf::model {
+
+double median_abs_rel_error(const std::vector<Sample>& samples, const ModelParams& p) {
+  std::vector<double> errs;
+  for (const auto& s : samples) {
+    if (s.measured_seconds <= 0.0) continue;
+    const double pred =
+        p.gamma * s.compute_seconds + p.alpha * s.messages + p.beta * s.bytes;
+    errs.push_back(std::fabs(pred - s.measured_seconds) / s.measured_seconds);
+  }
+  if (errs.empty()) return 0.0;
+  std::sort(errs.begin(), errs.end());
+  const std::size_t m = errs.size();
+  return m % 2 == 1 ? errs[m / 2] : 0.5 * (errs[m / 2 - 1] + errs[m / 2]);
+}
+
+Calibration fit(const std::vector<Sample>& samples, const ModelParams& defaults) {
+  obs::ScopedTimer timer("model.fit");
+  DHPF_COUNTER("model.calibrations");
+  require(!samples.empty(), "model", "calibration needs at least one sample");
+
+  Calibration cal;
+  cal.defaults = defaults;
+  cal.samples = samples.size();
+  cal.median_error_default = median_abs_rel_error(samples, defaults);
+
+  // Normal equations of the weighted problem, parameters ordered
+  // (gamma, alpha, beta) to match the predictor order (C, M, B).
+  Mat<3> A;
+  Vec<3> b{};
+  const double prior[3] = {defaults.gamma, defaults.alpha, defaults.beta};
+  for (const auto& s : samples) {
+    if (s.measured_seconds <= 0.0) continue;
+    const double w = 1.0 / (s.measured_seconds * s.measured_seconds);
+    const double x[3] = {s.compute_seconds, s.messages, s.bytes};
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c)
+        A(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += w * x[r] * x[c];
+      b[static_cast<std::size_t>(r)] += w * x[r] * s.measured_seconds;
+    }
+  }
+
+  // Scale-free ridge toward the machine defaults: each diagonal gets
+  // lambda * (its own magnitude, or 1 when the predictor never appears).
+  // Degenerate columns — a program with no communication has M = B = 0
+  // everywhere — are thereby pinned exactly to their default value.
+  constexpr double kLambda = 1.0e-6;
+  for (int d = 0; d < 3; ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    const double scale = A(i, i) > 0.0 ? A(i, i) : 1.0;
+    const double ridge = std::max(kLambda * scale, A(i, i) > 0.0 ? 0.0 : 1.0);
+    A(i, i) += ridge;
+    b[i] += ridge * prior[d];
+  }
+
+  Vec<3> sol = b;
+  if (binvrhs<3>(A, sol)) {
+    cal.params.gamma = std::max(0.0, sol[0]);
+    cal.params.alpha = std::max(0.0, sol[1]);
+    cal.params.beta = std::max(0.0, sol[2]);
+    for (double v : {cal.params.gamma, cal.params.alpha, cal.params.beta})
+      if (!std::isfinite(v)) cal.params = defaults;
+  } else {
+    cal.params = defaults;  // singular even with ridge: keep the defaults
+  }
+
+  cal.median_error_fitted = median_abs_rel_error(samples, cal.params);
+  // Never ship a calibration that is worse than not calibrating.
+  if (cal.median_error_fitted > cal.median_error_default) {
+    cal.params = defaults;
+    cal.median_error_fitted = cal.median_error_default;
+  }
+  return cal;
+}
+
+namespace {
+
+void params_json(json::Writer& w, const ModelParams& p) {
+  w.begin_object();
+  w.member("alpha", p.alpha);
+  w.member("beta", p.beta);
+  w.member("gamma", p.gamma);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string Calibration::to_json() const {
+  json::Writer w(true);
+  w.begin_object();
+  w.key("params");
+  params_json(w, params);
+  w.key("defaults");
+  params_json(w, defaults);
+  w.member("samples", static_cast<std::uint64_t>(samples));
+  w.member("median_error_default", median_error_default);
+  w.member("median_error_fitted", median_error_fitted);
+  w.key("build");
+  w.raw(buildinfo::to_json());
+  w.end_object();
+  return w.str();
+}
+
+void save(const Calibration& c, const std::string& path) {
+  std::ofstream out(path);
+  out << c.to_json() << "\n";
+  out.flush();
+  require(static_cast<bool>(out), "model", "cannot write calibration: " + path);
+}
+
+ModelParams load_params(const std::string& path) {
+  std::ifstream in(path);
+  require(static_cast<bool>(in), "model", "cannot read calibration: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const json::Value doc = json::parse(buf.str());
+  const json::Value& p = doc.at("params");
+  ModelParams mp;
+  mp.alpha = p.at("alpha").number();
+  mp.beta = p.at("beta").number();
+  mp.gamma = p.at("gamma").number();
+  return mp;
+}
+
+std::vector<Sample> samples_from_bench_artifact(std::string_view doc) {
+  const json::Value root = json::parse(doc);
+  const bool mp_backend =
+      root.find("backend") != nullptr && root.at("backend").kind == json::Value::Kind::String &&
+      root.at("backend").string() == "mp";
+  std::vector<Sample> samples;
+  const json::Value* rows = root.find("rows");
+  if (rows == nullptr || !rows->is_array()) return samples;
+  for (const auto& row : rows->items) {
+    if (!row.is_object()) continue;
+    const double np = row.number_or("nprocs", 1.0);
+    if (np <= 0.0) continue;
+    for (const auto& [key, cell] : row.members) {
+      if (!cell.is_object()) continue;
+      const double measured =
+          mp_backend ? cell.number_or("wall_seconds", 0.0) : cell.number_or("elapsed", 0.0);
+      if (measured <= 0.0) continue;
+      Sample s;
+      s.label = key + "@P" + std::to_string(static_cast<int>(np));
+      // Critical-rank aggregates approximated as per-rank averages; exact
+      // criticals are only known to predict(), not to the bench artifact.
+      s.compute_seconds = cell.number_or("total_compute", 0.0) / np;
+      s.messages = cell.number_or("messages", 0.0) / np;
+      s.bytes = cell.number_or("bytes", 0.0) / np;
+      s.measured_seconds = measured;
+      samples.push_back(std::move(s));
+    }
+  }
+  return samples;
+}
+
+}  // namespace dhpf::model

@@ -1,0 +1,72 @@
+// Calibration of the analytic cost model (model.hpp) against measured runs.
+//
+// Because the model is linear in (gamma, alpha, beta), fitting is weighted
+// linear least squares: each sample contributes one equation
+//
+//   gamma * C_i + alpha * M_i + beta * B_i  =  t_i
+//
+// weighted by 1/t_i^2 so the fit minimizes *relative* error (a 1 ms kernel
+// and a 1 s kernel pull equally). The 3x3 normal equations are solved with
+// the small-matrix Gauss-Jordan kernel the BT solver already uses, with a
+// light scale-free ridge toward the machine defaults so two or three
+// samples (or collinear ones) still produce a sane parameter vector
+// instead of wild extrapolation.
+//
+// Samples come from two places: dhpfc --calibrate measures option-variants
+// of the input program (each variant shifts the compute/messages/bytes mix,
+// giving independent equations), and samples_from_bench_artifact() re-fits
+// from a previously written bench JSON artifact without re-running anything.
+// Calibrations persist as JSON carrying the build provenance of the binary
+// that measured them (support/buildinfo.hpp).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace dhpf::model {
+
+/// One measured run reduced to the model's predictors and its target.
+struct Sample {
+  std::string label;
+  double compute_seconds = 0.0;   ///< C: critical-rank compute seconds
+  double messages = 0.0;          ///< M: critical-path message count
+  double bytes = 0.0;             ///< B: critical-path payload bytes
+  double measured_seconds = 0.0;  ///< t: measured wall (sim virtual / mp real)
+};
+
+/// A fitted parameter set plus its quality relative to the defaults.
+struct Calibration {
+  ModelParams params;            ///< fitted
+  ModelParams defaults;          ///< the starting machine-derived values
+  std::size_t samples = 0;
+  double median_error_default = 0.0;  ///< median |rel error| before fitting
+  double median_error_fitted = 0.0;   ///< median |rel error| after fitting
+
+  /// Persistable JSON document (params + fit quality + build provenance).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Median of |predicted - measured| / measured over the samples.
+double median_abs_rel_error(const std::vector<Sample>& samples, const ModelParams& p);
+
+/// Weighted least-squares fit. Needs at least one sample; with fewer
+/// samples than parameters the ridge term keeps the system well-posed and
+/// the solution stays near `defaults`. Negative fitted parameters (possible
+/// when predictors are nearly collinear) are clamped to zero.
+Calibration fit(const std::vector<Sample>& samples, const ModelParams& defaults);
+
+/// Write a calibration JSON to `path` (throws dhpf::Error on I/O failure).
+void save(const Calibration& c, const std::string& path);
+
+/// Load fitted parameters back from a calibration JSON file.
+ModelParams load_params(const std::string& path);
+
+/// Extract samples from a bench artifact produced by print_table
+/// (bench/nas_table_common.hpp): every non-null cell becomes one sample,
+/// with per-rank critical aggregates approximated as totals / nprocs.
+std::vector<Sample> samples_from_bench_artifact(std::string_view doc);
+
+}  // namespace dhpf::model

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -460,9 +461,20 @@ double Runtime::run(Stats* stats_out) {
 
 }  // namespace
 
+double watchdog_period_from_env(double fallback) {
+  const char* env = std::getenv("DHPF_MP_WATCHDOG_MS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double ms = std::strtod(env, &end);
+  if (end == env || *end != '\0') return fallback;  // not a number: ignore
+  return ms <= 0.0 ? 0.0 : ms / 1000.0;
+}
+
 double run(int nranks, const Options& opt,
            const std::function<exec::Task(exec::Channel&)>& body, Stats* stats_out) {
-  Runtime rt(nranks, opt, body);
+  Options effective = opt;
+  effective.watchdog_period_s = watchdog_period_from_env(opt.watchdog_period_s);
+  Runtime rt(nranks, effective, body);
   return rt.run(stats_out);
 }
 

@@ -65,8 +65,17 @@ struct Options {
   /// raises dhpf::Error. <= 0 disables (the watchdog still guards CI).
   double recv_timeout_s = 30.0;
   /// Blocked-rank watchdog scan period in real seconds; <= 0 disables.
+  /// Overridable at runtime via the DHPF_MP_WATCHDOG_MS environment
+  /// variable (milliseconds; 0 disables) — see watchdog_period_from_env.
   double watchdog_period_s = 0.05;
 };
+
+/// Resolve the effective watchdog period: DHPF_MP_WATCHDOG_MS (a real
+/// number of milliseconds; <= 0 disables the watchdog) when set and
+/// parseable, otherwise `fallback`. Lets CI tighten the deadlock scan and
+/// debuggers disable it without recompiling. Exposed for direct unit
+/// testing; run() applies it to Options::watchdog_period_s.
+double watchdog_period_from_env(double fallback);
 
 /// Per-rank activity counters (real seconds where noted).
 struct RankStats {

@@ -1,0 +1,29 @@
+// Build provenance embedded at configure time: git revision, compiler,
+// flags, build type. Every machine-readable artifact the toolchain emits
+// (--report-json, calibration JSONs, bench artifacts) carries this block so
+// a measurement can always be traced back to the exact build that produced
+// it — stale calibrations against a different binary are a classic source
+// of "the model is 40% off" confusion.
+#pragma once
+
+#include <string>
+
+namespace dhpf::buildinfo {
+
+/// `git describe --always --dirty --tags` at configure time ("unknown" when
+/// the source tree is not a git checkout).
+const char* git_describe();
+
+/// Compiler id and version, e.g. "GNU 13.2.0".
+const char* compiler();
+
+/// CXX flags in effect for this build (base + build-type flags).
+const char* cxx_flags();
+
+/// CMake build type, e.g. "Release" (empty when unset).
+const char* build_type();
+
+/// The block above as a JSON object (for splicing via json::Writer::raw).
+std::string to_json();
+
+}  // namespace dhpf::buildinfo

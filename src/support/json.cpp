@@ -156,4 +156,208 @@ std::string Writer::str() const {
   return out_;
 }
 
+// ----------------------------------------------------------------- reader
+
+const Value* Value::find(const std::string& key) const {
+  if (kind != Kind::Object) return nullptr;
+  const auto it = members.find(key);
+  return it == members.end() ? nullptr : &it->second;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  require(v != nullptr, "json", "missing member: " + key);
+  return *v;
+}
+
+double Value::number() const {
+  require(kind == Kind::Number, "json", "value is not a number");
+  return num;
+}
+
+const std::string& Value::string() const {
+  require(kind == Kind::String, "json", "value is not a string");
+  return str;
+}
+
+double Value::number_or(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->kind == Kind::Number ? v->num : fallback;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+struct Parser {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  [[noreturn]] void err(const std::string& what) const {
+    fail("json", what + " at offset " + std::to_string(pos));
+  }
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                              s[pos] == '\r'))
+      ++pos;
+  }
+  char peek() {
+    if (pos >= s.size()) err("unexpected end of document");
+    return s[pos];
+  }
+  void expect(char c) {
+    if (pos >= s.size() || s[pos] != c)
+      err(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  bool consume_word(std::string_view w) {
+    if (s.substr(pos, w.size()) != w) return false;
+    pos += w.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= s.size()) err("unterminated string");
+      char c = s[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= s.size()) err("unterminated escape");
+      const char e = s[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > s.size()) err("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              err("bad \\u escape");
+          }
+          // UTF-8 encode (BMP only; our writer never emits surrogates).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: err("bad escape");
+      }
+    }
+  }
+
+  Value parse_value() {
+    skip_ws();
+    Value v;
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      v.kind = Value::Kind::Object;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v.members[key] = parse_value();
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      v.kind = Value::Kind::Array;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return v;
+      }
+      while (true) {
+        v.items.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = Value::Kind::String;
+      v.str = parse_string();
+      return v;
+    }
+    if (consume_word("true")) {
+      v.kind = Value::Kind::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_word("false")) {
+      v.kind = Value::Kind::Bool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_word("null")) return v;
+    // number
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (pos < s.size() && ((s[pos] >= '0' && s[pos] <= '9') || s[pos] == '.' ||
+                              s[pos] == 'e' || s[pos] == 'E' || s[pos] == '+' ||
+                              s[pos] == '-'))
+      ++pos;
+    if (pos == start) err("unexpected character");
+    try {
+      v.num = std::stod(std::string(s.substr(start, pos - start)));
+    } catch (const std::exception&) {
+      err("bad number");
+    }
+    v.kind = Value::Kind::Number;
+    return v;
+  }
+};
+
+}  // namespace
+
+Value parse(std::string_view doc) {
+  Parser p{doc};
+  Value v = p.parse_value();
+  p.skip_ws();
+  require(p.pos == p.s.size(), "json", "trailing garbage after document");
+  return v;
+}
+
 }  // namespace dhpf::json

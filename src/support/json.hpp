@@ -1,15 +1,21 @@
-// Minimal JSON emitter for the observability layer (dhpf::obs) and the
-// machine-readable bench artifacts.
+// Minimal JSON emitter and reader for the observability layer (dhpf::obs),
+// the machine-readable bench artifacts, and the performance-model
+// calibration files (dhpf::model).
 //
 // Zero-dependency by design: the container bakes in no JSON library, and the
 // documents we emit (metrics snapshots, Chrome trace events, bench tables)
 // are write-only from this process. The writer is stack-based and validates
 // nesting with `require`, so structurally invalid output is impossible; the
 // test suite additionally parses emitted documents back with a reference
-// reader (tests/obs_test.cpp) to pin well-formedness.
+// reader (tests/obs_test.cpp) to pin well-formedness. The reader (parse())
+// exists for the few read paths we do have — loading calibration JSONs and
+// fitting against previously written bench artifacts — and throws
+// dhpf::Error on malformed input rather than returning partial documents.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -81,5 +87,41 @@ class Writer {
   bool pending_key_ = false;
   bool pretty_ = true;
 };
+
+/// Parsed JSON value (reader side). Numbers are kept as double — the
+/// documents we read back (calibration parameters, bench statistics) are
+/// numeric measurements, and 53 bits of integer exactness is ample for the
+/// counters they carry.
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> items;                 ///< Array elements, in order
+  std::map<std::string, Value> members;     ///< Object members
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::Null; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::Array; }
+
+  /// Member lookup; returns nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  /// Member lookup with a structural requirement; throws when absent.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+
+  /// Typed accessors; throw dhpf::Error on a kind mismatch.
+  [[nodiscard]] double number() const;
+  [[nodiscard]] const std::string& string() const;
+
+  /// Convenience: numeric member with a default when absent.
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+};
+
+/// Parse a complete JSON document. Throws dhpf::Error("json", ...) on any
+/// syntax error or trailing garbage.
+Value parse(std::string_view doc);
 
 }  // namespace dhpf::json

@@ -1,0 +1,89 @@
+// dhpf::tune — variant autotuner over the compiler's optimization axes.
+//
+// The tuner enumerates the cross product of the optimization toggles the
+// paper studies (privatizable-CP mode §4.1, LOCALIZE §4.2, comm-sensitive
+// loop distribution §5, §7 data availability, message coalescing), compiles
+// each variant, optionally prunes variants the static verifier rejects,
+// scores the survivors with the analytic cost model (dhpf::model), and then
+// *measures* the top-k predicted variants — always including the
+// default-flags variant — on the chosen execution backend. Selection is by
+// best measured time, so the selected plan is never measurably worse than
+// the default configuration: the default is in the measured set and would
+// win a tie.
+//
+// The measured cells double as a live accuracy check of the model: the
+// report carries predicted-vs-measured relative error per measured variant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/driver.hpp"
+#include "codegen/spmd.hpp"
+#include "model/calibrate.hpp"
+#include "model/model.hpp"
+
+namespace dhpf::tune {
+
+/// One point of the optimization space.
+struct VariantSpec {
+  cp::SelectOptions sopt;
+  comm::CommOptions copt;
+  std::string name;        ///< "priv=propagate localize=on cs=on avail=on coalesce=on"
+  bool is_default = false; ///< the compiler's default flags
+};
+
+/// The full cross product (3 x 2 x 2 x 2 x 2 = 48 variants). §6
+/// interprocedural selection stays on throughout: it has no profitable
+/// "off" setting (off means calls execute replicated).
+std::vector<VariantSpec> enumerate_variants();
+
+struct TuneOptions {
+  bool verify = true;       ///< prune variants the static verifier rejects
+  int measure_top_k = 3;    ///< measured confirmations beyond the default
+  exec::Machine machine = exec::Machine::sp2();
+  /// Model parameters used for scoring (fitted ones via --calibration).
+  model::ModelParams params = model::ModelParams::from_machine(exec::Machine::sp2());
+  /// Execution options for the measured confirmations (backend, mp tuning,
+  /// flops_per_instance). Result verification is forced off for speed —
+  /// functional correctness is the verifier's and the test suite's job.
+  codegen::SpmdOptions xopt;
+};
+
+struct VariantResult {
+  VariantSpec spec;
+  bool compiled = true;          ///< false: compile threw (error in note)
+  bool verified_clean = true;    ///< false: pruned by the verifier
+  std::string note;              ///< compile error / verifier summary
+  model::Prediction prediction;
+  double predicted_wall = 0.0;
+  double measured_seconds = -1.0;  ///< < 0 when not measured
+  double rel_error = -1.0;         ///< |pred - meas| / meas when measured
+
+  [[nodiscard]] bool usable() const { return compiled && verified_clean; }
+};
+
+struct TuneReport {
+  /// Usable variants ranked by predicted wall time (ascending), then the
+  /// pruned ones in enumeration order.
+  std::vector<VariantResult> ranked;
+  int selected = -1;       ///< index into ranked: best *measured* variant
+  int default_index = -1;  ///< index of the default-flags variant
+
+  [[nodiscard]] const VariantResult& best() const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Run the autotuner over a program. Throws dhpf::Error only if every
+/// variant fails to compile.
+TuneReport tune(const hpf::Program& prog, const TuneOptions& opt = {});
+
+/// Fit model parameters for `prog` on this machine: compile a small spread
+/// of option-variants (each shifts the compute/messages/bytes mix, so the
+/// least-squares system is well-conditioned), measure every one on
+/// opt.xopt.backend, and fit (gamma, alpha, beta) from the exact predicted
+/// aggregates against the measured times (model::fit).
+model::Calibration calibrate_program(const hpf::Program& prog, const TuneOptions& opt = {});
+
+}  // namespace dhpf::tune

@@ -32,6 +32,7 @@ TEST(Cli, EveryFlagParsesWithAnExampleValue) {
     if (bar != std::string::npos) arg = arg.substr(0, bar);
     if (s.takes_value && arg.find('=') == arg.size() - 1) arg += "x";  // FILE-style
     if (arg == "--report-json=FILE") arg = "--report-json=out.json";
+    if (arg == "--tune-measure=K") arg = "--tune-measure=3";
     ParseResult r = parse_args({arg, "prog.hpf"});
     EXPECT_TRUE(r.ok()) << arg << ": " << r.error;
   }
@@ -61,6 +62,38 @@ TEST(Cli, FlagsSetTheirOptions) {
   EXPECT_EQ(r.opts.xopt.backend, exec::Backend::Mp);
   EXPECT_TRUE(r.opts.verify);
   EXPECT_EQ(r.opts.report_json, "-");
+}
+
+TEST(Cli, ModelAndTuneFlags) {
+  ParseResult r = parse_args({"--model-report", "--calibrate=cal.json",
+                              "--calibration=prev.json", "--tune", "--tune-backend=mp",
+                              "--tune-measure=5", "x.hpf"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.opts.model_report);
+  EXPECT_EQ(r.opts.calibrate_out, "cal.json");
+  EXPECT_EQ(r.opts.calibration_in, "prev.json");
+  EXPECT_TRUE(r.opts.tune);
+  EXPECT_EQ(r.opts.xopt.backend, exec::Backend::Mp);
+  EXPECT_EQ(r.opts.tune_measure, 5);
+
+  // Defaults when none of the new flags are given.
+  ParseResult d = parse_args({"x.hpf"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d.opts.model_report);
+  EXPECT_FALSE(d.opts.tune);
+  EXPECT_EQ(d.opts.tune_measure, 3);
+  EXPECT_TRUE(d.opts.calibrate_out.empty());
+  EXPECT_TRUE(d.opts.calibration_in.empty());
+}
+
+TEST(Cli, TuneMeasureRejectsBadValues) {
+  EXPECT_NE(parse_args({"--tune-measure=lots", "x.hpf"}).error.find("lots"),
+            std::string::npos);
+  EXPECT_NE(parse_args({"--tune-measure=-1", "x.hpf"}).error.find("-1"),
+            std::string::npos);
+  EXPECT_NE(parse_args({"--tune-backend=cray", "x.hpf"}).error.find("cray"),
+            std::string::npos);
+  EXPECT_TRUE(parse_args({"--tune-measure=0", "x.hpf"}).ok());
 }
 
 TEST(Cli, ErrorsNameTheOffendingArgument) {

@@ -351,5 +351,73 @@ TEST(Set, ToStringReadable) {
   EXPECT_NE(str.find("N"), std::string::npos);
 }
 
+// ----------------------------------------------------- exact cardinality
+
+TEST(Cardinality, EmptySetIsZero) {
+  EXPECT_EQ(Set::empty(2, no_params).cardinality({}), 0u);
+  // Statically contradictory constraints are also zero, without enumerating.
+  BasicSet bs(1, no_params);
+  bs.add_bounds(0, bs.expr_const(5), bs.expr_const(3));
+  EXPECT_EQ(Set(bs).cardinality({}), 0u);
+}
+
+TEST(Cardinality, SinglePoint) {
+  BasicSet bs(2, no_params);
+  bs.add_eq(0, bs.expr_const(7));
+  bs.add_eq(1, bs.expr_const(-2));
+  EXPECT_EQ(Set(bs).cardinality({}), 1u);
+}
+
+TEST(Cardinality, IntervalAndBox) {
+  EXPECT_EQ(interval(3, 9).cardinality({}), 7u);
+  EXPECT_EQ(box2(0, 4, 10, 12).cardinality({}), 15u);
+}
+
+TEST(Cardinality, UnionWithOverlapNotDoubleCounted) {
+  // [0,9] ∪ [5,14]: 15 distinct points, 5 shared between the parts.
+  const Set u = interval(0, 9).unite(interval(5, 14));
+  EXPECT_EQ(u.cardinality({}), 15u);
+  // A part fully swallowed by an earlier part adds nothing.
+  const Set v = interval(0, 9).unite(interval(2, 5));
+  EXPECT_EQ(v.cardinality({}), 10u);
+  // Three-way overlap in 2D.
+  const Set w = box2(0, 5, 0, 5).unite(box2(3, 8, 3, 8)).unite(box2(0, 8, 4, 4));
+  EXPECT_EQ(w.cardinality({}), points_of(w).size());
+}
+
+TEST(Cardinality, ParametricBlockBounds) {
+  // Owned block [lb, ub] of a 1..N template: cardinality tracks the
+  // parameter values exactly, including empty trailing blocks.
+  Params ps({"N", "lb", "ub"});
+  BasicSet bs(1, ps);
+  bs.add_bounds(0, bs.expr_const(1), bs.expr_param("N"));
+  bs.add(Constraint::ge0(bs.expr_var(0) - bs.expr_param("lb")));
+  bs.add(Constraint::ge0(bs.expr_param("ub") - bs.expr_var(0)));
+  const Set owned(bs);
+  EXPECT_EQ(owned.cardinality({10, 1, 4}), 4u);
+  EXPECT_EQ(owned.cardinality({10, 9, 12}), 2u);   // clipped at N
+  EXPECT_EQ(owned.cardinality({10, 11, 14}), 0u);  // block past the extent
+}
+
+TEST(Cardinality, RandomizedAgreementWithEnumeration) {
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<i64> bound(-6, 6);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Union of 1-3 random (possibly empty, possibly overlapping) 2D boxes,
+    // sometimes sliced by a random diagonal constraint.
+    Set u = Set::empty(2, no_params);
+    const int parts = 1 + static_cast<int>(rng() % 3);
+    for (int p = 0; p < parts; ++p) {
+      BasicSet bs(2, no_params);
+      bs.add_bounds(0, bs.expr_const(bound(rng)), bs.expr_const(bound(rng)));
+      bs.add_bounds(1, bs.expr_const(bound(rng)), bs.expr_const(bound(rng)));
+      if (rng() % 2 == 0)
+        bs.add(Constraint::ge0(bs.expr_var(0) + bs.expr_var(1) - bs.expr_const(bound(rng))));
+      u.add_part(std::move(bs));
+    }
+    EXPECT_EQ(u.cardinality({}), u.count({})) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace dhpf::iset

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -242,6 +243,50 @@ TEST(MpRuntime, DeadlockWatchdogFires) {
     });
     FAIL() << "expected deadlock to be detected";
   } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos) << e.what();
+  }
+}
+
+TEST(MpRuntime, WatchdogPeriodFromEnv) {
+  // Guard against a leaked setting from the environment running the tests.
+  unsetenv("DHPF_MP_WATCHDOG_MS");
+  EXPECT_DOUBLE_EQ(mp::watchdog_period_from_env(0.05), 0.05);
+
+  setenv("DHPF_MP_WATCHDOG_MS", "100", 1);
+  EXPECT_DOUBLE_EQ(mp::watchdog_period_from_env(0.05), 0.1);
+  setenv("DHPF_MP_WATCHDOG_MS", "2.5", 1);
+  EXPECT_DOUBLE_EQ(mp::watchdog_period_from_env(0.05), 0.0025);
+
+  // 0 (or any non-positive value) disables the watchdog entirely.
+  setenv("DHPF_MP_WATCHDOG_MS", "0", 1);
+  EXPECT_DOUBLE_EQ(mp::watchdog_period_from_env(0.05), 0.0);
+  setenv("DHPF_MP_WATCHDOG_MS", "-3", 1);
+  EXPECT_DOUBLE_EQ(mp::watchdog_period_from_env(0.05), 0.0);
+
+  // Unparseable values fall back rather than silently disabling.
+  for (const char* bad : {"", "fast", "12xyz"}) {
+    setenv("DHPF_MP_WATCHDOG_MS", bad, 1);
+    EXPECT_DOUBLE_EQ(mp::watchdog_period_from_env(0.05), 0.05) << "value: " << bad;
+  }
+  unsetenv("DHPF_MP_WATCHDOG_MS");
+}
+
+TEST(MpRuntime, WatchdogEnvOverrideAppliesToRun) {
+  // A deadlocked pair with the watchdog configured off in Options but
+  // forced on (fast) through the environment must still be detected.
+  setenv("DHPF_MP_WATCHDOG_MS", "20", 1);
+  mp::Options opt;
+  opt.recv_timeout_s = 0.0;
+  opt.watchdog_period_s = 0.0;  // env wins over this
+  try {
+    mp::run(2, opt, [&](Channel& p) -> Task {
+      co_await p.recv(1 - p.rank(), 99);
+      co_return;
+    });
+    unsetenv("DHPF_MP_WATCHDOG_MS");
+    FAIL() << "expected deadlock to be detected";
+  } catch (const Error& e) {
+    unsetenv("DHPF_MP_WATCHDOG_MS");
     EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos) << e.what();
   }
 }

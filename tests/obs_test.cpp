@@ -268,6 +268,75 @@ TEST(JsonWriter, PrettyAndCompactParseIdentically) {
 }
 
 // ---------------------------------------------------------------------------
+// dhpf::json reader
+
+TEST(JsonReader, ParsesScalarsArraysAndObjects) {
+  const json::Value root = json::parse(R"({
+    "name": "sp", "ok": true, "off": false, "none": null,
+    "n": 42, "x": -1.5e2,
+    "arr": [1, 2, 3],
+    "nested": {"a": {"b": 7}}
+  })");
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.at("name").string(), "sp");
+  EXPECT_TRUE(root.at("ok").boolean);
+  EXPECT_FALSE(root.at("off").boolean);
+  EXPECT_TRUE(root.at("none").is_null());
+  EXPECT_DOUBLE_EQ(root.at("n").number(), 42.0);
+  EXPECT_DOUBLE_EQ(root.at("x").number(), -150.0);
+  ASSERT_TRUE(root.at("arr").is_array());
+  ASSERT_EQ(root.at("arr").items.size(), 3u);
+  EXPECT_DOUBLE_EQ(root.at("arr").items[1].number(), 2.0);
+  EXPECT_DOUBLE_EQ(root.at("nested").at("a").at("b").number(), 7.0);
+  EXPECT_EQ(root.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(root.number_or("n", 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(root.number_or("missing", 9.5), 9.5);
+}
+
+TEST(JsonReader, DecodesStringEscapes) {
+  const json::Value v =
+      json::parse(R"(["a\"b", "tab\there", "A\u00e9", "back\\slash"])");
+  ASSERT_EQ(v.items.size(), 4u);
+  EXPECT_EQ(v.items[0].string(), "a\"b");
+  EXPECT_EQ(v.items[1].string(), "tab\there");
+  EXPECT_EQ(v.items[2].string(), "A\xc3\xa9");  // \u00e9 -> é as UTF-8
+  EXPECT_EQ(v.items[3].string(), "back\\slash");
+}
+
+TEST(JsonReader, RoundTripsWriterOutput) {
+  json::Writer w(true);
+  w.begin_object();
+  w.member("alpha", 5.6e-5);
+  w.member("label", "it\"s\n");
+  w.key("rows");
+  w.begin_array();
+  w.value(std::uint64_t{123});
+  w.null();
+  w.end_array();
+  w.end_object();
+  const json::Value v = json::parse(w.str());
+  EXPECT_DOUBLE_EQ(v.at("alpha").number(), 5.6e-5);
+  EXPECT_EQ(v.at("label").string(), "it\"s\n");
+  EXPECT_DOUBLE_EQ(v.at("rows").items[0].number(), 123.0);
+  EXPECT_TRUE(v.at("rows").items[1].is_null());
+}
+
+TEST(JsonReader, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "{\"a\":1} trailing", "tru",
+                          "\"unterminated", "{'single': 1}", "[1 2]"}) {
+    EXPECT_THROW(json::parse(bad), dhpf::Error) << "input: " << bad;
+  }
+}
+
+TEST(JsonReader, TypedAccessorsThrowOnKindMismatch) {
+  const json::Value v = json::parse(R"({"s": "x", "n": 1})");
+  EXPECT_THROW(static_cast<void>(v.at("s").number()), dhpf::Error);
+  EXPECT_THROW(static_cast<void>(v.at("n").string()), dhpf::Error);
+  EXPECT_THROW(static_cast<void>(v.at("absent")), dhpf::Error);
+  EXPECT_THROW(static_cast<void>(v.at("n").at("deeper")), dhpf::Error);
+}
+
+// ---------------------------------------------------------------------------
 // dhpf::obs metrics
 
 TEST(Metrics, CounterResetAndHandleStability) {
