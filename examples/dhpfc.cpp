@@ -16,8 +16,11 @@
 #include <sstream>
 #include <string>
 
+#include <iostream>
+
 #include "cli/cli.hpp"
 #include "codegen/driver.hpp"
+#include "fuzz/campaign.hpp"
 #include "model/calibrate.hpp"
 #include "model/model.hpp"
 #include "support/buildinfo.hpp"
@@ -39,6 +42,58 @@ int main(int argc, char** argv) {
   if (o.help) {
     std::fputs(cli::usage_text().c_str(), stdout);
     return 0;
+  }
+
+  if (o.fuzz_count > 0 || !o.fuzz_corpus.empty()) {
+    try {
+      bool failed = false;
+      fuzz::DiffOptions diff;
+      if (o.fuzz_quick) {
+        diff.shapes = 2;
+        diff.variants_per_extra_shape = 4;
+        diff.mp_variants = 1;
+      }
+      if (!o.fuzz_corpus.empty()) {
+        // Corpus replay is always exhaustive — reproducers are tiny, and a
+        // regression must re-fail under the exact variant that exposed it.
+        const auto results = fuzz::replay_corpus(o.fuzz_corpus, fuzz::corpus_options());
+        for (const auto& r : results) {
+          if (r.diff.ok) {
+            if (!o.quiet)
+              std::printf("corpus ok:   %s (%d plans)\n", r.path.c_str(),
+                          r.diff.plans_checked);
+          } else {
+            failed = true;
+            std::fprintf(stderr, "corpus FAIL: %s\n  %s\n", r.path.c_str(),
+                         r.diff.failure.to_string().c_str());
+          }
+        }
+        std::printf("corpus: %zu reproducer(s) replayed\n", results.size());
+      }
+      if (o.fuzz_count > 0) {
+        fuzz::CampaignOptions copt;
+        copt.seed = o.fuzz_seed;
+        copt.count = o.fuzz_count;
+        copt.diff = diff;
+        copt.minimize_failures = o.fuzz_minimize;
+        copt.out_dir = o.fuzz_out;
+        if (!o.quiet) {
+          copt.log = &std::cerr;
+          copt.log_every = std::max(1, o.fuzz_count / 10);
+        }
+        const fuzz::CampaignReport rep = fuzz::run_campaign(copt);
+        std::fputs(rep.to_string().c_str(), stdout);
+        for (const auto& f : rep.failures)
+          if (!f.minimized.empty())
+            std::printf("minimized reproducer (case %d):\n%s\n", f.index,
+                        f.minimized.c_str());
+        failed = failed || !rep.ok();
+      }
+      return failed ? 1 : 0;
+    } catch (const dhpf::Error& e) {
+      std::fprintf(stderr, "dhpfc: %s\n", e.what());
+      return 1;
+    }
   }
 
   std::ifstream in(o.input);

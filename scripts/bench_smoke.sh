@@ -82,6 +82,12 @@ assert med <= doc["median_error_default"] + 1e-12, "calibration made the model w
 EOF
 echo "  ok: model_accuracy calibrated median error within 25%"
 
+echo "bench_smoke: fuzz regression corpus replay"
+repo_dir=$(cd "$(dirname "$0")/.." && pwd)
+"$build_dir/examples/dhpfc" --quiet --fuzz-corpus="$repo_dir/tests/corpus" \
+  | tail -n 1
+echo "  ok: corpus replay"
+
 echo "bench_smoke: trace exports"
 "$bench_dir/fig_8_1_4_traces" --json "$out_dir/traces.json" \
   --chrome-trace "$out_dir/trace" > /dev/null

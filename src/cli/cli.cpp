@@ -135,6 +135,54 @@ std::vector<OptionSpec> make_table() {
                        o.report_json = v;
                        return true;
                      }));
+  t.push_back(valued("--fuzz=N", "--fuzz",
+                     "run a differential fuzz campaign of N generated programs "
+                     "(serial oracle vs sim and mp backends, all optimization "
+                     "variants, static verifier and cost-model cross-checks) "
+                     "instead of compiling an input file",
+                     [](Options& o, const std::string& v) {
+                       try {
+                         o.fuzz_count = std::stoi(v);
+                       } catch (const std::exception&) {
+                         return false;
+                       }
+                       return o.fuzz_count > 0;
+                     }));
+  t.push_back(valued("--fuzz-seed=S", "--fuzz-seed",
+                     "campaign seed (default 1); the same seed reproduces the "
+                     "same programs and the same report, byte for byte",
+                     [](Options& o, const std::string& v) {
+                       try {
+                         o.fuzz_seed = std::stoull(v);
+                       } catch (const std::exception&) {
+                         return false;
+                       }
+                       return true;
+                     }));
+  t.push_back(flag("--fuzz-minimize",
+                   "delta-debug failing cases down to minimal reproducers "
+                   "before reporting them",
+                   [](Options& o) { o.fuzz_minimize = true; }));
+  t.push_back(valued("--fuzz-out=DIR", "--fuzz-out",
+                     "write failing reproducers (.hpf plus a .txt failure "
+                     "report) into DIR",
+                     [](Options& o, const std::string& v) {
+                       if (v.empty()) return false;
+                       o.fuzz_out = v;
+                       return true;
+                     }));
+  t.push_back(valued("--fuzz-corpus=DIR", "--fuzz-corpus",
+                     "replay every .hpf reproducer in DIR through the "
+                     "differential check (the regression-corpus gate)",
+                     [](Options& o, const std::string& v) {
+                       if (v.empty()) return false;
+                       o.fuzz_corpus = v;
+                       return true;
+                     }));
+  t.push_back(flag("--fuzz-quick",
+                   "CI smoke settings: 2 grid shapes, a variant subset per "
+                   "case and fewer mp runs",
+                   [](Options& o) { o.fuzz_quick = true; }));
   t.push_back(flag("--quiet", "suppress the program / CP / plan / SPMD listings",
                    [](Options& o) { o.quiet = true; }));
   t.push_back(flag("--help", "print this help and exit", [](Options& o) { o.help = true; }));
@@ -214,7 +262,9 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       return r;
     }
   }
-  if (r.opts.input.empty() && !r.opts.help) r.error = "missing input: file.hpf";
+  if (r.opts.input.empty() && !r.opts.help && r.opts.fuzz_count == 0 &&
+      r.opts.fuzz_corpus.empty())
+    r.error = "missing input: file.hpf";
   return r;
 }
 

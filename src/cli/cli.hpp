@@ -7,6 +7,7 @@
 // construction, a flag --help documents (tests/cli_test.cpp asserts it).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -33,6 +34,12 @@ struct Options {
   std::string calibrate_out;     ///< --calibrate FILE: fit + write calibration
   std::string calibration_in;    ///< --calibration FILE: load fitted params
   std::string report_json;       ///< write machine-readable report here ("-" = stdout)
+  int fuzz_count = 0;            ///< --fuzz=N: run a differential fuzz campaign
+  std::uint64_t fuzz_seed = 1;   ///< --fuzz-seed=S
+  bool fuzz_minimize = false;    ///< shrink failing cases before reporting
+  std::string fuzz_out;          ///< --fuzz-out=DIR: write failing reproducers
+  std::string fuzz_corpus;       ///< --fuzz-corpus=DIR: replay a reproducer corpus
+  bool fuzz_quick = false;       ///< smoke settings: fewer shapes/variants/mp runs
   std::string input;             ///< positional file.hpf
 };
 

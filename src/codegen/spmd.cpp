@@ -538,6 +538,23 @@ SpmdResult run_spmd(const hpf::Program& prog, const cp::CpResult& cps,
   }
   result.instances_per_rank = ctx.instances;
 
+  if (opt.collect_result) {
+    for (const auto& a : prog.arrays()) {
+      if (!a->distributed()) continue;
+      auto& out = result.gathered[a.get()];
+      out.resize(array_size(*a));
+      std::vector<i64> idx(a->extents.size(), 0);
+      for (std::size_t f = 0; f < out.size(); ++f) {
+        const int owner = ctx.dist.owner_rank(*a, idx);
+        out[f] = ctx.stores[static_cast<std::size_t>(owner)].at(a.get())[f];
+        for (std::size_t dd = a->extents.size(); dd-- > 0;) {
+          if (++idx[dd] < a->extents[dd]) break;
+          idx[dd] = 0;
+        }
+      }
+    }
+  }
+
   if (opt.verify) {
     const Store serial = interpret_serial(prog);
     double worst = 0.0;

@@ -42,6 +42,11 @@ struct SpmdOptions {
   bool record_trace = false;         ///< sim backend only
   double flops_per_instance = 10.0;  ///< cost model per statement instance
   bool verify = true;                ///< compare against interpret_serial
+  /// Assemble each distributed array's owner copies into SpmdResult::gathered
+  /// (dense, row-major — the same shape interpret_serial returns). The fuzz
+  /// differential driver compares these bit-for-bit across backends and
+  /// against the serial oracle.
+  bool collect_result = false;
 };
 
 struct SpmdResult {
@@ -52,6 +57,8 @@ struct SpmdResult {
   sim::TraceLog trace;
   mp::Stats mp_stats;     ///< populated on the mp backend
   double max_err = -1.0;  ///< -1 when not verified
+  /// Owner copies of the distributed arrays (with collect_result).
+  Store gathered;
   /// Assignment instances executed per rank (replication / load metric).
   std::vector<std::size_t> instances_per_rank;
   [[nodiscard]] std::size_t total_instances() const;

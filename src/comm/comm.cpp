@@ -126,7 +126,12 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
     // Placement: outside every loop not shared with a writer of the array
     // (the values are available there), i.e. at the deepest common level
     // with any same-procedure writer.
-    std::map<const Array*, CommEvent> coalesced;
+    // Keyed by (array, placement depth): refs of one array can legitimately
+    // land at different depths (a plane overlapping an in-nest writer needs
+    // per-iteration placement, a read-only plane vectorizes fully), and a
+    // per-array key would overwrite — i.e. silently drop — the first event
+    // (found by the fuzz harness: tests/corpus/coalesce-depth-split.hpf).
+    std::map<std::pair<const Array*, int>, CommEvent> coalesced;
     for (const auto& r : a.rhs) {
       if (!r.array->distributed()) continue;
       std::size_t depth = 0;
@@ -146,11 +151,11 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
       Set nl = nonlocal_relation(is, iters, r, depth, params);
       if (nl.is_empty()) continue;
 
-      if (opt.coalesce && coalesced.count(r.array) &&
-          coalesced[r.array].placement_depth == static_cast<int>(depth)) {
+      const std::pair<const Array*, int> key{r.array, static_cast<int>(depth)};
+      if (opt.coalesce && coalesced.count(key)) {
         DHPF_COUNTER("comm.fetches_coalesced");
-        coalesced[r.array].data = coalesced[r.array].data.unite(nl);
-        coalesced[r.array].note += ", " + r.to_string();
+        coalesced[key].data = coalesced[key].data.unite(nl);
+        coalesced[key].note += ", " + r.to_string();
         continue;
       }
       DHPF_COUNTER("comm.fetch_events");
@@ -165,7 +170,7 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
       ev.note = r.to_string();
       ev.path = sc->path;
       if (opt.coalesce)
-        coalesced[r.array] = std::move(ev);
+        coalesced[key] = std::move(ev);
       else
         plan.events.push_back(std::move(ev));
     }
@@ -187,12 +192,21 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
       const Set write_data = touched_data(sc->path, a.lhs, params);
       for (const auto* other : assigns) {
         const Assign& oa = other->stmt->assign();
-        bool reads = false;
+        bool conflicts = false;
         for (const auto& r : oa.rhs)
           if (r.array == a.lhs.array &&
               !write_data.intersect(touched_data(other->path, r, params)).is_empty())
-            reads = true;
-        if (!reads) continue;
+            conflicts = true;
+        // Another statement overwriting elements this write-back carries is a
+        // kill: the written-back value must arrive at the owner *before* the
+        // overwrite, or a stale value clobbers the newer one. Keeping the
+        // write-back inside every loop shared with the conflicting writer
+        // preserves the serial store order (found by the fuzz harness:
+        // tests/corpus/writeback-kill-order.hpf).
+        if (other != sc && oa.lhs.array == a.lhs.array &&
+            !write_data.intersect(touched_data(other->path, oa.lhs, params)).is_empty())
+          conflicts = true;
+        if (!conflicts) continue;
         depth = std::max(depth, common_prefix(other->path, sc->path));
         if (other == sc) depth = std::max(depth, sc->path.size());
       }
@@ -236,6 +250,15 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
       }
       if (!last) continue;
       const Assign& la = last->stmt->assign();
+      // The wrap-around case (writer later in program order than the read)
+      // only describes a steady state: it needs an enclosing loop around
+      // both statements to carry the written values into the next
+      // iteration. Without one the read executes before the write ever
+      // does, and eliminating its fetch drops communication of the initial
+      // values (found by the fuzz harness: tests/corpus/avail-no-wrap.hpf).
+      if (la.id > ev.stmt_id &&
+          common_prefix(last->path, cps.stmts.at(ev.stmt_id).path) == 0)
+        continue;
       const IterSpace lis = analysis::iteration_space(last->path, params);
       const Set liters = cp::iterations_on_home(lis, last->cp, params);
       const Set written = nonlocal_global(lis, liters, la.lhs, params);

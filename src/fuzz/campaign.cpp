@@ -1,0 +1,108 @@
+#include "fuzz/campaign.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "fuzz/rng.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf::fuzz {
+
+namespace fs = std::filesystem;
+
+std::uint64_t case_seed(std::uint64_t campaign_seed, int index) {
+  Rng r(campaign_seed ^ (0x9e3779b97f4a7c15ull *
+                         (static_cast<std::uint64_t>(index) + 1)));
+  return r.next_u64();
+}
+
+std::string CampaignReport::to_string() const {
+  std::ostringstream os;
+  os << "fuzz campaign: seed=" << seed << " cases=" << cases
+     << " plans=" << plans_checked << " sim-runs=" << sim_runs
+     << " mp-runs=" << mp_runs << " failures=" << failures.size() << "\n";
+  for (const auto& f : failures) {
+    os << "case " << f.index << " (seed " << f.case_seed << "): "
+       << f.failure.to_string() << "\n";
+    if (!f.path.empty()) os << "  reproducer: " << f.path << "\n";
+  }
+  return os.str();
+}
+
+CampaignReport run_campaign(const CampaignOptions& opt) {
+  CampaignReport report;
+  report.seed = opt.seed;
+
+  if (!opt.out_dir.empty()) fs::create_directories(opt.out_dir);
+
+  for (int i = 0; i < opt.count; ++i) {
+    const std::uint64_t cs = case_seed(opt.seed, i);
+    const GeneratedCase gen = generate(cs, opt.gen);
+    const DiffResult d = run_differential(gen.source, cs, opt.diff);
+    ++report.cases;
+    report.plans_checked += d.plans_checked;
+    report.sim_runs += d.sim_runs;
+    report.mp_runs += d.mp_runs;
+
+    if (!d.ok) {
+      CaseFailure cf;
+      cf.case_seed = cs;
+      cf.index = i;
+      cf.failure = d.failure;
+      cf.source = gen.source;
+      if (opt.minimize_failures) {
+        MinimizeOptions mo;
+        mo.diff = opt.diff;
+        mo.max_attempts = opt.minimize_attempts;
+        cf.minimized = minimize(gen.source, cs, mo).source;
+      }
+      if (!opt.out_dir.empty()) {
+        const std::string stem = "fail-seed" + std::to_string(cs);
+        const fs::path hpf = fs::path(opt.out_dir) / (stem + ".hpf");
+        std::ofstream(hpf) << (cf.minimized.empty() ? cf.source : cf.minimized);
+        std::ofstream(fs::path(opt.out_dir) / (stem + ".txt"))
+            << cf.failure.to_string() << "\n\noriginal program:\n"
+            << cf.source;
+        cf.path = hpf.string();
+      }
+      report.failures.push_back(std::move(cf));
+    }
+
+    if (opt.log && opt.log_every > 0 && (i + 1) % opt.log_every == 0)
+      *opt.log << "fuzz: " << (i + 1) << "/" << opt.count << " cases, "
+               << report.plans_checked << " plans, " << report.failures.size()
+               << " failures\n";
+  }
+  return report;
+}
+
+std::vector<ReplayResult> replay_corpus(const std::string& dir, const DiffOptions& opt) {
+  require(fs::is_directory(dir), "fuzz", "corpus directory not found: " + dir);
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file() && entry.path().extension() == ".hpf")
+      paths.push_back(entry.path().string());
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<ReplayResult> results;
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    // FNV-1a over the file *name* (not path), so replay seeds survive the
+    // corpus moving between checkouts.
+    const std::string name = fs::path(path).filename().string();
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : name) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    results.push_back({path, run_differential(buf.str(), h, opt)});
+  }
+  return results;
+}
+
+}  // namespace dhpf::fuzz

@@ -1,0 +1,73 @@
+// Campaign orchestration: generate -> differentially check -> (on failure)
+// minimize -> write reproducers, over N seeded cases. This is what
+// `dhpfc --fuzz N` runs and what the slow ctest target drives.
+//
+// Case seeds are derived from the campaign seed by index (case_seed), so a
+// campaign is deterministic end to end and any failing case can be re-run
+// standalone from its reported seed. Reports are deterministic too — the
+// same (seed, count, options) produce byte-identical to_string() output,
+// which is what the determinism satellite test pins.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/diff.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/minimize.hpp"
+
+namespace dhpf::fuzz {
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  int count = 100;
+  GenOptions gen;
+  DiffOptions diff;
+  bool minimize_failures = true;
+  int minimize_attempts = 400;
+  std::string out_dir;          ///< write reproducers here ("" = don't)
+  std::ostream* log = nullptr;  ///< progress stream (nullptr = silent)
+  int log_every = 0;            ///< progress line period in cases (0 = off)
+};
+
+struct CaseFailure {
+  std::uint64_t case_seed = 0;
+  int index = 0;  ///< case number within the campaign
+  Failure failure;
+  std::string source;     ///< the generated program
+  std::string minimized;  ///< shrunk reproducer ("" if minimization off)
+  std::string path;       ///< reproducer file written ("" if out_dir empty)
+};
+
+struct CampaignReport {
+  std::uint64_t seed = 0;
+  int cases = 0;
+  long plans_checked = 0;
+  long sim_runs = 0;
+  long mp_runs = 0;
+  std::vector<CaseFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Seed of case `index` in a campaign (exposed so a reported case can be
+/// regenerated without re-running the campaign).
+std::uint64_t case_seed(std::uint64_t campaign_seed, int index);
+
+CampaignReport run_campaign(const CampaignOptions& opt);
+
+/// Replay every .hpf file under `dir` (sorted by name) through the
+/// differential check — the regression-corpus gate ctest and
+/// scripts/bench_smoke.sh run. Per-file seeds hash the file name, so replay
+/// is deterministic and independent of directory enumeration order.
+struct ReplayResult {
+  std::string path;
+  DiffResult diff;
+};
+std::vector<ReplayResult> replay_corpus(const std::string& dir,
+                                        const DiffOptions& opt = corpus_options());
+
+}  // namespace dhpf::fuzz

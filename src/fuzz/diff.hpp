@@ -1,0 +1,97 @@
+// Differential conformance driver (the fuzzer's oracle half).
+//
+// One generated program is checked like this: for each processor-grid shape
+// (the generated one plus re-instantiations from candidate_grid_shapes), the
+// program is parsed fresh, interpreted serially (the oracle), and compiled
+// under a set of optimization-flag variants (the full 48-point cross product
+// of tune::enumerate_variants on the first shape, a seeded subset on the
+// others). Every compiled plan is
+//
+//   * statically verified (dhpf::verify — a verifier error is a failure even
+//     if execution would happen to produce the right numbers),
+//   * cross-checked against the analytic model (dhpf::model predicts the
+//     exact message/byte counts the simulator then measures — any
+//     disagreement is a failure),
+//   * executed on the deterministic simulator and compared BIT-FOR-BIT
+//     against the serial oracle (owner copies of every distributed array),
+//   * and, for a seeded rotation of variants, executed on the real
+//     multi-threaded mp backend and compared bit-for-bit as well.
+//
+// Bit-for-bit is achievable (and therefore demanded) because serial and
+// SPMD execution sum rhs terms in the same order and the mp runtime's
+// named-source receives are deterministic; see docs/fuzzing.md.
+//
+// The driver fails fast: the first failure is reported with a structured
+// kind + variant + shape signature, which is the currency the minimizer
+// (minimize.hpp) preserves while shrinking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/generator.hpp"
+
+namespace dhpf::fuzz {
+
+enum class FailKind {
+  None,
+  ParseError,         ///< hpf::parse rejected the program
+  SerialError,        ///< the serial oracle itself threw
+  CompileError,       ///< the pipeline threw under some variant
+  VerifyFail,         ///< dhpf::verify reported an error on a plan
+  RunError,           ///< run_spmd threw (sim or mp)
+  SimMismatch,        ///< sim result != serial oracle (bitwise)
+  MpMismatch,         ///< mp result != serial oracle (bitwise)
+  ModelCommMismatch,  ///< model's messages/bytes != simulator's measured
+};
+
+const char* to_string(FailKind k);
+
+struct DiffOptions {
+  /// Grid shapes to check (>= 1): the generated shape, then distinct
+  /// candidates from candidate_grid_shapes().
+  int shapes = 3;
+  /// Full 48-variant cross product on the first shape; this many seeded
+  /// variants (always including the default) on each further shape.
+  int variants_per_extra_shape = 8;
+  /// mp-backend runs per (case, shape): the default variant plus seeded
+  /// picks, rotating with the case seed so the whole cross product gets mp
+  /// coverage across a campaign.
+  int mp_variants = 2;
+  bool run_mp = true;
+  bool check_model = true;
+};
+
+/// One structured failure. `signature()` identifies the failure class for
+/// the minimizer: a shrunk program must fail the same way to be accepted.
+struct Failure {
+  FailKind kind = FailKind::None;
+  std::string variant;  ///< VariantSpec name; "" when not variant-specific
+  std::string shape;    ///< e.g. "P(2,2)"
+  std::string detail;   ///< diagnostic text / first differing element
+
+  [[nodiscard]] std::string signature() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct DiffResult {
+  bool ok = true;
+  Failure failure;        ///< set when !ok (fail-fast: the first one)
+  int plans_checked = 0;  ///< variant compiles attempted
+  int sim_runs = 0;
+  int mp_runs = 0;
+};
+
+/// Differentially check one program. `seed` only steers the deterministic
+/// variant/shape sub-sampling — the same (source, seed, options) triple
+/// always performs the identical checks.
+DiffResult run_differential(const std::string& source, std::uint64_t seed,
+                            const DiffOptions& opt = {});
+
+/// Thorough settings for regression-corpus replay: the full variant cross
+/// product on every shape (reproducers are tiny, so exhaustive is cheap —
+/// and a reproducer must keep failing-then-fixed under the exact variant
+/// that exposed it, whichever shape it rode in on).
+DiffOptions corpus_options();
+
+}  // namespace dhpf::fuzz

@@ -1,0 +1,554 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "fuzz/rng.hpp"
+#include "hpf/ir.hpp"
+#include "hpf/printer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf::fuzz {
+
+namespace {
+
+using hpf::Array;
+using hpf::Ref;
+using hpf::StmtPtr;
+using hpf::Subscript;
+
+/// Inclusive value range of a loop variable in the current nest.
+struct VarRange {
+  long lo = 0;
+  long hi = 0;
+};
+using Env = std::map<std::string, VarRange>;
+
+bool fits(const Env& env, const std::string& var, long off, int ext) {
+  const auto it = env.find(var);
+  if (it == env.end()) return false;
+  return it->second.lo + off >= 0 && it->second.hi + off <= ext - 1;
+}
+
+/// One dimension of the generated shape family.
+struct DimSpec {
+  bool block = false;
+  int grid_dim = -1;  ///< valid when block
+  int extent = 0;
+};
+
+struct Gen {
+  Rng rng;
+  hpf::Program prog;
+  const GenOptions& opt;
+
+  hpf::ProcGrid* grid = nullptr;
+  std::vector<int> tmpl;  ///< template extent per grid dim
+
+  std::vector<DimSpec> fam_dims;     ///< the family's uniform shape
+  std::vector<Array*> family;        ///< uniformly shaped distributed arrays
+  Array* misaligned = nullptr;       ///< family shape, offset alignment
+  struct Temp {
+    Array* array = nullptr;
+    int fam_dim = 0;  ///< family dim whose extent sizes this temp
+  };
+  std::vector<Temp> temps;  ///< undistributed rank-1 privatizable temps
+
+  int next_var = 0;
+
+  Gen(std::uint64_t seed, const GenOptions& o) : rng(seed), opt(o) {}
+
+  std::string fresh_var() { return "i" + std::to_string(next_var++); }
+
+  // ------------------------------------------------------- declarations
+
+  void make_decls() {
+    const int grid_rank = rng.pick(1, 2);
+    std::vector<int> shape;
+    if (grid_rank == 1) {
+      shape = {rng.pick(2, 4)};
+    } else {
+      shape = {rng.pick(1, 3), rng.pick(1, 3)};
+      if (shape[0] * shape[1] == 1) shape[0] = 2;
+    }
+    grid = prog.add_grid("P", shape);
+    const int ext_choices[] = {8, 10, 12};
+    for (int g = 0; g < grid_rank; ++g) tmpl.push_back(ext_choices[rng.pick(0, 2)]);
+
+    // Family shape: every grid dim maps to a distinct array dim; with some
+    // probability one extra replicated dim (the Figure 4.1 "lhs(...,5)").
+    const int rank = grid_rank + (rng.chance(1, 3) ? 1 : 0);
+    fam_dims.assign(static_cast<std::size_t>(rank), DimSpec{});
+    std::vector<int> slots(static_cast<std::size_t>(rank));
+    for (int d = 0; d < rank; ++d) slots[static_cast<std::size_t>(d)] = d;
+    for (int g = 0; g < grid_rank; ++g) {
+      const int pick = rng.pick(0, static_cast<int>(slots.size()) - 1);
+      const int d = slots[static_cast<std::size_t>(pick)];
+      slots.erase(slots.begin() + pick);
+      fam_dims[static_cast<std::size_t>(d)] =
+          DimSpec{true, g, tmpl[static_cast<std::size_t>(g)]};
+    }
+    for (int d : slots) fam_dims[static_cast<std::size_t>(d)] = DimSpec{false, -1, rng.pick(3, 6)};
+
+    const int nfam = rng.pick(2, std::max(2, opt.max_family_arrays));
+    for (int i = 0; i < nfam; ++i) {
+      const std::string name(1, static_cast<char>('a' + i));
+      family.push_back(prog.add_array(name, fam_extents(), fam_dist(/*offset_dim=*/-1, 0)));
+    }
+
+    if (opt.allow_offsets && rng.chance(1, 4)) {
+      // One extra array aligned to the family's template with a nonzero
+      // offset on one block dim (its extent shrinks to keep the template
+      // extents in agreement).
+      std::vector<int> block_dims;
+      for (std::size_t d = 0; d < fam_dims.size(); ++d)
+        if (fam_dims[d].block) block_dims.push_back(static_cast<int>(d));
+      const int od = rng.choice(block_dims);
+      const int off = rng.pick(1, 2);
+      std::vector<int> ext = fam_extents();
+      ext[static_cast<std::size_t>(od)] -= off;
+      misaligned = prog.add_array("m", std::move(ext), fam_dist(od, off));
+    }
+
+    const int ntemps = opt.allow_new ? rng.pick(0, 2) : 0;
+    for (int i = 0; i < ntemps; ++i) {
+      const int fd = rng.pick(0, static_cast<int>(fam_dims.size()) - 1);
+      Array* t = prog.add_array("w" + std::to_string(i),
+                                {fam_dims[static_cast<std::size_t>(fd)].extent});
+      temps.push_back(Temp{t, fd});
+    }
+  }
+
+  std::vector<int> fam_extents() const {
+    std::vector<int> ext;
+    for (const auto& d : fam_dims) ext.push_back(d.extent);
+    return ext;
+  }
+
+  hpf::DistSpec fam_dist(int offset_dim, int offset) const {
+    hpf::DistSpec dist;
+    dist.grid = grid;
+    for (const auto& d : fam_dims) {
+      hpf::DistSpec::Dim dd;
+      if (d.block) {
+        dd.kind = hpf::DistKind::Block;
+        dd.proc_dim = d.grid_dim;
+      }
+      dist.dims.push_back(dd);
+    }
+    if (offset_dim >= 0) {
+      dist.template_offset.assign(fam_dims.size(), 0);
+      dist.template_offset[static_cast<std::size_t>(offset_dim)] = offset;
+    }
+    return dist;
+  }
+
+  // -------------------------------------------------------- subscripts
+
+  /// Subscript for dimension extent `ext`, preferring `var + off` with a
+  /// random bounded offset, falling back to the unshifted variable and then
+  /// to an in-bounds constant.
+  Subscript sub(const Env& env, const std::string& var, int ext, int max_off) {
+    if (max_off > 0) {
+      const long off = rng.pick(-max_off, max_off);
+      if (off != 0 && fits(env, var, off, ext)) return Subscript::var(var, 1, off);
+    }
+    if (fits(env, var, 0, ext)) return Subscript::var(var);
+    return Subscript::constant(rng.pick(0, ext - 1));
+  }
+
+  /// Reference to `a` whose dims follow the family shape: looped dims use
+  /// their loop variable (+ bounded offset), unlooped dims a constant.
+  /// `loop_of_dim[d]` is the loop var of family dim d ("" when unlooped).
+  Ref fam_ref(const Env& env, Array* a, const std::vector<std::string>& loop_of_dim,
+              int max_off) {
+    Ref r;
+    r.array = a;
+    for (std::size_t d = 0; d < a->extents.size(); ++d) {
+      const int ext = a->extents[d];
+      if (!loop_of_dim[d].empty())
+        r.subs.push_back(sub(env, loop_of_dim[d], ext, max_off));
+      else
+        r.subs.push_back(Subscript::constant(rng.pick(0, ext - 1)));
+    }
+    return r;
+  }
+
+  /// Identity reference (loop vars, no offsets); unlooped dims constant.
+  Ref fam_ref_identity(Array* a, const std::vector<std::string>& loop_of_dim,
+                       const std::vector<int>& unlooped_const) {
+    Ref r;
+    r.array = a;
+    for (std::size_t d = 0; d < a->extents.size(); ++d) {
+      if (!loop_of_dim[d].empty())
+        r.subs.push_back(Subscript::var(loop_of_dim[d]));
+      else
+        r.subs.push_back(Subscript::constant(unlooped_const[d]));
+    }
+    return r;
+  }
+
+  // ------------------------------------------------------------- nests
+
+  /// A generic stencil nest over the family dims: 1-3 assignments whose rhs
+  /// may read earlier statements' targets (the §5 loop-independent
+  /// dependence chains), bounded stencil offsets, occasional non-owner
+  /// writes (write-back traffic) and triangular inner bounds.
+  StmtPtr stencil_nest() {
+    const int max_off = rng.pick(0, 2);
+    // Loop every block dim; loop replicated dims with probability 1/2.
+    std::vector<int> looped;
+    for (std::size_t d = 0; d < fam_dims.size(); ++d)
+      if (fam_dims[d].block || rng.chance(1, 2)) looped.push_back(static_cast<int>(d));
+    if (looped.empty()) looped.push_back(0);
+    // Random loop order.
+    for (std::size_t i = looped.size(); i > 1; --i)
+      std::swap(looped[i - 1], looped[static_cast<std::size_t>(rng.pick(0, static_cast<int>(i) - 1))]);
+
+    Env env;
+    std::vector<std::string> loop_of_dim(fam_dims.size());
+    struct LoopInfo {
+      std::string var;
+      Subscript lo, hi;
+      int dim;
+    };
+    std::vector<LoopInfo> loops;
+    for (std::size_t li = 0; li < looped.size(); ++li) {
+      const int d = looped[li];
+      const int ext = fam_dims[static_cast<std::size_t>(d)].extent;
+      const int m = std::min(max_off, (ext - 1) / 2);
+      const std::string v = fresh_var();
+      LoopInfo info{v, Subscript::constant(m), Subscript::constant(ext - 1 - m), d};
+      env[v] = VarRange{m, ext - 1 - m};
+      // Triangular inner bound: hi = outer var (trip count may be zero for
+      // small outer values — exercises empty local iteration sets).
+      if (li > 0 && opt.allow_triangular && rng.chance(1, 6)) {
+        const LoopInfo& outer = loops[static_cast<std::size_t>(rng.pick(0, static_cast<int>(li) - 1))];
+        const long outer_hi = env[outer.var].hi;
+        if (outer_hi <= ext - 1 - m) {
+          info.hi = Subscript::var(outer.var);
+          env[v] = VarRange{m, outer_hi};
+        }
+      }
+      loop_of_dim[static_cast<std::size_t>(d)] = v;
+      loops.push_back(std::move(info));
+    }
+
+    // Read pool: the family, the misaligned array, and the temps.
+    std::vector<Array*> pool = family;
+    if (misaligned) pool.push_back(misaligned);
+
+    std::vector<StmtPtr> body;
+    const int nstmts = rng.pick(1, 3);
+    bool lhs_shifted = false;
+    std::vector<const Array*> written, read;
+    for (int s = 0; s < nstmts; ++s) {
+      Array* lhs_arr = rng.choice(family);
+      Ref lhs;
+      lhs.array = lhs_arr;
+      for (std::size_t d = 0; d < lhs_arr->extents.size(); ++d) {
+        const int ext = lhs_arr->extents[d];
+        const std::string& v = loop_of_dim[d];
+        if (v.empty()) {
+          lhs.subs.push_back(Subscript::constant(rng.pick(0, ext - 1)));
+          continue;
+        }
+        // Occasional shifted write: a non-owner-computes store that forces
+        // write-back communication.
+        if (max_off > 0 && rng.chance(1, 6)) {
+          const long off = rng.pick(-max_off, max_off);
+          if (off != 0 && fits(env, v, off, ext)) {
+            lhs.subs.push_back(Subscript::var(v, 1, off));
+            lhs_shifted = true;
+            continue;
+          }
+        }
+        lhs.subs.push_back(Subscript::var(v));
+      }
+      std::vector<Ref> rhs;
+      const int nrhs = rng.pick(1, 3);
+      for (int t = 0; t < nrhs; ++t) {
+        if (!temps.empty() && rng.chance(1, 6)) {
+          const Temp& tm = rng.choice(temps);
+          Ref r;
+          r.array = tm.array;
+          const std::string& v = loop_of_dim[static_cast<std::size_t>(tm.fam_dim)];
+          r.subs.push_back(v.empty() ? Subscript::constant(rng.pick(0, tm.array->extents[0] - 1))
+                                     : sub(env, v, tm.array->extents[0], max_off));
+          rhs.push_back(std::move(r));
+          read.push_back(tm.array);
+        } else {
+          Array* a = rng.choice(pool);
+          rhs.push_back(fam_ref(env, a, loop_of_dim, max_off));
+          read.push_back(a);
+        }
+      }
+      written.push_back(lhs_arr);
+      const double cst = rng.chance(1, 3) ? rng.pick(-3, 3) : 0;
+      body.push_back(hpf::make_assign(std::move(lhs), std::move(rhs), cst));
+    }
+
+    // INDEPENDENT only where it provably holds: identity writes (disjoint
+    // per iteration) and no array both written and read in the nest.
+    bool indep = !lhs_shifted;
+    for (const Array* w : written)
+      for (const Array* r : read) indep = indep && w != r;
+
+    StmtPtr nest;
+    for (std::size_t li = loops.size(); li-- > 0;) {
+      std::vector<StmtPtr> b;
+      if (nest)
+        b.push_back(std::move(nest));
+      else
+        b = std::move(body);
+      nest = hpf::make_loop(loops[li].var, loops[li].lo, loops[li].hi, std::move(b));
+    }
+    if (indep && rng.chance(1, 2)) nest->loop().independent = true;
+    return nest;
+  }
+
+  /// Figure 4.1: INDEPENDENT outer loop with a NEW privatizable temp — the
+  /// temp is defined over its full extent from a distributed source, then
+  /// read at -1/0/+1 offsets into a distributed target.
+  StmtPtr privatizable_nest() {
+    const Temp& tm = rng.choice(temps);
+    const int dj = tm.fam_dim;
+    // Outer loop dim: any other family dim.
+    std::vector<int> others;
+    for (std::size_t d = 0; d < fam_dims.size(); ++d)
+      if (static_cast<int>(d) != dj) others.push_back(static_cast<int>(d));
+    const int dk = rng.choice(others);
+    const int ek = fam_dims[static_cast<std::size_t>(dk)].extent;
+    const int et = tm.array->extents[0];
+
+    Array* src = rng.choice(family);
+    Array* dst = rng.choice(family);
+    if (family.size() > 1)
+      while (dst == src) dst = rng.choice(family);
+
+    const std::string k = fresh_var();
+    const std::string j = fresh_var();
+    const std::string j2 = fresh_var();
+    std::vector<int> unlooped(fam_dims.size());
+    for (std::size_t d = 0; d < fam_dims.size(); ++d)
+      unlooped[d] = rng.pick(0, fam_dims[d].extent - 1);
+
+    auto slice_ref = [&](Array* a, const std::string& jvar) {
+      std::vector<std::string> lod(fam_dims.size());
+      lod[static_cast<std::size_t>(dj)] = jvar;
+      lod[static_cast<std::size_t>(dk)] = k;
+      return fam_ref_identity(a, lod, unlooped);
+    };
+
+    // def loop: w(j) = src(j-slice)
+    Ref def_lhs;
+    def_lhs.array = tm.array;
+    def_lhs.subs.push_back(Subscript::var(j));
+    std::vector<StmtPtr> def_body;
+    def_body.push_back(hpf::make_assign(std::move(def_lhs), {slice_ref(src, j)}, 0.0));
+    StmtPtr def_loop = hpf::make_loop(j, Subscript::constant(0), Subscript::constant(et - 1),
+                                      std::move(def_body));
+
+    // use loop: dst(j2-slice) = w(j2-1) + w(j2) + w(j2+1)
+    auto temp_ref = [&](long off) {
+      Ref r;
+      r.array = tm.array;
+      r.subs.push_back(Subscript::var(j2, 1, off));
+      return r;
+    };
+    std::vector<Ref> use_rhs;
+    use_rhs.push_back(temp_ref(-1));
+    if (rng.chance(1, 2)) use_rhs.push_back(temp_ref(0));
+    use_rhs.push_back(temp_ref(1));
+    std::vector<StmtPtr> use_body;
+    use_body.push_back(hpf::make_assign(slice_ref(dst, j2), std::move(use_rhs),
+                                        rng.chance(1, 2) ? rng.pick(-2, 2) : 0));
+    StmtPtr use_loop = hpf::make_loop(j2, Subscript::constant(1), Subscript::constant(et - 2),
+                                      std::move(use_body));
+
+    std::vector<StmtPtr> outer_body;
+    outer_body.push_back(std::move(def_loop));
+    outer_body.push_back(std::move(use_loop));
+    const int mo = rng.pick(0, 1);
+    StmtPtr outer = hpf::make_loop(k, Subscript::constant(mo),
+                                   Subscript::constant(ek - 1 - mo), std::move(outer_body));
+    outer->loop().independent = true;
+    outer->loop().new_vars.push_back(tm.array->name);
+    return outer;
+  }
+
+  /// Figure 4.2: LOCALIZE'd reciprocal family — pointwise definitions from
+  /// one source, stencil uses into a target, wrapped in a one-trip
+  /// INDEPENDENT loop carrying the LOCALIZE directive.
+  StmtPtr localize_nest() {
+    // S = source, R = localized middles, Z = target.
+    Array* s_arr = family.front();
+    Array* z_arr = family.back();
+    std::vector<Array*> recips(family.begin() + 1, family.end() - 1);
+    if (recips.size() > 2) recips.resize(2);  // keep the nest small
+
+    std::vector<int> unlooped(fam_dims.size());
+    for (std::size_t d = 0; d < fam_dims.size(); ++d)
+      unlooped[d] = rng.pick(0, fam_dims[d].extent - 1);
+    std::vector<int> block_dims;
+    for (std::size_t d = 0; d < fam_dims.size(); ++d)
+      if (fam_dims[d].block) block_dims.push_back(static_cast<int>(d));
+
+    // Pointwise definition nest over the block dims, full range.
+    std::vector<std::string> def_vars(fam_dims.size());
+    for (int d : block_dims) def_vars[static_cast<std::size_t>(d)] = fresh_var();
+    std::vector<StmtPtr> def_body;
+    for (std::size_t i = 0; i < recips.size(); ++i)
+      def_body.push_back(hpf::make_assign(fam_ref_identity(recips[i], def_vars, unlooped),
+                                          {fam_ref_identity(s_arr, def_vars, unlooped)},
+                                          static_cast<double>(i + 1)));
+    StmtPtr def_nest = std::move(def_body.front());
+    if (def_body.size() > 1) {
+      std::vector<StmtPtr> seq;
+      seq.push_back(std::move(def_nest));
+      for (std::size_t i = 1; i < def_body.size(); ++i) seq.push_back(std::move(def_body[i]));
+      def_nest = nullptr;
+      // (re-wrap below builds the loops around the whole sequence)
+      def_body = std::move(seq);
+    } else {
+      def_body.clear();
+      def_body.push_back(std::move(def_nest));
+      def_nest = nullptr;
+    }
+    for (std::size_t bi = block_dims.size(); bi-- > 0;) {
+      const int d = block_dims[bi];
+      const int ext = fam_dims[static_cast<std::size_t>(d)].extent;
+      std::vector<StmtPtr> b = std::move(def_body);
+      def_body.clear();
+      def_body.push_back(hpf::make_loop(def_vars[static_cast<std::size_t>(d)],
+                                        Subscript::constant(0), Subscript::constant(ext - 1),
+                                        std::move(b)));
+    }
+
+    // Stencil use nest over the interior.
+    std::vector<std::string> use_vars(fam_dims.size());
+    for (int d : block_dims) use_vars[static_cast<std::size_t>(d)] = fresh_var();
+    std::vector<Ref> use_rhs;
+    for (Array* r : recips) {
+      const int d = rng.choice(block_dims);
+      Ref ref = fam_ref_identity(r, use_vars, unlooped);
+      ref.subs[static_cast<std::size_t>(d)] =
+          Subscript::var(use_vars[static_cast<std::size_t>(d)], 1, rng.chance(1, 2) ? 1 : -1);
+      use_rhs.push_back(std::move(ref));
+      if (rng.chance(1, 2)) use_rhs.push_back(fam_ref_identity(r, use_vars, unlooped));
+    }
+    std::vector<StmtPtr> use_body;
+    use_body.push_back(
+        hpf::make_assign(fam_ref_identity(z_arr, use_vars, unlooped), std::move(use_rhs), 0.0));
+    for (std::size_t bi = block_dims.size(); bi-- > 0;) {
+      const int d = block_dims[bi];
+      const int ext = fam_dims[static_cast<std::size_t>(d)].extent;
+      std::vector<StmtPtr> b = std::move(use_body);
+      use_body.clear();
+      use_body.push_back(hpf::make_loop(use_vars[static_cast<std::size_t>(d)],
+                                        Subscript::constant(1), Subscript::constant(ext - 2),
+                                        std::move(b)));
+    }
+
+    std::vector<StmtPtr> outer_body;
+    outer_body.push_back(std::move(def_body.front()));
+    outer_body.push_back(std::move(use_body.front()));
+    StmtPtr outer = hpf::make_loop(fresh_var(), Subscript::constant(1), Subscript::constant(1),
+                                   std::move(outer_body));
+    outer->loop().independent = true;
+    for (Array* r : recips) outer->loop().localize_vars.push_back(r->name);
+    return outer;
+  }
+
+  /// Cross-processor recurrence (a true pipeline): x(i) = x(i-1) along a
+  /// block dim, other dims fixed.
+  StmtPtr recurrence_nest() {
+    Array* x = rng.choice(family);
+    std::vector<int> block_dims;
+    for (std::size_t d = 0; d < fam_dims.size(); ++d)
+      if (fam_dims[d].block) block_dims.push_back(static_cast<int>(d));
+    const int dr = rng.choice(block_dims);
+    const int ext = fam_dims[static_cast<std::size_t>(dr)].extent;
+    const std::string v = fresh_var();
+
+    Ref lhs, rhs;
+    lhs.array = rhs.array = x;
+    for (std::size_t d = 0; d < fam_dims.size(); ++d) {
+      if (static_cast<int>(d) == dr) {
+        lhs.subs.push_back(Subscript::var(v));
+        rhs.subs.push_back(Subscript::var(v, 1, -1));
+      } else {
+        const int c = rng.pick(0, fam_dims[d].extent - 1);
+        lhs.subs.push_back(Subscript::constant(c));
+        rhs.subs.push_back(Subscript::constant(c));
+      }
+    }
+    std::vector<StmtPtr> body;
+    body.push_back(hpf::make_assign(std::move(lhs), {std::move(rhs)},
+                                    rng.chance(1, 2) ? 1 : 0));
+    return hpf::make_loop(v, Subscript::constant(1), Subscript::constant(ext - 1),
+                          std::move(body));
+  }
+
+  // ---------------------------------------------------------- assembly
+
+  GeneratedCase run(std::uint64_t seed) {
+    make_decls();
+    hpf::Procedure* main_proc = prog.add_procedure("main");
+
+    std::vector<int> kinds;  // weighted kind pool
+    kinds.insert(kinds.end(), 4, 0);  // stencil
+    if (!temps.empty() && fam_dims.size() >= 2 && opt.allow_new)
+      kinds.insert(kinds.end(), 2, 1);  // Fig 4.1
+    if (family.size() >= 3 && opt.allow_localize) kinds.insert(kinds.end(), 2, 2);  // Fig 4.2
+    if (opt.allow_recurrence) kinds.insert(kinds.end(), 1, 3);
+
+    const int nnests = rng.pick(1, std::max(1, opt.max_nests));
+    for (int n = 0; n < nnests; ++n) {
+      switch (rng.choice(kinds)) {
+        case 1:
+          main_proc->body.push_back(privatizable_nest());
+          break;
+        case 2:
+          main_proc->body.push_back(localize_nest());
+          break;
+        case 3:
+          main_proc->body.push_back(recurrence_nest());
+          break;
+        default:
+          main_proc->body.push_back(stencil_nest());
+      }
+    }
+    // Occasionally a bare top-level assignment (single-instance statement).
+    if (rng.chance(1, 8)) {
+      Array* a = rng.choice(family);
+      Array* b = rng.choice(family);
+      Ref lhs, rhs;
+      lhs.array = a;
+      rhs.array = b;
+      for (int e : a->extents) lhs.subs.push_back(Subscript::constant(rng.pick(0, e - 1)));
+      for (int e : b->extents) rhs.subs.push_back(Subscript::constant(rng.pick(0, e - 1)));
+      main_proc->body.push_back(hpf::make_assign(std::move(lhs), {std::move(rhs)}, 1));
+    }
+
+    prog.number_statements();
+    return GeneratedCase{seed, hpf::to_source(prog)};
+  }
+};
+
+}  // namespace
+
+GeneratedCase generate(std::uint64_t seed, const GenOptions& opt) {
+  Gen gen(seed, opt);
+  return gen.run(seed);
+}
+
+std::vector<std::vector<int>> candidate_grid_shapes(int grid_rank) {
+  require(grid_rank == 1 || grid_rank == 2, "fuzz",
+          "generated grids are rank 1 or 2, got rank " + std::to_string(grid_rank));
+  if (grid_rank == 1) return {{2}, {4}, {3}, {5}, {6}};
+  return {{2, 2}, {1, 3}, {3, 2}, {2, 1}, {1, 4}, {2, 3}};
+}
+
+}  // namespace dhpf::fuzz

@@ -1,0 +1,56 @@
+// Grammar-based generator of valid HPF-lite programs (the fuzzer's input
+// half). Seeded and fully deterministic: the same seed yields a
+// byte-identical program on every platform (rng.hpp pins the random
+// mapping, hpf::to_source pins the rendering).
+//
+// The generated surface covers the paper shapes the compiler optimizes —
+// block distributions over 1-d/2-d processor grids (with and without
+// template alignment offsets), multi-statement stencil nests with
+// loop-independent dependence chains (§5), privatizable-temporary nests in
+// the Figure 4.1 shape (INDEPENDENT + NEW), LOCALIZE families in the
+// Figure 4.2 shape, cross-processor recurrences (pipelines) and
+// producer/consumer nest pairs — plus random compositions of them.
+// Subscripts are affine with bounded offsets; every draw is checked against
+// the loop-variable ranges so generated programs are in-bounds by
+// construction (validity is pinned by tests/fuzz_test.cpp: every generated
+// program parses, compiles and round-trips through the printer).
+//
+// Deliberate restrictions (documented in docs/fuzzing.md): one processor
+// grid, BLOCK/replicated distributions only (the IR has no CYCLIC), no
+// procedure calls (§6 needs alignment-aware call-site construction), and
+// INDEPENDENT is only emitted where it provably holds — a wrong directive
+// would be a bug in the *program*, and the oracle could not tell it from a
+// bug in the compiler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dhpf::fuzz {
+
+struct GenOptions {
+  int max_nests = 3;         ///< top-level loop nests per program
+  int max_family_arrays = 4; ///< distributed arrays per shape family
+  bool allow_offsets = true; ///< template alignment offsets (misaligned rhs)
+  bool allow_new = true;     ///< Figure 4.1 privatizable nests
+  bool allow_localize = true;///< Figure 4.2 LOCALIZE nests
+  bool allow_recurrence = true;  ///< cross-processor pipelines
+  bool allow_triangular = true;  ///< inner bounds referencing outer vars
+};
+
+struct GeneratedCase {
+  std::uint64_t seed = 0;
+  std::string source;  ///< parseable HPF-lite text (hpf::parse round-trips)
+};
+
+/// Generate one program from `seed`. Deterministic; never returns an
+/// invalid program (the generator only draws in-bounds subscripts).
+GeneratedCase generate(std::uint64_t seed, const GenOptions& opt = {});
+
+/// Candidate processor-grid shapes of rank `grid_rank` for differential
+/// re-instantiation (diff.hpp runs every case under several of these).
+/// Deterministic, small (total ranks <= 6 so the mp backend stays cheap).
+std::vector<std::vector<int>> candidate_grid_shapes(int grid_rank);
+
+}  // namespace dhpf::fuzz

@@ -1,0 +1,269 @@
+#include "fuzz/minimize.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hpf/ir.hpp"
+#include "hpf/parser.hpp"
+#include "hpf/printer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf::fuzz {
+
+namespace {
+
+using hpf::StmtPtr;
+
+enum class EditKind {
+  DropStmt,       ///< remove one statement subtree
+  ClearAttrs,     ///< strip independent/new/localize from one loop
+  DropRhsTerm,    ///< remove one rhs term (assigns with >= 2 terms)
+  HalveLoop,      ///< hi = lo + (hi - lo) / 2 on constant-bound loops
+  ZeroCst,        ///< set a nonzero statement constant to 0
+  DropArrayLine,  ///< delete an unused `array ...` declaration line
+  DropLine,       ///< delete any line (unparseable inputs only)
+};
+
+struct Edit {
+  EditKind kind;
+  std::size_t a = 0;  ///< pass-specific index (statement / loop / line)
+  std::size_t b = 0;  ///< secondary index (rhs term)
+};
+
+/// Pre-order statement sites across all procedures (owning body + slot).
+void collect_sites(std::vector<StmtPtr>& body,
+                   std::vector<std::pair<std::vector<StmtPtr>*, std::size_t>>& out) {
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    out.push_back({&body, i});
+    if (body[i]->is_loop()) collect_sites(body[i]->loop().body, out);
+  }
+}
+
+void collect_loops(std::vector<StmtPtr>& body, std::vector<hpf::Loop*>& out) {
+  for (auto& s : body)
+    if (s->is_loop()) {
+      out.push_back(&s->loop());
+      collect_loops(s->loop().body, out);
+    }
+}
+
+void collect_assigns(std::vector<StmtPtr>& body, std::vector<hpf::Assign*>& out) {
+  for (auto& s : body) {
+    if (s->is_assign()) out.push_back(&s->assign());
+    if (s->is_loop()) collect_assigns(s->loop().body, out);
+  }
+}
+
+void prune_empty_loops(std::vector<StmtPtr>& body) {
+  for (auto it = body.begin(); it != body.end();) {
+    if ((*it)->is_loop()) {
+      prune_empty_loops((*it)->loop().body);
+      if ((*it)->loop().body.empty()) {
+        it = body.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Does `name` occur as a standalone identifier anywhere in `text`?
+bool mentions_ident(const std::string& text, const std::string& name) {
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  for (std::size_t pos = text.find(name); pos != std::string::npos;
+       pos = text.find(name, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident(text[pos - 1]);
+    const std::size_t end = pos + name.size();
+    const bool right_ok = end >= text.size() || !is_ident(text[end]);
+    if (left_ok && right_ok) return true;
+  }
+  return false;
+}
+
+/// Declared name of an `array NAME(...)` line ("" if not an array line).
+std::string array_line_name(const std::string& line) {
+  std::size_t p = line.find_first_not_of(" \t");
+  if (p == std::string::npos || line.compare(p, 6, "array ") != 0) return "";
+  p += 6;
+  while (p < line.size() && line[p] == ' ') ++p;
+  std::size_t q = p;
+  while (q < line.size() && line[q] != '(' && line[q] != ' ') ++q;
+  return line.substr(p, q - p);
+}
+
+std::vector<Edit> enumerate_edits(const std::string& src) {
+  std::vector<Edit> edits;
+  bool parses = true;
+  hpf::Program prog;
+  try {
+    prog = hpf::parse(src);
+  } catch (const dhpf::Error&) {
+    parses = false;
+  }
+
+  if (parses) {
+    std::vector<std::pair<std::vector<StmtPtr>*, std::size_t>> sites;
+    std::vector<hpf::Loop*> loops;
+    std::vector<hpf::Assign*> assigns;
+    for (const auto& proc : prog.procedures()) {
+      collect_sites(proc->body, sites);
+      collect_loops(proc->body, loops);
+      collect_assigns(proc->body, assigns);
+    }
+    for (std::size_t i = 0; i < sites.size(); ++i)
+      edits.push_back({EditKind::DropStmt, i, 0});
+    for (std::size_t i = 0; i < loops.size(); ++i)
+      if (loops[i]->independent || !loops[i]->new_vars.empty() ||
+          !loops[i]->localize_vars.empty())
+        edits.push_back({EditKind::ClearAttrs, i, 0});
+    for (std::size_t i = 0; i < assigns.size(); ++i)
+      for (std::size_t t = 0; assigns[i]->rhs.size() > 1 && t < assigns[i]->rhs.size(); ++t)
+        edits.push_back({EditKind::DropRhsTerm, i, t});
+    for (std::size_t i = 0; i < loops.size(); ++i)
+      if (loops[i]->lo.coef.empty() && loops[i]->hi.coef.empty() &&
+          loops[i]->hi.cst > loops[i]->lo.cst)
+        edits.push_back({EditKind::HalveLoop, i, 0});
+    for (std::size_t i = 0; i < assigns.size(); ++i)
+      if (assigns[i]->cst != 0.0) edits.push_back({EditKind::ZeroCst, i, 0});
+    const std::vector<std::string> lines = split_lines(src);
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      if (!array_line_name(lines[i]).empty())
+        edits.push_back({EditKind::DropArrayLine, i, 0});
+  } else {
+    const std::vector<std::string> lines = split_lines(src);
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      if (!lines[i].empty()) edits.push_back({EditKind::DropLine, i, 0});
+  }
+  return edits;
+}
+
+/// Apply one edit; returns "" when the edit is inapplicable / a no-op.
+/// May throw dhpf::Error (e.g. the printer rejecting an edited program) —
+/// the caller treats that as "candidate rejected".
+std::string apply_edit(const std::string& src, const Edit& e) {
+  if (e.kind == EditKind::DropArrayLine || e.kind == EditKind::DropLine) {
+    std::vector<std::string> lines = split_lines(src);
+    if (e.a >= lines.size()) return "";
+    if (e.kind == EditKind::DropArrayLine) {
+      const std::string name = array_line_name(lines[e.a]);
+      if (name.empty()) return "";
+      std::string rest;
+      for (std::size_t i = 0; i < lines.size(); ++i)
+        if (i != e.a) rest += lines[i] + "\n";
+      if (mentions_ident(rest, name)) return "";  // still referenced
+      lines.erase(lines.begin() + static_cast<long>(e.a));
+      return join_lines(lines);
+    }
+    lines.erase(lines.begin() + static_cast<long>(e.a));
+    return join_lines(lines);
+  }
+
+  hpf::Program prog = hpf::parse(src);
+  std::vector<std::pair<std::vector<StmtPtr>*, std::size_t>> sites;
+  std::vector<hpf::Loop*> loops;
+  std::vector<hpf::Assign*> assigns;
+  for (const auto& proc : prog.procedures()) {
+    collect_sites(proc->body, sites);
+    collect_loops(proc->body, loops);
+    collect_assigns(proc->body, assigns);
+  }
+
+  switch (e.kind) {
+    case EditKind::DropStmt: {
+      if (e.a >= sites.size()) return "";
+      auto [body, slot] = sites[e.a];
+      body->erase(body->begin() + static_cast<long>(slot));
+      for (const auto& proc : prog.procedures()) prune_empty_loops(proc->body);
+      break;
+    }
+    case EditKind::ClearAttrs: {
+      if (e.a >= loops.size()) return "";
+      loops[e.a]->independent = false;
+      loops[e.a]->new_vars.clear();
+      loops[e.a]->localize_vars.clear();
+      break;
+    }
+    case EditKind::DropRhsTerm: {
+      if (e.a >= assigns.size() || assigns[e.a]->rhs.size() <= 1 ||
+          e.b >= assigns[e.a]->rhs.size())
+        return "";
+      assigns[e.a]->rhs.erase(assigns[e.a]->rhs.begin() + static_cast<long>(e.b));
+      break;
+    }
+    case EditKind::HalveLoop: {
+      if (e.a >= loops.size()) return "";
+      hpf::Loop* l = loops[e.a];
+      if (!l->lo.coef.empty() || !l->hi.coef.empty() || l->hi.cst <= l->lo.cst) return "";
+      l->hi.cst = l->lo.cst + (l->hi.cst - l->lo.cst) / 2;
+      break;
+    }
+    case EditKind::ZeroCst: {
+      if (e.a >= assigns.size() || assigns[e.a]->cst == 0.0) return "";
+      assigns[e.a]->cst = 0.0;
+      break;
+    }
+    default:
+      return "";
+  }
+  prog.number_statements();
+  return hpf::to_source(prog);
+}
+
+}  // namespace
+
+MinimizeResult minimize(const std::string& source, std::uint64_t seed,
+                        const MinimizeOptions& opt) {
+  MinimizeResult res;
+  const DiffResult first = run_differential(source, seed, opt.diff);
+  require(!first.ok, "fuzz", "minimize: program passes the differential check");
+  res.signature = first.failure.signature();
+  res.source = source;
+
+  bool progress = true;
+  while (progress && res.attempts < opt.max_attempts) {
+    progress = false;
+    for (const Edit& e : enumerate_edits(res.source)) {
+      if (res.attempts >= opt.max_attempts) break;
+      std::string cand;
+      try {
+        cand = apply_edit(res.source, e);
+      } catch (const dhpf::Error&) {
+        continue;
+      }
+      if (cand.empty() || cand == res.source) continue;
+      ++res.attempts;
+      const DiffResult d = run_differential(cand, seed, opt.diff);
+      if (!d.ok && d.failure.signature() == res.signature) {
+        res.source = std::move(cand);
+        ++res.accepted;
+        progress = true;
+        break;  // restart the sweep against the smaller program
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace dhpf::fuzz

@@ -1,0 +1,39 @@
+// Delta-debugging minimizer: shrink a failing program while preserving its
+// failure signature (diff.hpp's kind + variant + shape).
+//
+// Reduction is greedy first-fit over structural passes on the re-parsed IR
+// — drop a statement (subtree), clear directive attributes, drop a rhs
+// term, halve a constant loop range, zero a statement constant — plus two
+// text-level passes: drop an unused array declaration line, and (only when
+// the input does not parse, i.e. a parser-fuzz crash reproducer) drop any
+// line. Every candidate is re-checked with run_differential and accepted
+// only if it still fails with the identical signature, so the result is a
+// valid minimal reproducer by construction. Reduction is deterministic:
+// same (source, seed, options) in, same minimized program out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/diff.hpp"
+
+namespace dhpf::fuzz {
+
+struct MinimizeOptions {
+  DiffOptions diff;       ///< how candidates are re-checked
+  int max_attempts = 400; ///< budget of differential re-runs
+};
+
+struct MinimizeResult {
+  std::string source;     ///< the minimized program
+  std::string signature;  ///< failure signature preserved throughout
+  int attempts = 0;       ///< differential re-runs spent
+  int accepted = 0;       ///< reductions that kept the signature
+};
+
+/// Shrink `source`. Throws dhpf::Error if `source` does not fail the
+/// differential check in the first place (nothing to minimize).
+MinimizeResult minimize(const std::string& source, std::uint64_t seed,
+                        const MinimizeOptions& opt = {});
+
+}  // namespace dhpf::fuzz

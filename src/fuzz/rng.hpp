@@ -1,0 +1,58 @@
+// Deterministic, platform-independent random source for the fuzzer.
+//
+// std::mt19937 is specified exactly, but the standard *distributions*
+// (uniform_int_distribution et al.) are not — the same seed can generate
+// different programs under libstdc++ and libc++, which would break the
+// "same --fuzz-seed, byte-identical programs" guarantee and make corpus
+// seeds unreproducible across machines. So the fuzzer carries its own
+// SplitMix64 core and its own pick/choice helpers with pinned semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::fuzz {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// SplitMix64 step (Steele et al.) — full 64-bit output.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Modulo bias is irrelevant for
+  /// the tiny ranges the generator draws from, and keeping it makes the
+  /// mapping trivially portable.
+  int pick(int lo, int hi) {
+    require(lo <= hi, "fuzz", "empty pick range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next_u64() % span);
+  }
+
+  /// True with probability num/den.
+  bool chance(int num, int den) { return pick(1, den) <= num; }
+
+  /// Uniform element of a non-empty vector.
+  template <typename T>
+  const T& choice(const std::vector<T>& xs) {
+    require(!xs.empty(), "fuzz", "choice from empty list");
+    return xs[static_cast<std::size_t>(pick(0, static_cast<int>(xs.size()) - 1))];
+  }
+
+  /// Independent child stream (used to decouple per-case decisions from the
+  /// campaign-level stream so adding a draw in one place does not reshuffle
+  /// every later case).
+  Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dhpf::fuzz

@@ -1,0 +1,132 @@
+#include "hpf/printer.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::hpf {
+
+namespace {
+
+void print_int_list(std::ostringstream& out, const std::vector<int>& xs) {
+  out << "(";
+  for (std::size_t i = 0; i < xs.size(); ++i) out << (i ? ", " : "") << xs[i];
+  out << ")";
+}
+
+void print_ref(std::ostringstream& out, const Ref& r) {
+  require(r.array != nullptr, "hpf-printer", "reference without array");
+  out << r.array->name << "(";
+  for (std::size_t i = 0; i < r.subs.size(); ++i)
+    out << (i ? ", " : "") << r.subs[i].to_string();
+  out << ")";
+}
+
+long integral_cst(double cst) {
+  const double r = std::round(cst);
+  require(std::fabs(cst - r) < 1e-12, "hpf-printer",
+          "assignment constant " + std::to_string(cst) +
+              " is not integral; the surface grammar has integer literals only");
+  return static_cast<long>(r);
+}
+
+void print_body(std::ostringstream& out, const std::vector<StmtPtr>& body, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  for (const auto& sp : body) {
+    if (sp->is_assign()) {
+      const Assign& a = sp->assign();
+      out << pad;
+      print_ref(out, a.lhs);
+      out << " = ";
+      for (std::size_t i = 0; i < a.rhs.size(); ++i) {
+        if (i) out << " + ";
+        print_ref(out, a.rhs[i]);
+      }
+      const long c = integral_cst(a.cst);
+      if (a.rhs.empty())
+        out << c;
+      else if (c != 0)
+        out << " + " << c;
+      out << "\n";
+    } else if (sp->is_call()) {
+      const Call& c = sp->call();
+      out << pad << "call " << c.callee << "(";
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i) out << ", ";
+        print_ref(out, c.args[i]);
+      }
+      out << ")\n";
+    } else {
+      const Loop& l = sp->loop();
+      out << pad << "do";
+      if (l.independent || !l.new_vars.empty() || !l.localize_vars.empty()) {
+        out << "[";
+        bool first = true;
+        if (l.independent) {
+          out << "independent";
+          first = false;
+        }
+        auto list_attr = [&](const char* name, const std::vector<std::string>& vars) {
+          if (vars.empty()) return;
+          if (!first) out << ", ";
+          out << name << "(";
+          for (std::size_t i = 0; i < vars.size(); ++i) out << (i ? ", " : "") << vars[i];
+          out << ")";
+          first = false;
+        };
+        list_attr("new", l.new_vars);
+        list_attr("localize", l.localize_vars);
+        out << "]";
+      }
+      out << " " << l.var << " = " << l.lo.to_string() << ", " << l.hi.to_string() << "\n";
+      print_body(out, l.body, indent + 1);
+      out << pad << "enddo\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_source(const Program& prog) {
+  std::ostringstream out;
+  for (const auto& g : prog.grids()) {
+    out << "processors " << g->name;
+    print_int_list(out, g->extents);
+    out << "\n";
+  }
+  for (const auto& a : prog.arrays()) {
+    out << "array " << a->name;
+    print_int_list(out, a->extents);
+    if (a->dist.grid) {
+      out << " distribute (";
+      for (std::size_t d = 0; d < a->dist.dims.size(); ++d) {
+        if (d) out << ", ";
+        if (a->dist.dims[d].kind == DistKind::Block)
+          out << "block:" << a->dist.dims[d].proc_dim;
+        else
+          out << "*";
+      }
+      out << ") onto " << a->dist.grid->name;
+    }
+    if (!a->dist.template_name.empty()) out << " template " << a->dist.template_name;
+    bool any_offset = false;
+    for (int o : a->dist.template_offset) any_offset = any_offset || o != 0;
+    if (any_offset) {
+      out << " offset ";
+      print_int_list(out, a->dist.template_offset);
+    }
+    out << "\n";
+  }
+  for (const auto& p : prog.procedures()) {
+    out << "\nprocedure " << p->name << "(";
+    for (std::size_t i = 0; i < p->formals.size(); ++i)
+      out << (i ? ", " : "") << p->formals[i]->name;
+    out << ")\n";
+    print_body(out, p->body, 1);
+    out << "end\n";
+  }
+  return out.str();
+}
+
+}  // namespace dhpf::hpf

@@ -1,0 +1,29 @@
+// HPF-lite source printer: renders a Program back into the textual language
+// parser.hpp accepts, so programs can round-trip  parse -> to_source ->
+// parse  without loss. This is what lets the fuzzer (src/fuzz) emit its
+// generated and delta-minimized programs as .hpf files that replay through
+// the ordinary front end — the printed form is the canonical identity of a
+// regression-corpus entry.
+//
+// Canonical form: printing is deterministic, and for any program P,
+// to_source(parse(to_source(P))) == to_source(P) (tests/fuzz_test.cpp pins
+// this). Program::to_string() remains the *display* rendering (HPF$
+// directive comments, statement ids); to_source() is the parseable one.
+//
+// Restriction: assignment constants must be integral — the surface grammar
+// only has integer literals. Printing a program with a fractional Assign
+// constant throws dhpf::Error.
+#pragma once
+
+#include <string>
+
+#include "hpf/ir.hpp"
+
+namespace dhpf::hpf {
+
+/// Render `prog` in the textual language of parse(). Throws dhpf::Error
+/// ("hpf-printer") if the program uses a feature the surface grammar cannot
+/// express (non-integral assignment constants).
+std::string to_source(const Program& prog);
+
+}  // namespace dhpf::hpf

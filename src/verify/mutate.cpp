@@ -105,6 +105,56 @@ bool shrink_uncovers_point(const CompiledPlan& plan, const OverlapDecl& decl, st
   return false;
 }
 
+/// Project an event's data relation down to array dimensions (mirror of the
+/// verifier's event_array_set).
+Set event_data_set(const CommEvent& e) {
+  Set s = e.data;
+  for (int d = 0; d < e.placement_depth; ++d) s = s.project_out(0);
+  return s;
+}
+
+/// Does dropping `ev` concretely lose a fetched element some consumer reads
+/// and no sibling fetch still carries? Plans can legitimately fetch the same
+/// halo element through two events with a shared consumer (e.g. two reads of
+/// one array in a statement, before coalescing merges them) — dropping one
+/// such event is semantically harmless, the verifier rightly accepts it, and
+/// it therefore is not a valid fault-injection site.
+bool drop_loses_point(const CompiledPlan& plan, const CommEvent& ev, const Params& params) {
+  const Set dropped = event_data_set(ev);
+  const Set owned = analysis::owned_set(*ev.array, params);
+  const int n = plan.prog->grids().empty() ? 1 : plan.prog->grids().front()->nprocs();
+  for (int cid : ev.consumers) {
+    const auto it = plan.cps.stmts.find(cid);
+    if (it == plan.cps.stmts.end() || !it->second.stmt->is_assign()) continue;
+    const cp::StmtCp& sc = it->second;
+    const analysis::IterSpace is = analysis::iteration_space(sc.path, params);
+    const Set iters = cp::iterations_on_home(is, sc.cp, params);
+    Set still = Set::empty(ev.array->extents.size(), params);
+    for (const auto& e2 : plan.plan.events) {
+      if (&e2 == &ev || e2.kind != EventKind::Fetch || e2.eliminated ||
+          e2.array != ev.array)
+        continue;
+      if (std::find(e2.consumers.begin(), e2.consumers.end(), cid) == e2.consumers.end())
+        continue;
+      still = still.unite(event_data_set(e2));
+    }
+    for (const auto& r : sc.stmt->assign().rhs) {
+      if (r.array != ev.array) continue;
+      const Set fp = iters.apply(analysis::subscript_map(is, r.subs, params));
+      for (int q = 0; q < n; ++q) {
+        const std::vector<iset::i64> v = analysis::param_values_for_rank(*plan.prog, q);
+        bool lost = false;
+        fp.enumerate(v, [&](const std::vector<iset::i64>& pt) {
+          if (lost || owned.contains(pt, v) || still.contains(pt, v)) return;
+          if (dropped.contains(pt, v)) lost = true;
+        });
+        if (lost) return true;
+      }
+    }
+  }
+  return false;
+}
+
 /// Does the widen ring hold at least one concrete element no consumer of the
 /// event reads? Only then does widening seed a defect the dead-comm lint is
 /// guaranteed to flag. Checked by exact per-rank enumeration; the consumers'
@@ -136,6 +186,49 @@ bool ring_has_dead_point(const CompiledPlan& plan, const CommEvent& ev, const Pa
   return dead;
 }
 
+/// Shift every CP term by +1 along its first BLOCK dim (the PerturbCp
+/// defect). Returns false when no term spans a BLOCK-distributed array.
+bool shift_cp_terms(std::vector<cp::OnHomeTerm>& terms) {
+  bool shifted = false;
+  for (cp::OnHomeTerm& term : terms) {
+    const int d = first_block_dim(*term.array);
+    if (d < 0) continue;
+    term.subs[static_cast<std::size_t>(d)].lo =
+        term.subs[static_cast<std::size_t>(d)].lo.plus(1);
+    term.subs[static_cast<std::size_t>(d)].hi =
+        term.subs[static_cast<std::size_t>(d)].hi.plus(1);
+    shifted = true;
+  }
+  return shifted;
+}
+
+/// Does shifting the CP of `sc` move at least one instance to a different
+/// rank? A +1 shift of a home subscript that stays inside the same block
+/// leaves the executed sets identical — the "mutated" plan is the original
+/// plan, nothing is broken, and the site is not a valid seeded defect.
+bool shift_moves_instance(const CompiledPlan& plan, const cp::StmtCp& sc,
+                          const Params& params) {
+  cp::CP shifted = sc.cp;
+  if (!shift_cp_terms(shifted.terms)) return false;
+  const analysis::IterSpace is = analysis::iteration_space(sc.path, params);
+  const Set mine = cp::iterations_on_home(is, sc.cp, params);
+  const Set moved = cp::iterations_on_home(is, shifted, params);
+  const int n = plan.prog->grids().empty() ? 1 : plan.prog->grids().front()->nprocs();
+  for (int q = 0; q < n; ++q) {
+    const std::vector<iset::i64> v = analysis::param_values_for_rank(*plan.prog, q);
+    bool differs = false;
+    mine.enumerate(v, [&](const std::vector<iset::i64>& pt) {
+      if (!differs && !moved.contains(pt, v)) differs = true;
+    });
+    if (!differs)
+      moved.enumerate(v, [&](const std::vector<iset::i64>& pt) {
+        if (!differs && !mine.contains(pt, v)) differs = true;
+      });
+    if (differs) return true;
+  }
+  return false;
+}
+
 MutationSite make_site(Mutation kind, int index, int dim, std::string describe) {
   MutationSite s;
   s.kind = kind;
@@ -150,13 +243,16 @@ MutationSite make_site(Mutation kind, int index, int dim, std::string describe) 
 std::vector<MutationSite> mutation_sites(const CompiledPlan& plan, Mutation kind) {
   std::vector<MutationSite> sites;
   switch (kind) {
-    case Mutation::DropEvent:
+    case Mutation::DropEvent: {
+      const Params params = analysis::make_params(*plan.prog);
       for (const auto& ev : plan.plan.events)
-        if (ev.kind == EventKind::Fetch && !ev.eliminated)
+        if (ev.kind == EventKind::Fetch && !ev.eliminated &&
+            drop_loses_point(plan, ev, params))
           sites.push_back(make_site(kind, ev.id, -1,
                                     "drop fetch ev#" + std::to_string(ev.id) + " of " +
                                         ev.array->name));
       break;
+    }
 
     case Mutation::DropMessage:
       for (const auto& m : plan.schedule.messages)
@@ -176,18 +272,17 @@ std::vector<MutationSite> mutation_sites(const CompiledPlan& plan, Mutation kind
       break;
     }
 
-    case Mutation::PerturbCp:
+    case Mutation::PerturbCp: {
+      const Params params = analysis::make_params(*plan.prog);
       for (const auto& [id, sc] : plan.cps.stmts) {
         if (!sc.stmt->is_assign()) continue;
-        bool shiftable = false;
-        for (const cp::OnHomeTerm& term : sc.cp.terms)
-          if (first_block_dim(*term.array) >= 0) shiftable = true;
-        if (shiftable)
+        if (shift_moves_instance(plan, sc, params))
           sites.push_back(make_site(kind, id, -1,
                                     "shift CP of S" + std::to_string(id) + " (" +
                                         sc.cp.to_string() + ") by +1"));
       }
       break;
+    }
 
     case Mutation::RecvBeforeSend: {
       // One site per unordered rank pair that exchanges messages in both
@@ -284,17 +379,8 @@ CompiledPlan mutate(const CompiledPlan& plan, const MutationSite& site) {
       // of the whole executed set. (Shifting a single term of a §4.1/§4.2
       // union CP can be absorbed by the remaining terms' redundancy, which
       // would be a benign mutation, not a seeded defect.)
-      bool shifted = false;
-      for (cp::OnHomeTerm& term : terms) {
-        const int d = first_block_dim(*term.array);
-        if (d < 0) continue;
-        term.subs[static_cast<std::size_t>(d)].lo =
-            term.subs[static_cast<std::size_t>(d)].lo.plus(1);
-        term.subs[static_cast<std::size_t>(d)].hi =
-            term.subs[static_cast<std::size_t>(d)].hi.plus(1);
-        shifted = true;
-      }
-      require(shifted, "verify", "mutate: no CP term over a BLOCK-distributed array");
+      require(shift_cp_terms(terms), "verify",
+              "mutate: no CP term over a BLOCK-distributed array");
       // The comm plan, overlaps and schedule intentionally stay stale: the
       // defect is the inconsistency between the CP and the rest of the plan.
       return out;

@@ -202,6 +202,13 @@ std::optional<std::pair<int, std::vector<i64>>> concrete_witness(const Ctx& ctx,
 /// (every rank's parameter values are checked), just not symbolic.
 constexpr std::size_t kMaxSymbolicParts = 24;
 
+/// Intermediate-fragmentation cap for the symbolic path: each subtraction
+/// can split every remaining part, so even a small cover union can blow the
+/// difference up combinatorially (time *and* memory). When the running
+/// difference crosses this, the symbolic attempt is abandoned mid-way and
+/// the enumeration path decides instead.
+constexpr std::size_t kMaxIntermediateParts = 256;
+
 struct CoverResult {
   bool covered = false;
   std::optional<std::pair<int, std::vector<i64>>> witness;  ///< set iff provably uncovered
@@ -216,14 +223,28 @@ CoverResult is_covered(const Ctx& ctx, const Set& need, const std::vector<const 
   CoverResult res;
   if (parts <= kMaxSymbolicParts) {
     Set uncovered = need;
-    for (const Set* c : covers) uncovered = uncovered.subtract(*c);
-    if (uncovered.is_empty()) {
-      res.covered = true;
+    bool symbolic_ok = true;
+    for (const Set* c : covers) {
+      // Part-at-a-time so fragmentation is observable between steps; a
+      // whole-union subtract can blow up inside one call.
+      for (const iset::BasicSet& p : c->parts()) {
+        uncovered = uncovered.subtract(Set(p));
+        if (uncovered.parts().size() > kMaxIntermediateParts) {
+          symbolic_ok = false;
+          break;
+        }
+      }
+      if (!symbolic_ok) break;
+    }
+    if (symbolic_ok) {
+      if (uncovered.is_empty()) {
+        res.covered = true;
+        return res;
+      }
+      res.witness = concrete_witness(ctx, uncovered);
+      res.conservative = !res.witness.has_value();
       return res;
     }
-    res.witness = concrete_witness(ctx, uncovered);
-    res.conservative = !res.witness.has_value();
-    return res;
   }
   for (int q = 0; q < ctx.nprocs; ++q) {
     const std::vector<i64>& v = ctx.vals[static_cast<std::size_t>(q)];

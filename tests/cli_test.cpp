@@ -33,6 +33,10 @@ TEST(Cli, EveryFlagParsesWithAnExampleValue) {
     if (s.takes_value && arg.find('=') == arg.size() - 1) arg += "x";  // FILE-style
     if (arg == "--report-json=FILE") arg = "--report-json=out.json";
     if (arg == "--tune-measure=K") arg = "--tune-measure=3";
+    if (arg == "--fuzz=N") arg = "--fuzz=10";
+    if (arg == "--fuzz-seed=S") arg = "--fuzz-seed=7";
+    if (arg == "--fuzz-out=DIR") arg = "--fuzz-out=out";
+    if (arg == "--fuzz-corpus=DIR") arg = "--fuzz-corpus=corpus";
     ParseResult r = parse_args({arg, "prog.hpf"});
     EXPECT_TRUE(r.ok()) << arg << ": " << r.error;
   }

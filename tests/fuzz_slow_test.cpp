@@ -1,0 +1,33 @@
+// The long differential conformance campaign (slow label): a few hundred
+// seeded programs through the full 48-variant optimization cross product,
+// multiple processor-grid shapes, both backends, the static verifier, and
+// the analytic-model comm cross-check — demanding zero failures.
+//
+// tests/fuzz_test.cpp covers the harness's own properties quickly; this
+// binary is the standing conformance sweep CI's slow step runs. Campaign
+// seeds differ from the quick tests' so the two suites don't re-check the
+// same programs. A failure prints the offending case's seed: re-run it with
+//   dhpfc --fuzz=1 --fuzz-seed=<case seed> --fuzz-minimize
+// to get a minimized reproducer for tests/corpus.
+#include <gtest/gtest.h>
+
+#include "fuzz/campaign.hpp"
+
+namespace dhpf {
+namespace {
+
+TEST(FuzzSlow, CampaignOfTwoHundredCasesIsClean) {
+  fuzz::CampaignOptions opt;
+  opt.seed = 0xd1fFu;
+  opt.count = 200;
+  opt.minimize_failures = false;  // report the seed; minimize offline
+  const fuzz::CampaignReport rep = fuzz::run_campaign(opt);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_EQ(rep.cases, 200);
+  // Sanity: the campaign actually exercised the cross product at scale.
+  EXPECT_GT(rep.plans_checked, 200 * 48);
+  EXPECT_GT(rep.mp_runs, 200);
+}
+
+}  // namespace
+}  // namespace dhpf

@@ -1,0 +1,136 @@
+// Parser robustness fuzzing (satellite (c)): mangled, truncated and
+// binary-noise inputs must produce a clean dhpf::Error diagnostic — never a
+// crash, hang, or silent acceptance of garbage. CI runs this binary under
+// ASan+UBSan, so any out-of-bounds read while scanning a mangled token
+// surfaces as a test failure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/rng.hpp"
+#include "hpf/parser.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf {
+namespace {
+
+// Parse must either succeed or throw dhpf::Error with a non-empty message.
+// Anything else (other exception types, crashes) fails the test.
+void expect_graceful(const std::string& input, const std::string& what) {
+  try {
+    hpf::Program prog = hpf::parse(input);
+    (void)prog;
+  } catch (const dhpf::Error& e) {
+    EXPECT_FALSE(std::string(e.what()).empty()) << what;
+  } catch (const std::exception& e) {
+    FAIL() << what << ": non-dhpf exception escaped the parser: " << e.what();
+  }
+}
+
+std::vector<std::string> seed_inputs() {
+  std::vector<std::string> inputs;
+  std::ifstream in(DHPF_SOURCE_DIR "/examples/sample.hpf");
+  if (in) {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    inputs.push_back(ss.str());
+  }
+  for (std::uint64_t seed : {1ull, 5ull, 23ull}) inputs.push_back(fuzz::generate(seed).source);
+  return inputs;
+}
+
+TEST(ParserFuzz, TruncationsNeverCrash) {
+  for (const std::string& src : seed_inputs()) {
+    // Every prefix length, byte-granular. Most are mid-token or mid-line;
+    // all must be rejected (or accepted) cleanly.
+    for (std::size_t len = 0; len <= src.size(); ++len)
+      expect_graceful(src.substr(0, len), "truncation at byte " + std::to_string(len));
+  }
+}
+
+TEST(ParserFuzz, ByteFlipsNeverCrash) {
+  fuzz::Rng rng(0xfeedu);
+  for (const std::string& src : seed_inputs()) {
+    for (int round = 0; round < 200; ++round) {
+      std::string mangled = src;
+      const int flips = rng.pick(1, 4);
+      for (int f = 0; f < flips; ++f) {
+        const std::size_t pos =
+            static_cast<std::size_t>(rng.pick(0, static_cast<int>(mangled.size()) - 1));
+        mangled[pos] = static_cast<char>(rng.pick(1, 255));
+      }
+      expect_graceful(mangled, "byte-flip round " + std::to_string(round));
+    }
+  }
+}
+
+TEST(ParserFuzz, LineShufflesAndDeletionsNeverCrash) {
+  fuzz::Rng rng(0xabcdu);
+  for (const std::string& src : seed_inputs()) {
+    std::vector<std::string> lines;
+    std::istringstream ss(src);
+    for (std::string line; std::getline(ss, line);) lines.push_back(line);
+    for (int round = 0; round < 100; ++round) {
+      std::vector<std::string> copy = lines;
+      // Delete one line, swap two others — structurally plausible but
+      // semantically broken programs (dangling end do, missing decls, ...).
+      if (!copy.empty())
+        copy.erase(copy.begin() + rng.pick(0, static_cast<int>(copy.size()) - 1));
+      if (copy.size() >= 2) {
+        const int a = rng.pick(0, static_cast<int>(copy.size()) - 1);
+        const int b = rng.pick(0, static_cast<int>(copy.size()) - 1);
+        std::swap(copy[a], copy[b]);
+      }
+      std::string mangled;
+      for (const auto& line : copy) mangled += line + "\n";
+      expect_graceful(mangled, "line-shuffle round " + std::to_string(round));
+    }
+  }
+}
+
+TEST(ParserFuzz, BinaryNoiseNeverCrashes) {
+  fuzz::Rng rng(0x5eedu);
+  for (int round = 0; round < 300; ++round) {
+    const int len = rng.pick(0, 400);
+    std::string noise(static_cast<std::size_t>(len), '\0');
+    for (auto& ch : noise) ch = static_cast<char>(rng.pick(0, 255));
+    expect_graceful(noise, "binary noise round " + std::to_string(round));
+  }
+}
+
+TEST(ParserFuzz, PathologicalShapesNeverCrash) {
+  // Targeted nasties: unterminated constructs, deep nesting, huge tokens.
+  std::vector<std::string> cases = {
+      "",
+      "\n\n\n",
+      "processors",
+      "processors P(",
+      "processors P(2\n",
+      "array",
+      "array a(",
+      "array a(8) block on",
+      "do i = 1,",
+      "do i = 1, 8\n",
+      "end do",
+      "S1:",
+      "a(i) =",
+      "a(i) = b(",
+      "do[",
+      "do[independent",
+      "do[new(",
+      std::string(10000, 'x'),
+      "a(" + std::string(5000, '9') + ") = 1",
+  };
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "do i" + std::to_string(i) + " = 1, 2\n";
+  cases.push_back(deep);
+  for (const auto& c : cases) expect_graceful(c, "pathological case");
+}
+
+}  // namespace
+}  // namespace dhpf
