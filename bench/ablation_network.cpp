@@ -88,6 +88,7 @@ int main(int argc, char** argv) {
       w.end_object();
     }
     w.end_array();
+    bench::provenance_json(w);
     w.key("metrics");
     bench::snapshot_json(w, obs::Registry::global().snapshot());
     w.end_object();

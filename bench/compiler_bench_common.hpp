@@ -7,6 +7,7 @@
 #include <fstream>
 #include <string>
 
+#include "support/buildinfo.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
 
@@ -37,6 +38,16 @@ inline bool write_text_file(const std::string& path, const std::string& content)
     return false;
   }
   return true;
+}
+
+/// Emit provenance members into the currently-open artifact object: the
+/// build description (git describe, compiler, flags, build type) and the
+/// process peak RSS, so checked-in baselines are attributable and
+/// comparable across machines. Call with a '{' open on `w`.
+inline void provenance_json(json::Writer& w) {
+  w.key("build");
+  w.raw(buildinfo::to_json());
+  w.member("peak_rss_bytes", obs::peak_rss_bytes());
 }
 
 /// Emit the global metrics registry as a JSON object value.

@@ -114,6 +114,7 @@ int main(int argc, char** argv) {
       w.end_object();
     }
     w.end_array();
+    bench::provenance_json(w);
     w.key("metrics");
     bench::global_metrics_json(w);
     w.end_object();

@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "nas/driver.hpp"
+#include "support/buildinfo.hpp"
 #include "support/json.hpp"
+#include "support/metrics.hpp"
 
 using namespace dhpf;
 using nas::App;
@@ -173,6 +175,9 @@ int main(int argc, char** argv) {
     json::Writer w;
     w.begin_object();
     w.member("bench", "figures 8.1-8.4: space-time traces");
+    w.key("build");
+    w.raw(buildinfo::to_json());
+    w.member("peak_rss_bytes", obs::peak_rss_bytes());
     w.key("figures");
     w.begin_array();
     for (const auto& f : figs) figure_json(w, f);

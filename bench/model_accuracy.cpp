@@ -189,6 +189,7 @@ int main(int argc, char** argv) {
     w.member("backend", exec::to_string(backend));
     w.key("build");
     w.raw(buildinfo::to_json());
+    w.member("peak_rss_bytes", obs::peak_rss_bytes());
     w.key("machine");
     w.begin_object();
     w.member("flop_time", machine.flop_time);

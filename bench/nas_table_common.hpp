@@ -32,6 +32,7 @@
 
 #include "nas/driver.hpp"
 #include "rt/block.hpp"
+#include "support/buildinfo.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
 
@@ -139,6 +140,16 @@ inline void machine_json(json::Writer& w, const sim::Machine& m) {
 }
 
 /// Emit a metrics snapshot as a JSON object value (counters + timers).
+/// Emit provenance members into the currently-open artifact object: the
+/// build description (git describe, compiler, flags, build type) and the
+/// process peak RSS, so checked-in baselines are attributable and
+/// comparable across machines. Call with a '{' open on `w`.
+inline void provenance_json(json::Writer& w) {
+  w.key("build");
+  w.raw(buildinfo::to_json());
+  w.member("peak_rss_bytes", obs::peak_rss_bytes());
+}
+
 inline void snapshot_json(json::Writer& w, const obs::MetricsSnapshot& snap) {
   w.begin_object();
   w.key("counters");
@@ -316,6 +327,7 @@ inline void print_table(const char* title, const Problem& pa, const Problem& pb_
   w.begin_object();
   w.member("bench", title);
   w.member("backend", exec::to_string(args.backend));
+  provenance_json(w);
   if (args.backend == exec::Backend::Mp) w.member("mp_time_scale", kMpTimeScale);
   w.key("machine");
   machine_json(w, sim::Machine::sp2());

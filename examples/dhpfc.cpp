@@ -25,6 +25,8 @@
 #include "model/model.hpp"
 #include "support/buildinfo.hpp"
 #include "support/json.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "tune/tune.hpp"
 #include "verify/mutate.hpp"
 #include "verify/verify.hpp"
@@ -43,6 +45,28 @@ int main(int argc, char** argv) {
     std::fputs(cli::usage_text().c_str(), stdout);
     return 0;
   }
+
+  const bool tracing = o.profile || !o.trace_out.empty();
+  if (tracing) {
+    trace::Recorder::global().set_enabled(true);
+    trace::Recorder::global().set_thread_label("compiler");
+  }
+  auto write_trace = [&o]() -> bool {
+    if (o.trace_out.empty()) return true;
+    const std::string doc =
+        trace::chrome_trace_json(trace::Recorder::global().drain()) + "\n";
+    if (o.trace_out == "-") {
+      std::fputs(doc.c_str(), stdout);
+      return true;
+    }
+    std::ofstream out(o.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "dhpfc: cannot write %s\n", o.trace_out.c_str());
+      return false;
+    }
+    out << doc;
+    return true;
+  };
 
   if (o.fuzz_count > 0 || !o.fuzz_corpus.empty()) {
     try {
@@ -89,6 +113,7 @@ int main(int argc, char** argv) {
                         f.minimized.c_str());
         failed = failed || !rep.ok();
       }
+      if (!write_trace()) return 1;
       return failed ? 1 : 0;
     } catch (const dhpf::Error& e) {
       std::fprintf(stderr, "dhpfc: %s\n", e.what());
@@ -212,6 +237,20 @@ int main(int argc, char** argv) {
     if (o.report)
       std::printf("\n---- compile report ----\n%s", compiled.report.to_string().c_str());
 
+    // Drain once, after every traced producer (compile, verify, model, run)
+    // has finished; the same snapshot feeds the trace file, the printed
+    // profile, and the report-json "profile" section.
+    std::string profile_json_doc;
+    if (tracing) {
+      if (!write_trace()) return 1;
+      if (o.profile) {
+        const std::vector<trace::ProfileRow> rows =
+            trace::profile(trace::Recorder::global().drain());
+        profile_json_doc = trace::profile_json(rows);
+        std::printf("\n---- span profile ----\n%s", trace::profile_text(rows).c_str());
+      }
+    }
+
     if (!o.report_json.empty()) {
       json::Writer w(/*pretty=*/true);
       w.begin_object();
@@ -235,6 +274,10 @@ int main(int argc, char** argv) {
       if (!tune_json.empty()) {
         w.key("tune");
         w.raw(tune_json);
+      }
+      if (!profile_json_doc.empty()) {
+        w.key("profile");
+        w.raw(profile_json_doc);
       }
       w.end_object();
       const std::string doc = w.str() + "\n";

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# (Re)generate the checked-in perf baselines under bench/baselines/.
+#
+# The baseline set is the fast, deterministic slice of the bench suite:
+# sim-backend runs only, so every compared metric (message/byte counts,
+# pass counters, simulated times) is reproducible on any machine.
+# Wall-clock metrics and peak RSS are embedded in the artifacts but
+# bench_diff skips them unless asked (--wall).
+#
+# usage: scripts/bench_baseline.sh [build-dir] [out-dir]
+#        (defaults: build, bench/baselines)
+# After a deliberate perf/instrumentation change: rerun this, eyeball the
+# diff, and commit the regenerated artifacts together with the change.
+set -euo pipefail
+
+build_dir=${1:-build}
+repo_dir=$(cd "$(dirname "$0")/.." && pwd)
+out_dir=${2:-$repo_dir/bench/baselines}
+bench_dir="$build_dir/bench"
+
+if [[ ! -d "$bench_dir" ]]; then
+  echo "bench_baseline: no $bench_dir — build first (cmake --build $build_dir)" >&2
+  exit 1
+fi
+mkdir -p "$out_dir"
+
+echo "bench_baseline: NAS table (class S, sim)"
+"$bench_dir/table_8_1_sp" --class S --json "$out_dir/table_8_1_sp.json" > /dev/null
+
+echo "bench_baseline: compiler-technique figures"
+for b in fig_4_1_privatizable fig_4_2_localize fig_5_1_loop_dist \
+         fig_6_1_interproc sec_7_data_avail; do
+  "$bench_dir/$b" --json "$out_dir/$b.json" > /dev/null
+done
+
+echo "bench_baseline: ablations (sim)"
+for b in ablation_distribution ablation_network ablation_pipeline_granularity; do
+  "$bench_dir/$b" --json "$out_dir/$b.json" > /dev/null
+done
+
+echo "bench_baseline: $(ls "$out_dir"/*.json | wc -l) artifact(s) in $out_dir"

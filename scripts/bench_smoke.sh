@@ -39,6 +39,8 @@ assert doc["rows"], "no rows"
 assert any(r.get("hand_a") for r in doc["rows"]), "no supported hand cells"
 assert doc["metrics"]["counters"], "empty metrics snapshot"
 assert "latency" in doc["machine"], "missing machine constants"
+assert "git" in doc["build"], "missing build provenance"
+assert doc["peak_rss_bytes"] > 0, "missing peak RSS"
 EOF
 echo "  ok: table_8_1_sp row/metrics shape"
 
@@ -61,6 +63,12 @@ for b in fig_4_1_privatizable fig_4_2_localize fig_5_1_loop_dist \
          fig_6_1_interproc sec_7_data_avail; do
   "$bench_dir/$b" --json "$out_dir/$b.json" > /dev/null
   check "$b"
+  python3 - "$out_dir/$b.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert "git" in doc["build"], "missing build provenance"
+assert doc["peak_rss_bytes"] > 0, "missing peak RSS"
+EOF
 done
 
 echo "bench_smoke: model accuracy (sim backend)"

@@ -135,6 +135,20 @@ std::vector<OptionSpec> make_table() {
                        o.report_json = v;
                        return true;
                      }));
+  t.push_back(valued("--trace-out=FILE", "--trace-out",
+                     "enable span tracing and write the merged Chrome-trace JSON "
+                     "(compile passes plus, with --run --backend=mp, per-rank "
+                     "runtime spans) to FILE ('-' for stdout)",
+                     [](Options& o, const std::string& v) {
+                       if (v.empty()) return false;
+                       o.trace_out = v;
+                       return true;
+                     }));
+  t.push_back(flag("--profile",
+                   "enable span tracing and print the aggregated self-time / "
+                   "total-time profile; with --report-json the rows are embedded "
+                   "under \"profile\"",
+                   [](Options& o) { o.profile = true; }));
   t.push_back(valued("--fuzz=N", "--fuzz",
                      "run a differential fuzz campaign of N generated programs "
                      "(serial oracle vs sim and mp backends, all optimization "

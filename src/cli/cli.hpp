@@ -34,6 +34,8 @@ struct Options {
   std::string calibrate_out;     ///< --calibrate FILE: fit + write calibration
   std::string calibration_in;    ///< --calibration FILE: load fitted params
   std::string report_json;       ///< write machine-readable report here ("-" = stdout)
+  std::string trace_out;         ///< --trace-out FILE: write merged Chrome trace JSON
+  bool profile = false;          ///< print the aggregated self-time span profile
   int fuzz_count = 0;            ///< --fuzz=N: run a differential fuzz campaign
   std::uint64_t fuzz_seed = 1;   ///< --fuzz-seed=S
   bool fuzz_minimize = false;    ///< shrink failing cases before reporting

@@ -7,6 +7,7 @@
 
 #include "hpf/parser.hpp"
 #include "support/json.hpp"
+#include "trace/trace.hpp"
 
 namespace dhpf::codegen {
 
@@ -18,7 +19,12 @@ auto timed_pass(CompileReport& report, const std::string& name, Fn&& fn) {
   obs::Registry& reg = obs::Registry::global();
   const obs::MetricsSnapshot before = reg.snapshot();
   const auto t0 = std::chrono::steady_clock::now();
-  auto result = fn();
+  // The trace span sits inside the t0..t1 window and wraps only fn(), so
+  // the --profile pass totals and these PassStats measure the same interval.
+  auto result = [&] {
+    trace::Span span(std::string_view(name), trace::Kind::Pass);
+    return fn();
+  }();
   const auto t1 = std::chrono::steady_clock::now();
   PassStats ps;
   ps.name = name;

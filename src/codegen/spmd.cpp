@@ -10,6 +10,7 @@
 #include "analysis/sets.hpp"
 #include "support/diagnostics.hpp"
 #include "support/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace dhpf::codegen {
 
@@ -519,6 +520,7 @@ SpmdResult run_spmd(const hpf::Program& prog, const cp::CpResult& cps,
   SpmdResult result;
   result.backend = opt.backend;
   if (opt.backend == exec::Backend::Sim) {
+    DHPF_TRACE_SPAN("exec.sim", trace::Kind::Phase);
     const auto t0 = std::chrono::steady_clock::now();
     sim::Engine engine(nprocs, machine, opt.record_trace);
     engine.run(body);
@@ -530,6 +532,7 @@ SpmdResult run_spmd(const hpf::Program& prog, const cp::CpResult& cps,
   } else {
     // Real threads: safe because every rank touches only its own slot of
     // ctx.stores / ctx.instances and the event caches are read-only here.
+    DHPF_TRACE_SPAN("exec.mp", trace::Kind::Phase);
     mp::Options mpopt = opt.mp;
     mpopt.machine = machine;
     result.wall_seconds = mp::run(nprocs, mpopt, body, &result.mp_stats);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "analysis/sets.hpp"
 #include "support/diagnostics.hpp"
 #include "support/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace dhpf::comm {
 
@@ -117,6 +119,11 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
   std::map<const Array*, std::vector<const cp::StmtCp*>> writers;
   for (const auto* sc : assigns) writers[sc->stmt->assign().lhs.array].push_back(sc);
 
+  // Sub-phase span: this section runs sequentially before the §7 and
+  // coalescing phases, so an optional span (reset at the end) marks it
+  // without introducing a scope around the existing loop.
+  std::optional<trace::Span> phase;
+  phase.emplace(std::string_view("comm.events"), trace::Kind::Phase);
   for (const auto* sc : assigns) {
     const Assign& a = sc->stmt->assign();
     const IterSpace is = analysis::iteration_space(sc->path, params);
@@ -227,9 +234,11 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
       }
     }
   }
+  phase.reset();
 
   // ---- §7 data availability --------------------------------------------
   if (opt.data_availability) {
+    DHPF_TRACE_SPAN("comm.availability", trace::Kind::Phase);
     for (auto& ev : plan.events) {
       if (ev.kind != EventKind::Fetch) continue;
       // Last preceding write to this array (conservatively: the writer with
@@ -291,6 +300,7 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
   // placement depth, the enclosing loops up to that depth, and the subtree
   // (the loop at the placement level) they anchor to.
   if (opt.coalesce) {
+    DHPF_TRACE_SPAN("comm.coalesce", trace::Kind::Phase);
     std::vector<CommEvent> merged;
     for (auto& ev : plan.events) {
       if (ev.kind != EventKind::Fetch || ev.eliminated) {

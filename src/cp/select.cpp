@@ -1,6 +1,7 @@
 #include "cp/select.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -10,6 +11,7 @@
 #include "support/metrics.hpp"
 #include "support/scc.hpp"
 #include "support/union_find.hpp"
+#include "trace/trace.hpp"
 
 namespace dhpf::cp {
 
@@ -468,9 +470,15 @@ void select_for_procedure(const hpf::Procedure& proc, ProcContext& ctx) {
   CpResult& res = *ctx.res;
   const SelectOptions& opt = *ctx.opt;
 
+  // Sub-phase spans: sequential sections of this pass, so one optional
+  // re-emplaced at each boundary (ending the previous phase) keeps the
+  // surrounding control flow untouched.
+  std::optional<trace::Span> phase;
+
   // ---- gather statements and the NEW/LOCALIZE sets -----------------------
   std::vector<int> ids;
   std::set<const Array*> private_arrays, localize_arrays;
+  phase.emplace(std::string_view("cp.gather"), trace::Kind::Phase);
   hpf::walk(proc.body, [&](Stmt& s, const std::vector<const Loop*>& path) {
     if (s.is_loop()) {
       for (const auto& n : s.loop().new_vars) {
@@ -492,6 +500,7 @@ void select_for_procedure(const hpf::Procedure& proc, ProcContext& ctx) {
     res.stmts[id] = std::move(sc);
     ids.push_back(id);
   });
+  phase.reset();
 
   std::set<const Array*> deferred = private_arrays;
   deferred.insert(localize_arrays.begin(), localize_arrays.end());
@@ -502,6 +511,7 @@ void select_for_procedure(const hpf::Procedure& proc, ProcContext& ctx) {
   std::map<int, std::set<std::string>> allowed;  // stmt -> allowed class keys
   std::map<int, int> group_of;
   if (opt.comm_sensitive) {
+    DHPF_TRACE_SPAN("cp.grouping", trace::Kind::Phase);
     for (const auto& [loop, outer] : loops) {
       GroupingOutcome g = run_grouping(*loop, outer, deferred);
       if (g.info.num_stmts >= 2) res.loop_dist.push_back(g.info);
@@ -524,6 +534,7 @@ void select_for_procedure(const hpf::Procedure& proc, ProcContext& ctx) {
   // ---- base selection for non-deferred assignments and calls -------------
   // Group statements by their §5 group root and pick, per group, the class
   // minimizing the summed communication-cost estimate.
+  phase.emplace(std::string_view("cp.base_select"), trace::Kind::Phase);
   std::map<int, std::vector<CandidateCp>> cands;
   for (int id : ids) {
     StmtCp& sc = res.stmts[id];
@@ -607,6 +618,7 @@ void select_for_procedure(const hpf::Procedure& proc, ProcContext& ctx) {
   }
 
   // ---- §4.1 / §4.2: CPs for definitions of NEW / LOCALIZE'd arrays -------
+  phase.emplace(std::string_view("cp.private_cps"), trace::Kind::Phase);
   struct UseSite {
     int stmt;
     const Ref* ref;
@@ -676,6 +688,7 @@ void select_for_procedure(const hpf::Procedure& proc, ProcContext& ctx) {
   }
 
   // ---- entry CP (for callers; §6) ----------------------------------------
+  phase.emplace(std::string_view("cp.entry_cp"), trace::Kind::Phase);
   CP entry;
   bool any_replicated = false;
   for (int id : ids) {

@@ -182,6 +182,24 @@ std::string BasicSet::to_string(const std::vector<std::string>& var_names) const
 
 // ------------------------------------------------------------------ Set
 
+namespace {
+
+/// High-water mark of union fragmentation (parts in any Set an algebra
+/// operation produced or consumed) — the before-picture for the planned
+/// hash-consing/simplification work. Published as a gauge only when the
+/// maximum actually moves, so the hot path stays a relaxed load.
+void note_fragmentation(std::size_t parts) {
+  static std::atomic<std::size_t> high{0};
+  std::size_t cur = high.load(std::memory_order_relaxed);
+  while (parts > cur &&
+         !high.compare_exchange_weak(cur, parts, std::memory_order_relaxed)) {
+  }
+  if (parts > cur)
+    obs::Registry::global().set_gauge("iset.max_fragmentation", static_cast<double>(parts));
+}
+
+}  // namespace
+
 Set::Set(BasicSet bs) : nvars_(bs.nvars()), params_(bs.params()) {
   parts_.push_back(std::move(bs));
 }
@@ -194,21 +212,29 @@ void Set::add_part(BasicSet bs) {
 
 Set Set::unite(const Set& o) const {
   require(nvars_ == o.nvars_ && params_ == o.params_, "iset", "unite: space mismatch");
+  DHPF_COUNTER("iset.op.unions");
+  DHPF_COUNTER_ADD("iset.op.operand_parts", parts_.size() + o.parts_.size());
   Set r = *this;
   for (const auto& p : o.parts_) r.parts_.push_back(p);
+  note_fragmentation(r.parts_.size());
   return r;
 }
 
 Set Set::intersect(const Set& o) const {
   require(nvars_ == o.nvars_ && params_ == o.params_, "iset", "intersect: space mismatch");
+  DHPF_COUNTER("iset.op.intersections");
+  DHPF_COUNTER_ADD("iset.op.operand_parts", parts_.size() + o.parts_.size());
   Set r(nvars_, params_);
   for (const auto& a : parts_)
     for (const auto& b : o.parts_) r.add_part(a.intersect(b));
+  note_fragmentation(r.parts_.size());
   return r;
 }
 
 Set Set::subtract(const Set& o) const {
   require(nvars_ == o.nvars_ && params_ == o.params_, "iset", "subtract: space mismatch");
+  DHPF_COUNTER("iset.op.differences");
+  DHPF_COUNTER_ADD("iset.op.operand_parts", parts_.size() + o.parts_.size());
   // A - (B1 ∪ B2 ∪ ...) = A ∩ ¬B1 ∩ ¬B2 ∩ ...; each ¬Bi is a union over its
   // negated constraints (integer-exact: ¬(e >= 0) is -e-1 >= 0).
   std::vector<BasicSet> acc = parts_;
@@ -238,6 +264,7 @@ Set Set::subtract(const Set& o) const {
   }
   Set r(nvars_, params_);
   for (auto& bs : acc) r.parts_.push_back(std::move(bs));
+  note_fragmentation(r.parts_.size());
   return r;
 }
 
@@ -472,6 +499,7 @@ std::vector<BasicSet> subtract_disjoint(const BasicSet& a, const BasicSet& b) {
 std::size_t Set::cardinality(const std::vector<i64>& param_values) const {
   require(param_values.size() == params_.size(), "iset", "cardinality: wrong param count");
   DHPF_COUNTER("iset.cardinalities");
+  DHPF_COUNTER_ADD("iset.op.operand_parts", parts_.size());
   // Make the union disjoint: piece lists start from each part with every
   // earlier part subtracted (disjointly), so per-piece counts add up exactly.
   std::size_t total = 0;

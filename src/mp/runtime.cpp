@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <sstream>
@@ -9,6 +10,7 @@
 
 #include "support/diagnostics.hpp"
 #include "support/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace dhpf::mp {
 
@@ -210,6 +212,7 @@ void Endpoint::flush_compute(bool force) {
     return;
   }
   if (!force && debt_seconds_ <= 50e-6) return;
+  DHPF_TRACE_SPAN("mp.compute", trace::Kind::Compute);
   const std::chrono::duration<double> d(debt_seconds_);
   if (mode == ComputeMode::Sleep) {
     std::this_thread::sleep_for(d);
@@ -231,6 +234,7 @@ void Endpoint::finish() {
 
 void Endpoint::send(int dst, int tag, std::vector<double> data) {
   flush_compute(false);
+  DHPF_TRACE_SPAN("mp.send", trace::Kind::Send);
   const std::size_t bytes = data.size() * sizeof(double);
   rt_->deliver(dst, MpMessage{rank_, tag, std::move(data)});
   ++stats.sends;
@@ -247,10 +251,15 @@ bool Endpoint::recv_ready(int src, int tag) {
   require(src == kAnySource || (src >= 0 && src < rt_->nranks()), "mp",
           "recv: source rank out of range");
   flush_compute(false);
+  DHPF_TRACE_SPAN("mp.recv", trace::Kind::Recv);
   Mailbox& b = rt_->box(rank_);
   std::unique_lock<std::mutex> lock(b.mu);
   std::size_t idx = find_match(b, src, tag);
   if (idx == kNpos && !rt_->aborted()) {
+    // The wait span stays open while the rank is parked — a deadlocked
+    // rank's flight recorder therefore ends with an [open] mp.wait, which
+    // is exactly what the watchdog dump shows.
+    DHPF_TRACE_SPAN("mp.wait", trace::Kind::Wait);
     want_src_store(src, tag);
     const auto start = SteadyClock::now();
     const double timeout = rt_->options().recv_timeout_s;
@@ -317,6 +326,8 @@ std::vector<double> Endpoint::recv_complete(int, int) {
 
 void Runtime::rank_main(int r) {
   Endpoint& ep = *endpoints_[static_cast<std::size_t>(r)];
+  if (trace::Recorder::global().enabled())
+    trace::Recorder::global().set_thread_label("rank" + std::to_string(r), r);
   ep.phase_enter_ = SteadyClock::now();
   try {
     exec::Task root = body_(ep);
@@ -363,6 +374,13 @@ void Runtime::abort_run(const std::string& msg) {
   {
     std::lock_guard<std::mutex> lock(abort_mu_);
     if (abort_msg_.empty()) abort_msg_ = msg;
+  }
+  // Before waking anyone: every stuck rank is parked, so the flight
+  // recorders are a consistent picture of how the run got here.
+  trace::Recorder& rec = trace::Recorder::global();
+  if (rec.enabled()) {
+    std::string dump = "mp watchdog: " + msg + "\n" + rec.flight_dump_text();
+    std::fputs(dump.c_str(), stderr);
   }
   aborted_.store(true, std::memory_order_release);
   for (int r = 0; r < nranks(); ++r) {

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "support/json.hpp"
 
 namespace dhpf::obs {
@@ -140,6 +144,20 @@ void Registry::reset() {
   for (auto& [_, c] : counters_) c.reset();
   for (auto& [_, t] : timers_) t.reset();
   gauges_.clear();
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 // ------------------------------------------------------------ ScopedTimer

@@ -42,32 +42,32 @@ class Counter {
   std::atomic<std::uint64_t> v_{0};
 };
 
-/// Accumulated wall-clock time plus invocation count.
+/// Accumulated wall-clock time plus invocation count. Lock-free: timers are
+/// bumped concurrently from mp rank threads (mp.phase.* accumulation), so
+/// add() is a CAS loop on an atomic double rather than a mutex.
 class Timer {
  public:
   void add(double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
-    seconds_ += seconds;
-    ++calls_;
+    double cur = seconds_.load(std::memory_order_relaxed);
+    while (!seconds_.compare_exchange_weak(cur, cur + seconds,
+                                           std::memory_order_relaxed)) {
+    }
+    calls_.fetch_add(1, std::memory_order_relaxed);
   }
   [[nodiscard]] double seconds() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return seconds_;
+    return seconds_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t calls() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return calls_;
+    return calls_.load(std::memory_order_relaxed);
   }
   void reset() {
-    std::lock_guard<std::mutex> lock(mu_);
-    seconds_ = 0.0;
-    calls_ = 0;
+    seconds_.store(0.0, std::memory_order_relaxed);
+    calls_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  mutable std::mutex mu_;
-  double seconds_ = 0.0;
-  std::uint64_t calls_ = 0;
+  std::atomic<double> seconds_{0.0};
+  std::atomic<std::uint64_t> calls_{0};
 };
 
 struct TimerStat {
@@ -131,6 +131,11 @@ class Registry {
   std::map<std::string, Timer> timers_;
   std::map<std::string, double> gauges_;
 };
+
+/// Peak resident set size of this process in bytes (getrusage RUSAGE_SELF;
+/// 0 when the platform doesn't report it). Embedded in bench artifacts so
+/// baselines carry a memory footprint alongside the timings.
+std::uint64_t peak_rss_bytes();
 
 /// RAII wall-clock timer accumulating into Registry::global().
 class ScopedTimer {

@@ -1,0 +1,137 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "support/json.hpp"
+
+namespace dhpf::trace {
+
+std::string chrome_trace_json(const TraceDump& dump) {
+  json::Writer w(/*pretty=*/false);
+  w.begin_object();
+  w.member("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (std::size_t tid = 0; tid < dump.threads.size(); ++tid) {
+    const ThreadDump& td = dump.threads[tid];
+    w.begin_object();
+    w.member("name", "thread_name");
+    w.member("ph", "M");
+    w.member("pid", 0);
+    w.member("tid", static_cast<std::uint64_t>(tid));
+    w.key("args");
+    w.begin_object();
+    w.member("name", td.label);
+    w.end_object();
+    w.end_object();
+    for (const Event& e : td.events) {
+      w.begin_object();
+      w.member("name", dump.name_of(e.name));
+      w.member("cat", to_string(e.kind));
+      w.member("ph", "X");
+      w.member("pid", 0);
+      w.member("tid", static_cast<std::uint64_t>(tid));
+      w.member("ts", static_cast<double>(e.start_ns) / 1e3);
+      w.member("dur", static_cast<double>(e.end_ns - e.start_ns) / 1e3);
+      if (e.open != 0) {
+        w.key("args");
+        w.begin_object();
+        w.member("open", true);
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::vector<ProfileRow> profile(const TraceDump& dump) {
+  struct Agg {
+    Kind kind = Kind::Other;
+    std::uint64_t calls = 0;
+    double total = 0.0;
+    double self = 0.0;
+  };
+  std::map<std::string, Agg> by_name;  // map: deterministic tie order below
+
+  for (const ThreadDump& td : dump.threads) {
+    // Sort by (start asc, end desc): a parent precedes its children even
+    // when begin timestamps tie at ns resolution.
+    std::vector<const Event*> evs;
+    evs.reserve(td.events.size());
+    for (const Event& e : td.events) evs.push_back(&e);
+    std::sort(evs.begin(), evs.end(), [](const Event* a, const Event* b) {
+      if (a->start_ns != b->start_ns) return a->start_ns < b->start_ns;
+      if (a->end_ns != b->end_ns) return a->end_ns > b->end_ns;
+      return a->depth < b->depth;
+    });
+    // One sweep with an enclosing-span stack: each span's duration is
+    // charged to its direct parent's child time.
+    std::vector<double> child_s(evs.size(), 0.0);
+    std::vector<std::size_t> stk;
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      while (!stk.empty() && evs[stk.back()]->end_ns <= evs[i]->start_ns) stk.pop_back();
+      const double dur_s = static_cast<double>(evs[i]->end_ns - evs[i]->start_ns) / 1e9;
+      if (!stk.empty()) child_s[stk.back()] += dur_s;
+      stk.push_back(i);
+    }
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      const double dur_s = static_cast<double>(evs[i]->end_ns - evs[i]->start_ns) / 1e9;
+      Agg& a = by_name[dump.name_of(evs[i]->name)];
+      a.kind = evs[i]->kind;
+      a.calls += 1;
+      a.total += dur_s;
+      a.self += std::max(0.0, dur_s - child_s[i]);
+    }
+  }
+
+  std::vector<ProfileRow> rows;
+  rows.reserve(by_name.size());
+  for (const auto& [name, a] : by_name)
+    rows.push_back(ProfileRow{name, a.kind, a.calls, a.total, a.self});
+  std::sort(rows.begin(), rows.end(), [](const ProfileRow& a, const ProfileRow& b) {
+    if (a.self_seconds != b.self_seconds) return a.self_seconds > b.self_seconds;
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+std::string profile_text(const std::vector<ProfileRow>& rows) {
+  std::size_t name_w = 4;
+  for (const ProfileRow& r : rows) name_w = std::max(name_w, r.name.size());
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%-*s %12s %12s %8s  %s\n", static_cast<int>(name_w),
+                "span", "self (s)", "total (s)", "calls", "kind");
+  out += buf;
+  for (const ProfileRow& r : rows) {
+    std::snprintf(buf, sizeof buf, "%-*s %12.6f %12.6f %8llu  %s\n",
+                  static_cast<int>(name_w), r.name.c_str(), r.self_seconds,
+                  r.total_seconds, static_cast<unsigned long long>(r.calls),
+                  to_string(r.kind));
+    out += buf;
+  }
+  return out;
+}
+
+std::string profile_json(const std::vector<ProfileRow>& rows) {
+  json::Writer w(/*pretty=*/false);
+  w.begin_array();
+  for (const ProfileRow& r : rows) {
+    w.begin_object();
+    w.member("name", r.name);
+    w.member("kind", to_string(r.kind));
+    w.member("calls", static_cast<std::uint64_t>(r.calls));
+    w.member("total_seconds", r.total_seconds);
+    w.member("self_seconds", r.self_seconds);
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
+}
+
+}  // namespace dhpf::trace

@@ -1,0 +1,47 @@
+// Exporters for trace dumps: a merged Chrome-trace JSON (open in
+// chrome://tracing or Perfetto) and an aggregated self-time/total-time
+// profile (the `dhpfc --profile` report).
+//
+// Both operate on an immutable TraceDump snapshot, so they can run after
+// the recorder has been re-enabled — or in a different process entirely if
+// the dump was serialized first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dhpf::trace {
+
+/// Serialize a dump in the Chrome trace-event format: one "X" (complete)
+/// slice per span with ts/dur in microseconds, cat = the span Kind, plus
+/// thread_name metadata so tracks show "compiler", "rank0", ... in dump
+/// order. Compile-time and runtime spans share the recorder epoch, so one
+/// file shows the whole pipeline end to end.
+std::string chrome_trace_json(const TraceDump& dump);
+
+/// One aggregated profile line: all spans with this name, across threads.
+/// `self_seconds` is total minus time spent in *direct* children, so the
+/// per-pass self times decompose each pass total exactly.
+struct ProfileRow {
+  std::string name;
+  Kind kind = Kind::Other;
+  std::uint64_t calls = 0;
+  double total_seconds = 0.0;
+  double self_seconds = 0.0;
+};
+
+/// Aggregate a dump into per-name rows, sorted by descending self time.
+/// Totals sum across threads: on a multi-rank run a span's total can exceed
+/// the wall clock (that is the point — it is rank-seconds of attribution).
+std::vector<ProfileRow> profile(const TraceDump& dump);
+
+/// Human-readable table for `dhpfc --profile` (stderr-friendly, aligned).
+std::string profile_text(const std::vector<ProfileRow>& rows);
+
+/// JSON array of rows, embedded under "profile" in `--report-json`.
+std::string profile_json(const std::vector<ProfileRow>& rows);
+
+}  // namespace dhpf::trace

@@ -32,6 +32,7 @@ TEST(Cli, EveryFlagParsesWithAnExampleValue) {
     if (bar != std::string::npos) arg = arg.substr(0, bar);
     if (s.takes_value && arg.find('=') == arg.size() - 1) arg += "x";  // FILE-style
     if (arg == "--report-json=FILE") arg = "--report-json=out.json";
+    if (arg == "--trace-out=FILE") arg = "--trace-out=trace.json";
     if (arg == "--tune-measure=K") arg = "--tune-measure=3";
     if (arg == "--fuzz=N") arg = "--fuzz=10";
     if (arg == "--fuzz-seed=S") arg = "--fuzz-seed=7";
@@ -88,6 +89,26 @@ TEST(Cli, ModelAndTuneFlags) {
   EXPECT_EQ(d.opts.tune_measure, 3);
   EXPECT_TRUE(d.opts.calibrate_out.empty());
   EXPECT_TRUE(d.opts.calibration_in.empty());
+}
+
+TEST(Cli, TraceAndProfileFlags) {
+  ParseResult r = parse_args({"--trace-out=t.json", "--profile", "x.hpf"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.opts.trace_out, "t.json");
+  EXPECT_TRUE(r.opts.profile);
+
+  ParseResult d = parse_args({"x.hpf"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.opts.trace_out.empty());
+  EXPECT_FALSE(d.opts.profile);
+
+  // --trace-out requires a value; --profile takes none. The unknown-flag
+  // hard-fail stays intact alongside the new options.
+  EXPECT_NE(parse_args({"--trace-out", "x.hpf"}).error.find("requires a value"),
+            std::string::npos);
+  EXPECT_NE(parse_args({"--profile=yes", "x.hpf"}).error.find("takes no value"),
+            std::string::npos);
+  EXPECT_NE(parse_args({"--trace", "x.hpf"}).error.find("--trace"), std::string::npos);
 }
 
 TEST(Cli, TuneMeasureRejectsBadValues) {

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <variant>
 #include <vector>
 
@@ -409,6 +410,44 @@ TEST(Metrics, ScopedTimerAccumulatesIntoGlobal) {
   obs::MetricsSnapshot s = obs::Registry::global().snapshot();
   EXPECT_EQ(s.timers.at(name).calls, 2u);
   EXPECT_GE(s.timers.at(name).seconds, 0.0);
+}
+
+// Counters, timers and gauges are bumped concurrently from mp rank threads;
+// this test hammers one of each from several threads (with concurrent
+// snapshots) so the CI TSan job proves the registry is race-free, and the
+// exact totals prove no increment is lost.
+TEST(Metrics, ConcurrentCountersTimersAndGaugesAreExact) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("mt.count");
+  obs::Timer& t = reg.timer("mt.timer");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (int j = 0; j < kIters; ++j) {
+        c.add();
+        t.add(0.001);
+        if (j % 1000 == 0) {
+          reg.set_gauge("mt.gauge", static_cast<double>(i));
+          (void)reg.snapshot();  // concurrent reader
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(t.calls(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_NEAR(t.seconds(), 0.001 * kThreads * kIters, 1e-6);
+}
+
+TEST(Metrics, PeakRssBytesIsPlausible) {
+  const std::uint64_t rss = obs::peak_rss_bytes();
+  // A running test binary has at least a megabyte resident; anything over a
+  // terabyte would mean a unit mix-up (KB vs bytes).
+  EXPECT_GT(rss, 1u << 20);
+  EXPECT_LT(rss, static_cast<std::uint64_t>(1) << 40);
 }
 
 TEST(Metrics, CsvEscapesCommasAndQuotes) {

@@ -1,0 +1,62 @@
+// Tracing-overhead budget: always-on span recording must stay within a few
+// percent of an untraced run on a representative workload — here a quick
+// differential fuzz campaign, which exercises the full pipeline (parse,
+// CP selection, comm generation, sim and mp execution with thousands of
+// short-lived rank threads, so ring parking/reuse is on the hot path too).
+//
+// Wall-clock sensitive, hence the slow label: CI runs it with the stress
+// suites. The comparison interleaves traced/untraced repetitions and takes
+// the minimum of each, which cancels machine-load noise; the budget itself
+// has a small absolute floor so a sub-second workload can't fail on a
+// scheduler hiccup.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "fuzz/campaign.hpp"
+#include "trace/trace.hpp"
+
+namespace dhpf {
+namespace {
+
+double run_campaign_seconds(bool traced) {
+  trace::Recorder& rec = trace::Recorder::global();
+  rec.reset();
+  rec.set_enabled(traced);
+
+  fuzz::CampaignOptions opt;
+  opt.seed = 20260809;
+  opt.count = 6;
+  opt.diff.shapes = 2;
+  opt.diff.variants_per_extra_shape = 4;
+  opt.diff.mp_variants = 1;
+  opt.minimize_failures = false;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const fuzz::CampaignReport rep = fuzz::run_campaign(opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  rec.set_enabled(false);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+TEST(TraceOverheadSlow, QuickFuzzCampaignStaysWithinFivePercent) {
+  double untraced = 1e9;
+  double traced = 1e9;
+  for (int i = 0; i < 3; ++i) {
+    untraced = std::min(untraced, run_campaign_seconds(false));
+    traced = std::min(traced, run_campaign_seconds(true));
+  }
+  trace::Recorder::global().reset();
+
+  // 5% relative budget with a 50 ms absolute floor (timer/scheduler noise
+  // dominates below that on a quiet workload).
+  EXPECT_LE(traced, untraced * 1.05 + 0.05)
+      << "tracing overhead " << (traced / untraced - 1.0) * 100.0 << "% (traced "
+      << traced << " s, untraced " << untraced << " s)";
+}
+
+}  // namespace
+}  // namespace dhpf
