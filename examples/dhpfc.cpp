@@ -25,6 +25,7 @@
 #include "model/model.hpp"
 #include "support/buildinfo.hpp"
 #include "support/json.hpp"
+#include "svc/server.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
 #include "tune/tune.hpp"
@@ -67,6 +68,89 @@ int main(int argc, char** argv) {
     out << doc;
     return true;
   };
+
+  if (!o.serve_socket.empty()) {
+    // Daemon mode: dhpfc --serve=SOCK *is* dhpfd (same loop, same flags).
+    svc::ServerOptions sopt;
+    sopt.socket_path = o.serve_socket;
+    sopt.service.workers = o.svc_workers;
+    sopt.service.cache_entries = static_cast<std::size_t>(o.svc_cache);
+    sopt.service.enable_cache = o.svc_cache > 0;
+    return svc::run_daemon(sopt, o.quiet);
+  }
+
+  if (!o.server_socket.empty()) {
+    // Pass-through mode: ship this invocation's request to a running daemon
+    // and print the responses; nothing is compiled in this process.
+    try {
+      svc::Client client(o.server_socket);
+      std::ifstream in(o.input);
+      if (!in) {
+        std::fprintf(stderr, "dhpfc: cannot open %s\n", o.input.c_str());
+        return 1;
+      }
+      std::ostringstream src;
+      src << in.rdbuf();
+
+      std::vector<svc::Request> batch;
+      svc::Request base;
+      base.source = src.str();
+      base.flags.sopt = o.sopt;
+      base.flags.copt = o.copt;
+      base.kind = svc::Kind::Compile;
+      base.id = batch.size() + 1;
+      batch.push_back(base);
+      if (o.verify) {
+        base.kind = svc::Kind::Verify;
+        base.id = batch.size() + 1;
+        batch.push_back(base);
+      }
+      if (o.model_report) {
+        base.kind = svc::Kind::Model;
+        base.id = batch.size() + 1;
+        batch.push_back(base);
+      }
+      if (o.tune) {
+        base.kind = svc::Kind::Tune;
+        base.tune_measure = o.tune_measure;
+        base.id = batch.size() + 1;
+        batch.push_back(base);
+      }
+      bool failed = false;
+      for (const svc::Response& resp : client.batch(std::move(batch))) {
+        if (!resp.ok) {
+          failed = true;
+          std::fprintf(stderr, "dhpfc: server: [%s] %s\n", svc::to_string(resp.code),
+                       resp.error.c_str());
+          continue;
+        }
+        switch (resp.kind) {
+          case svc::Kind::Compile:
+            if (!o.quiet)
+              std::printf("---- SPMD node program (%s) ----\n%s",
+                          resp.cached ? "cached" : "compiled", resp.listing.c_str());
+            if (o.report) std::printf("\n---- compile report ----\n%s\n",
+                                      resp.report_json.c_str());
+            break;
+          case svc::Kind::Verify:
+            std::printf("\n---- static verification ----\n%s\n", resp.verify_json.c_str());
+            break;
+          case svc::Kind::Model:
+            std::printf("\n---- performance model ----\n%s\n", resp.model_json.c_str());
+            break;
+          case svc::Kind::Tune:
+            std::printf("\n---- autotuner ----\n%s\n", resp.tune_json.c_str());
+            break;
+          case svc::Kind::Stats:
+            break;
+        }
+      }
+      return failed ? 1 : 0;
+    } catch (const dhpf::Error& e) {
+      std::fprintf(stderr, "dhpfc: %s\n", e.what());
+      return 1;
+    }
+  }
 
   if (o.fuzz_count > 0 || !o.fuzz_corpus.empty()) {
     try {

@@ -33,6 +33,9 @@ for b in fig_4_1_privatizable fig_4_2_localize fig_5_1_loop_dist \
   "$bench_dir/$b" --json "$out_dir/$b.json" > /dev/null
 done
 
+echo "bench_baseline: compile-service throughput (deterministic counters)"
+"$bench_dir/svc_throughput" --json "$out_dir/svc_throughput.json" > /dev/null
+
 echo "bench_baseline: ablations (sim)"
 for b in ablation_distribution ablation_network ablation_pipeline_granularity; do
   "$bench_dir/$b" --json "$out_dir/$b.json" > /dev/null

@@ -90,6 +90,29 @@ assert med <= doc["median_error_default"] + 1e-12, "calibration made the model w
 EOF
 echo "  ok: model_accuracy calibrated median error within 25%"
 
+echo "bench_smoke: compile-service throughput"
+"$bench_dir/svc_throughput" --json "$out_dir/svc_throughput.json" > /dev/null
+check svc_throughput
+
+# The counter slice must be exact (it is what perf-smoke diffs), and the
+# warm pass must actually be served from cache and beat the cold pass by a
+# wide margin — cache hits skip the whole pipeline, so >= 10x holds even on
+# one core.
+python3 - "$out_dir/svc_throughput.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert all(p["ok"] == p["requests"] for p in doc["scaling"]), "failed compiles"
+wc = doc["warm_cache"]
+assert wc["hits"] == 48 and wc["misses"] == 48, (wc["hits"], wc["misses"])
+assert wc["warm"]["served_from_cache"] == 48, "warm pass not served from cache"
+speedup = wc["cold"]["wall_seconds"] / max(wc["warm"]["wall_seconds"], 1e-12)
+assert speedup >= 10.0, f"warm speedup only {speedup:.1f}x"
+ev = doc["eviction"]
+assert ev["evictions"] == 40 and ev["entries"] == 8, ev
+assert "git" in doc["build"], "missing build provenance"
+EOF
+echo "  ok: svc_throughput warm-cache and eviction shape"
+
 echo "bench_smoke: fuzz regression corpus replay"
 repo_dir=$(cd "$(dirname "$0")/.." && pwd)
 "$build_dir/examples/dhpfc" --quiet --fuzz-corpus="$repo_dir/tests/corpus" \

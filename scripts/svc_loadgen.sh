@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Compile-service load generator / end-to-end smoke: start dhpfd on a fresh
+# Unix socket, push `passes` passes of mixed compile+verify+model requests
+# through `dhpfc --server` (the checked-in example programs are the load),
+# then SIGTERM the daemon and check its drain-time stats: every request
+# answered, none rejected, and the cache actually hit — within one pass the
+# verify and model requests reuse the compile's pipeline entry, and every
+# later pass is pure hits.
+#
+# usage: scripts/svc_loadgen.sh [build-dir] [passes]   (defaults: build, 2)
+set -euo pipefail
+
+build_dir=${1:-build}
+passes=${2:-2}
+repo_dir=$(cd "$(dirname "$0")/.." && pwd)
+
+dhpfc="$build_dir/examples/dhpfc"
+dhpfd="$build_dir/examples/dhpfd"
+for bin in "$dhpfc" "$dhpfd"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "svc_loadgen: no $bin — build first (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+done
+
+work=$(mktemp -d)
+sock="$work/dhpfd.sock"
+log="$work/dhpfd.log"
+cleanup() {
+  [[ -n "${daemon_pid:-}" ]] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+"$dhpfd" --socket="$sock" --workers=4 2> "$log" &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+  [[ -S "$sock" ]] && break
+  kill -0 "$daemon_pid" 2>/dev/null || { cat "$log" >&2; exit 1; }
+  sleep 0.05
+done
+[[ -S "$sock" ]] || { echo "svc_loadgen: daemon never bound $sock" >&2; exit 1; }
+
+inputs=("$repo_dir"/examples/sample.hpf "$repo_dir"/examples/nas/*.hpf)
+echo "svc_loadgen: $passes pass(es) x ${#inputs[@]} program(s) x 3 requests"
+for pass in $(seq 1 "$passes"); do
+  for f in "${inputs[@]}"; do
+    "$dhpfc" --quiet --server="$sock" --verify --model-report "$f" > /dev/null
+  done
+  echo "  pass $pass done"
+done
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=
+
+# The daemon prints its final stats as "dhpfd: {json}" while draining.
+stats=$(sed -n 's/^dhpfd: \({.*}\)$/\1/p' "$log" | tail -n 1)
+[[ -n "$stats" ]] || { echo "svc_loadgen: no stats in daemon log" >&2; cat "$log" >&2; exit 1; }
+echo "  stats: $stats"
+
+python3 - "$passes" "${#inputs[@]}" "$stats" <<'EOF' || { cat "$log" >&2; exit 1; }
+import json, sys
+stats = json.loads(sys.argv[3])
+passes, nprog = int(sys.argv[1]), int(sys.argv[2])
+expect = passes * nprog * 3  # compile + verify + model per program per pass
+assert stats["requests"] == expect, (stats["requests"], expect)
+assert stats["errors"] == 0 and stats["rejected"] == 0, stats
+cache = stats["cache"]
+assert cache["misses"] == nprog, cache  # one pipeline run per program
+# A batch's verify/model requests either hit the compile's entry or coalesce
+# onto its in-flight fill; later passes are pure hits.
+assert cache["hits"] + cache["coalesced"] == expect - nprog, cache
+assert cache["hits"] >= (passes - 1) * nprog * 3, cache
+EOF
+echo "svc_loadgen: ok ($((passes * ${#inputs[@]} * 3)) requests, cache behaved)"

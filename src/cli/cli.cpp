@@ -31,6 +31,15 @@ OptionSpec valued(std::string display, std::string name, std::string help,
   return s;
 }
 
+bool parse_int(const std::string& v, int lo, int hi, int& out) {
+  try {
+    out = std::stoi(v);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return out >= lo && out <= hi;
+}
+
 std::vector<OptionSpec> make_table() {
   std::vector<OptionSpec> t;
   t.push_back(flag("--no-localize", "disable the §4.2 LOCALIZE partial replication",
@@ -197,6 +206,32 @@ std::vector<OptionSpec> make_table() {
                    "CI smoke settings: 2 grid shapes, a variant subset per "
                    "case and fewer mp runs",
                    [](Options& o) { o.fuzz_quick = true; }));
+  t.push_back(valued("--serve=SOCK", "--serve",
+                     "run as the compile daemon (dhpfd) on this Unix socket; "
+                     "drains gracefully on SIGTERM/SIGINT",
+                     [](Options& o, const std::string& v) {
+                       if (v.empty()) return false;
+                       o.serve_socket = v;
+                       return true;
+                     }));
+  t.push_back(valued("--server=SOCK", "--server",
+                     "send the request to a running daemon instead of "
+                     "compiling in-process",
+                     [](Options& o, const std::string& v) {
+                       if (v.empty()) return false;
+                       o.server_socket = v;
+                       return true;
+                     }));
+  t.push_back(valued("--svc-workers=N", "--svc-workers",
+                     "daemon worker threads (0 = hardware concurrency)",
+                     [](Options& o, const std::string& v) {
+                       return parse_int(v, 0, 256, o.svc_workers);
+                     }));
+  t.push_back(valued("--svc-cache=N", "--svc-cache",
+                     "daemon result-cache capacity in entries (0 disables)",
+                     [](Options& o, const std::string& v) {
+                       return parse_int(v, 0, 1 << 20, o.svc_cache);
+                     }));
   t.push_back(flag("--quiet", "suppress the program / CP / plan / SPMD listings",
                    [](Options& o) { o.quiet = true; }));
   t.push_back(flag("--help", "print this help and exit", [](Options& o) { o.help = true; }));
@@ -277,7 +312,7 @@ ParseResult parse_args(const std::vector<std::string>& args) {
     }
   }
   if (r.opts.input.empty() && !r.opts.help && r.opts.fuzz_count == 0 &&
-      r.opts.fuzz_corpus.empty())
+      r.opts.fuzz_corpus.empty() && r.opts.serve_socket.empty())
     r.error = "missing input: file.hpf";
   return r;
 }

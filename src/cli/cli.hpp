@@ -42,6 +42,10 @@ struct Options {
   std::string fuzz_out;          ///< --fuzz-out=DIR: write failing reproducers
   std::string fuzz_corpus;       ///< --fuzz-corpus=DIR: replay a reproducer corpus
   bool fuzz_quick = false;       ///< smoke settings: fewer shapes/variants/mp runs
+  std::string serve_socket;      ///< --serve=SOCK: run as the dhpfd compile daemon
+  std::string server_socket;     ///< --server=SOCK: send the request to a daemon
+  int svc_workers = 0;           ///< --svc-workers=N: daemon pool size (0 = auto)
+  int svc_cache = 1024;          ///< --svc-cache=N: daemon cache entries (0 = off)
   std::string input;             ///< positional file.hpf
 };
 

@@ -13,10 +13,16 @@ namespace dhpf::codegen {
 
 namespace {
 
-/// Run `fn`, recording its wall time and the metric delta it caused.
+/// Run `fn`, recording its wall time and the metric delta it caused. The
+/// context's registry is installed as the thread's current registry, so
+/// counters bumped deep inside iset/analysis land in the per-request sink
+/// the snapshot-diff below reads — attribution stays exact even with many
+/// compiles in flight on other threads.
 template <typename Fn>
-auto timed_pass(CompileReport& report, const std::string& name, Fn&& fn) {
-  obs::Registry& reg = obs::Registry::global();
+auto timed_pass(const CompileContext& ctx, CompileReport& report, const std::string& name,
+                Fn&& fn) {
+  obs::Registry& reg = ctx.reg();
+  obs::ScopedRegistry scoped(reg);
   const obs::MetricsSnapshot before = reg.snapshot();
   const auto t0 = std::chrono::steady_clock::now();
   // The trace span sits inside the t0..t1 window and wraps only fn(), so
@@ -116,23 +122,24 @@ std::string CompileReport::to_json() const {
 }
 
 CompileResult compile(const hpf::Program& prog, const cp::SelectOptions& sopt,
-                      const comm::CommOptions& copt) {
+                      const comm::CommOptions& copt, const CompileContext& ctx) {
   CompileResult r;
-  r.cps = timed_pass(r.report, "cp.select", [&] { return cp::select_cps(prog, sopt); });
-  r.plan =
-      timed_pass(r.report, "comm.generate", [&] { return comm::generate_comm(prog, r.cps, copt); });
+  r.cps = timed_pass(ctx, r.report, "cp.select", [&] { return cp::select_cps(prog, sopt); });
+  r.plan = timed_pass(ctx, r.report, "comm.generate",
+                      [&] { return comm::generate_comm(prog, r.cps, copt); });
   r.listing =
-      timed_pass(r.report, "codegen.emit", [&] { return emit_spmd(prog, r.cps, r.plan); });
+      timed_pass(ctx, r.report, "codegen.emit", [&] { return emit_spmd(prog, r.cps, r.plan); });
   summarize_procedures(prog, r.cps, r.plan, r.report);
   return r;
 }
 
 CompileResult compile_source(const std::string& source, hpf::Program* out_prog,
-                             const cp::SelectOptions& sopt, const comm::CommOptions& copt) {
+                             const cp::SelectOptions& sopt, const comm::CommOptions& copt,
+                             const CompileContext& ctx) {
   require(out_prog != nullptr, "codegen", "compile_source: out_prog required");
   CompileReport parse_report;
-  *out_prog = timed_pass(parse_report, "hpf.parse", [&] { return hpf::parse(source); });
-  CompileResult r = compile(*out_prog, sopt, copt);
+  *out_prog = timed_pass(ctx, parse_report, "hpf.parse", [&] { return hpf::parse(source); });
+  CompileResult r = compile(*out_prog, sopt, copt, ctx);
   r.report.passes.insert(r.report.passes.begin(), std::move(parse_report.passes.front()));
   return r;
 }

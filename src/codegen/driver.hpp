@@ -21,6 +21,28 @@
 
 namespace dhpf::codegen {
 
+/// Per-request compilation environment. The pipeline is re-entrant: every
+/// piece of mutable state a compile touches is either local to the request
+/// or reached through this context. `registry` is the metrics sink — the
+/// pass timers and every DHPF_COUNTER bumped while a pass runs resolve to
+/// it (installed as the thread's ScopedRegistry for the duration of the
+/// compile). One-shot CLI compiles use the default (process-global)
+/// registry, so dhpfc output is unchanged; the compile service injects a
+/// fresh Registry per request so concurrent compiles cannot race or
+/// misattribute each other's metric deltas.
+struct CompileContext {
+  obs::Registry* registry = nullptr;  ///< nullptr = obs::Registry::current()
+
+  /// Resolve the metrics sink. The nullptr default defers to the thread's
+  /// current registry (the process-global one unless a ScopedRegistry is
+  /// installed), so nested compiles — e.g. the tuner's 48 variants running
+  /// inside a service request — inherit the enclosing request's registry
+  /// instead of escaping to the global one.
+  [[nodiscard]] obs::Registry& reg() const {
+    return registry ? *registry : obs::Registry::current();
+  }
+};
+
 /// Activity attributed to one pipeline pass.
 struct PassStats {
   std::string name;            ///< "cp.select", "comm.generate", ...
@@ -58,12 +80,14 @@ struct CompileResult {
 
 /// Run the full dHPF pipeline over an already-built program.
 CompileResult compile(const hpf::Program& prog, const cp::SelectOptions& sopt = {},
-                      const comm::CommOptions& copt = {});
+                      const comm::CommOptions& copt = {},
+                      const CompileContext& ctx = {});
 
 /// Parse-and-compile convenience; returns the program through `out_prog`
 /// (its lifetime must cover any use of the result).
 CompileResult compile_source(const std::string& source, hpf::Program* out_prog,
                              const cp::SelectOptions& sopt = {},
-                             const comm::CommOptions& copt = {});
+                             const comm::CommOptions& copt = {},
+                             const CompileContext& ctx = {});
 
 }  // namespace dhpf::codegen

@@ -138,7 +138,13 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
     // per-iteration placement, a read-only plane vectorizes fully), and a
     // per-array key would overwrite — i.e. silently drop — the first event
     // (found by the fuzz harness: tests/corpus/coalesce-depth-split.hpf).
+    // Events flush in first-appearance (rhs) order, NOT map-key order: the
+    // key holds a pointer, and pointer order is allocation order — compiling
+    // the same program twice in one process would emit the same events in
+    // different order (caught by the compile service's byte-equivalence
+    // tests; the plan must be a pure function of source and options).
     std::map<std::pair<const Array*, int>, CommEvent> coalesced;
+    std::vector<std::pair<const Array*, int>> coalesced_order;
     for (const auto& r : a.rhs) {
       if (!r.array->distributed()) continue;
       std::size_t depth = 0;
@@ -176,12 +182,15 @@ CommPlan generate_comm(const hpf::Program& prog, const cp::CpResult& cps,
       ev.data = std::move(nl);
       ev.note = r.to_string();
       ev.path = sc->path;
-      if (opt.coalesce)
+      if (opt.coalesce) {
         coalesced[key] = std::move(ev);
-      else
+        coalesced_order.push_back(key);
+      } else {
         plan.events.push_back(std::move(ev));
+      }
     }
-    for (auto& [_, ev] : coalesced) plan.events.push_back(std::move(ev));
+    for (const auto& key : coalesced_order)
+      plan.events.push_back(std::move(coalesced[key]));
 
     // ---- write-back for a non-owner write --------------------------------
     // Exception: when the statement's CP contains the owner-computes term

@@ -1,0 +1,135 @@
+#include "exec/pool.hpp"
+
+#include <algorithm>
+
+namespace dhpf::exec {
+
+namespace {
+
+/// Which pool/worker the calling thread belongs to (submit() fast path).
+thread_local const ThreadPool* g_my_pool = nullptr;
+thread_local int g_my_worker = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int workers, std::function<void(int)> on_worker_start)
+    : on_worker_start_(std::move(on_worker_start)) {
+  const int n = std::max(1, workers);
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Job job) {
+  std::size_t target;
+  if (g_my_pool == this && g_my_worker >= 0) {
+    target = static_cast<std::size_t>(g_my_worker);
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->jobs.push_back(std::move(job));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_own(int index, Job& out) {
+  WorkerQueue& q = *queues_[static_cast<std::size_t>(index)];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.jobs.empty()) return false;
+  out = std::move(q.jobs.back());  // LIFO on the own deque
+  q.jobs.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(int index, Job& out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    WorkerQueue& q = *queues_[(static_cast<std::size_t>(index) + k) % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.jobs.empty()) continue;
+    out = std::move(q.jobs.front());  // FIFO steal from the victim's cold end
+    q.jobs.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(int index) {
+  g_my_pool = this;
+  g_my_worker = index;
+  if (on_worker_start_) on_worker_start_(index);
+  for (;;) {
+    Job job;
+    bool stole = false;
+    if (!try_pop_own(index, job)) {
+      stole = try_steal(index, job);
+      if (!stole) {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] {
+          if (stopping_) return true;
+          for (const auto& q : queues_) {
+            std::lock_guard<std::mutex> ql(q->mu);
+            if (!q->jobs.empty()) return true;
+          }
+          return false;
+        });
+        if (stopping_) {
+          // Drain semantics: keep executing until every deque is empty.
+          lock.unlock();
+          if (!try_pop_own(index, job)) {
+            stole = try_steal(index, job);
+            if (!stole) return;
+          }
+        } else {
+          continue;  // re-race for the job that woke us
+        }
+      }
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++executed_;
+      if (stole) ++stolen_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return executed_ == submitted_; });
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.executed = executed_;
+    s.stolen = stolen_;
+  }
+  for (const auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mu);
+    s.queue_depth += q->jobs.size();
+  }
+  return s;
+}
+
+}  // namespace dhpf::exec

@@ -1,0 +1,98 @@
+// exec::ThreadPool — a work-stealing thread pool for independent jobs.
+//
+// The exec layer's Task/Channel/Machine abstractions model *SPMD rank*
+// execution; this pool is the complementary skeleton for *request*
+// execution: N worker threads, each owning a deque of jobs. A worker pushes
+// and pops at the back of its own deque (LIFO: the freshest job's state is
+// hottest in cache) and, when empty, steals from the *front* of a victim's
+// deque (FIFO: stolen jobs are the oldest, which minimizes contention with
+// the victim and preserves rough submission order under load). External
+// submitters distribute round-robin across the worker deques.
+//
+// This is the TaskPool/ThreadSafeQueue execution-skeleton shape from the
+// compositional-performance-analysis literature, sized for the compile
+// service: jobs are whole compile requests (milliseconds), so a mutex per
+// deque is entirely invisible next to the work — and keeps the pool simple
+// and TSan-clean by construction.
+//
+// Exception contract: jobs must not throw (the service wraps request
+// handling and converts exceptions to error responses). A throwing job
+// terminates via std::terminate, same as an escaping thread exception.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dhpf::exec {
+
+class ThreadPool {
+ public:
+  using Job = std::function<void()>;
+
+  /// Start `workers` threads (clamped to >= 1). `thread_label` is applied
+  /// through `on_worker_start(worker_index)` if provided — the compile
+  /// service uses it to label trace flight-recorder rings "svc-worker<k>".
+  explicit ThreadPool(int workers,
+                      std::function<void(int)> on_worker_start = nullptr);
+
+  /// Finishes every job already enqueued, then joins the workers. If jobs
+  /// submit further jobs, call drain() first — a job submitted while the
+  /// pool is tearing down may be dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. If called from a worker thread, pushes to that worker's
+  /// own deque (cheap, no wakeup needed for itself); otherwise round-robins.
+  void submit(Job job);
+
+  /// Block until every job submitted so far has finished executing.
+  /// Jobs may submit further jobs; drain() waits for those too.
+  void drain();
+
+  [[nodiscard]] int workers() const { return static_cast<int>(queues_.size()); }
+
+  struct Stats {
+    std::uint64_t submitted = 0;  ///< jobs accepted
+    std::uint64_t executed = 0;   ///< jobs completed
+    std::uint64_t stolen = 0;     ///< jobs executed by a non-owner worker
+    std::size_t queue_depth = 0;  ///< jobs currently waiting (not running)
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct WorkerQueue {
+    mutable std::mutex mu;
+    std::deque<Job> jobs;
+  };
+
+  void worker_loop(int index);
+  bool try_pop_own(int index, Job& out);
+  bool try_steal(int index, Job& out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  // Global sleep/wake + drain accounting. Workers only take this mutex when
+  // their own deque and every victim's came up empty, or to publish
+  // completion counts for drain().
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signalled on submit
+  std::condition_variable drain_cv_;  ///< signalled when a job completes
+  bool stopping_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t stolen_ = 0;
+  std::uint64_t next_queue_ = 0;  ///< round-robin cursor for external submits
+  std::function<void(int)> on_worker_start_;
+};
+
+}  // namespace dhpf::exec

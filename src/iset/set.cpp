@@ -195,7 +195,7 @@ void note_fragmentation(std::size_t parts) {
          !high.compare_exchange_weak(cur, parts, std::memory_order_relaxed)) {
   }
   if (parts > cur)
-    obs::Registry::global().set_gauge("iset.max_fragmentation", static_cast<double>(parts));
+    obs::Registry::current().set_gauge("iset.max_fragmentation", static_cast<double>(parts));
 }
 
 }  // namespace

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <sstream>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
 
+#include "support/diagnostics.hpp"
 #include "support/json.hpp"
 
 namespace dhpf::obs {
@@ -110,10 +112,74 @@ std::string MetricsSnapshot::to_json() const {
 
 // --------------------------------------------------------------- Registry
 
-Registry& Registry::global() {
-  static Registry instance;
-  return instance;
+namespace {
+
+/// Process-wide counter-name intern table. Ids are dense indices into
+/// `names`; the table only grows and entries are never invalidated, so a
+/// cached CounterId (or a name looked up through it) is valid forever.
+struct InternTable {
+  std::mutex mu;
+  std::map<std::string, CounterId> ids;
+  std::vector<std::string> names;
+};
+
+InternTable& intern_table() {
+  static InternTable* t = new InternTable();  // leaked: ids outlive everything
+  return *t;
 }
+
+thread_local Registry* g_current_registry = nullptr;
+
+}  // namespace
+
+CounterId intern_counter(const std::string& name) {
+  InternTable& t = intern_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto [it, inserted] = t.ids.emplace(name, static_cast<CounterId>(t.names.size()));
+  if (inserted) t.names.push_back(name);
+  return it->second;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: handles never dangle
+  return *instance;
+}
+
+Registry& Registry::current() {
+  Registry* r = g_current_registry;
+  return r ? *r : global();
+}
+
+Registry::~Registry() {
+  for (auto& slot : id_chunks_) delete slot.load(std::memory_order_relaxed);
+}
+
+Counter& Registry::counter_slow(CounterId id) {
+  std::string name;
+  {
+    InternTable& t = intern_table();
+    std::lock_guard<std::mutex> lock(t.mu);
+    require(id < t.names.size(), "obs", "counter id was never interned");
+    name = t.names[id];  // copy: the vector may reallocate after unlock
+  }
+  const std::size_t chunk_idx = id / kIdChunkSize;
+  require(chunk_idx < kIdChunks, "obs", "too many distinct counter names");
+  std::lock_guard<std::mutex> lock(mu_);
+  Counter& c = counters_[name];
+  IdChunk* chunk = id_chunks_[chunk_idx].load(std::memory_order_relaxed);
+  if (!chunk) {
+    chunk = new IdChunk{};
+    id_chunks_[chunk_idx].store(chunk, std::memory_order_release);
+  }
+  (*chunk)[id % kIdChunkSize].store(&c, std::memory_order_release);
+  return c;
+}
+
+ScopedRegistry::ScopedRegistry(Registry& reg) : prev_(g_current_registry) {
+  g_current_registry = &reg;
+}
+
+ScopedRegistry::~ScopedRegistry() { g_current_registry = prev_; }
 
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -163,7 +229,7 @@ std::uint64_t peak_rss_bytes() {
 // ------------------------------------------------------------ ScopedTimer
 
 ScopedTimer::ScopedTimer(const std::string& name)
-    : timer_(Registry::global().timer(name)), start_(std::chrono::steady_clock::now()) {}
+    : timer_(Registry::current().timer(name)), start_(std::chrono::steady_clock::now()) {}
 
 double ScopedTimer::elapsed() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();

@@ -20,12 +20,25 @@
 // run produces the same snapshot every time. Handles returned by counter()
 // and timer() stay valid for the life of the process (values live in deques;
 // reset() zeroes them in place rather than deleting them).
+//
+// Re-entrancy: metrics resolve through Registry::current() — a thread-local
+// pointer defaulting to the process-wide global() instance, overridable with
+// a ScopedRegistry. The compile service installs a per-request Registry on
+// the worker thread before running the pipeline, so concurrent compiles
+// attribute their counters/timers to their own request instead of racing
+// snapshot-diff attribution on one shared registry. One-shot CLI runs never
+// install an override and behave exactly as before. DHPF_COUNTER sites cache
+// a process-wide dense CounterId (names are interned once, forever) and the
+// per-registry id->Counter resolution is a wait-free two-level pointer table,
+// so the hot path stays one relaxed TLS read + one acquire load.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -103,15 +116,45 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string to_json() const;
 };
 
+/// Process-wide dense id for an interned counter name. Ids are assigned
+/// once per distinct name and are valid (in every Registry) forever.
+using CounterId = std::uint32_t;
+
+/// Intern `name` into the process-wide counter-name table. Thread-safe;
+/// the first call per name takes a lock, so cache the id (DHPF_COUNTER does
+/// this with a function-local static).
+CounterId intern_counter(const std::string& name);
+
 /// Named-metric registry. One process-wide instance (global()); independent
-/// instances can be created for tests.
+/// instances can be created freely (tests, one per in-flight service
+/// request). Metrics bumped through macros/ScopedTimer land in current().
 class Registry {
  public:
   static Registry& global();
 
+  /// The calling thread's active registry: the innermost live ScopedRegistry
+  /// override, or global() when none is installed.
+  static Registry& current();
+
+  Registry() = default;
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
   /// Create-or-get. The returned references remain valid forever.
   Counter& counter(const std::string& name);
   Timer& timer(const std::string& name);
+
+  /// Create-or-get by interned id; same Counter as counter(name-of-id).
+  /// Wait-free after the first resolution of `id` in this registry.
+  Counter& counter(CounterId id) {
+    IdChunk* chunk = id_chunks_[id / kIdChunkSize].load(std::memory_order_acquire);
+    if (chunk) {
+      Counter* c = (*chunk)[id % kIdChunkSize].load(std::memory_order_acquire);
+      if (c) return *c;
+    }
+    return counter_slow(id);
+  }
 
   /// Convenience bump without caching the handle.
   void add(const std::string& name, std::uint64_t n = 1) { counter(name).add(n); }
@@ -123,6 +166,16 @@ class Registry {
   void reset();
 
  private:
+  // Two-level id -> Counter* table. Slots point into counters_ map nodes
+  // (stable addresses), published with release so the wait-free fast path
+  // can deref after an acquire load. 64 chunks x 256 ids bounds the
+  // process at 16384 distinct counter names — far above today's ~60.
+  static constexpr std::size_t kIdChunkSize = 256;
+  static constexpr std::size_t kIdChunks = 64;
+  using IdChunk = std::array<std::atomic<Counter*>, kIdChunkSize>;
+
+  Counter& counter_slow(CounterId id);
+
   mutable std::mutex mu_;
   // Deques would also work; map of unique_ptr-free nodes keeps iteration
   // ordered for deterministic snapshots. Node addresses in std::map are
@@ -130,6 +183,21 @@ class Registry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Timer> timers_;
   std::map<std::string, double> gauges_;
+  std::array<std::atomic<IdChunk*>, kIdChunks> id_chunks_{};
+};
+
+/// RAII thread-local registry override: metrics bumped by this thread while
+/// the ScopedRegistry lives resolve to `reg` instead of Registry::global().
+/// Nests (innermost wins) and must be destroyed on the installing thread.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry& reg);
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+  ~ScopedRegistry();
+
+ private:
+  Registry* prev_;
 };
 
 /// Peak resident set size of this process in bytes (getrusage RUSAGE_SELF;
@@ -137,7 +205,9 @@ class Registry {
 /// baselines carry a memory footprint alongside the timings.
 std::uint64_t peak_rss_bytes();
 
-/// RAII wall-clock timer accumulating into Registry::global().
+/// RAII wall-clock timer accumulating into Registry::current() (resolved at
+/// construction, so the span is attributed even if the override is popped
+/// before the destructor runs).
 class ScopedTimer {
  public:
   explicit ScopedTimer(const std::string& name);
@@ -155,19 +225,22 @@ class ScopedTimer {
 
 }  // namespace dhpf::obs
 
-/// Bump a process-wide counter by 1. The registry lookup happens once per
-/// call site (function-local static), so this is safe in hot loops.
+/// Bump a counter by 1 in the calling thread's current registry (the
+/// global one unless a ScopedRegistry override is live). The name is
+/// interned once per call site (function-local static), so this is safe in
+/// hot loops: one TLS read plus one acquire load on the steady state.
 #define DHPF_COUNTER(name)                                                        \
   do {                                                                            \
-    static ::dhpf::obs::Counter& dhpf_counter_handle_ =                           \
-        ::dhpf::obs::Registry::global().counter(name);                            \
-    dhpf_counter_handle_.add();                                                   \
+    static const ::dhpf::obs::CounterId dhpf_counter_id_ =                        \
+        ::dhpf::obs::intern_counter(name);                                        \
+    ::dhpf::obs::Registry::current().counter(dhpf_counter_id_).add();             \
   } while (0)
 
-/// Bump a process-wide counter by `n`.
+/// Bump a counter by `n` in the current registry.
 #define DHPF_COUNTER_ADD(name, n)                                                 \
   do {                                                                            \
-    static ::dhpf::obs::Counter& dhpf_counter_handle_ =                           \
-        ::dhpf::obs::Registry::global().counter(name);                            \
-    dhpf_counter_handle_.add(static_cast<std::uint64_t>(n));                      \
+    static const ::dhpf::obs::CounterId dhpf_counter_id_ =                        \
+        ::dhpf::obs::intern_counter(name);                                        \
+    ::dhpf::obs::Registry::current().counter(dhpf_counter_id_).add(               \
+        static_cast<std::uint64_t>(n));                                           \
   } while (0)

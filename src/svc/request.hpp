@@ -1,0 +1,116 @@
+// dhpf::svc wire protocol: requests and responses of the compile service.
+//
+// One request asks for one product of the pipeline over one (program text,
+// optimization-flag set, processor-grid shape) triple:
+//
+//   compile -> the lowered SPMD plan (listing) + per-pass compile report
+//   verify  -> the static verifier's verdict over the compiled plan
+//   model   -> the analytic cost-model prediction for the compiled plan
+//   tune    -> the variant autotuner's ranking/selection for the program
+//   stats   -> service counters (requests, cache hits/evictions, queue depth)
+//
+// On the wire (dhpfd's Unix-domain socket) both directions are
+// length-prefixed JSON frames: a 4-byte big-endian payload length followed
+// by one JSON object (see docs/compile-service.md). The same structs drive
+// the in-process svc::Client, so tests and the socket path share one
+// serialization, and `dhpfc --server <sock>` is a thin pass-through.
+//
+// Error responses are machine-readable: `ok=false` plus a *stable* error
+// code (the enum names below, e.g. "bad-request", "parse-error") and a
+// human-readable message. Codes are part of the protocol contract —
+// renaming one is a breaking change; tests pin them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "cp/select.hpp"
+
+namespace dhpf::svc {
+
+enum class Kind : std::uint8_t { Compile, Verify, Model, Tune, Stats };
+
+const char* to_string(Kind k);
+/// Parse a kind name; returns false on an unknown name.
+bool parse_kind(const std::string& name, Kind& out);
+
+/// Stable machine-readable error codes.
+enum class ErrorCode : std::uint8_t {
+  None,         ///< success
+  BadRequest,   ///< malformed frame / unknown kind / invalid field value
+  ParseError,   ///< hpf::parse rejected the program text
+  CompileError, ///< the pipeline threw past parsing
+  Internal,     ///< unexpected exception inside the service
+  Shutdown,     ///< request arrived while the server was draining
+};
+
+const char* to_string(ErrorCode c);
+
+/// The optimization axes a request can set — exactly the tuner's variant
+/// space (tune::enumerate_variants) plus §6 interprocedural selection.
+/// `canonical()` renders the normalized cache-key form; every field has
+/// exactly one rendering, so two FlagSets compile identically iff their
+/// canonical strings are equal.
+struct FlagSet {
+  cp::SelectOptions sopt;
+  comm::CommOptions copt;
+
+  [[nodiscard]] std::string canonical() const;
+
+  /// Parse the canonical form ("priv=owner localize=off ...", any subset of
+  /// the axes in any order; unset axes keep defaults). Returns false and
+  /// fills `error` on an unknown axis or value.
+  static bool parse(const std::string& text, FlagSet& out, std::string* error);
+};
+
+struct Request {
+  std::uint64_t id = 0;  ///< client-chosen correlation id, echoed verbatim
+  Kind kind = Kind::Compile;
+  std::string source;     ///< HPF-lite program text
+  FlagSet flags;
+  std::vector<int> grid;  ///< processor-grid extents override; empty = as written
+  bool no_cache = false;  ///< bypass the result cache (probe nor fill)
+  int tune_measure = 0;   ///< tune requests: measured confirmations beyond default
+
+  [[nodiscard]] std::string to_json() const;
+  /// Decode a request frame. Returns false and fills `error` on anything
+  /// malformed (the server answers BadRequest with that message).
+  static bool from_json(const std::string& doc, Request& out, std::string* error);
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  Kind kind = Kind::Compile;
+  bool ok = false;
+  ErrorCode code = ErrorCode::Internal;
+  std::string error;  ///< human-readable diagnostic when !ok
+
+  bool cached = false;          ///< served from the result cache
+  double queue_seconds = 0.0;   ///< submit -> execution start
+  double service_seconds = 0.0; ///< execution start -> response ready
+
+  // Payloads (which are filled depends on kind; all deterministic for a
+  // given request except report_json's pass timings).
+  std::string listing;      ///< compile: the SPMD node program
+  std::string report_json;  ///< compile: CompileReport::to_json()
+  std::string verify_json;  ///< verify: verify::Report::to_json()
+  std::string model_json;   ///< model: model::Prediction::to_json()
+  std::string tune_json;    ///< tune: tune::TuneReport::to_json()
+  std::string stats_json;   ///< stats: service counters document
+
+  [[nodiscard]] std::string to_json() const;
+  static bool from_json(const std::string& doc, Response& out, std::string* error);
+};
+
+/// Frame codec shared by the socket server and client: 4-byte big-endian
+/// length + payload. read_frame returns false on clean EOF before any byte;
+/// throws dhpf::Error("svc", ...) on a truncated or oversized frame.
+constexpr std::size_t kMaxFrameBytes = 64u << 20;  ///< 64 MiB sanity bound
+
+std::string encode_frame(const std::string& payload);
+bool read_frame(int fd, std::string& payload);
+void write_frame(int fd, const std::string& payload);
+
+}  // namespace dhpf::svc

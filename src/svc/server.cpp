@@ -1,0 +1,289 @@
+#include "svc/server.hpp"
+
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "support/diagnostics.hpp"
+
+namespace dhpf::svc {
+
+namespace {
+
+int make_listener(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(path.size() < sizeof(addr.sun_path), "svc",
+          "socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  require(fd >= 0, "svc", std::string("socket(): ") + std::strerror(errno));
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    fail("svc", "bind(" + path + "): " + std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    fail("svc", std::string("listen(): ") + std::strerror(err));
+  }
+  return fd;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(const ServerOptions& opt)
+      : path(opt.socket_path), service(opt.service) {}
+
+  std::string path;
+  Service service;
+  int listen_fd = -1;
+  std::thread accept_thread;
+
+  std::mutex mu;  ///< guards conns (fds + threads) and stopped
+  struct Conn {
+    int fd;
+    std::thread thread;
+  };
+  std::vector<Conn> conns;
+  bool stopped = false;
+
+  void accept_loop();
+  void serve_connection(int fd);
+};
+
+void Server::Impl::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed: shutting down
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (stopped) {
+      ::close(fd);
+      return;
+    }
+    conns.push_back(Conn{fd, std::thread([this, fd] { serve_connection(fd); })});
+  }
+}
+
+void Server::Impl::serve_connection(int fd) {
+  // Responses are written by whichever worker finishes the request, so the
+  // write side is serialized; in-flight completions are counted so the
+  // reader can't outlive a pending callback's write.
+  struct Wire {
+    std::mutex mu;
+    std::condition_variable cv;
+    int fd = -1;
+    std::size_t inflight = 0;
+    bool broken = false;
+  };
+  auto wire = std::make_shared<Wire>();
+  wire->fd = fd;
+
+  std::string payload;
+  for (;;) {
+    bool got = false;
+    try {
+      got = read_frame(fd, payload);
+    } catch (const dhpf::Error&) {
+      break;  // truncated/oversized frame: drop the connection
+    }
+    if (!got) break;  // clean EOF
+
+    Request req;
+    std::string error;
+    if (!Request::from_json(payload, req, &error)) {
+      Response resp;
+      resp.ok = false;
+      resp.code = ErrorCode::BadRequest;
+      resp.error = error;
+      std::lock_guard<std::mutex> lock(wire->mu);
+      if (!wire->broken) {
+        try {
+          write_frame(fd, resp.to_json());
+        } catch (const dhpf::Error&) {
+          wire->broken = true;
+        }
+      }
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(wire->mu);
+      ++wire->inflight;
+    }
+    service.submit(std::move(req), [wire](Response resp) {
+      std::lock_guard<std::mutex> lock(wire->mu);
+      if (!wire->broken) {
+        try {
+          write_frame(wire->fd, resp.to_json());
+        } catch (const dhpf::Error&) {
+          wire->broken = true;  // peer went away; keep draining silently
+        }
+      }
+      --wire->inflight;
+      wire->cv.notify_all();
+    });
+  }
+
+  // Flush: wait for every accepted request's response to be written (or
+  // dropped on a broken pipe) before closing the descriptor.
+  std::unique_lock<std::mutex> lock(wire->mu);
+  wire->cv.wait(lock, [&] { return wire->inflight == 0; });
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+Server::Server(const ServerOptions& opt) : impl_(std::make_unique<Impl>(opt)) {
+  impl_->listen_fd = make_listener(impl_->path);
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  std::vector<Impl::Conn> conns;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->stopped) return;
+    impl_->stopped = true;
+    conns.swap(impl_->conns);
+  }
+  // 1. Stop accepting: new requests (on still-open connections) answer
+  //    Shutdown; the closed listener ends the accept thread.
+  impl_->service.begin_drain();
+  if (impl_->listen_fd >= 0) {
+    ::shutdown(impl_->listen_fd, SHUT_RDWR);
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  // 2. Unblock connection readers; their flush waits cover queued work.
+  for (Impl::Conn& c : conns) ::shutdown(c.fd, SHUT_RD);
+  for (Impl::Conn& c : conns)
+    if (c.thread.joinable()) c.thread.join();
+  // 3. Finish anything still in the pool (responses already flushed or
+  //    their connections gone), then release the path.
+  impl_->service.drain();
+  ::unlink(impl_->path.c_str());
+}
+
+const std::string& Server::socket_path() const { return impl_->path; }
+
+Service& Server::service() { return impl_->service; }
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(socket_path.size() < sizeof(addr.sun_path), "svc",
+          "socket path too long: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  require(fd_ >= 0, "svc", std::string("socket(): ") + std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    fail("svc", "connect(" + socket_path + "): " + std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response Client::roundtrip(const Request& req) {
+  write_frame(fd_, req.to_json());
+  std::string payload;
+  require(read_frame(fd_, payload), "svc", "server closed the connection");
+  Response resp;
+  std::string error;
+  require(Response::from_json(payload, resp, &error), "svc",
+          "malformed response: " + error);
+  return resp;
+}
+
+std::vector<Response> Client::batch(std::vector<Request> reqs) {
+  for (const Request& r : reqs) write_frame(fd_, r.to_json());
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  for (std::size_t i = 0; i < reqs.size(); ++i) by_id.emplace(reqs[i].id, i);
+  require(by_id.size() == reqs.size(), "svc", "batch request ids must be distinct");
+
+  std::vector<Response> out(reqs.size());
+  std::vector<bool> answered(reqs.size(), false);
+  for (std::size_t n = 0; n < reqs.size(); ++n) {
+    std::string payload;
+    require(read_frame(fd_, payload), "svc",
+            "server closed the connection mid-batch");
+    Response resp;
+    std::string error;
+    require(Response::from_json(payload, resp, &error), "svc",
+            "malformed response: " + error);
+    auto it = by_id.find(resp.id);
+    std::size_t slot;
+    if (it != by_id.end() && !answered[it->second]) {
+      slot = it->second;
+    } else {
+      // Undecodable request frames echo id 0: attribute to the first
+      // request still waiting.
+      slot = 0;
+      while (slot < answered.size() && answered[slot]) ++slot;
+      require(slot < answered.size(), "svc", "more responses than requests");
+    }
+    answered[slot] = true;
+    out[slot] = std::move(resp);
+  }
+  return out;
+}
+
+int run_daemon(const ServerOptions& opt, bool quiet) {
+  // Block the shutdown signals *before* the server spawns its threads, so
+  // every thread inherits the mask and sigwait below is the sole receiver.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  try {
+    Server server(opt);
+    if (!quiet)
+      std::fprintf(stderr, "dhpfd: listening on %s (%d worker%s)\n",
+                   server.socket_path().c_str(), server.service().workers(),
+                   server.service().workers() == 1 ? "" : "s");
+    int sig = 0;
+    sigwait(&mask, &sig);
+    if (!quiet)
+      std::fprintf(stderr, "dhpfd: caught %s, draining\n",
+                   sig == SIGTERM ? "SIGTERM" : "SIGINT");
+    server.stop();
+    if (!quiet)
+      std::fprintf(stderr, "dhpfd: %s\n", server.service().stats_json().c_str());
+  } catch (const dhpf::Error& e) {
+    std::fprintf(stderr, "dhpfd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace dhpf::svc

@@ -1,0 +1,378 @@
+#include "svc/service.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "codegen/driver.hpp"
+#include "exec/machine.hpp"
+#include "hpf/parser.hpp"
+#include "model/model.hpp"
+#include "support/diagnostics.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "trace/trace.hpp"
+#include "tune/tune.hpp"
+#include "verify/plan.hpp"
+#include "verify/verify.hpp"
+
+namespace dhpf::svc {
+
+namespace {
+
+int resolve_workers(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hc = std::thread::hardware_concurrency();
+  const int n = hc == 0 ? 1 : static_cast<int>(hc);
+  return n < 1 ? 1 : (n > 8 ? 8 : n);
+}
+
+/// Run the pipeline for one compile/verify/model request and package every
+/// product into one cache value. Failures are packaged too (they are as
+/// deterministic as successes, so caching them is sound and keeps a bad
+/// program from re-paying compile cost per retry).
+CachedResultPtr run_pipeline(const Request& req) {
+  auto out = std::make_shared<CachedResult>();
+  bool parsed = false;
+  try {
+    hpf::Program prog = hpf::parse(req.source);
+    parsed = true;
+    if (!req.grid.empty()) {
+      require(!prog.grids().empty(), "svc",
+              "grid override given but the program declares no processor grid");
+      prog.grids().front()->extents = req.grid;
+    }
+    const codegen::CompileResult compiled =
+        codegen::compile(prog, req.flags.sopt, req.flags.copt);
+    out->listing = compiled.listing;
+    out->report_json = compiled.report.to_json();
+    const verify::CompiledPlan bound = verify::bind(prog, compiled.cps, compiled.plan);
+    out->verify_json = verify::check(bound).to_json();
+    const exec::Machine machine = exec::Machine::sp2();
+    const model::ModelParams mparams = model::ModelParams::from_machine(machine);
+    out->model_json =
+        model::predict(prog, compiled.cps, compiled.plan, machine).to_json(mparams);
+  } catch (const dhpf::Error& e) {
+    out->ok = false;
+    out->error_code =
+        static_cast<int>(parsed ? ErrorCode::CompileError : ErrorCode::ParseError);
+    out->error = e.what();
+  } catch (const std::exception& e) {
+    out->ok = false;
+    out->error_code = static_cast<int>(ErrorCode::Internal);
+    out->error = e.what();
+  }
+  return out;
+}
+
+CachedResultPtr run_tune(const Request& req) {
+  auto out = std::make_shared<CachedResult>();
+  bool parsed = false;
+  try {
+    hpf::Program prog = hpf::parse(req.source);
+    parsed = true;
+    if (!req.grid.empty()) {
+      require(!prog.grids().empty(), "svc",
+              "grid override given but the program declares no processor grid");
+      prog.grids().front()->extents = req.grid;
+    }
+    tune::TuneOptions topt;
+    topt.measure_top_k = req.tune_measure;
+    out->tune_json = tune::tune(prog, topt).to_json();
+  } catch (const dhpf::Error& e) {
+    out->ok = false;
+    out->error_code =
+        static_cast<int>(parsed ? ErrorCode::CompileError : ErrorCode::ParseError);
+    out->error = e.what();
+  } catch (const std::exception& e) {
+    out->ok = false;
+    out->error_code = static_cast<int>(ErrorCode::Internal);
+    out->error = e.what();
+  }
+  return out;
+}
+
+/// Copy the cached products a given request kind asked for into a response.
+void project(const Request& req, const CachedResult& value, Response& resp) {
+  resp.ok = value.ok;
+  resp.code = value.ok ? ErrorCode::None : static_cast<ErrorCode>(value.error_code);
+  resp.error = value.error;
+  if (!value.ok) return;
+  switch (req.kind) {
+    case Kind::Compile:
+      resp.listing = value.listing;
+      resp.report_json = value.report_json;
+      break;
+    case Kind::Verify:
+      resp.verify_json = value.verify_json;
+      break;
+    case Kind::Model:
+      resp.model_json = value.model_json;
+      break;
+    case Kind::Tune:
+      resp.tune_json = value.tune_json;
+      break;
+    case Kind::Stats:
+      break;
+  }
+}
+
+std::string grid_part(const std::vector<int>& grid) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (i) os << 'x';
+    os << grid[i];
+  }
+  return os.str();
+}
+
+}  // namespace
+
+CacheKey request_key(const Request& req) {
+  // compile/verify/model share one pipeline execution (and thus one cache
+  // entry); tune is its own class because measure_top_k changes the product.
+  const bool is_tune = req.kind == Kind::Tune;
+  const std::string grid = grid_part(req.grid);
+  const std::string tail =
+      is_tune ? "tune:" + std::to_string(req.tune_measure) : "pipeline";
+  return content_hash({req.source, req.flags.canonical(), grid, tail});
+}
+
+struct Service::Impl {
+  explicit Impl(const ServiceOptions& opt)
+      : cache(opt.enable_cache ? (opt.cache_entries == 0 ? 1 : opt.cache_entries) : 0),
+        pool(resolve_workers(opt.workers), [](int worker) {
+          trace::Recorder& rec = trace::Recorder::global();
+          if (rec.enabled())
+            rec.set_thread_label("svc-worker" + std::to_string(worker), 1000 + worker);
+        }) {}
+
+  ResultCache cache;
+  exec::ThreadPool pool;
+  std::atomic<bool> draining{false};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> by_kind[5] = {};
+
+  void execute(const Request& req, std::uint64_t enqueue_ns,
+               std::function<void(Response)>& done);
+  Response run_request(const Request& req);
+};
+
+Service::Service(const ServiceOptions& opt) : impl_(std::make_unique<Impl>(opt)) {}
+
+Service::~Service() {
+  impl_->draining.store(true, std::memory_order_relaxed);
+  impl_->pool.drain();
+}
+
+/// Worker-side request execution: trace spans, cache probe/fill/coalesce,
+/// per-request metrics registry, timing.
+void Service::Impl::execute(const Request& req, std::uint64_t enqueue_ns,
+                            std::function<void(Response)>& done) {
+  trace::Recorder& rec = trace::Recorder::global();
+  const std::uint64_t start_ns = rec.now_ns();
+  if (rec.enabled()) {
+    static const trace::NameId kQueueWait = rec.intern("svc.queue_wait");
+    rec.record_complete(kQueueWait, trace::Kind::Wait, enqueue_ns, start_ns);
+  }
+
+  Response resp = run_request(req);
+
+  resp.queue_seconds = static_cast<double>(start_ns - enqueue_ns) / 1e9;
+  resp.service_seconds = static_cast<double>(rec.now_ns() - start_ns) / 1e9;
+  (resp.ok ? ok : errors).fetch_add(1, std::memory_order_relaxed);
+  done(std::move(resp));
+}
+
+Response Service::Impl::run_request(const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  resp.kind = req.kind;
+  requests.fetch_add(1, std::memory_order_relaxed);
+  by_kind[static_cast<int>(req.kind)].fetch_add(1, std::memory_order_relaxed);
+
+  if (req.kind == Kind::Stats) {
+    resp.ok = true;
+    resp.code = ErrorCode::None;
+    // stats_json needs the Service facade; filled by the caller shim below.
+    return resp;
+  }
+  if (req.source.empty()) {
+    resp.ok = false;
+    resp.code = ErrorCode::BadRequest;
+    resp.error = "empty program source";
+    return resp;
+  }
+
+  // Per-request metrics isolation: every counter and pass timer bumped
+  // while this request runs lands in a registry that dies with the request.
+  obs::Registry request_registry;
+  obs::ScopedRegistry scoped(request_registry);
+
+  const auto runner = req.kind == Kind::Tune ? run_tune : run_pipeline;
+
+  if (req.no_cache) {
+    DHPF_TRACE_SPAN("svc.compile", trace::Kind::Phase);
+    project(req, *runner(req), resp);
+    return resp;
+  }
+
+  const CacheKey key = request_key(req);
+  for (;;) {
+    ResultCache::Probe probe;
+    {
+      DHPF_TRACE_SPAN("svc.cache_probe", trace::Kind::Phase);
+      probe = cache.probe(key);
+    }
+    if (probe.hit) {
+      resp.cached = true;
+      project(req, *probe.hit, resp);
+      return resp;
+    }
+    if (probe.must_fill) {
+      CachedResultPtr value;
+      {
+        DHPF_TRACE_SPAN("svc.compile", trace::Kind::Phase);
+        value = runner(req);
+      }
+      cache.fill(key, value);
+      project(req, *value, resp);
+      return resp;
+    }
+    // A fill for this key is in flight: coalesce onto it.
+    if (CachedResultPtr value = ResultCache::wait(probe.pending)) {
+      resp.cached = true;
+      project(req, *value, resp);
+      return resp;
+    }
+    // Filler abandoned (should not happen: runners never throw) — retry.
+  }
+}
+
+Response Service::handle(const Request& req) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  Response out;
+  submit(req, [&](Response r) {
+    std::lock_guard<std::mutex> lock(mu);
+    out = std::move(r);
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return out;
+}
+
+void Service::submit(Request req, std::function<void(Response)> done) {
+  if (impl_->draining.load(std::memory_order_relaxed)) {
+    impl_->rejected.fetch_add(1, std::memory_order_relaxed);
+    Response resp;
+    resp.id = req.id;
+    resp.kind = req.kind;
+    resp.ok = false;
+    resp.code = ErrorCode::Shutdown;
+    resp.error = "service is draining";
+    done(std::move(resp));
+    return;
+  }
+  const std::uint64_t enqueue_ns = trace::Recorder::global().now_ns();
+  Impl* impl = impl_.get();
+  impl->pool.submit(
+      [impl, this, req = std::move(req), enqueue_ns, done = std::move(done)]() mutable {
+        // Stats requests snapshot through the facade (needs `this`); the
+        // shim keeps Impl::run_request free of a back-pointer.
+        std::function<void(Response)> finish = [this, &req,
+                                                &done](Response resp) {
+          if (req.kind == Kind::Stats && resp.ok) resp.stats_json = stats_json();
+          done(std::move(resp));
+        };
+        impl->execute(req, enqueue_ns, finish);
+      });
+}
+
+std::vector<Response> Service::handle_batch(const std::vector<Request>& batch) {
+  std::vector<Response> out(batch.size());
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = batch.size();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    submit(batch[i], [&, i](Response r) {
+      std::lock_guard<std::mutex> lock(mu);
+      out[i] = std::move(r);
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining == 0; });
+  return out;
+}
+
+void Service::begin_drain() { impl_->draining.store(true, std::memory_order_relaxed); }
+
+bool Service::draining() const {
+  return impl_->draining.load(std::memory_order_relaxed);
+}
+
+void Service::drain() { impl_->pool.drain(); }
+
+Service::Stats Service::stats() const {
+  Stats s;
+  s.requests = impl_->requests.load(std::memory_order_relaxed);
+  s.ok = impl_->ok.load(std::memory_order_relaxed);
+  s.errors = impl_->errors.load(std::memory_order_relaxed);
+  s.rejected = impl_->rejected.load(std::memory_order_relaxed);
+  for (int i = 0; i < 5; ++i)
+    s.by_kind[i] = impl_->by_kind[i].load(std::memory_order_relaxed);
+  s.cache = impl_->cache.stats();
+  s.pool = impl_->pool.stats();
+  s.workers = impl_->pool.workers();
+  return s;
+}
+
+std::string Service::stats_json() const {
+  const Stats s = stats();
+  json::Writer w(/*pretty=*/false);
+  w.begin_object();
+  w.member("requests", s.requests);
+  w.member("ok", s.ok);
+  w.member("errors", s.errors);
+  w.member("rejected", s.rejected);
+  w.key("by_kind");
+  w.begin_object();
+  for (int i = 0; i < 5; ++i)
+    w.member(to_string(static_cast<Kind>(i)), s.by_kind[i]);
+  w.end_object();
+  w.key("cache");
+  w.begin_object();
+  w.member("hits", s.cache.hits);
+  w.member("misses", s.cache.misses);
+  w.member("coalesced", s.cache.coalesced);
+  w.member("evictions", s.cache.evictions);
+  w.member("entries", static_cast<std::uint64_t>(s.cache.entries));
+  w.member("bytes", static_cast<std::uint64_t>(s.cache.bytes));
+  w.member("capacity", static_cast<std::uint64_t>(s.cache.capacity));
+  w.end_object();
+  w.key("pool");
+  w.begin_object();
+  w.member("workers", s.workers);
+  w.member("submitted", s.pool.submitted);
+  w.member("executed", s.pool.executed);
+  w.member("stolen", s.pool.stolen);
+  w.member("queue_depth", static_cast<std::uint64_t>(s.pool.queue_depth));
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+int Service::workers() const { return impl_->pool.workers(); }
+
+}  // namespace dhpf::svc

@@ -1,0 +1,102 @@
+// dhpf::svc::Service — the re-entrant, caching compile service.
+//
+// One Service owns a work-stealing thread pool (exec::ThreadPool) and a
+// content-hash result cache (svc::ResultCache). Requests enter through
+// submit() (async, callback on a worker thread), handle() (synchronous
+// wrapper), or handle_batch() (fan out a batch, preserve order). The socket
+// server (server.hpp) and the in-process client used by tests are both thin
+// shims over this class, so every transport exercises one execution path.
+//
+// Per-request isolation: each executing request gets a fresh obs::Registry
+// installed as the thread's current registry (obs::ScopedRegistry), so the
+// pass timers and counters of concurrent compiles never interleave — the
+// compile report a request returns is attributed to that request alone.
+// The pipeline itself is re-entrant (no mutable globals; see
+// codegen::CompileContext), which is what makes N workers safe.
+//
+// Caching: compile/verify/model requests share one cache entry per
+// (source, flags, grid) — the pipeline produces all three products in one
+// run, so a verify request warms the cache for the model request that
+// follows. Tune results are keyed separately (they embed measurement
+// configuration). `no_cache` bypasses probe and fill. Identical concurrent
+// requests coalesce onto one execution (ResultCache's pending tickets).
+//
+// Tracing: when dhpf::trace is enabled, every request contributes
+// svc.queue_wait (submit -> worker pickup; stamped across threads),
+// svc.cache_probe, and svc.compile spans to the worker's flight recorder,
+// merged into the same Chrome-trace export as compiler passes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/pool.hpp"
+#include "svc/cache.hpp"
+#include "svc/request.hpp"
+
+namespace dhpf::svc {
+
+struct ServiceOptions {
+  /// Worker threads. 0 = hardware concurrency, clamped to [1, 8].
+  int workers = 0;
+  /// Result-cache capacity in entries. Ignored when !enable_cache.
+  std::size_t cache_entries = 1024;
+  bool enable_cache = true;
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceOptions& opt = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Execute one request synchronously (runs on a pool worker; the calling
+  /// thread blocks). Never throws: failures come back as ok=false responses.
+  Response handle(const Request& req);
+
+  /// Execute asynchronously; `done` runs on the worker that finished the
+  /// request. `done` must not throw.
+  void submit(Request req, std::function<void(Response)> done);
+
+  /// Execute a batch concurrently; responses come back in request order.
+  std::vector<Response> handle_batch(const std::vector<Request>& batch);
+
+  /// Stop accepting work: subsequent requests answer ErrorCode::Shutdown
+  /// immediately. Already-queued requests still execute (graceful drain).
+  void begin_drain();
+  [[nodiscard]] bool draining() const;
+
+  /// Block until every submitted request has completed.
+  void drain();
+
+  struct Stats {
+    std::uint64_t requests = 0;  ///< accepted (excludes shutdown rejections)
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t rejected = 0;  ///< answered Shutdown while draining
+    std::uint64_t by_kind[5] = {0, 0, 0, 0, 0};  ///< indexed by Kind
+    ResultCache::Stats cache;
+    exec::ThreadPool::Stats pool;
+    int workers = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  /// The `stats` request payload: the same numbers as a JSON document.
+  [[nodiscard]] std::string stats_json() const;
+
+  [[nodiscard]] int workers() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The cache key of a request (exposed for tests: two requests compile
+/// identically iff their keys are equal).
+CacheKey request_key(const Request& req);
+
+}  // namespace dhpf::svc

@@ -198,6 +198,22 @@ void Recorder::end_span() {
   r.push(e);
 }
 
+std::uint64_t Recorder::now_ns() const { return trace::now_ns(); }
+
+void Recorder::record_complete(NameId name, Kind kind, std::uint64_t start_ns,
+                               std::uint64_t end_ns) {
+  if (!enabled()) return;
+  detail::Ring& r = my_ring();
+  Event e;
+  e.start_ns = start_ns;
+  e.end_ns = std::max(end_ns, start_ns);
+  e.seq = r.next_seq++;
+  e.name = name;
+  e.depth = static_cast<std::uint16_t>(r.stack.size());
+  e.kind = kind;
+  r.push(e);
+}
+
 void Recorder::set_thread_label(std::string label, int sort_key) {
   detail::Ring& r = my_ring();
   detail::RecorderState& s = detail::state();

@@ -125,6 +125,18 @@ class Recorder {
   void begin_span(NameId name, Kind kind);
   void end_span();
 
+  /// Nanoseconds since the process-wide trace epoch (the clock spans are
+  /// stamped with). For record_complete timestamps taken on another thread.
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Record an already-finished span [start_ns, end_ns] on the calling
+  /// thread's ring at the current nesting depth. Used for intervals whose
+  /// start happened on a different thread (e.g. the compile service's
+  /// svc.queue_wait: enqueue is stamped by the submitter, the span is
+  /// recorded by the worker at dequeue). No-op when tracing is disabled.
+  void record_complete(NameId name, Kind kind, std::uint64_t start_ns,
+                       std::uint64_t end_ns);
+
   /// Label the calling thread's ring ("rank3", "compiler", ...). sort_key
   /// orders threads in drains/exports (mp ranks pass their rank; default -1
   /// threads sort after ranks, alphabetically).

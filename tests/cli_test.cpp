@@ -38,6 +38,8 @@ TEST(Cli, EveryFlagParsesWithAnExampleValue) {
     if (arg == "--fuzz-seed=S") arg = "--fuzz-seed=7";
     if (arg == "--fuzz-out=DIR") arg = "--fuzz-out=out";
     if (arg == "--fuzz-corpus=DIR") arg = "--fuzz-corpus=corpus";
+    if (arg == "--svc-workers=N") arg = "--svc-workers=4";
+    if (arg == "--svc-cache=N") arg = "--svc-cache=256";
     ParseResult r = parse_args({arg, "prog.hpf"});
     EXPECT_TRUE(r.ok()) << arg << ": " << r.error;
   }
@@ -67,6 +69,27 @@ TEST(Cli, FlagsSetTheirOptions) {
   EXPECT_EQ(r.opts.xopt.backend, exec::Backend::Mp);
   EXPECT_TRUE(r.opts.verify);
   EXPECT_EQ(r.opts.report_json, "-");
+}
+
+TEST(Cli, ServiceFlags) {
+  // --serve needs no input file (the daemon has no positional argument).
+  ParseResult serve = parse_args({"--serve=/tmp/d.sock", "--svc-workers=4",
+                                  "--svc-cache=64", "--quiet"});
+  ASSERT_TRUE(serve.ok()) << serve.error;
+  EXPECT_EQ(serve.opts.serve_socket, "/tmp/d.sock");
+  EXPECT_EQ(serve.opts.svc_workers, 4);
+  EXPECT_EQ(serve.opts.svc_cache, 64);
+
+  // --server is a per-request pass-through and still wants an input.
+  ParseResult client = parse_args({"--server=/tmp/d.sock", "x.hpf"});
+  ASSERT_TRUE(client.ok()) << client.error;
+  EXPECT_EQ(client.opts.server_socket, "/tmp/d.sock");
+  EXPECT_EQ(client.opts.input, "x.hpf");
+  EXPECT_FALSE(parse_args({"--server=/tmp/d.sock"}).ok());
+
+  EXPECT_FALSE(parse_args({"--serve=", "x.hpf"}).ok());
+  EXPECT_FALSE(parse_args({"--svc-workers=-1", "x.hpf"}).ok());
+  EXPECT_FALSE(parse_args({"--svc-cache=nope", "x.hpf"}).ok());
 }
 
 TEST(Cli, ModelAndTuneFlags) {
