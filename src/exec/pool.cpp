@@ -32,19 +32,19 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(Job job) {
   std::size_t target;
-  if (g_my_pool == this && g_my_worker >= 0) {
-    target = static_cast<std::size_t>(g_my_worker);
-  } else {
+  {
+    // Count the job *before* it becomes runnable: a worker may pop and
+    // finish it the instant it hits the queue, and drain() must never
+    // observe executed_ > submitted_ (early return / missed wakeup).
     std::lock_guard<std::mutex> lock(mu_);
-    target = next_queue_++ % queues_.size();
+    ++submitted_;
+    target = (g_my_pool == this && g_my_worker >= 0)
+                 ? static_cast<std::size_t>(g_my_worker)
+                 : next_queue_++ % queues_.size();
   }
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mu);
     queues_[target]->jobs.push_back(std::move(job));
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++submitted_;
   }
   work_cv_.notify_one();
 }

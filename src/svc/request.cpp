@@ -5,6 +5,7 @@
 #include <functional>
 #include <sstream>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "support/diagnostics.hpp"
@@ -199,7 +200,8 @@ bool Request::from_json(const std::string& doc, Request& out, std::string* error
     r.no_cache = nc->boolean;
   }
   if (const json::Value* tm = v.find("tune_measure")) {
-    if (tm->kind != json::Value::Kind::Number || tm->num < 0 || tm->num > 48)
+    if (tm->kind != json::Value::Kind::Number || tm->num < 0 || tm->num > 48 ||
+        tm->num != static_cast<double>(static_cast<int>(tm->num)))
       return bad("tune_measure must be an integer in [0, 48]");
     r.tune_measure = static_cast<int>(tm->num);
   }
@@ -366,7 +368,10 @@ void write_frame(int fd, const std::string& payload) {
   const std::string frame = encode_frame(payload);
   std::size_t sent = 0;
   while (sent < frame.size()) {
-    const ssize_t r = ::write(fd, frame.data() + sent, frame.size() - sent);
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface as
+    // EPIPE, not deliver SIGPIPE and kill the whole process.
+    const ssize_t r =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
     if (r < 0) {
       if (errno == EINTR) continue;
       fail("svc", std::string("write: ") + std::strerror(errno));

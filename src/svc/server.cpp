@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <condition_variable>
 #include <cstring>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -58,16 +59,19 @@ struct Server::Impl {
   int listen_fd = -1;
   std::thread accept_thread;
 
-  std::mutex mu;  ///< guards conns (fds + threads) and stopped
+  std::mutex mu;  ///< guards conns (fds + done flags) and stopped
   struct Conn {
-    int fd;
+    int fd = -1;      ///< -1 once the serve thread has closed it
+    bool done = false; ///< serve thread finished (fd closed); safe to join
     std::thread thread;
   };
-  std::vector<Conn> conns;
+  // std::list: serve threads hold references to their own entry, so node
+  // addresses must survive insertion and reaping of other entries.
+  std::list<Conn> conns;
   bool stopped = false;
 
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(Conn& conn);
 };
 
 void Server::Impl::accept_loop() {
@@ -82,11 +86,25 @@ void Server::Impl::accept_loop() {
       ::close(fd);
       return;
     }
-    conns.push_back(Conn{fd, std::thread([this, fd] { serve_connection(fd); })});
+    // Reap finished connections here so the list stays bounded by the
+    // number of *live* connections over the daemon's lifetime.
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->done) {
+        if (it->thread.joinable()) it->thread.join();
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    conns.emplace_back();
+    Conn& conn = conns.back();
+    conn.fd = fd;
+    conn.thread = std::thread([this, &conn] { serve_connection(conn); });
   }
 }
 
-void Server::Impl::serve_connection(int fd) {
+void Server::Impl::serve_connection(Conn& conn) {
+  const int fd = conn.fd;
   // Responses are written by whichever worker finishes the request, so the
   // write side is serialized; in-flight completions are counted so the
   // reader can't outlive a pending callback's write.
@@ -148,10 +166,17 @@ void Server::Impl::serve_connection(int fd) {
 
   // Flush: wait for every accepted request's response to be written (or
   // dropped on a broken pipe) before closing the descriptor.
-  std::unique_lock<std::mutex> lock(wire->mu);
-  wire->cv.wait(lock, [&] { return wire->inflight == 0; });
+  {
+    std::unique_lock<std::mutex> lock(wire->mu);
+    wire->cv.wait(lock, [&] { return wire->inflight == 0; });
+  }
+  // Close and retire the entry under impl->mu: once fd is -1, stop() knows
+  // the descriptor is gone and will not shutdown() a recycled fd number.
+  std::lock_guard<std::mutex> lock(mu);
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
+  conn.fd = -1;
+  conn.done = true;
 }
 
 Server::Server(const ServerOptions& opt) : impl_(std::make_unique<Impl>(opt)) {
@@ -162,12 +187,10 @@ Server::Server(const ServerOptions& opt) : impl_(std::make_unique<Impl>(opt)) {
 Server::~Server() { stop(); }
 
 void Server::stop() {
-  std::vector<Impl::Conn> conns;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     if (impl_->stopped) return;
     impl_->stopped = true;
-    conns.swap(impl_->conns);
   }
   // 1. Stop accepting: new requests (on still-open connections) answer
   //    Shutdown; the closed listener ends the accept thread.
@@ -175,13 +198,24 @@ void Server::stop() {
   if (impl_->listen_fd >= 0) {
     ::shutdown(impl_->listen_fd, SHUT_RDWR);
     ::close(impl_->listen_fd);
-    impl_->listen_fd = -1;
   }
   if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  // Written only after the join: the accept loop reads listen_fd unlocked.
+  impl_->listen_fd = -1;
   // 2. Unblock connection readers; their flush waits cover queued work.
-  for (Impl::Conn& c : conns) ::shutdown(c.fd, SHUT_RD);
-  for (Impl::Conn& c : conns)
+  //    A finished serve thread has already set its fd to -1 under mu, so a
+  //    descriptor number the kernel recycled is never shut down here.
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (Impl::Conn& c : impl_->conns)
+      if (!c.done && c.fd >= 0) ::shutdown(c.fd, SHUT_RD);
+  }
+  // Join without holding mu (serve threads take it to retire their entry).
+  // The accept thread is gone and serve threads never add or remove list
+  // nodes, so iterating unlocked is safe.
+  for (Impl::Conn& c : impl_->conns)
     if (c.thread.joinable()) c.thread.join();
+  impl_->conns.clear();
   // 3. Finish anything still in the pool (responses already flushed or
   //    their connections gone), then release the path.
   impl_->service.drain();
@@ -257,6 +291,9 @@ std::vector<Response> Client::batch(std::vector<Request> reqs) {
 }
 
 int run_daemon(const ServerOptions& opt, bool quiet) {
+  // A client that disconnects mid-response must not take down the daemon
+  // (write_frame also passes MSG_NOSIGNAL; this covers any other fd write).
+  ::signal(SIGPIPE, SIG_IGN);
   // Block the shutdown signals *before* the server spawns its threads, so
   // every thread inherits the mask and sigwait below is the sole receiver.
   sigset_t mask;

@@ -42,8 +42,15 @@ CachedResultPtr run_pipeline(const Request& req) {
     hpf::Program prog = hpf::parse(req.source);
     parsed = true;
     if (!req.grid.empty()) {
-      require(!prog.grids().empty(), "svc",
-              "grid override given but the program declares no processor grid");
+      if (prog.grids().empty()) {
+        // Request-validation failure, not a compile failure of the program:
+        // classify as BadRequest (still cached — the verdict is a pure
+        // function of source × grid, so caching it is sound).
+        out->ok = false;
+        out->error_code = static_cast<int>(ErrorCode::BadRequest);
+        out->error = "grid override given but the program declares no processor grid";
+        return out;
+      }
       prog.grids().front()->extents = req.grid;
     }
     const codegen::CompileResult compiled =
@@ -76,8 +83,15 @@ CachedResultPtr run_tune(const Request& req) {
     hpf::Program prog = hpf::parse(req.source);
     parsed = true;
     if (!req.grid.empty()) {
-      require(!prog.grids().empty(), "svc",
-              "grid override given but the program declares no processor grid");
+      if (prog.grids().empty()) {
+        // Request-validation failure, not a compile failure of the program:
+        // classify as BadRequest (still cached — the verdict is a pure
+        // function of source × grid, so caching it is sound).
+        out->ok = false;
+        out->error_code = static_cast<int>(ErrorCode::BadRequest);
+        out->error = "grid override given but the program declares no processor grid";
+        return out;
+      }
       prog.grids().front()->extents = req.grid;
     }
     tune::TuneOptions topt;

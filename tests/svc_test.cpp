@@ -99,6 +99,14 @@ TEST(SvcProtocol, MalformedRequestRejected) {
   // Grid extents out of range.
   EXPECT_FALSE(svc::Request::from_json(
       R"({"kind":"compile","source":"s","grid":[0]})", req, &error));
+  // Non-integer values are rejected, not silently truncated — for the grid
+  // and for tune_measure alike.
+  EXPECT_FALSE(svc::Request::from_json(
+      R"({"kind":"compile","source":"s","grid":[1.5]})", req, &error));
+  EXPECT_FALSE(svc::Request::from_json(
+      R"({"kind":"tune","source":"s","tune_measure":1.5})", req, &error));
+  EXPECT_FALSE(svc::Request::from_json(
+      R"({"kind":"tune","source":"s","tune_measure":49})", req, &error));
 }
 
 TEST(SvcProtocol, ErrorCodeNamesAreStable) {
@@ -313,6 +321,25 @@ TEST(SvcService, ErrorsAreCodedAndCached) {
     EXPECT_EQ(grid_resp.code, svc::ErrorCode::CompileError);
     EXPECT_FALSE(grid_resp.error.empty());
   }
+
+  // A grid override on a program that declares no processor grid is a
+  // request problem (BadRequest), not a compile failure of the program.
+  const char kNoGrid[] = R"(
+    array a(8)
+    procedure main()
+      do i = 1, 8
+        a(i) = a(i)
+      enddo
+    end
+  )";
+  for (svc::Kind kind : {svc::Kind::Compile, svc::Kind::Tune}) {
+    svc::Request no_grid = make_req(kind, kNoGrid);
+    no_grid.grid = {2};
+    const svc::Response override_resp = service.handle(no_grid);
+    EXPECT_FALSE(override_resp.ok);
+    EXPECT_EQ(override_resp.code, svc::ErrorCode::BadRequest);
+    EXPECT_FALSE(override_resp.error.empty());
+  }
 }
 
 TEST(SvcService, StatsRequestReportsCounters) {
@@ -464,6 +491,24 @@ TEST(ExecPool, JobsMaySubmitJobs) {
     });
   pool.drain();
   EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ExecPool, DrainRacesWithSubmit) {
+  // Regression: submit() must count a job before it becomes runnable, or a
+  // worker can finish it first (executed_ > submitted_ transiently) and a
+  // concurrent drain() waiter misses its wakeup or returns early.
+  for (int round = 0; round < 50; ++round) {
+    exec::ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::thread submitter([&pool, &ran] {
+      for (int i = 0; i < 64; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+    });
+    pool.drain();  // races the submitter: must neither hang nor crash
+    submitter.join();
+    pool.drain();  // every job counted by now: all must have executed
+    EXPECT_EQ(ran.load(), 64);
+    EXPECT_EQ(pool.stats().queue_depth, 0u);
+  }
 }
 
 // ------------------------------------------------------------- stress
