@@ -21,6 +21,8 @@
 #include "cli/cli.hpp"
 #include "codegen/driver.hpp"
 #include "fuzz/campaign.hpp"
+#include "lint/lint.hpp"
+#include "lint/mutate.hpp"
 #include "model/calibrate.hpp"
 #include "model/model.hpp"
 #include "support/buildinfo.hpp"
@@ -97,6 +99,25 @@ int main(int argc, char** argv) {
       base.source = src.str();
       base.flags.sopt = o.sopt;
       base.flags.copt = o.copt;
+      if (o.lint) {
+        // Lint-only pass-through: the analyzer reads the source, so no
+        // compile request rides along.
+        base.kind = svc::Kind::Lint;
+        base.id = 1;
+        const svc::Response resp = client.roundtrip(base);
+        if (!resp.ok) {
+          std::fprintf(stderr, "dhpfc: server: [%s] %s\n", svc::to_string(resp.code),
+                       resp.error.c_str());
+          return 1;
+        }
+        std::printf("---- lint (%s) ----\n%s\n", resp.cached ? "cached" : "analyzed",
+                    resp.lint_json.c_str());
+        // The frame codec re-emits JSON compactly, so match both spacings.
+        const bool errs =
+            resp.lint_json.find("\"severity\":\"error\"") != std::string::npos ||
+            resp.lint_json.find("\"severity\": \"error\"") != std::string::npos;
+        return errs ? 2 : 0;
+      }
       base.kind = svc::Kind::Compile;
       base.id = batch.size() + 1;
       batch.push_back(base);
@@ -142,6 +163,7 @@ int main(int argc, char** argv) {
             std::printf("\n---- autotuner ----\n%s\n", resp.tune_json.c_str());
             break;
           case svc::Kind::Stats:
+          case svc::Kind::Lint:
             break;
         }
       }
@@ -212,6 +234,58 @@ int main(int argc, char** argv) {
   }
   std::ostringstream src;
   src << in.rdbuf();
+
+  if (o.lint || o.lint_selftest) {
+    // Lint mode analyzes the source program; nothing is compiled or run.
+    // Exit codes: 0 clean (warnings allowed), 1 parse error or escaped
+    // self-test defect, 2 error-severity findings.
+    try {
+      int rc = 0;
+      if (o.lint) {
+        const lint::Report rep = lint::run_source(src.str());
+        if (!o.quiet || !rep.clean())
+          std::printf("---- lint ----\n%s", rep.to_string().c_str());
+        if (!o.report_json.empty()) {
+          json::Writer w(/*pretty=*/true);
+          w.begin_object();
+          w.member("input", o.input);
+          w.key("build");
+          w.raw(buildinfo::to_json());
+          w.key("lint");
+          w.raw(rep.to_json());
+          w.end_object();
+          const std::string doc = w.str() + "\n";
+          if (o.report_json == "-") {
+            std::fputs(doc.c_str(), stdout);
+          } else {
+            std::ofstream out(o.report_json);
+            if (!out) {
+              std::fprintf(stderr, "dhpfc: cannot write %s\n", o.report_json.c_str());
+              return 1;
+            }
+            out << doc;
+          }
+        }
+        if (!rep.clean()) rc = 2;
+      }
+      if (o.lint_selftest) {
+        const lint::HarnessResult h = lint::run_harness(src.str());
+        std::printf("\n---- lint self-test (fault injection) ----\n");
+        for (const auto& line : h.lines) std::printf("  %s\n", line.c_str());
+        std::printf("  %zu/%zu seeded defects caught\n", h.caught, h.seeded);
+        if (!h.all_caught()) {
+          std::fprintf(stderr, "dhpfc: lint-selftest: %zu seeded defect(s) escaped\n",
+                       h.seeded - h.caught);
+          rc = 1;
+        }
+      }
+      if (!write_trace()) return 1;
+      return rc;
+    } catch (const dhpf::Error& e) {
+      std::fprintf(stderr, "dhpfc: %s\n", e.what());
+      return 1;
+    }
+  }
 
   try {
     hpf::Program prog;

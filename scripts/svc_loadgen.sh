@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Compile-service load generator / end-to-end smoke: start dhpfd on a fresh
-# Unix socket, push `passes` passes of mixed compile+verify+model requests
-# through `dhpfc --server` (the checked-in example programs are the load),
-# then SIGTERM the daemon and check its drain-time stats: every request
-# answered, none rejected, and the cache actually hit — within one pass the
-# verify and model requests reuse the compile's pipeline entry, and every
-# later pass is pure hits.
+# Unix socket, push `passes` passes of mixed compile+verify+model+lint
+# requests through `dhpfc --server` (the checked-in example programs are the
+# load), then SIGTERM the daemon and check its drain-time stats: every
+# request answered, none rejected, and the cache actually hit — within one
+# pass the verify and model requests reuse the compile's pipeline entry,
+# the lint request fills its own source-keyed entry, and every later pass
+# is pure hits.
 #
 # usage: scripts/svc_loadgen.sh [build-dir] [passes]   (defaults: build, 2)
 set -euo pipefail
@@ -43,10 +44,13 @@ done
 [[ -S "$sock" ]] || { echo "svc_loadgen: daemon never bound $sock" >&2; exit 1; }
 
 inputs=("$repo_dir"/examples/sample.hpf "$repo_dir"/examples/nas/*.hpf)
-echo "svc_loadgen: $passes pass(es) x ${#inputs[@]} program(s) x 3 requests"
+echo "svc_loadgen: $passes pass(es) x ${#inputs[@]} program(s) x 4 requests"
 for pass in $(seq 1 "$passes"); do
   for f in "${inputs[@]}"; do
     "$dhpfc" --quiet --server="$sock" --verify --model-report "$f" > /dev/null
+    # Lint rides as its own request class (the example programs are clean,
+    # so --lint exits 0 here).
+    "$dhpfc" --quiet --server="$sock" --lint "$f" > /dev/null
   done
   echo "  pass $pass done"
 done
@@ -64,14 +68,17 @@ python3 - "$passes" "${#inputs[@]}" "$stats" <<'EOF' || { cat "$log" >&2; exit 1
 import json, sys
 stats = json.loads(sys.argv[3])
 passes, nprog = int(sys.argv[1]), int(sys.argv[2])
-expect = passes * nprog * 3  # compile + verify + model per program per pass
+expect = passes * nprog * 4  # compile + verify + model + lint per program per pass
 assert stats["requests"] == expect, (stats["requests"], expect)
 assert stats["errors"] == 0 and stats["rejected"] == 0, stats
+assert stats["by_kind"]["lint"] == passes * nprog, stats["by_kind"]
 cache = stats["cache"]
-assert cache["misses"] == nprog, cache  # one pipeline run per program
+# One pipeline run plus one lint run per program (the lint entry is keyed
+# by source alone, so every pass after the first hits it too).
+assert cache["misses"] == nprog * 2, cache
 # A batch's verify/model requests either hit the compile's entry or coalesce
 # onto its in-flight fill; later passes are pure hits.
-assert cache["hits"] + cache["coalesced"] == expect - nprog, cache
-assert cache["hits"] >= (passes - 1) * nprog * 3, cache
+assert cache["hits"] + cache["coalesced"] == expect - nprog * 2, cache
+assert cache["hits"] >= (passes - 1) * nprog * 4, cache
 EOF
-echo "svc_loadgen: ok ($((passes * ${#inputs[@]} * 3)) requests, cache behaved)"
+echo "svc_loadgen: ok ($((passes * ${#inputs[@]} * 4)) requests, cache behaved)"

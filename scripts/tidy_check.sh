@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# clang-tidy gate over the tracked C++ sources, using the curated profile
+# in .clang-tidy (bugprone/performance/concurrency families; see the
+# comment there). Needs a compile database: pass a build dir configured
+# with CMAKE_EXPORT_COMPILE_COMMANDS=ON (the script re-configures the
+# given dir with it when compile_commands.json is missing).
+#
+# Exits 0 with a notice when clang-tidy is not installed, so machines
+# without the tool (the dev container included) still run the rest of the
+# build; CI installs it and enforces the gate.
+#
+# usage: scripts/tidy_check.sh [build-dir] [file...]   (default: build, all
+#        tracked .cpp under src/)
+set -u
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy_check: clang-tidy not found; skipping (install it to enable)"
+  exit 0
+fi
+
+build_dir=${1:-build}
+shift || true
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "tidy_check: no $build_dir/compile_commands.json — configuring"
+  cmake -B "$build_dir" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "tidy_check: configure did not produce compile_commands.json" >&2
+  exit 1
+fi
+
+if [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  # Library sources only: tests lean on gtest macros that trip bugprone
+  # checks by design, and generated/third-party code has no say here.
+  mapfile -t files < <(git ls-files 'src/*.cpp')
+fi
+
+status=0
+failed=0
+for f in "${files[@]}"; do
+  if ! clang-tidy -p "$build_dir" --quiet "$f" 2>/dev/null; then
+    echo "tidy_check: findings in $f"
+    status=1
+    failed=$((failed + 1))
+  fi
+done
+
+if [[ "$status" -eq 0 ]]; then
+  echo "tidy_check: ${#files[@]} file(s) clean"
+else
+  echo "tidy_check: findings in $failed of ${#files[@]} file(s)" >&2
+fi
+exit "$status"

@@ -152,6 +152,63 @@ std::vector<DepEdge> dependences_in_loop(const hpf::Loop& scope,
   return edges;
 }
 
+std::vector<RefDep> ref_dependences_in_loop(const hpf::Loop& scope,
+                                            const std::vector<const hpf::Loop*>& outer_path) {
+  const Params params;
+  const auto accesses = collect_accesses(scope, outer_path);
+  const std::size_t scope_depth = outer_path.size();
+
+  auto var_names = [](const std::vector<const hpf::Loop*>& path) {
+    std::vector<std::string> names;
+    names.reserve(path.size());
+    for (const auto* l : path) names.push_back(l->var);
+    return names;
+  };
+
+  std::vector<RefDep> deps;
+  for (const auto& A : accesses)
+    for (const auto& B : accesses) {
+      if (!A.write && !B.write) continue;
+      if (A.ref->array != B.ref->array) continue;
+      if (&A == &B) continue;
+      const std::size_t nc = common_depth(A.path, B.path);
+      const std::size_t na = A.path.size();
+      BasicSet sys = pair_system(A, B, params);
+
+      auto make = [&](BasicSet constrained, bool li, int level) {
+        if (constrained.is_empty()) return;
+        RefDep d;
+        d.src = A.stmt;
+        d.dst = B.stmt;
+        d.src_ref = A.ref;
+        d.dst_ref = B.ref;
+        d.array = A.ref->array;
+        d.kind = classify(A.write, B.write);
+        d.loop_independent = li;
+        d.carried_level = level;
+        d.src_vars = var_names(A.path);
+        d.dst_vars = var_names(B.path);
+        d.system = Set(std::move(constrained));
+        deps.push_back(std::move(d));
+      };
+
+      if (A.order < B.order) {
+        BasicSet li = sys;
+        for (std::size_t d = 0; d < nc; ++d)
+          li.add(Constraint::eq0(li.expr_var(d) - li.expr_var(na + d)));
+        make(std::move(li), true, -1);
+      }
+      for (std::size_t lvl = scope_depth; lvl < nc; ++lvl) {
+        BasicSet cd = sys;
+        for (std::size_t d = 0; d < lvl; ++d)
+          cd.add(Constraint::eq0(cd.expr_var(d) - cd.expr_var(na + d)));
+        cd.add(Constraint::ge0(cd.expr_var(na + lvl) - cd.expr_var(lvl) - cd.expr_const(1)));
+        make(std::move(cd), false, static_cast<int>(lvl - scope_depth));
+      }
+    }
+  return deps;
+}
+
 std::vector<DepEdge> loop_independent_deps(const hpf::Loop& scope,
                                            const std::vector<const hpf::Loop*>& outer_path) {
   auto all = dependences_in_loop(scope, outer_path);

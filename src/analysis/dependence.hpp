@@ -37,6 +37,33 @@ struct DepEdge {
 std::vector<DepEdge> dependences_in_loop(const hpf::Loop& scope,
                                          const std::vector<const hpf::Loop*>& outer_path);
 
+/// A dependence at reference granularity: the conflicting reference pair
+/// plus the full constrained dependence system (iteration bounds, subscript
+/// equality, the carried-level / lexical-order constraints), so clients can
+/// extract a concrete witness iteration pair with Set::sample — dhpf::lint
+/// uses this to print "iterations (i,j)=(2,3) and (3,3) touch a(3,3)".
+struct RefDep {
+  const hpf::Stmt* src = nullptr;  ///< executes first
+  const hpf::Stmt* dst = nullptr;
+  const hpf::Ref* src_ref = nullptr;
+  const hpf::Ref* dst_ref = nullptr;
+  const hpf::Array* array = nullptr;
+  DepKind kind = DepKind::Flow;
+  bool loop_independent = false;
+  int carried_level = -1;  ///< 0 = carried by `scope` (when !loop_independent)
+  std::vector<std::string> src_vars;  ///< source iteration variables
+  std::vector<std::string> dst_vars;  ///< destination iteration variables
+  /// System over (src_vars ++ dst_vars); non-empty iff the dependence
+  /// exists. Rationally approximate like all sets — sample() to confirm.
+  iset::Set system = iset::Set::empty(0, {});
+};
+
+/// Reference-pair dependences of `scope`, one RefDep per (src ref, dst ref,
+/// kind, level) with its witness system. Same dependence semantics as
+/// dependences_in_loop (which is the deduplicated statement-level view).
+std::vector<RefDep> ref_dependences_in_loop(const hpf::Loop& scope,
+                                            const std::vector<const hpf::Loop*>& outer_path);
+
 /// Loop-independent dependences only (the §5 grouping input).
 std::vector<DepEdge> loop_independent_deps(const hpf::Loop& scope,
                                            const std::vector<const hpf::Loop*>& outer_path);

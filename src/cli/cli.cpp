@@ -85,6 +85,18 @@ std::vector<OptionSpec> make_table() {
                    "run the fault-injection harness: seed defects into the plan and "
                    "require the verifier to catch every one",
                    [](Options& o) { o.verify_selftest = true; }));
+  t.push_back(flag("--lint",
+                   "run the source-level static analyzer (static races in INDEPENDENT "
+                   "loops, uninitialized reads of local arrays, subscript bounds, dead "
+                   "stores, distribution conformance) instead of compiling; "
+                   "error-severity findings exit 2",
+                   [](Options& o) { o.lint = true; }));
+  t.push_back(flag("--lint-selftest",
+                   "run the lint fault-injection harness: seed source-level defects "
+                   "(dropped inits, widened subscripts, false INDEPENDENT, "
+                   "misalignments, killed stores) and require the linter to catch "
+                   "every one",
+                   [](Options& o) { o.lint_selftest = true; }));
   t.push_back(flag("--model-report",
                    "print the analytic cost-model prediction for the compiled plan "
                    "(predicted wall time, per-statement and per-event costs)",
@@ -275,7 +287,8 @@ std::string usage_text() {
     }
     out << "\n";
   }
-  out << "\nexit codes: 0 success, 1 compile/run/verification failure, 2 usage error\n";
+  out << "\nexit codes: 0 success, 1 compile/run/verification failure, 2 usage error\n"
+         "            (--lint also exits 2 when error-severity findings exist)\n";
   return out.str();
 }
 

@@ -28,6 +28,8 @@ struct Options {
   bool help = false;
   bool verify = false;           ///< run the static verifier over the plan
   bool verify_selftest = false;  ///< run the fault-injection harness
+  bool lint = false;             ///< run the source linter instead of compiling
+  bool lint_selftest = false;    ///< run the lint fault-injection harness
   bool model_report = false;     ///< print the analytic cost-model prediction
   bool tune = false;             ///< run the variant autotuner
   int tune_measure = 3;          ///< measured confirmations beyond the default

@@ -1,5 +1,7 @@
 #include "fuzz/diff.hpp"
 
+#include "lint/lint.hpp"
+
 #include <algorithm>
 #include <cstring>
 #include <set>
@@ -31,6 +33,7 @@ const char* to_string(FailKind k) {
     case FailKind::SimMismatch: return "sim-mismatch";
     case FailKind::MpMismatch: return "mp-mismatch";
     case FailKind::ModelCommMismatch: return "model-comm-mismatch";
+    case FailKind::LintFalsePositive: return "lint-false-positive";
   }
   return "?";
 }
@@ -152,6 +155,21 @@ DiffResult run_differential(const std::string& source, std::uint64_t seed,
       serial = codegen::interpret_serial(prog);
     } catch (const dhpf::Error& e) {
       return fail(FailKind::SerialError, "", shape, e.what());
+    }
+
+    if (opt.check_lint) {
+      // Error-severity lint findings carry exact witnesses, so any error on
+      // a program the serial oracle just executed is a lint false positive.
+      const lint::Report lrep = lint::run(prog);
+      if (lrep.errors() > 0) {
+        std::string detail;
+        for (const auto& d : lrep.diagnostics) {
+          if (d.severity != lint::Severity::Error) continue;
+          detail = d.to_string();
+          break;
+        }
+        return fail(FailKind::LintFalsePositive, "", shape, detail);
+      }
     }
 
     // Variant sub-sampling is seeded per (case, shape) — deterministic, and

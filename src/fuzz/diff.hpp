@@ -43,6 +43,7 @@ enum class FailKind {
   SimMismatch,        ///< sim result != serial oracle (bitwise)
   MpMismatch,         ///< mp result != serial oracle (bitwise)
   ModelCommMismatch,  ///< model's messages/bytes != simulator's measured
+  LintFalsePositive,  ///< dhpf::lint reported an error on a valid program
 };
 
 const char* to_string(FailKind k);
@@ -60,6 +61,10 @@ struct DiffOptions {
   int mp_variants = 2;
   bool run_mp = true;
   bool check_model = true;
+  /// Lint every (program, shape): a generated-valid program must produce
+  /// zero error-severity findings (dhpf::lint's witnesses are exact, so an
+  /// error on a program whose serial oracle runs is a lint bug).
+  bool check_lint = true;
 };
 
 /// One structured failure. `signature()` identifies the failure class for

@@ -138,15 +138,21 @@ void Program::number_statements() {
   }
 }
 
+SrcLoc stmt_loc(const Stmt& s) {
+  if (s.is_assign()) return s.assign().loc;
+  if (s.is_call()) return s.call().loc;
+  return s.loop().loc;
+}
+
 StmtPtr make_assign(Ref lhs, std::vector<Ref> rhs, double cst) {
   auto s = std::make_unique<Stmt>();
-  s->node = Assign{std::move(lhs), std::move(rhs), cst, -1};
+  s->node = Assign{std::move(lhs), std::move(rhs), cst, -1, SrcLoc{}};
   return s;
 }
 
 StmtPtr make_call(std::string callee, std::vector<Ref> args) {
   auto s = std::make_unique<Stmt>();
-  s->node = Call{std::move(callee), std::move(args), -1};
+  s->node = Call{std::move(callee), std::move(args), -1, SrcLoc{}};
   return s;
 }
 

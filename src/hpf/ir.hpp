@@ -24,6 +24,20 @@
 
 namespace dhpf::hpf {
 
+/// Source position of a construct in the HPF-lite text (1-based). The
+/// parser fills these; IR built programmatically (builders, tests) leaves
+/// them at the invalid default, and diagnostics degrade gracefully.
+struct SrcLoc {
+  int line = 0;
+  int col = 0;
+
+  [[nodiscard]] bool valid() const { return line > 0; }
+  [[nodiscard]] std::string to_string() const {
+    return valid() ? std::to_string(line) + ":" + std::to_string(col) : "?:?";
+  }
+  [[nodiscard]] bool operator==(const SrcLoc&) const = default;
+};
+
 // --------------------------------------------------------------- symbols
 
 /// A PROCESSORS grid; ranks are linearized row-major.
@@ -67,6 +81,11 @@ struct Array {
   std::string name;
   std::vector<int> extents;  // index range per dim: 0 .. extent-1
   DistSpec dist;
+  /// Declared `local`: scratch storage with no live-in/live-out values.
+  /// Every read must be preceded by a write (dhpf::lint checks this), and
+  /// its final values are not program outputs.
+  bool local_scratch = false;
+  SrcLoc loc;  ///< declaration site
 
   [[nodiscard]] int rank() const { return static_cast<int>(extents.size()); }
   [[nodiscard]] bool distributed() const { return dist.distributed(); }
@@ -96,6 +115,7 @@ struct Subscript {
 struct Ref {
   const Array* array = nullptr;
   std::vector<Subscript> subs;
+  SrcLoc loc;  ///< position of the array name in the source text
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -114,6 +134,7 @@ struct Assign {
   std::vector<Ref> rhs;
   double cst = 0.0;  // distinguishes statements in verification
   int id = -1;
+  SrcLoc loc;
 };
 
 /// Call of a leaf procedure with array-reference arguments (the paper's
@@ -123,6 +144,7 @@ struct Call {
   std::string callee;
   std::vector<Ref> args;
   int id = -1;
+  SrcLoc loc;
 };
 
 struct Loop {
@@ -132,6 +154,7 @@ struct Loop {
   std::vector<std::string> new_vars;       // HPF NEW: privatizable in this loop
   std::vector<std::string> localize_vars;  // dHPF LOCALIZE (paper §4.2)
   std::vector<StmtPtr> body;
+  SrcLoc loc;
 };
 
 struct Stmt {
@@ -147,6 +170,9 @@ struct Stmt {
   [[nodiscard]] Call& call() { return std::get<Call>(node); }
   [[nodiscard]] const Call& call() const { return std::get<Call>(node); }
 };
+
+/// Source location of whatever kind of statement this is.
+SrcLoc stmt_loc(const Stmt& s);
 
 struct Procedure {
   std::string name;

@@ -16,6 +16,9 @@ struct Token {
   std::string text;
   long value = 0;
   int line = 0;
+  int col = 0;
+
+  [[nodiscard]] SrcLoc loc() const { return SrcLoc{line, col}; }
 };
 
 class Lexer {
@@ -31,7 +34,8 @@ class Lexer {
   }
 
   [[noreturn]] void error(const std::string& msg) const {
-    fail("hpf-parser", "line " + std::to_string(cur_.line) + ": " + msg +
+    fail("hpf-parser", "line " + std::to_string(cur_.line) + ", col " +
+                           std::to_string(cur_.col) + ": " + msg +
                            (cur_.kind == Token::End ? " (at end of input)"
                                                     : " (at '" + cur_.text + "')"));
   }
@@ -43,6 +47,7 @@ class Lexer {
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '#' || (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/')) {
@@ -53,6 +58,7 @@ class Lexer {
     }
     cur_ = Token{};
     cur_.line = line_;
+    cur_.col = static_cast<int>(pos_ - line_start_) + 1;
     if (pos_ >= src_.size()) return;
     const char c = src_[pos_];
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
@@ -78,6 +84,7 @@ class Lexer {
 
   const std::string& src_;
   std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;
   int line_ = 1;
   Token cur_;
 };
@@ -159,6 +166,7 @@ class Parser {
   }
 
   void parse_array() {
+    const SrcLoc loc = lex_.peek().loc();
     const std::string name = expect_ident();
     std::vector<int> extents = int_list_paren();
     DistSpec dist;
@@ -190,7 +198,10 @@ class Parser {
       auto off = int_list_paren();
       dist.template_offset.assign(off.begin(), off.end());
     }
-    prog_.add_array(name, std::move(extents), std::move(dist));
+    const bool local_scratch = accept_ident("local");
+    Array* a = prog_.add_array(name, std::move(extents), std::move(dist));
+    a->local_scratch = local_scratch;
+    a->loc = loc;
   }
 
   Subscript parse_affine() {
@@ -223,11 +234,13 @@ class Parser {
   }
 
   Ref parse_ref() {
+    const SrcLoc loc = lex_.peek().loc();
     const std::string name = expect_ident();
     Array* a = prog_.find_array(name);
     if (!a) lex_.error("unknown array '" + name + "'");
     Ref r;
     r.array = a;
+    r.loc = loc;
     expect_punct("(");
     if (!accept_punct(")")) {
       do {
@@ -240,8 +253,9 @@ class Parser {
     return r;
   }
 
-  StmtPtr parse_do() {
+  StmtPtr parse_do(SrcLoc loc) {
     Loop l;
+    l.loc = loc;
     if (accept_punct("[")) {
       do {
         const std::string attr = expect_ident();
@@ -289,9 +303,10 @@ class Parser {
         lex_.next();
         return body;
       }
+      const SrcLoc stmt_begin = lex_.peek().loc();
       if (word == "do") {
         lex_.next();
-        body.push_back(parse_do());
+        body.push_back(parse_do(stmt_begin));
       } else if (word == "call") {
         lex_.next();
         const std::string callee = expect_ident();
@@ -304,6 +319,7 @@ class Parser {
           expect_punct(")");
         }
         body.push_back(make_call(callee, std::move(args)));
+        body.back()->call().loc = stmt_begin;
       } else {
         Ref lhs = parse_ref();
         expect_punct("=");
@@ -320,6 +336,7 @@ class Parser {
           if (!accept_punct("+")) break;
         }
         body.push_back(make_assign(std::move(lhs), std::move(rhs), cst));
+        body.back()->assign().loc = stmt_begin;
       }
     }
   }

@@ -116,6 +116,7 @@ std::string to_source(const Program& prog) {
       out << " offset ";
       print_int_list(out, a->dist.template_offset);
     }
+    if (a->local_scratch) out << " local";
     out << "\n";
   }
   for (const auto& p : prog.procedures()) {

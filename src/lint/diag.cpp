@@ -1,0 +1,215 @@
+#include "lint/diag.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "support/json.hpp"
+
+namespace dhpf::lint {
+
+const char* code_id(Code c) {
+  switch (c) {
+    case Code::StaticRace: return "DHPF-L001";
+    case Code::UninitRead: return "DHPF-L002";
+    case Code::OutOfBounds: return "DHPF-L003";
+    case Code::DeadStore: return "DHPF-L004";
+    case Code::AlignConformance: return "DHPF-L005";
+    case Code::EmptyBlock: return "DHPF-L006";
+    case Code::NonPrivatizable: return "DHPF-L007";
+  }
+  return "DHPF-L???";
+}
+
+const char* code_name(Code c) {
+  switch (c) {
+    case Code::StaticRace: return "static-race";
+    case Code::UninitRead: return "uninit-read";
+    case Code::OutOfBounds: return "out-of-bounds";
+    case Code::DeadStore: return "dead-store";
+    case Code::AlignConformance: return "align-conformance";
+    case Code::EmptyBlock: return "empty-block";
+    case Code::NonPrivatizable: return "non-privatizable";
+  }
+  return "?";
+}
+
+const char* to_string(Severity s) { return s == Severity::Error ? "error" : "warning"; }
+
+namespace {
+
+void print_tuple(std::ostringstream& out, const std::vector<iset::i64>& xs) {
+  out << "(";
+  for (std::size_t i = 0; i < xs.size(); ++i) out << (i ? "," : "") << xs[i];
+  out << ")";
+}
+
+void print_names(std::ostringstream& out, const std::vector<std::string>& xs) {
+  out << "(";
+  for (std::size_t i = 0; i < xs.size(); ++i) out << (i ? "," : "") << xs[i];
+  out << ")";
+}
+
+}  // namespace
+
+std::string Witness::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  if (has_iter) {
+    if (!iter_names.empty()) {
+      print_names(out, iter_names);
+      out << "=";
+    } else {
+      out << "iteration ";
+    }
+    print_tuple(out, iter);
+    if (has_iter2) {
+      out << " and ";
+      print_tuple(out, iter2);
+    }
+    first = false;
+  }
+  if (has_element) {
+    if (!first) out << " at ";
+    out << "element ";
+    print_tuple(out, element);
+  }
+  return out.str();
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream out;
+  out << loc.to_string() << ": " << lint::to_string(severity) << ": " << code_id(code) << " ["
+      << code_name(code) << "]: " << message;
+  const std::string w = witness.to_string();
+  if (!w.empty()) out << " [" << w << "]";
+  return out.str();
+}
+
+std::size_t Report::errors() const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) n += d.severity == Severity::Error;
+  return n;
+}
+
+std::size_t Report::warnings() const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) n += d.severity == Severity::Warning;
+  return n;
+}
+
+std::vector<const Diagnostic*> Report::by_code(Code c) const {
+  std::vector<const Diagnostic*> out;
+  for (const auto& d : diagnostics)
+    if (d.code == c) out.push_back(&d);
+  return out;
+}
+
+bool Report::has(Code c, Severity s) const {
+  for (const auto& d : diagnostics)
+    if (d.code == c && d.severity == s) return true;
+  return false;
+}
+
+void Report::sort() {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tuple(a.loc.line, a.loc.col, static_cast<int>(a.code),
+                                       a.message) < std::tuple(b.loc.line, b.loc.col,
+                                                               static_cast<int>(b.code),
+                                                               b.message);
+                   });
+}
+
+std::string Report::to_string() const {
+  std::ostringstream out;
+  for (const auto& d : diagnostics) {
+    out << d.to_string() << "\n";
+    if (!d.snippet.empty()) out << d.snippet << "\n";
+  }
+  out << errors() << " error(s), " << warnings() << " warning(s), " << checks_run
+      << " check(s) run\n";
+  return out.str();
+}
+
+std::string Report::to_json() const {
+  json::Writer w(/*pretty=*/true);
+  w.begin_object();
+  w.member("errors", static_cast<std::uint64_t>(errors()));
+  w.member("warnings", static_cast<std::uint64_t>(warnings()));
+  w.member("checks_run", static_cast<std::uint64_t>(checks_run));
+  w.key("diagnostics");
+  w.begin_array();
+  for (const auto& d : diagnostics) {
+    w.begin_object();
+    w.member("code", code_id(d.code));
+    w.member("name", code_name(d.code));
+    w.member("severity", lint::to_string(d.severity));
+    w.member("line", d.loc.line);
+    w.member("col", d.loc.col);
+    w.member("message", d.message);
+    if (!d.array.empty()) w.member("array", d.array);
+    if (!d.witness.empty()) {
+      w.key("witness");
+      w.begin_object();
+      if (d.witness.has_iter) {
+        if (!d.witness.iter_names.empty()) {
+          w.key("iter_names");
+          w.begin_array();
+          for (const auto& n : d.witness.iter_names) w.value(n);
+          w.end_array();
+        }
+        w.key("iteration");
+        w.begin_array();
+        for (auto v : d.witness.iter) w.value(static_cast<std::int64_t>(v));
+        w.end_array();
+      }
+      if (d.witness.has_iter2) {
+        w.key("iteration2");
+        w.begin_array();
+        for (auto v : d.witness.iter2) w.value(static_cast<std::int64_t>(v));
+        w.end_array();
+      }
+      if (d.witness.has_element) {
+        w.key("element");
+        w.begin_array();
+        for (auto v : d.witness.element) w.value(static_cast<std::int64_t>(v));
+        w.end_array();
+      }
+      w.end_object();
+    }
+    if (!d.snippet.empty()) w.member("snippet", d.snippet);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string caret_snippet(const std::string& source, hpf::SrcLoc loc) {
+  if (!loc.valid()) return {};
+  int line = 1;
+  std::size_t start = 0;
+  while (line < loc.line) {
+    const std::size_t nl = source.find('\n', start);
+    if (nl == std::string::npos) return {};
+    start = nl + 1;
+    ++line;
+  }
+  std::size_t end = source.find('\n', start);
+  if (end == std::string::npos) end = source.size();
+  const std::string text = source.substr(start, end - start);
+  if (static_cast<std::size_t>(loc.col) > text.size() + 1) return {};
+  std::string out = "  " + text + "\n  ";
+  for (int i = 1; i < loc.col; ++i)
+    out += (text[static_cast<std::size_t>(i - 1)] == '\t') ? '\t' : ' ';
+  out += "^";
+  return out;
+}
+
+void add_snippets(Report& report, const std::string& source) {
+  for (auto& d : report.diagnostics)
+    if (d.snippet.empty()) d.snippet = caret_snippet(source, d.loc);
+}
+
+}  // namespace dhpf::lint

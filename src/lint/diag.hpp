@@ -1,0 +1,99 @@
+// dhpf::lint diagnostics: structured findings with stable codes, severity,
+// source locations, concrete witnesses, caret snippets, and a JSON form.
+//
+// Every check in lint.hpp reports through this layer. Codes are stable
+// (DHPF-L001..) so tooling and the golden tests can match on them; the
+// catalog with one minimal triggering program per code lives in
+// docs/linter.md. Ordering is canonical (location, then code, then
+// message), which is what makes linter output byte-identical across runs —
+// tests/lint_test.cpp pins that.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hpf/ir.hpp"
+#include "iset/set.hpp"
+
+namespace dhpf::lint {
+
+/// The check catalog. Numbering is part of the contract: a code never
+/// changes meaning, and retired codes are not reused.
+enum class Code {
+  StaticRace = 1,      ///< DHPF-L001: carried dependence in an INDEPENDENT loop
+  UninitRead = 2,      ///< DHPF-L002: read of a `local` array before any write
+  OutOfBounds = 3,     ///< DHPF-L003: subscript provably outside the extent
+  DeadStore = 4,       ///< DHPF-L004: store killed before any read
+  AlignConformance = 5,///< DHPF-L005: template extents disagree on a grid dim
+  EmptyBlock = 6,      ///< DHPF-L006: BLOCK distribution leaves ranks empty
+  NonPrivatizable = 7, ///< DHPF-L007: NEW/LOCALIZE names a bad/unproven array
+};
+
+enum class Severity { Error, Warning };
+
+/// "DHPF-L001" etc.
+const char* code_id(Code c);
+/// Short kebab-case name: "static-race" etc.
+const char* code_name(Code c);
+const char* to_string(Severity s);
+
+/// Concrete evidence attached to a finding. Which fields are set depends on
+/// the code: a race carries two iteration vectors and the touched element;
+/// uninit-read and out-of-bounds carry an element (and one iteration).
+struct Witness {
+  std::vector<std::string> iter_names;  ///< loop variables, outer..inner
+  std::vector<iset::i64> iter;          ///< first iteration vector
+  std::vector<iset::i64> iter2;         ///< second iteration (races only)
+  std::vector<iset::i64> element;       ///< array element tuple
+  bool has_iter = false;
+  bool has_iter2 = false;
+  bool has_element = false;
+
+  [[nodiscard]] bool empty() const { return !has_iter && !has_element; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct Diagnostic {
+  Code code = Code::StaticRace;
+  Severity severity = Severity::Error;
+  hpf::SrcLoc loc;          ///< anchor in the source text (may be invalid)
+  std::string message;      ///< one-line claim, location/code not included
+  std::string array;        ///< array the finding is about (may be empty)
+  Witness witness;
+  std::string snippet;      ///< caret snippet; filled when source is known
+
+  /// "12:5: error: DHPF-L001 [static-race]: <message> [witness]"
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t checks_run = 0;  ///< individual (loop/ref/array) checks
+
+  [[nodiscard]] std::size_t errors() const;
+  [[nodiscard]] std::size_t warnings() const;
+  [[nodiscard]] bool clean() const { return errors() == 0; }
+  [[nodiscard]] std::vector<const Diagnostic*> by_code(Code c) const;
+  [[nodiscard]] bool has(Code c, Severity s) const;
+
+  /// Canonical order: (line, col, code, message). Called by lint::run;
+  /// idempotent.
+  void sort();
+
+  /// Human-readable listing (with caret snippets when filled) plus the
+  /// "N errors, M warnings" trailer.
+  [[nodiscard]] std::string to_string() const;
+  /// Machine-readable form (embedded in dhpfc's --report-json document).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Fill each diagnostic's caret snippet from the original source text:
+/// the source line followed by a '^' marker line at the column.
+void add_snippets(Report& report, const std::string& source);
+
+/// The snippet for one location ("  <line text>\n  ^" style); empty when
+/// the location is invalid or past the end of the text.
+std::string caret_snippet(const std::string& source, hpf::SrcLoc loc);
+
+}  // namespace dhpf::lint

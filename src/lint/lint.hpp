@@ -1,0 +1,63 @@
+// dhpf::lint — source-level static analysis over the HPF-lite IR.
+//
+// The verifier (dhpf::verify) proves properties of the *compiled plan*;
+// this pass analyzes the *input program*, before any compilation, with the
+// same integer-set machinery (dhpf::iset via analysis/sets.hpp and
+// analysis/dependence.hpp). Seven checks:
+//
+//   DHPF-L001 static-race        — a loop marked INDEPENDENT has a
+//                                  dependence carried by that loop on an
+//                                  array not declared NEW/LOCALIZE; the
+//                                  witness is a concrete pair of iteration
+//                                  vectors touching the same element.
+//   DHPF-L002 uninit-read        — an element of a `local` (scratch) array
+//                                  is read before any statement writes it.
+//   DHPF-L003 out-of-bounds      — a subscript provably escapes the
+//                                  declared extent for some in-bounds
+//                                  iteration (exact, per dimension).
+//   DHPF-L004 dead-store         — a top-level nest's stores to an array
+//                                  are completely overwritten before any
+//                                  read (warning).
+//   DHPF-L005 align-conformance  — two arrays BLOCK-distributed on the
+//                                  same grid dimension imply different
+//                                  template extents (extent + offset).
+//   DHPF-L006 empty-block        — a BLOCK distribution assigns some ranks
+//                                  an empty block (warning).
+//   DHPF-L007 non-privatizable   — NEW/LOCALIZE names an unknown array, or
+//                                  a NEW array reads an element its
+//                                  iteration did not first write.
+//
+// Soundness direction (same contract as dhpf::verify): error-severity
+// findings carry a concrete witness extracted with exact Set::sample, so
+// they are true positives; a symbolically non-empty system that cannot be
+// sampled is reported as a warning. A clean run over a valid program is an
+// empirical claim, tested by linting every fuzz-generated program
+// (tests/lint_fuzz_test.cpp) and every seeded defect (lint/mutate.hpp).
+#pragma once
+
+#include <string>
+
+#include "hpf/ir.hpp"
+#include "lint/diag.hpp"
+
+namespace dhpf::lint {
+
+struct LintOptions {
+  bool check_race = true;          ///< DHPF-L001
+  bool check_uninit = true;        ///< DHPF-L002
+  bool check_bounds = true;        ///< DHPF-L003
+  bool check_dead_store = true;    ///< DHPF-L004
+  bool check_distribution = true;  ///< DHPF-L005, DHPF-L006
+  bool check_privatizable = true;  ///< DHPF-L007
+};
+
+/// Run all enabled checks over a parsed program. Diagnostics come back in
+/// canonical order; snippets are empty (the caller has the source text —
+/// see run_source / add_snippets).
+Report run(const hpf::Program& prog, const LintOptions& opt = {});
+
+/// Parse + run + fill caret snippets. Throws dhpf::Error on a parse error
+/// (a program that does not parse has no lint report).
+Report run_source(const std::string& source, const LintOptions& opt = {});
+
+}  // namespace dhpf::lint

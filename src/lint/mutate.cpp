@@ -1,0 +1,565 @@
+#include "lint/mutate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "analysis/dependence.hpp"
+#include "analysis/sets.hpp"
+#include "hpf/parser.hpp"
+#include "hpf/printer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf::lint {
+
+using analysis::IterSpace;
+using analysis::iteration_space;
+using analysis::subscript_map;
+using hpf::Array;
+using hpf::Loop;
+using hpf::Procedure;
+using hpf::Program;
+using hpf::Ref;
+using hpf::Stmt;
+using hpf::StmtPtr;
+using hpf::Subscript;
+using iset::Params;
+using iset::Set;
+
+const char* to_string(Mutation m) {
+  switch (m) {
+    case Mutation::DropInit: return "drop-init";
+    case Mutation::WidenSubscript: return "widen-subscript";
+    case Mutation::BreakIndependent: return "break-independent";
+    case Mutation::FalseIndependent: return "false-independent";
+    case Mutation::Misalign: return "misalign";
+    case Mutation::KillStore: return "kill-store";
+  }
+  return "?";
+}
+
+Code MutationSite::expected_code() const {
+  switch (kind) {
+    case Mutation::DropInit: return Code::UninitRead;
+    case Mutation::WidenSubscript: return Code::OutOfBounds;
+    case Mutation::BreakIndependent:
+    case Mutation::FalseIndependent: return Code::StaticRace;
+    case Mutation::Misalign: return Code::AlignConformance;
+    case Mutation::KillStore: return Code::DeadStore;
+  }
+  return Code::StaticRace;
+}
+
+Severity MutationSite::expected_severity() const {
+  return kind == Mutation::KillStore ? Severity::Warning : Severity::Error;
+}
+
+namespace {
+
+// ----------------------------------------------------------- IR utilities
+
+StmtPtr clone_stmt(const Stmt& s) {
+  auto out = std::make_unique<Stmt>();
+  if (s.is_assign()) {
+    out->node = s.assign();
+  } else if (s.is_call()) {
+    out->node = s.call();
+  } else {
+    const Loop& l = s.loop();
+    Loop c;
+    c.var = l.var;
+    c.lo = l.lo;
+    c.hi = l.hi;
+    c.independent = l.independent;
+    c.new_vars = l.new_vars;
+    c.localize_vars = l.localize_vars;
+    c.loc = l.loc;
+    for (const auto& b : l.body) c.body.push_back(clone_stmt(*b));
+    out->node = std::move(c);
+  }
+  return out;
+}
+
+struct LoopAt {
+  Loop* loop = nullptr;
+  std::vector<const Loop*> path;  // enclosing loops
+};
+
+/// All loops of a program in pre-order (across procedures), with paths.
+std::vector<LoopAt> all_loops(Program& prog) {
+  std::vector<LoopAt> out;
+  for (const auto& p : prog.procedures())
+    hpf::walk(p->body, [&](Stmt& s, const std::vector<const Loop*>& path) {
+      if (s.is_loop()) out.push_back(LoopAt{&s.loop(), path});
+    });
+  return out;
+}
+
+hpf::Assign* find_assign(Program& prog, int id) {
+  hpf::Assign* found = nullptr;
+  for (const auto& p : prog.procedures())
+    hpf::walk(p->body, [&](Stmt& s, const std::vector<const Loop*>&) {
+      if (s.is_assign() && s.assign().id == id) found = &s.assign();
+    });
+  return found;
+}
+
+bool subscripts_bound(const IterSpace& is, const Ref& ref) {
+  for (const auto& sub : ref.subs)
+    for (const auto& [name, c] : sub.coef) {
+      if (c == 0) continue;
+      bool found = false;
+      for (const auto& v : is.var_names) found = found || v == name;
+      if (!found) return false;
+    }
+  return true;
+}
+
+/// Element set of a reference under its loop nest; nullopt when the nest or
+/// subscripts are malformed.
+std::optional<Set> elem_set(const std::vector<const Loop*>& path, const Ref& ref) {
+  const Params params;
+  try {
+    const IterSpace is = iteration_space(path, params);
+    if (!subscripts_bound(is, ref)) return std::nullopt;
+    return Set(is.bounds).apply(subscript_map(is, ref.subs, params));
+  } catch (const dhpf::Error&) {
+    return std::nullopt;
+  }
+}
+
+/// References to `arr` inside one top-level subtree: (path, ref, write).
+struct Touch {
+  const Ref* ref = nullptr;
+  std::vector<const Loop*> path;
+  bool write = false;
+};
+
+std::vector<Touch> touches(const Stmt& top, const Array* arr) {
+  std::vector<Touch> out;
+  auto visit = [&](const Stmt& s, std::vector<const Loop*> path) {
+    if (!s.is_assign()) return;
+    const auto& a = s.assign();
+    if (a.lhs.array == arr) out.push_back(Touch{&a.lhs, path, true});
+    for (const auto& r : a.rhs)
+      if (r.array == arr) out.push_back(Touch{&r, path, false});
+  };
+  if (top.is_assign()) {
+    visit(top, {});
+  } else if (top.is_loop()) {
+    hpf::walk(top.loop().body, [&](Stmt& s, const std::vector<const Loop*>& rel) {
+      std::vector<const Loop*> full{&top.loop()};
+      full.insert(full.end(), rel.begin(), rel.end());
+      visit(s, std::move(full));
+    });
+  }
+  return out;
+}
+
+std::set<const Array*> call_touched(const Procedure& proc) {
+  std::set<const Array*> out;
+  hpf::walk(proc.body, [&](Stmt& s, const std::vector<const Loop*>&) {
+    if (s.is_call())
+      for (const auto& a : s.call().args) out.insert(a.array);
+  });
+  return out;
+}
+
+/// The assign BreakIndependent rewires inside loop ordinal `index`: first
+/// (pre-order) assign whose lhs uses the loop variable with coefficient 1
+/// and whose array is not declared NEW/LOCALIZE on the loop. Returns the
+/// dimension used in `*dim`.
+hpf::Assign* break_target(const LoopAt& at, int* dim) {
+  const Loop& loop = *at.loop;
+  std::set<std::string> declared(loop.new_vars.begin(), loop.new_vars.end());
+  declared.insert(loop.localize_vars.begin(), loop.localize_vars.end());
+  hpf::Assign* found = nullptr;
+  hpf::walk(loop.body, [&](Stmt& s, const std::vector<const Loop*>&) {
+    if (found || !s.is_assign()) return;
+    auto& a = s.assign();
+    if (!a.lhs.array || declared.count(a.lhs.array->name)) return;
+    for (std::size_t d = 0; d < a.lhs.subs.size(); ++d) {
+      const auto it = a.lhs.subs[d].coef.find(loop.var);
+      if (it != a.lhs.subs[d].coef.end() && it->second == 1) {
+        found = &a;
+        *dim = static_cast<int>(d);
+        return;
+      }
+    }
+  });
+  return found;
+}
+
+void apply_break_independent(hpf::Assign& a, int dim) {
+  Ref shifted = a.lhs;
+  shifted.subs[static_cast<std::size_t>(dim)].cst -= 1;
+  a.rhs.clear();
+  a.rhs.push_back(std::move(shifted));
+}
+
+/// Does `loop` carry a sampleable level-0 dependence on an undeclared
+/// array? (The concrete gate for both *Independent mutations.)
+bool carries_confirmed_dep(const LoopAt& at) {
+  std::vector<analysis::RefDep> deps;
+  try {
+    deps = analysis::ref_dependences_in_loop(*at.loop, at.path);
+  } catch (const dhpf::Error&) {
+    return false;
+  }
+  std::set<std::string> declared(at.loop->new_vars.begin(), at.loop->new_vars.end());
+  declared.insert(at.loop->localize_vars.begin(), at.loop->localize_vars.end());
+  for (const auto& d : deps) {
+    if (d.loop_independent || d.carried_level != 0) continue;
+    if (declared.count(d.array->name)) continue;
+    if (d.system.sample({})) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<MutationSite> mutation_sites(const std::string& source, Mutation kind) {
+  Program prog = hpf::parse(source);
+  Procedure* main = prog.main();
+  std::vector<MutationSite> sites;
+  if (!main) return sites;
+
+  switch (kind) {
+    case Mutation::DropInit: {
+      // A top-level nest of the main procedure that is the *only* writer of
+      // a local array some other nest reads: dropping it must leave an
+      // uncovered (non-empty, sampleable) read set.
+      const auto called = call_touched(*main);
+      for (const auto& arr : prog.arrays()) {
+        if (!arr->local_scratch || called.count(arr.get())) continue;
+        int writer = -1;
+        bool multiple = false, reads_elsewhere = false;
+        for (std::size_t i = 0; i < main->body.size(); ++i) {
+          bool writes = false;
+          for (const auto& t : touches(*main->body[i], arr.get())) {
+            if (t.write) writes = true;
+          }
+          if (writes) {
+            multiple = multiple || writer >= 0;
+            writer = static_cast<int>(i);
+          }
+        }
+        if (writer < 0 || multiple) continue;
+        for (std::size_t i = 0; i < main->body.size(); ++i) {
+          if (static_cast<int>(i) == writer) continue;
+          for (const auto& t : touches(*main->body[i], arr.get())) {
+            if (t.write) continue;
+            auto es = elem_set(t.path, *t.ref);
+            if (es && es->sample({})) reads_elsewhere = true;
+          }
+        }
+        if (!reads_elsewhere) continue;
+        MutationSite s;
+        s.kind = kind;
+        s.index = writer;
+        s.describe = "drop the nest initializing local array '" + arr->name + "'";
+        sites.push_back(std::move(s));
+      }
+      break;
+    }
+
+    case Mutation::WidenSubscript: {
+      for (const auto& p : prog.procedures())
+        hpf::walk(p->body, [&](Stmt& st, const std::vector<const Loop*>& path) {
+          if (!st.is_assign()) return;
+          const auto& a = st.assign();
+          auto consider = [&](const Ref& r, int ref_ord) {
+            if (!r.array) return;
+            const Params params;
+            try {
+              const IterSpace is = iteration_space(path, params);
+              if (!subscripts_bound(is, r)) return;
+              for (std::size_t d = 0; d < r.subs.size(); ++d) {
+                // After cst += extent the subscript exceeds the extent for
+                // every iteration where it was >= 0; gate on that system
+                // having an integer point.
+                iset::BasicSet sys = is.bounds;
+                sys.add(iset::Constraint::ge0(analysis::subscript_expr(is, r.subs[d], params)));
+                if (!Set(sys).sample({})) continue;
+                MutationSite s;
+                s.kind = kind;
+                s.index = a.id;
+                s.ref = ref_ord;
+                s.dim = static_cast<int>(d);
+                s.describe = "widen subscript " + std::to_string(d + 1) + " of " +
+                             r.to_string() + " in S" + std::to_string(a.id);
+                sites.push_back(std::move(s));
+              }
+            } catch (const dhpf::Error&) {
+            }
+          };
+          consider(a.lhs, 0);
+          for (std::size_t k = 0; k < a.rhs.size(); ++k)
+            consider(a.rhs[k], static_cast<int>(k) + 1);
+        });
+      break;
+    }
+
+    case Mutation::BreakIndependent: {
+      auto loops = all_loops(prog);
+      for (std::size_t i = 0; i < loops.size(); ++i) {
+        if (!loops[i].loop->independent) continue;
+        int dim = -1;
+        hpf::Assign* a = break_target(loops[i], &dim);
+        if (!a) continue;
+        // Gate by actually rewiring a scratch copy of the assign and
+        // checking the loop then carries a confirmed dependence.
+        const auto saved = a->rhs;
+        apply_break_independent(*a, dim);
+        const bool detectable = carries_confirmed_dep(loops[i]);
+        a->rhs = saved;
+        if (!detectable) continue;
+        MutationSite s;
+        s.kind = kind;
+        s.index = static_cast<int>(i);
+        s.dim = dim;
+        s.describe = "read " + a->lhs.array->name + "(" + loops[i].loop->var +
+                     "-1) inside INDEPENDENT loop '" + loops[i].loop->var + "'";
+        sites.push_back(std::move(s));
+      }
+      break;
+    }
+
+    case Mutation::FalseIndependent: {
+      auto loops = all_loops(prog);
+      for (std::size_t i = 0; i < loops.size(); ++i) {
+        if (loops[i].loop->independent) continue;
+        if (!carries_confirmed_dep(loops[i])) continue;
+        MutationSite s;
+        s.kind = kind;
+        s.index = static_cast<int>(i);
+        s.describe = "mark loop '" + loops[i].loop->var +
+                     "' INDEPENDENT despite its carried dependence";
+        sites.push_back(std::move(s));
+      }
+      break;
+    }
+
+    case Mutation::Misalign: {
+      // Grid dim -> arrays BLOCK-distributed on it with implied extents.
+      std::map<int, std::vector<std::pair<const Array*, int>>> by_dim;
+      const auto& arrays = prog.arrays();
+      for (const auto& a : arrays)
+        if (a->dist.grid)
+          for (std::size_t d = 0; d < a->dist.dims.size() && d < a->extents.size(); ++d)
+            if (a->dist.dims[d].kind == hpf::DistKind::Block)
+              by_dim[a->dist.dims[d].proc_dim].emplace_back(
+                  a.get(), a->extents[d] + a->dist.offset(d));
+      for (std::size_t i = 0; i < arrays.size(); ++i) {
+        const Array* a = arrays[i].get();
+        if (!a->dist.grid) continue;
+        for (std::size_t d = 0; d < a->dist.dims.size() && d < a->extents.size(); ++d) {
+          if (a->dist.dims[d].kind != hpf::DistKind::Block) continue;
+          const auto& peers = by_dim[a->dist.dims[d].proc_dim];
+          // Mismatch is guaranteed only when the dim currently conforms and
+          // someone else shares it.
+          bool conforms = peers.size() >= 2;
+          for (const auto& [peer, e] : peers)
+            conforms = conforms && e == a->extents[d] + a->dist.offset(d);
+          if (!conforms) continue;
+          MutationSite s;
+          s.kind = kind;
+          s.index = static_cast<int>(i);
+          s.dim = static_cast<int>(d);
+          s.describe = "bump alignment offset of '" + a->name + "' dim " +
+                       std::to_string(d + 1);
+          sites.push_back(std::move(s));
+        }
+      }
+      break;
+    }
+
+    case Mutation::KillStore: {
+      const auto called = call_touched(*main);
+      for (std::size_t i = 0; i < main->body.size(); ++i) {
+        // A pure store nest: every assign writes the same array, which it
+        // never reads; duplicating the nest right after itself kills the
+        // first copy's stores before any read.
+        const Array* target = nullptr;
+        bool pure = true, any = false;
+        auto visit = [&](const Stmt& s) {
+          if (s.is_call()) pure = false;
+          if (!s.is_assign()) return;
+          const auto& a = s.assign();
+          any = true;
+          if (!target) target = a.lhs.array;
+          if (a.lhs.array != target) pure = false;
+          for (const auto& r : a.rhs) pure = pure && r.array != target;
+        };
+        const Stmt& top = *main->body[i];
+        if (top.is_loop()) {
+          hpf::walk(top.loop().body,
+                    [&](Stmt& s, const std::vector<const Loop*>&) { visit(s); });
+        } else {
+          visit(top);
+        }
+        if (!any || !pure || !target || called.count(target)) continue;
+        const auto ts = touches(top, target);
+        bool sampleable = false;
+        for (const auto& t : ts)
+          if (t.write) {
+            auto es = elem_set(t.path, *t.ref);
+            sampleable = sampleable || (es && es->sample({}));
+          }
+        if (!sampleable) continue;
+        MutationSite s;
+        s.kind = kind;
+        s.index = static_cast<int>(i);
+        s.describe = "duplicate the store nest over '" + target->name +
+                     "' so the first copy is dead";
+        sites.push_back(std::move(s));
+      }
+      break;
+    }
+  }
+  return sites;
+}
+
+std::vector<MutationSite> all_mutation_sites(const std::string& source) {
+  static constexpr Mutation kAll[] = {
+      Mutation::DropInit,         Mutation::WidenSubscript, Mutation::BreakIndependent,
+      Mutation::FalseIndependent, Mutation::Misalign,       Mutation::KillStore,
+  };
+  std::vector<MutationSite> out;
+  for (Mutation m : kAll) {
+    auto sites = mutation_sites(source, m);
+    out.insert(out.end(), sites.begin(), sites.end());
+  }
+  return out;
+}
+
+std::string mutate_source(const std::string& source, const MutationSite& site) {
+  Program prog = hpf::parse(source);
+  Procedure* main = prog.main();
+  require(main != nullptr, "lint-mutate", "program has no procedure");
+
+  switch (site.kind) {
+    case Mutation::DropInit:
+    case Mutation::KillStore: {
+      require(site.index >= 0 && static_cast<std::size_t>(site.index) < main->body.size(),
+              "lint-mutate", "no such body position: " + std::to_string(site.index));
+      if (site.kind == Mutation::DropInit) {
+        main->body.erase(main->body.begin() + site.index);
+      } else {
+        StmtPtr copy = clone_stmt(*main->body[static_cast<std::size_t>(site.index)]);
+        main->body.insert(main->body.begin() + site.index + 1, std::move(copy));
+      }
+      break;
+    }
+    case Mutation::WidenSubscript: {
+      hpf::Assign* a = find_assign(prog, site.index);
+      require(a != nullptr, "lint-mutate", "no assign with id " + std::to_string(site.index));
+      Ref* r = site.ref == 0 ? &a->lhs : &a->rhs.at(static_cast<std::size_t>(site.ref - 1));
+      require(site.dim >= 0 && static_cast<std::size_t>(site.dim) < r->subs.size(),
+              "lint-mutate", "no such subscript dimension");
+      r->subs[static_cast<std::size_t>(site.dim)].cst +=
+          r->array->extents[static_cast<std::size_t>(site.dim)];
+      break;
+    }
+    case Mutation::BreakIndependent: {
+      auto loops = all_loops(prog);
+      require(site.index >= 0 && static_cast<std::size_t>(site.index) < loops.size(),
+              "lint-mutate", "no such loop ordinal");
+      int dim = -1;
+      hpf::Assign* a = break_target(loops[static_cast<std::size_t>(site.index)], &dim);
+      require(a != nullptr, "lint-mutate", "loop has no rewirable assignment");
+      apply_break_independent(*a, dim);
+      break;
+    }
+    case Mutation::FalseIndependent: {
+      auto loops = all_loops(prog);
+      require(site.index >= 0 && static_cast<std::size_t>(site.index) < loops.size(),
+              "lint-mutate", "no such loop ordinal");
+      loops[static_cast<std::size_t>(site.index)].loop->independent = true;
+      break;
+    }
+    case Mutation::Misalign: {
+      const auto& arrays = prog.arrays();
+      require(site.index >= 0 && static_cast<std::size_t>(site.index) < arrays.size(),
+              "lint-mutate", "no such array ordinal");
+      Array* a = arrays[static_cast<std::size_t>(site.index)].get();
+      require(site.dim >= 0 && static_cast<std::size_t>(site.dim) < a->extents.size(),
+              "lint-mutate", "no such array dimension");
+      auto& off = a->dist.template_offset;
+      if (off.size() < a->extents.size()) off.resize(a->extents.size(), 0);
+      off[static_cast<std::size_t>(site.dim)] += 1;
+      break;
+    }
+  }
+  prog.number_statements();
+  return hpf::to_source(prog);
+}
+
+std::string augment_with_scratch(const std::string& source, std::uint64_t seed) {
+  Program prog = hpf::parse(source);
+  Procedure* main = prog.main();
+  require(main != nullptr, "lint-mutate", "program has no procedure");
+
+  // A victim array the use nest stores into (any non-local array).
+  const Array* victim = nullptr;
+  for (const auto& a : prog.arrays())
+    if (!a->local_scratch && !a->extents.empty()) {
+      victim = a.get();
+      break;
+    }
+  require(victim != nullptr, "lint-mutate", "program has no array to augment against");
+
+  std::string name = "zz";
+  while (prog.find_array(name)) name += "z";
+  const int extent = std::min(8, victim->extents[0]);
+  Array* scratch = prog.add_array(name, {extent});
+  scratch->local_scratch = true;
+
+  const std::string iv = "q__";  // cannot collide: parser idents are [a-z0-9_]*
+                                 // but the generator never emits this name
+  auto scratch_ref = [&](long shift) {
+    Ref r;
+    r.array = scratch;
+    r.subs.push_back(Subscript::var(iv, 1, shift));
+    return r;
+  };
+  Ref victim_ref;
+  victim_ref.array = victim;
+  victim_ref.subs.push_back(Subscript::var(iv));
+  for (std::size_t d = 1; d < victim->extents.size(); ++d)
+    victim_ref.subs.push_back(Subscript::constant(0));
+
+  // init: do q__ = 0, extent-1 { zz(q__) = <c> }
+  std::vector<StmtPtr> init_body;
+  init_body.push_back(
+      hpf::make_assign(scratch_ref(0), {}, static_cast<double>(1 + seed % 5)));
+  main->body.push_back(hpf::make_loop(iv, Subscript::constant(0),
+                                      Subscript::constant(extent - 1), std::move(init_body)));
+  // use: do q__ = 0, extent-1 { victim(q__, 0...) = zz(q__) }
+  std::vector<StmtPtr> use_body;
+  use_body.push_back(hpf::make_assign(victim_ref, {scratch_ref(0)}, 0.0));
+  main->body.push_back(hpf::make_loop(iv, Subscript::constant(0),
+                                      Subscript::constant(extent - 1), std::move(use_body)));
+  prog.number_statements();
+  return hpf::to_source(prog);
+}
+
+HarnessResult run_harness(const std::string& source, const LintOptions& opt) {
+  HarnessResult res;
+  for (const auto& site : all_mutation_sites(source)) {
+    ++res.seeded;
+    const std::string mutated = mutate_source(source, site);
+    const Report rep = run_source(mutated, opt);
+    const bool caught = rep.has(site.expected_code(), site.expected_severity());
+    res.caught += caught;
+    std::ostringstream line;
+    line << (caught ? "caught " : "ESCAPED ") << to_string(site.kind) << ": " << site.describe
+         << " -> expected " << code_id(site.expected_code());
+    res.lines.push_back(line.str());
+  }
+  return res;
+}
+
+}  // namespace dhpf::lint

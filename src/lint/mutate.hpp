@@ -1,0 +1,83 @@
+// Source-level fault injection for the linter, mirroring verify/mutate.hpp:
+// seeded defects over an HPF-lite *source text*, one mutation per defect
+// class the checks must catch.
+//
+// Each mutator parses a fresh copy of the source, edits the IR, and prints
+// it back with hpf::to_source — so the defect travels the same
+// parse → lint path a user's program would, source locations included.
+// The lint tests (and `dhpfc --lint-selftest`) enumerate every applicable
+// mutation and assert that lint::run_source reports a finding of the
+// expected code with a source-located witness; this is what makes "a clean
+// lint is trustworthy" an empirical claim and not just a design intention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/diag.hpp"
+#include "lint/lint.hpp"
+
+namespace dhpf::lint {
+
+/// The seeded defect classes.
+enum class Mutation {
+  DropInit,          ///< delete the nest initializing a local array → UninitRead
+  WidenSubscript,    ///< shift a subscript past the extent → OutOfBounds
+  BreakIndependent,  ///< read lhs(i-1) inside an INDEPENDENT loop → StaticRace
+  FalseIndependent,  ///< mark a loop with a carried dep INDEPENDENT → StaticRace
+  Misalign,          ///< bump one array's alignment offset → AlignConformance
+  KillStore,         ///< duplicate a pure store nest so the first is dead → DeadStore
+};
+
+const char* to_string(Mutation m);
+
+/// One applicable mutation site in a program. Sites are identified by
+/// stable ordinals (statement ids, pre-order loop ordinals, array/body
+/// positions), so they survive a re-parse of the same source.
+struct MutationSite {
+  Mutation kind = Mutation::DropInit;
+  int index = -1;  ///< stmt id / loop ordinal / array ordinal / body position
+  int dim = -1;    ///< array dimension (WidenSubscript, Misalign)
+  int ref = -1;    ///< reference ordinal in a statement: 0 = lhs, k = rhs[k-1]
+  std::string describe;
+
+  [[nodiscard]] Code expected_code() const;
+  [[nodiscard]] Severity expected_severity() const;
+};
+
+/// Enumerate every applicable site of `kind` (empty when the program has no
+/// artifact the mutation could break — e.g. no local array to drop an init
+/// of). Sites are gated concretely: a site is listed only when applying it
+/// is guaranteed to produce a detectable defect (non-empty, sampleable
+/// violation system), so the 100%-detection harness claim is falsifiable.
+std::vector<MutationSite> mutation_sites(const std::string& source, Mutation kind);
+
+/// All applicable sites of all mutation kinds.
+std::vector<MutationSite> all_mutation_sites(const std::string& source);
+
+/// Apply one mutation: parse a fresh copy, edit the IR, print back to
+/// source. Throws dhpf::Error if the site does not exist in this source.
+std::string mutate_source(const std::string& source, const MutationSite& site);
+
+/// Append a `local` scratch array with an init nest and a use nest to a
+/// program (used by the fuzz campaign to give generated programs a
+/// DropInit surface without perturbing the generator's RNG stream). The
+/// result parses, lints clean of new error findings, and exposes DropInit
+/// and KillStore sites. `seed` varies extent and init order.
+std::string augment_with_scratch(const std::string& source, std::uint64_t seed);
+
+/// Run the whole harness over one source: apply every applicable mutation
+/// and check each one is caught (a finding of the expected code at the
+/// expected severity). Returns human-readable one-line results;
+/// `all_caught` is false if any seeded defect escaped.
+struct HarnessResult {
+  std::vector<std::string> lines;
+  std::size_t seeded = 0;
+  std::size_t caught = 0;
+
+  [[nodiscard]] bool all_caught() const { return caught == seeded; }
+};
+HarnessResult run_harness(const std::string& source, const LintOptions& opt = {});
+
+}  // namespace dhpf::lint

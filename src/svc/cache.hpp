@@ -67,10 +67,11 @@ struct CachedResult {
   std::string verify_json;  ///< verifier verdict
   std::string model_json;   ///< model prediction
   std::string tune_json;    ///< tune requests only
+  std::string lint_json;    ///< lint requests only
 
   [[nodiscard]] std::size_t bytes() const {
     return listing.size() + report_json.size() + verify_json.size() + model_json.size() +
-           tune_json.size() + error.size();
+           tune_json.size() + lint_json.size() + error.size();
   }
 };
 

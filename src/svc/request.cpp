@@ -20,12 +20,14 @@ const char* to_string(Kind k) {
     case Kind::Model: return "model";
     case Kind::Tune: return "tune";
     case Kind::Stats: return "stats";
+    case Kind::Lint: return "lint";
   }
   return "?";
 }
 
 bool parse_kind(const std::string& name, Kind& out) {
-  for (Kind k : {Kind::Compile, Kind::Verify, Kind::Model, Kind::Tune, Kind::Stats}) {
+  for (Kind k :
+       {Kind::Compile, Kind::Verify, Kind::Model, Kind::Tune, Kind::Stats, Kind::Lint}) {
     if (name == to_string(k)) {
       out = k;
       return true;
@@ -237,6 +239,7 @@ std::string Response::to_json() const {
   raw_member("model", model_json);
   raw_member("tune", tune_json);
   raw_member("stats", stats_json);
+  raw_member("lint", lint_json);
   w.end_object();
   return w.str();
 }
@@ -311,6 +314,7 @@ bool Response::from_json(const std::string& doc, Response& out, std::string* err
   if (const json::Value* p = v.find("model")) r.model_json = reemit(*p);
   if (const json::Value* p = v.find("tune")) r.tune_json = reemit(*p);
   if (const json::Value* p = v.find("stats")) r.stats_json = reemit(*p);
+  if (const json::Value* p = v.find("lint")) r.lint_json = reemit(*p);
   out = std::move(r);
   return true;
 }

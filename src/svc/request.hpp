@@ -8,6 +8,7 @@
 //   model   -> the analytic cost-model prediction for the compiled plan
 //   tune    -> the variant autotuner's ranking/selection for the program
 //   stats   -> service counters (requests, cache hits/evictions, queue depth)
+//   lint    -> the source-level static analyzer's findings (dhpf::lint)
 //
 // On the wire (dhpfd's Unix-domain socket) both directions are
 // length-prefixed JSON frames: a 4-byte big-endian payload length followed
@@ -30,7 +31,8 @@
 
 namespace dhpf::svc {
 
-enum class Kind : std::uint8_t { Compile, Verify, Model, Tune, Stats };
+enum class Kind : std::uint8_t { Compile, Verify, Model, Tune, Stats, Lint };
+constexpr int kNumKinds = 6;
 
 const char* to_string(Kind k);
 /// Parse a kind name; returns false on an unknown name.
@@ -99,6 +101,7 @@ struct Response {
   std::string model_json;   ///< model: model::Prediction::to_json()
   std::string tune_json;    ///< tune: tune::TuneReport::to_json()
   std::string stats_json;   ///< stats: service counters document
+  std::string lint_json;    ///< lint: lint::Report::to_json()
 
   [[nodiscard]] std::string to_json() const;
   static bool from_json(const std::string& doc, Response& out, std::string* error);

@@ -16,6 +16,7 @@
 #include "support/json.hpp"
 #include "support/metrics.hpp"
 #include "trace/trace.hpp"
+#include "lint/lint.hpp"
 #include "tune/tune.hpp"
 #include "verify/plan.hpp"
 #include "verify/verify.hpp"
@@ -110,6 +111,37 @@ CachedResultPtr run_tune(const Request& req) {
   return out;
 }
 
+CachedResultPtr run_lint(const Request& req) {
+  auto out = std::make_shared<CachedResult>();
+  bool parsed = false;
+  try {
+    hpf::Program prog = hpf::parse(req.source);
+    parsed = true;
+    if (!req.grid.empty()) {
+      if (prog.grids().empty()) {
+        out->ok = false;
+        out->error_code = static_cast<int>(ErrorCode::BadRequest);
+        out->error = "grid override given but the program declares no processor grid";
+        return out;
+      }
+      prog.grids().front()->extents = req.grid;
+    }
+    lint::Report rep = lint::run(prog);
+    lint::add_snippets(rep, req.source);
+    out->lint_json = rep.to_json();
+  } catch (const dhpf::Error& e) {
+    out->ok = false;
+    out->error_code =
+        static_cast<int>(parsed ? ErrorCode::CompileError : ErrorCode::ParseError);
+    out->error = e.what();
+  } catch (const std::exception& e) {
+    out->ok = false;
+    out->error_code = static_cast<int>(ErrorCode::Internal);
+    out->error = e.what();
+  }
+  return out;
+}
+
 /// Copy the cached products a given request kind asked for into a response.
 void project(const Request& req, const CachedResult& value, Response& resp) {
   resp.ok = value.ok;
@@ -132,6 +164,9 @@ void project(const Request& req, const CachedResult& value, Response& resp) {
       break;
     case Kind::Stats:
       break;
+    case Kind::Lint:
+      resp.lint_json = value.lint_json;
+      break;
   }
 }
 
@@ -148,9 +183,13 @@ std::string grid_part(const std::vector<int>& grid) {
 
 CacheKey request_key(const Request& req) {
   // compile/verify/model share one pipeline execution (and thus one cache
-  // entry); tune is its own class because measure_top_k changes the product.
-  const bool is_tune = req.kind == Kind::Tune;
+  // entry); tune is its own class because measure_top_k changes the product;
+  // lint is its own class too, and its key excludes the optimization flags —
+  // the analyzer reads the source, not the plan, so every flag set shares
+  // one lint entry (the grid override still matters: distribution lints).
   const std::string grid = grid_part(req.grid);
+  if (req.kind == Kind::Lint) return content_hash({req.source, "", grid, "lint"});
+  const bool is_tune = req.kind == Kind::Tune;
   const std::string tail =
       is_tune ? "tune:" + std::to_string(req.tune_measure) : "pipeline";
   return content_hash({req.source, req.flags.canonical(), grid, tail});
@@ -172,7 +211,7 @@ struct Service::Impl {
   std::atomic<std::uint64_t> ok{0};
   std::atomic<std::uint64_t> errors{0};
   std::atomic<std::uint64_t> rejected{0};
-  std::atomic<std::uint64_t> by_kind[5] = {};
+  std::atomic<std::uint64_t> by_kind[kNumKinds] = {};
 
   void execute(const Request& req, std::uint64_t enqueue_ns,
                std::function<void(Response)>& done);
@@ -230,7 +269,9 @@ Response Service::Impl::run_request(const Request& req) {
   obs::Registry request_registry;
   obs::ScopedRegistry scoped(request_registry);
 
-  const auto runner = req.kind == Kind::Tune ? run_tune : run_pipeline;
+  const auto runner = req.kind == Kind::Tune   ? run_tune
+                      : req.kind == Kind::Lint ? run_lint
+                                               : run_pipeline;
 
   if (req.no_cache) {
     DHPF_TRACE_SPAN("svc.compile", trace::Kind::Phase);
@@ -344,7 +385,7 @@ Service::Stats Service::stats() const {
   s.ok = impl_->ok.load(std::memory_order_relaxed);
   s.errors = impl_->errors.load(std::memory_order_relaxed);
   s.rejected = impl_->rejected.load(std::memory_order_relaxed);
-  for (int i = 0; i < 5; ++i)
+  for (int i = 0; i < kNumKinds; ++i)
     s.by_kind[i] = impl_->by_kind[i].load(std::memory_order_relaxed);
   s.cache = impl_->cache.stats();
   s.pool = impl_->pool.stats();
@@ -362,7 +403,7 @@ std::string Service::stats_json() const {
   w.member("rejected", s.rejected);
   w.key("by_kind");
   w.begin_object();
-  for (int i = 0; i < 5; ++i)
+  for (int i = 0; i < kNumKinds; ++i)
     w.member(to_string(static_cast<Kind>(i)), s.by_kind[i]);
   w.end_object();
   w.key("cache");

@@ -79,7 +79,7 @@ class Service {
     std::uint64_t ok = 0;
     std::uint64_t errors = 0;
     std::uint64_t rejected = 0;  ///< answered Shutdown while draining
-    std::uint64_t by_kind[5] = {0, 0, 0, 0, 0};  ///< indexed by Kind
+    std::uint64_t by_kind[kNumKinds] = {};  ///< indexed by Kind
     ResultCache::Stats cache;
     exec::ThreadPool::Stats pool;
     int workers = 0;

@@ -157,6 +157,33 @@ TEST(Cli, ErrorsNameTheOffendingArgument) {
   EXPECT_NE(parse_args({}).error.find("missing input"), std::string::npos);
 }
 
+TEST(Cli, LintFlags) {
+  ParseResult r = parse_args({"--lint", "x.hpf"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.opts.lint);
+  EXPECT_FALSE(r.opts.lint_selftest);
+
+  ParseResult st = parse_args({"--lint-selftest", "x.hpf"});
+  ASSERT_TRUE(st.ok()) << st.error;
+  EXPECT_TRUE(st.opts.lint_selftest);
+  EXPECT_FALSE(st.opts.lint);
+
+  // Both are plain flags; defaults are off.
+  EXPECT_FALSE(parse_args({"x.hpf"}).opts.lint);
+  EXPECT_NE(parse_args({"--lint=yes", "x.hpf"}).error.find("takes no value"),
+            std::string::npos);
+
+  // The --lint* options ride in the help text next to each other, and the
+  // exit-code trailer documents the lint-specific exit 2.
+  const std::string help = usage_text();
+  const auto lint_pos = help.find("--lint ");
+  const auto selftest_pos = help.find("--lint-selftest");
+  ASSERT_NE(lint_pos, std::string::npos);
+  ASSERT_NE(selftest_pos, std::string::npos);
+  EXPECT_LT(lint_pos, selftest_pos);
+  EXPECT_NE(help.find("error-severity findings exist"), std::string::npos);
+}
+
 TEST(Cli, HelpNeedsNoInputFile) {
   ParseResult r = parse_args({"--help"});
   EXPECT_TRUE(r.ok()) << r.error;

@@ -29,10 +29,10 @@ TEST(Ir, NumberStatementsPreOrder) {
   auto* a = prog.add_array("a", {10});
   auto* proc = prog.add_procedure("main");
   std::vector<StmtPtr> inner;
-  inner.push_back(make_assign(Ref{a, {Subscript::var("i")}}, {}));
+  inner.push_back(make_assign(Ref{a, {Subscript::var("i")}, {}}, {}));
   proc->body.push_back(make_loop("i", Subscript::constant(0), Subscript::constant(9),
                                  std::move(inner)));
-  proc->body.push_back(make_assign(Ref{a, {Subscript::constant(0)}}, {}));
+  proc->body.push_back(make_assign(Ref{a, {Subscript::constant(0)}, {}}, {}));
   prog.number_statements();
   const auto& loop = proc->body[0]->loop();
   EXPECT_EQ(loop.body[0]->assign().id, 0);

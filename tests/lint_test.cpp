@@ -1,0 +1,450 @@
+// dhpf::lint acceptance tests: every check in the catalog must fire on its
+// minimal triggering program with the right code, severity, location and
+// concrete witness; clean programs must lint clean; output must be
+// byte-identical across runs (canonical diagnostic order); every regression
+// reproducer in tests/corpus must replay without crashes or error-severity
+// findings; and the golden diagnostic-JSON of the examples/lint catalog is
+// pinned byte-for-byte (regenerate with DHPF_REGEN_GOLDEN=1).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hpf/parser.hpp"
+#include "lint/diag.hpp"
+#include "lint/lint.hpp"
+#include "lint/mutate.hpp"
+#include "support/diagnostics.hpp"
+#include "support/json.hpp"
+
+namespace dhpf::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  EXPECT_TRUE(in.good()) << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// One finding of the given code, returned for closer inspection.
+const Diagnostic& only(const Report& rep, Code c) {
+  const auto found = rep.by_code(c);
+  EXPECT_EQ(found.size(), 1u) << rep.to_string();
+  static Diagnostic dummy;
+  return found.empty() ? dummy : *found.front();
+}
+
+constexpr const char* kRace = R"(processors P(4)
+array a(16) distribute (block:0) onto P
+
+procedure main()
+  do[independent] i = 1, 14
+    a(i) = a(i-1) + 1
+  enddo
+end
+)";
+
+constexpr const char* kUninit = R"(processors P(2)
+array a(8) distribute (block:0) onto P
+array t(8) local
+
+procedure main()
+  do i = 0, 7
+    a(i) = t(i)
+  enddo
+end
+)";
+
+constexpr const char* kOob = R"(processors P(4)
+array a(16) distribute (block:0) onto P
+
+procedure main()
+  do i = 0, 16
+    a(i) = 1
+  enddo
+end
+)";
+
+constexpr const char* kDeadStore = R"(processors P(2)
+array a(8) distribute (block:0) onto P
+array b(8) distribute (block:0) onto P
+
+procedure main()
+  do i = 0, 7
+    a(i) = 1
+  enddo
+  do i = 0, 7
+    a(i) = 2
+  enddo
+  do i = 0, 7
+    b(i) = a(i)
+  enddo
+end
+)";
+
+constexpr const char* kAlign = R"(processors P(4)
+array a(16) distribute (block:0) onto P
+array b(20) distribute (block:0) onto P
+
+procedure main()
+  do i = 0, 15
+    a(i) = b(i)
+  enddo
+end
+)";
+
+constexpr const char* kEmptyBlock = R"(processors P(8)
+array a(10) distribute (block:0) onto P
+
+procedure main()
+  do i = 0, 9
+    a(i) = 1
+  enddo
+end
+)";
+
+constexpr const char* kNonPriv = R"(processors P(2)
+array a(8) distribute (block:0) onto P
+array cv(8)
+
+procedure main()
+  do[independent, new(cv)] i = 0, 7
+    a(i) = cv(i)
+  enddo
+end
+)";
+
+/// The paper's Figure 4.1 shape: a correct privatization pattern that must
+/// lint clean (cv is NEW and each iteration writes it before reading).
+constexpr const char* kClean = R"(processors P(2, 2)
+array lhs(20, 20, 20, 5) distribute (*, block:0, block:1, *) onto P
+array u(20, 20, 20) distribute (*, block:0, block:1) onto P
+array cv(20)
+
+procedure main()
+  do k = 1, 18
+    do[independent, new(cv)] i = 1, 18
+      do j = 0, 19
+        cv(j) = u(i, j, k)
+      enddo
+      do j = 1, 18
+        lhs(i, j, k, 2) = cv(j-1) + cv(j) + cv(j+1)
+      enddo
+    enddo
+  enddo
+end
+)";
+
+TEST(LintRace, FiresWithIterationPairWitness) {
+  const Report rep = run_source(kRace);
+  const Diagnostic& d = only(rep, Code::StaticRace);
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.array, "a");
+  EXPECT_EQ(d.loc.line, 5);  // the do[independent] line
+  ASSERT_TRUE(d.witness.has_iter);
+  ASSERT_TRUE(d.witness.has_iter2);
+  ASSERT_TRUE(d.witness.has_element);
+  // The two iterations differ and both touch the witness element: the
+  // write a(i)=... at i and the read of a(i-1) at i+1.
+  ASSERT_EQ(d.witness.iter.size(), 1u);
+  ASSERT_EQ(d.witness.iter2.size(), 1u);
+  EXPECT_NE(d.witness.iter[0], d.witness.iter2[0]);
+  ASSERT_EQ(d.witness.element.size(), 1u);
+  EXPECT_EQ(d.witness.element[0], d.witness.iter[0]);
+  EXPECT_EQ(d.witness.element[0], d.witness.iter2[0] - 1);
+  EXPECT_EQ(rep.errors(), 1u);
+}
+
+TEST(LintRace, DeclaredNewIsNotARace) {
+  const Report rep = run_source(kClean);
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+  EXPECT_FALSE(rep.has(Code::StaticRace, Severity::Error));
+  EXPECT_FALSE(rep.has(Code::StaticRace, Severity::Warning));
+}
+
+TEST(LintUninit, FiresOnLocalReadBeforeWrite) {
+  const Report rep = run_source(kUninit);
+  const Diagnostic& d = only(rep, Code::UninitRead);
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.array, "t");
+  EXPECT_EQ(d.loc.line, 7);
+  ASSERT_TRUE(d.witness.has_element);
+  // Element 0 is read at i=0 with no prior write anywhere.
+  EXPECT_EQ(d.witness.element[0], 0);
+}
+
+TEST(LintUninit, WriteBeforeReadIsClean) {
+  // Same shape, but a first nest initializes t: no finding.
+  const Report rep = run_source(R"(processors P(2)
+array a(8) distribute (block:0) onto P
+array t(8) local
+
+procedure main()
+  do i = 0, 7
+    t(i) = 1
+  enddo
+  do i = 0, 7
+    a(i) = t(i)
+  enddo
+end
+)");
+  EXPECT_FALSE(rep.has(Code::UninitRead, Severity::Error)) << rep.to_string();
+}
+
+TEST(LintBounds, FiresAtExactBoundary) {
+  const Report rep = run_source(kOob);
+  const Diagnostic& d = only(rep, Code::OutOfBounds);
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.array, "a");
+  ASSERT_TRUE(d.witness.has_element);
+  // The only out-of-bounds point is i=16 (extent is 16).
+  EXPECT_EQ(d.witness.element[0], 16);
+  // Shrinking the loop by one element makes it clean.
+  const Report ok = run_source(R"(processors P(4)
+array a(16) distribute (block:0) onto P
+
+procedure main()
+  do i = 0, 15
+    a(i) = 1
+  enddo
+end
+)");
+  EXPECT_TRUE(ok.clean()) << ok.to_string();
+}
+
+TEST(LintDeadStore, KilledStoreIsAWarning) {
+  const Report rep = run_source(kDeadStore);
+  const Diagnostic& d = only(rep, Code::DeadStore);
+  EXPECT_EQ(d.severity, Severity::Warning);
+  EXPECT_EQ(d.array, "a");
+  EXPECT_EQ(d.loc.line, 7);  // the killed assignment in the first nest
+  EXPECT_EQ(rep.errors(), 0u);
+  EXPECT_EQ(rep.warnings(), 1u);
+}
+
+TEST(LintDeadStore, PartialOverwriteIsLive) {
+  // The second nest overwrites only half the range: stores stay live.
+  const Report rep = run_source(R"(processors P(2)
+array a(8) distribute (block:0) onto P
+array b(8) distribute (block:0) onto P
+
+procedure main()
+  do i = 0, 7
+    a(i) = 1
+  enddo
+  do i = 0, 3
+    a(i) = 2
+  enddo
+  do i = 0, 7
+    b(i) = a(i)
+  enddo
+end
+)");
+  EXPECT_FALSE(rep.has(Code::DeadStore, Severity::Warning)) << rep.to_string();
+}
+
+TEST(LintAlign, TemplateExtentMismatchIsAnError) {
+  const Report rep = run_source(kAlign);
+  const Diagnostic& d = only(rep, Code::AlignConformance);
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_NE(d.message.find("16"), std::string::npos);
+  EXPECT_NE(d.message.find("20"), std::string::npos);
+}
+
+TEST(LintEmptyBlock, TrailingEmptyRanksWarn) {
+  const Report rep = run_source(kEmptyBlock);
+  const Diagnostic& d = only(rep, Code::EmptyBlock);
+  EXPECT_EQ(d.severity, Severity::Warning);
+  // ceil(10/8) = 2 per block -> 5 blocks used, 3 of 8 ranks empty.
+  EXPECT_NE(d.message.find("3 of 8"), std::string::npos) << d.message;
+}
+
+TEST(LintNonPriv, ReadWithoutPriorWriteInIteration) {
+  const Report rep = run_source(kNonPriv);
+  const Diagnostic& d = only(rep, Code::NonPrivatizable);
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.array, "cv");
+  ASSERT_TRUE(d.witness.has_element);
+}
+
+TEST(LintNonPriv, UnknownArrayInNewClause) {
+  const Report rep = run_source(R"(processors P(2)
+array a(8) distribute (block:0) onto P
+
+procedure main()
+  do[independent, new(zz)] i = 0, 7
+    a(i) = 1
+  enddo
+end
+)");
+  const Diagnostic& d = only(rep, Code::NonPrivatizable);
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_NE(d.message.find("zz"), std::string::npos);
+}
+
+TEST(LintOptions, DisabledChecksStaySilent) {
+  LintOptions opt;
+  opt.check_race = false;
+  const Report rep = run_source(kRace, opt);
+  EXPECT_TRUE(rep.by_code(Code::StaticRace).empty());
+
+  LintOptions bopt;
+  bopt.check_bounds = false;
+  EXPECT_TRUE(run_source(kOob, bopt).by_code(Code::OutOfBounds).empty());
+}
+
+TEST(LintReport, JsonParsesBackWithMatchingCounts) {
+  const Report rep = run_source(kRace);
+  const json::Value doc = json::parse(rep.to_json());
+  ASSERT_NE(doc.find("diagnostics"), nullptr);
+  EXPECT_EQ(doc.at("errors").number(), static_cast<double>(rep.errors()));
+  EXPECT_EQ(doc.at("warnings").number(), static_cast<double>(rep.warnings()));
+  const json::Value& diags = doc.at("diagnostics");
+  ASSERT_EQ(diags.items.size(), rep.diagnostics.size());
+  const json::Value& first = diags.items.front();
+  EXPECT_EQ(first.at("code").string(), "DHPF-L001");
+  EXPECT_EQ(first.at("name").string(), "static-race");
+  EXPECT_EQ(first.at("severity").string(), "error");
+  EXPECT_EQ(first.at("line").number(), 5);
+}
+
+TEST(LintReport, ByteIdenticalAcrossRuns) {
+  for (const char* src : {kRace, kUninit, kOob, kDeadStore, kAlign, kClean}) {
+    const Report a = run_source(src);
+    const Report b = run_source(src);
+    EXPECT_EQ(a.to_string(), b.to_string());
+    EXPECT_EQ(a.to_json(), b.to_json());
+  }
+}
+
+TEST(LintReport, CaretSnippetPointsAtColumn) {
+  const Report rep = run_source(kOob);
+  const Diagnostic& d = only(rep, Code::OutOfBounds);
+  ASSERT_FALSE(d.snippet.empty());
+  // The snippet is the source line plus a caret line; the caret sits under
+  // the reference's column.
+  const auto nl = d.snippet.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  EXPECT_NE(d.snippet.find("a(i) = 1"), std::string::npos);
+  EXPECT_EQ(d.snippet.back(), '^');
+}
+
+TEST(LintCorpus, EveryReproducerLintsCleanAndDeterministically) {
+  int replayed = 0;
+  for (const auto& entry : fs::directory_iterator(DHPF_SOURCE_DIR "/tests/corpus")) {
+    if (entry.path().extension() != ".hpf") continue;
+    const std::string src = slurp(entry.path());
+    Report a, b;
+    ASSERT_NO_THROW(a = run_source(src)) << entry.path();
+    ASSERT_NO_THROW(b = run_source(src)) << entry.path();
+    // Reproducers are valid programs (they exposed *compiler* bugs), so
+    // error-severity findings would be lint false positives.
+    EXPECT_EQ(a.errors(), 0u) << entry.path() << "\n" << a.to_string();
+    EXPECT_EQ(a.to_string(), b.to_string()) << entry.path();
+    EXPECT_EQ(a.to_json(), b.to_json()) << entry.path();
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 10);
+}
+
+TEST(LintGolden, ExampleDiagnosticsArePinned) {
+  // Golden diagnostic-JSON for the examples/lint catalog. Regenerate after
+  // an intentional diagnostic change with:
+  //   DHPF_REGEN_GOLDEN=1 ./tests/lint_test --gtest_filter='LintGolden.*'
+  const bool regen = std::getenv("DHPF_REGEN_GOLDEN") != nullptr;
+  for (const char* name : {"race", "uninit-read", "out-of-bounds"}) {
+    const fs::path src_path =
+        fs::path(DHPF_SOURCE_DIR) / "examples" / "lint" / (std::string(name) + ".hpf");
+    const fs::path golden_path =
+        fs::path(DHPF_SOURCE_DIR) / "tests" / "golden" / "lint" / (std::string(name) + ".json");
+    const Report rep = run_source(slurp(src_path));
+    const std::string doc = rep.to_json() + "\n";
+    if (regen) {
+      fs::create_directories(golden_path.parent_path());
+      std::ofstream out(golden_path);
+      out << doc;
+      continue;
+    }
+    EXPECT_EQ(doc, slurp(golden_path)) << name;
+  }
+}
+
+TEST(LintExamples, CatalogProgramsTriggerTheirCode) {
+  const struct {
+    const char* file;
+    Code code;
+    Severity sev;
+  } cases[] = {
+      {"race.hpf", Code::StaticRace, Severity::Error},
+      {"uninit-read.hpf", Code::UninitRead, Severity::Error},
+      {"out-of-bounds.hpf", Code::OutOfBounds, Severity::Error},
+      {"dead-store.hpf", Code::DeadStore, Severity::Warning},
+      {"align-conformance.hpf", Code::AlignConformance, Severity::Error},
+      {"empty-block.hpf", Code::EmptyBlock, Severity::Warning},
+      {"non-privatizable.hpf", Code::NonPrivatizable, Severity::Error},
+  };
+  for (const auto& c : cases) {
+    const fs::path p = fs::path(DHPF_SOURCE_DIR) / "examples" / "lint" / c.file;
+    const Report rep = run_source(slurp(p));
+    EXPECT_TRUE(rep.has(c.code, c.sev))
+        << c.file << " should trigger " << code_id(c.code) << "\n"
+        << rep.to_string();
+  }
+}
+
+TEST(LintMutate, HarnessCatchesEverySeededDefect) {
+  const std::string sample =
+      slurp(fs::path(DHPF_SOURCE_DIR) / "examples" / "sample.hpf");
+  const HarnessResult h = run_harness(sample);
+  EXPECT_GT(h.seeded, 0u);
+  EXPECT_TRUE(h.all_caught()) << [&] {
+    std::string s;
+    for (const auto& l : h.lines) s += l + "\n";
+    return s;
+  }();
+}
+
+TEST(LintMutate, SitesSurviveReparseAndMutateParses) {
+  const std::string sample =
+      slurp(fs::path(DHPF_SOURCE_DIR) / "examples" / "sample.hpf");
+  for (const MutationSite& site : all_mutation_sites(sample)) {
+    const std::string mutated = mutate_source(sample, site);
+    EXPECT_NE(mutated, sample) << site.describe;
+    ASSERT_NO_THROW(hpf::parse(mutated)) << site.describe << "\n" << mutated;
+  }
+}
+
+TEST(LintMutate, AugmentWithScratchAddsADropInitSurface) {
+  const std::string sample =
+      slurp(fs::path(DHPF_SOURCE_DIR) / "examples" / "sample.hpf");
+  const std::string augmented = augment_with_scratch(sample, 7);
+  ASSERT_NO_THROW(hpf::parse(augmented));
+  // The augmented program must stay clean (the scratch array is written
+  // before it is read) and must expose at least one drop-init site.
+  const Report rep = run_source(augmented);
+  EXPECT_EQ(rep.errors(), 0u) << rep.to_string();
+  EXPECT_FALSE(mutation_sites(augmented, Mutation::DropInit).empty());
+}
+
+TEST(LintParser, ErrorsCarryLineAndColumn) {
+  // Parser diagnostics must name 1-based line/column, not byte offsets.
+  try {
+    hpf::parse("processors P(2)\narray a(8 distribute (block:0) onto P\n");
+    FAIL() << "expected a parse error";
+  } catch (const dhpf::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("col"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace dhpf::lint

@@ -132,5 +132,37 @@ TEST(ParserFuzz, PathologicalShapesNeverCrash) {
   for (const auto& c : cases) expect_graceful(c, "pathological case");
 }
 
+TEST(ParserFuzz, DiagnosticsPinLineAndColumn) {
+  // Parse errors name a 1-based source line and column (not byte offsets):
+  // each case here has its defect at a known position.
+  struct Pin {
+    const char* input;
+    const char* expect;  ///< substring the diagnostic must contain
+  };
+  const Pin pins[] = {
+      // Missing ')' in the declaration on line 2; detected at 'distribute'.
+      {"processors P(2)\narray a(8 distribute (block:0) onto P\n", "line 2, col 11"},
+      // Bad token at the very start.
+      {")", "line 1, col 1"},
+      // Junk statement after a multi-line prologue: its own line/column.
+      {"processors P(2)\narray a(8)\n\nprocedure main()\n  @\nend\n", "line 5, col 3"},
+      // Unclosed subscript: error at the '=' on line 5.
+      {"processors P(2)\narray a(8)\n\nprocedure main()\n  a(0 = 1\nend\n", "line 5, col 7"},
+      // Missing comma in loop bounds: column of the second bound.
+      {"processors P(2)\narray a(8)\n\nprocedure main()\n  do i = 1 10\n  enddo\nend\n",
+       "line 5, col 12"},
+  };
+  for (const Pin& pin : pins) {
+    try {
+      hpf::parse(pin.input);
+      FAIL() << "expected a parse error for: " << pin.input;
+    } catch (const dhpf::Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(pin.expect), std::string::npos)
+          << "diagnostic \"" << msg << "\" lacks \"" << pin.expect << "\"";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dhpf

@@ -373,6 +373,99 @@ TEST(SvcService, TuneRequestRanksVariants) {
   EXPECT_TRUE(service.handle(req).cached);
 }
 
+/// A loop whose INDEPENDENT marking is wrong: the lint request must report
+/// the race (DHPF-L001) through the service, with full determinism.
+const char kRacy[] = R"(
+    processors P(4)
+    array a(16) distribute (block:0) onto P
+    procedure main()
+      do[independent] i = 1, 14
+        a(i) = a(i-1) + 1
+      enddo
+    end
+)";
+
+TEST(SvcService, LintRequestReturnsFindings) {
+  svc::Service service;
+  const svc::Response first = service.handle(make_req(svc::Kind::Lint, kRacy));
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.cached);
+  EXPECT_NE(first.lint_json.find("DHPF-L001"), std::string::npos) << first.lint_json;
+  EXPECT_NE(first.lint_json.find("\"severity\": \"error\""), std::string::npos);
+  // Lint responses carry only the lint payload.
+  EXPECT_TRUE(first.listing.empty());
+  EXPECT_TRUE(first.verify_json.empty());
+
+  const svc::Response again = service.handle(make_req(svc::Kind::Lint, kRacy));
+  ASSERT_TRUE(again.ok);
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(again.lint_json, first.lint_json);
+
+  // A clean program lints clean through the same path.
+  const svc::Response clean = service.handle(make_req(svc::Kind::Lint, kStencil));
+  ASSERT_TRUE(clean.ok) << clean.error;
+  EXPECT_NE(clean.lint_json.find("\"errors\": 0"), std::string::npos) << clean.lint_json;
+}
+
+TEST(SvcService, LintKeyIgnoresFlagsButNotGridOrSource) {
+  // The analyzer reads the source, not the optimization plan: two lint
+  // requests that differ only in flags share one cache entry...
+  svc::Request base = make_req(svc::Kind::Lint, kStencil);
+  svc::Request noloc = base;
+  noloc.flags.sopt.localize = false;
+  EXPECT_EQ(svc::request_key(base), svc::request_key(noloc));
+
+  // ...but the grid override matters (distribution lints depend on it),
+  // the source matters, and lint never shares the pipeline's entry.
+  svc::Request grid = base;
+  grid.grid = {2};
+  EXPECT_FALSE(svc::request_key(base) == svc::request_key(grid));
+  svc::Request source = base;
+  source.source += " ";
+  EXPECT_FALSE(svc::request_key(base) == svc::request_key(source));
+  svc::Request compile = base;
+  compile.kind = svc::Kind::Compile;
+  EXPECT_FALSE(svc::request_key(base) == svc::request_key(compile));
+
+  // Flag-sharing end-to-end: the second request hits the first's entry.
+  svc::Service service;
+  ASSERT_TRUE(service.handle(base).ok);
+  const svc::Response shared = service.handle(noloc);
+  ASSERT_TRUE(shared.ok);
+  EXPECT_TRUE(shared.cached);
+}
+
+TEST(SvcService, StatsCountLintRequests) {
+  svc::Service service;
+  ASSERT_TRUE(service.handle(make_req(svc::Kind::Lint, kStencil)).ok);
+  ASSERT_TRUE(service.handle(make_req(svc::Kind::Lint, kRacy)).ok);
+  const svc::Service::Stats stats = service.stats();
+  EXPECT_EQ(stats.by_kind[static_cast<int>(svc::Kind::Lint)], 2u);
+  const svc::Response sr = service.handle(make_req(svc::Kind::Stats, ""));
+  ASSERT_TRUE(sr.ok);
+  EXPECT_NE(sr.stats_json.find("\"lint\":2"), std::string::npos) << sr.stats_json;
+}
+
+TEST(SvcProtocol, LintKindRoundTrips) {
+  svc::Request req = make_req(svc::Kind::Lint, kRacy, 7);
+  svc::Request back;
+  std::string err;
+  ASSERT_TRUE(svc::Request::from_json(req.to_json(), back, &err)) << err;
+  EXPECT_EQ(back.kind, svc::Kind::Lint);
+  EXPECT_EQ(back.source, req.source);
+
+  svc::Response resp;
+  resp.id = 7;
+  resp.kind = svc::Kind::Lint;
+  resp.ok = true;
+  resp.code = svc::ErrorCode::None;
+  resp.lint_json = "{\"errors\":1}";
+  svc::Response rback;
+  ASSERT_TRUE(svc::Response::from_json(resp.to_json(), rback, &err)) << err;
+  EXPECT_EQ(rback.kind, svc::Kind::Lint);
+  EXPECT_NE(rback.lint_json.find("\"errors\""), std::string::npos);
+}
+
 // Byte-identical results across worker counts, cache on and off: the
 // concurrency layer must not leak into the product.
 TEST(SvcService, WorkerCountAndCacheDoNotChangeBytes) {
