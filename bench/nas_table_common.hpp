@@ -8,18 +8,20 @@
 //   --class <C>     override the problem classes (S|W|A|B), e.g. `--class S`
 //                   for a seconds-long smoke run;
 //   --backend <B>   execution backend: `sim` (default; virtual-time SP2
-//                   simulator, times are *modelled* seconds) or `mp` (real
-//                   multi-threaded runtime, times are *measured* wall-clock
-//                   seconds from the monotonic clock; see docs/runtime.md).
+//                   simulator, times are *modelled* seconds), `mp` (real
+//                   multi-threaded message-passing runtime) or `shm` (real
+//                   threads over one shared address space) — on both real
+//                   backends times are *measured* wall-clock seconds from
+//                   the monotonic clock; see docs/runtime.md.
 //
 // The JSON artifact records which backend produced it: the top-level
-// "backend" member is "sim" or "mp", every cell carries both "elapsed"
-// (modelled seconds; 0 on mp) and "wall_seconds" (real seconds), and on mp
-// the speedup/efficiency columns are computed from wall_seconds. On the mp
-// backend compute(flops) is realized as a real sleep of the modelled
-// duration (ComputeMode::Sleep, dilated by kMpTimeScale) so rank overlap —
-// and therefore measured speedup — is observable even on a single-core CI
-// host.
+// "backend" member is "sim", "mp" or "shm", every cell carries both
+// "elapsed" (modelled seconds; 0 on mp/shm) and "wall_seconds" (real
+// seconds), and on the real backends the speedup/efficiency columns are
+// computed from wall_seconds. There compute(flops) is realized as a real
+// sleep of the modelled duration (ComputeMode::Sleep, dilated by
+// kMpTimeScale) so rank overlap — and therefore measured speedup — is
+// observable even on a single-core CI host.
 #pragma once
 
 #include <cmath>
@@ -53,10 +55,10 @@ struct Row {
 struct BenchArgs {
   std::string json_path;                 ///< --json <path>; empty = off
   std::optional<nas::ProblemClass> cls;  ///< --class S|W|A|B override
-  exec::Backend backend = exec::Backend::Sim;  ///< --backend sim|mp
+  exec::Backend backend = exec::Backend::Sim;  ///< --backend sim|mp|shm
 };
 
-/// Dilation applied to modelled compute time when benches run on the mp
+/// Dilation applied to modelled compute time when benches run on a real
 /// backend (ComputeMode::Sleep): class-S modelled times are ~10 ms, which
 /// real thread-spawn/wakeup overhead would swamp; stretching them keeps the
 /// measured scaling signal well above the noise floor while a full smoke
@@ -96,17 +98,13 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
         std::exit(2);
       }
     } else if (arg == "--backend" && i + 1 < argc) {
-      const std::string be = argv[++i];
-      if (be == "sim") {
-        a.backend = exec::Backend::Sim;
-      } else if (be == "mp") {
-        a.backend = exec::Backend::Mp;
-      } else {
-        std::fprintf(stderr, "%s: bad --backend (want sim|mp)\n", argv[0]);
+      if (!exec::parse_backend(argv[++i], a.backend)) {
+        std::fprintf(stderr, "%s: bad --backend (want sim|mp|shm)\n", argv[0]);
         std::exit(2);
       }
     } else {
-      std::fprintf(stderr, "usage: %s [--json <path>] [--class S|W|A|B] [--backend sim|mp]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json <path>] [--class S|W|A|B] [--backend sim|mp|shm]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -198,6 +196,9 @@ inline std::optional<RunResult> run_cell(Variant v, const Problem& pb, int nproc
     // measured wall-clock speedup) is observable even on one host core.
     opt.mp.compute_mode = mp::ComputeMode::Sleep;
     opt.mp.time_scale = kMpTimeScale;
+  } else if (backend == exec::Backend::Shm) {
+    opt.shm.compute_mode = shm::ComputeMode::Sleep;
+    opt.shm.time_scale = kMpTimeScale;
   }
   obs::ScopedTimer timer("bench.run_variant");
   auto r = nas::run_variant(v, pb, nprocs, sim::Machine::sp2(), opt);
@@ -208,9 +209,9 @@ inline std::optional<RunResult> run_cell(Variant v, const Problem& pb, int nproc
 }
 
 /// The time a cell is scored by: modelled seconds on sim, measured
-/// wall-clock seconds on mp.
+/// wall-clock seconds on the real backends (mp, shm).
 inline double scored_seconds(const RunResult& r) {
-  return r.backend == exec::Backend::Mp ? r.wall_seconds : r.elapsed;
+  return r.backend == exec::Backend::Sim ? r.elapsed : r.wall_seconds;
 }
 
 inline std::optional<double> time_cell(Variant v, const Problem& pb, int nprocs,
@@ -235,9 +236,10 @@ inline void print_table(const char* title, const Problem& pa, const Problem& pb_
                 "IBM SP2 (see sim/machine.hpp)\n",
                 label_a, pa.n, label_b, pb_cls.n, pa.niter);
   else
-    std::printf("problem sizes: class %s n=%d, class %s n=%d, %d timestep(s); backend: mp (real "
+    std::printf("problem sizes: class %s n=%d, class %s n=%d, %d timestep(s); backend: %s (real "
                 "threads, measured wall-clock, compute slept at %gx model time)\n",
-                label_a, pa.n, label_b, pb_cls.n, pa.niter, kMpTimeScale);
+                label_a, pa.n, label_b, pb_cls.n, pa.niter,
+                exec::to_string(args.backend), kMpTimeScale);
   std::printf("speedups are relative to the %d-processor hand-written code (class %s) / "
               "%d-processor (class %s), assumed perfect, as in the paper\n\n",
               speedup_base_procs_a, label_a, speedup_base_procs_b, label_b);
@@ -329,6 +331,7 @@ inline void print_table(const char* title, const Problem& pa, const Problem& pb_
   w.member("backend", exec::to_string(args.backend));
   provenance_json(w);
   if (args.backend == exec::Backend::Mp) w.member("mp_time_scale", kMpTimeScale);
+  if (args.backend == exec::Backend::Shm) w.member("shm_time_scale", kMpTimeScale);
   w.key("machine");
   machine_json(w, sim::Machine::sp2());
   w.key("classes");

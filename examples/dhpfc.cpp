@@ -3,7 +3,7 @@
 // The flag set lives in src/cli/cli.hpp as a single options table that
 // drives both parsing and --help; run `dhpfc --help` for the list. Beyond
 // compiling and printing the CPs / communication plan / SPMD program, the
-// driver can execute the program (--run, --backend=sim|mp) and statically
+// driver can execute the program (--run, --backend=sim|mp|shm) and statically
 // verify the lowered plan (--verify, docs/verifier.md) — read coverage,
 // replicated-write consistency, halo sufficiency, schedule safety and a
 // dead-communication lint, with concrete witnesses on violations.
@@ -134,6 +134,7 @@ int main(int argc, char** argv) {
       if (o.tune) {
         base.kind = svc::Kind::Tune;
         base.tune_measure = o.tune_measure;
+        base.backend = o.xopt.backend;
         base.id = batch.size() + 1;
         batch.push_back(base);
       }
@@ -182,6 +183,7 @@ int main(int argc, char** argv) {
         diff.shapes = 2;
         diff.variants_per_extra_shape = 4;
         diff.mp_variants = 1;
+        diff.shm_variants = 1;
       }
       if (!o.fuzz_corpus.empty()) {
         // Corpus replay is always exhaustive — reproducers are tiny, and a
@@ -382,10 +384,14 @@ int main(int argc, char** argv) {
         std::printf("\n---- execution (simulated SP2) ----\n");
         std::printf("  time %.6f s, %zu messages, %zu bytes\n", r.elapsed, r.stats.messages,
                     r.stats.bytes);
-      } else {
+      } else if (r.backend == exec::Backend::Mp) {
         std::printf("\n---- execution (mp: real threads) ----\n");
         std::printf("  wall %.6f s, %zu messages, %zu bytes\n", r.wall_seconds,
                     r.stats.messages, r.stats.bytes);
+      } else {
+        std::printf("\n---- execution (shm: shared-memory threads) ----\n");
+        std::printf("  wall %.6f s, %zu barriers, %zu shared bytes\n", r.wall_seconds,
+                    r.shm_stats.barriers, r.shm_stats.shared_read_bytes);
       }
       std::printf("  instances per rank:");
       for (auto n : r.instances_per_rank) std::printf(" %zu", n);

@@ -2,8 +2,9 @@
 # (Re)generate the checked-in perf baselines under bench/baselines/.
 #
 # The baseline set is the fast, deterministic slice of the bench suite:
-# sim-backend runs only, so every compared metric (message/byte counts,
-# pass counters, simulated times) is reproducible on any machine.
+# sim-backend runs plus backend_compare, whose compared leaves are model
+# aggregates — so every compared metric (message/byte counts, barrier
+# episodes, pass counters, simulated times) is reproducible on any machine.
 # Wall-clock metrics and peak RSS are embedded in the artifacts but
 # bench_diff skips them unless asked (--wall).
 #
@@ -35,6 +36,9 @@ done
 
 echo "bench_baseline: compile-service throughput (deterministic counters)"
 "$bench_dir/svc_throughput" --json "$out_dir/svc_throughput.json" > /dev/null
+
+echo "bench_baseline: backend head-to-head (mp vs shm, model leaves)"
+"$bench_dir/backend_compare" --json "$out_dir/backend_compare.json" > /dev/null
 
 echo "bench_baseline: ablations (sim)"
 for b in ablation_distribution ablation_network ablation_pipeline_granularity; do

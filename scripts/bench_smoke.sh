@@ -23,12 +23,15 @@ check() {
   echo "  ok: $name"
 }
 
-echo "bench_smoke: NAS table (class S, both backends)"
+echo "bench_smoke: NAS table (class S, all three backends)"
 "$bench_dir/table_8_1_sp" --class S --json "$out_dir/table_8_1_sp.json" > /dev/null
 check table_8_1_sp
 "$bench_dir/table_8_1_sp" --class S --backend mp \
   --json "$out_dir/table_8_1_sp_mp.json" > /dev/null
 check table_8_1_sp_mp
+"$bench_dir/table_8_1_sp" --class S --backend shm \
+  --json "$out_dir/table_8_1_sp_shm.json" > /dev/null
+check table_8_1_sp_shm
 
 # The artifact must carry per-variant rows and a metrics snapshot.
 python3 - "$out_dir/table_8_1_sp.json" <<'EOF'
@@ -57,6 +60,25 @@ assert cell["speedup"] > 1.0, f"no measured speedup at P=4: {cell['speedup']}"
 assert doc["metrics"]["counters"].get("mp.runs", 0) > 0, "mp obs counters missing"
 EOF
 echo "  ok: table_8_1_sp_mp backend/wall-clock/speedup shape"
+
+# Same contract on the shared-memory backend: labelled artifact, real
+# wall-clock, measured speedup at 4 threads, and shm obs counters present.
+# (The NAS node programs are message-passing codes, so they exercise shm's
+# mailbox path; the barrier + shared-read path is pinned by backend_compare
+# below and by the fuzz campaign.)
+python3 - "$out_dir/table_8_1_sp_shm.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["backend"] == "shm", "shm run must be labelled"
+rows = {r["nprocs"]: r for r in doc["rows"]}
+cell = rows[4]["dhpf_a"]
+assert cell["wall_seconds"] > 0, "no measured wall-clock time"
+assert cell["speedup"] > 1.0, f"no measured speedup at P=4: {cell['speedup']}"
+counters = doc["metrics"]["counters"]
+assert counters.get("shm.runs", 0) > 0, "shm obs counters missing"
+assert counters.get("shm.messages", 0) > 0, "shm mailbox path not exercised"
+EOF
+echo "  ok: table_8_1_sp_shm backend/wall-clock/speedup shape"
 
 echo "bench_smoke: compiler-technique figures"
 for b in fig_4_1_privatizable fig_4_2_localize fig_5_1_loop_dist \
@@ -89,6 +111,25 @@ assert med <= 0.25, f"calibrated median error {med:.3f} exceeds 25% bound"
 assert med <= doc["median_error_default"] + 1e-12, "calibration made the model worse"
 EOF
 echo "  ok: model_accuracy calibrated median error within 25%"
+
+echo "bench_smoke: backend head-to-head (mp vs shm)"
+"$bench_dir/backend_compare" --json "$out_dir/backend_compare.json" > /dev/null
+check backend_compare
+
+# The deterministic leaves must agree with the shm runtime's own counters
+# (the model-exactness contract the fuzzer also enforces).
+python3 - "$out_dir/backend_compare.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["rows"], "no rows"
+for r in doc["rows"]:
+    assert r["shm_barriers"] > 0, "no barriers — shm fence path not exercised"
+    assert r["shm_barriers"] == r["barrier_episodes"], r["program"]
+    assert r["shm_shared_read_bytes"] == r["bytes"], r["program"]
+    assert r["predicted_wall_shm"] > 0 and r["predicted_wall_mp"] > 0, r["program"]
+assert "git" in doc["build"], "missing build provenance"
+EOF
+echo "  ok: backend_compare model/runtime counter agreement"
 
 echo "bench_smoke: compile-service throughput"
 "$bench_dir/svc_throughput" --json "$out_dir/svc_throughput.json" > /dev/null

@@ -2,11 +2,12 @@
 # Compile-service load generator / end-to-end smoke: start dhpfd on a fresh
 # Unix socket, push `passes` passes of mixed compile+verify+model+lint
 # requests through `dhpfc --server` (the checked-in example programs are the
-# load), then SIGTERM the daemon and check its drain-time stats: every
-# request answered, none rejected, and the cache actually hit — within one
-# pass the verify and model requests reuse the compile's pipeline entry,
-# the lint request fills its own source-keyed entry, and every later pass
-# is pure hits.
+# load) plus a pair of tune requests on different backends, then SIGTERM the
+# daemon and check its drain-time stats: every request answered, none
+# rejected, and the cache actually hit — within one pass the verify and
+# model requests reuse the compile's pipeline entry, the lint request fills
+# its own source-keyed entry, the sim and shm tunes fill two distinct
+# backend-keyed entries, and every later pass is pure hits.
 #
 # usage: scripts/svc_loadgen.sh [build-dir] [passes]   (defaults: build, 2)
 set -euo pipefail
@@ -44,7 +45,7 @@ done
 [[ -S "$sock" ]] || { echo "svc_loadgen: daemon never bound $sock" >&2; exit 1; }
 
 inputs=("$repo_dir"/examples/sample.hpf "$repo_dir"/examples/nas/*.hpf)
-echo "svc_loadgen: $passes pass(es) x ${#inputs[@]} program(s) x 4 requests"
+echo "svc_loadgen: $passes pass(es) x ${#inputs[@]} program(s) x 4 requests (+2 tunes)"
 for pass in $(seq 1 "$passes"); do
   for f in "${inputs[@]}"; do
     "$dhpfc" --quiet --server="$sock" --verify --model-report "$f" > /dev/null
@@ -52,6 +53,11 @@ for pass in $(seq 1 "$passes"); do
     # so --lint exits 0 here).
     "$dhpfc" --quiet --server="$sock" --lint "$f" > /dev/null
   done
+  # Tune the first program on two backends: the cache key carries the
+  # backend, so sim and shm must fill distinct entries (and later passes
+  # must hit both).
+  "$dhpfc" --quiet --server="$sock" --tune --tune-backend=sim "${inputs[0]}" > /dev/null
+  "$dhpfc" --quiet --server="$sock" --tune --tune-backend=shm "${inputs[0]}" > /dev/null
   echo "  pass $pass done"
 done
 
@@ -68,17 +74,22 @@ python3 - "$passes" "${#inputs[@]}" "$stats" <<'EOF' || { cat "$log" >&2; exit 1
 import json, sys
 stats = json.loads(sys.argv[3])
 passes, nprog = int(sys.argv[1]), int(sys.argv[2])
-expect = passes * nprog * 4  # compile + verify + model + lint per program per pass
+# compile + verify + model + lint per program per pass, plus two tune
+# invocations per pass (same program, sim and shm backends) that each
+# batch a compile request alongside the tune itself.
+expect = passes * (nprog * 4 + 4)
 assert stats["requests"] == expect, (stats["requests"], expect)
 assert stats["errors"] == 0 and stats["rejected"] == 0, stats
 assert stats["by_kind"]["lint"] == passes * nprog, stats["by_kind"]
+assert stats["by_kind"]["tune"] == passes * 2, stats["by_kind"]
 cache = stats["cache"]
-# One pipeline run plus one lint run per program (the lint entry is keyed
-# by source alone, so every pass after the first hits it too).
-assert cache["misses"] == nprog * 2, cache
+# One pipeline run plus one lint run per program, plus one tune entry per
+# backend: the key carries the backend, so sim and shm tunes of the same
+# source MUST miss separately (a shared key would make this nprog*2 + 1).
+assert cache["misses"] == nprog * 2 + 2, cache
 # A batch's verify/model requests either hit the compile's entry or coalesce
 # onto its in-flight fill; later passes are pure hits.
-assert cache["hits"] + cache["coalesced"] == expect - nprog * 2, cache
-assert cache["hits"] >= (passes - 1) * nprog * 4, cache
+assert cache["hits"] + cache["coalesced"] == expect - cache["misses"], cache
+assert cache["hits"] >= (passes - 1) * (nprog * 4 + 4), cache
 EOF
-echo "svc_loadgen: ok ($((passes * ${#inputs[@]} * 4)) requests, cache behaved)"
+echo "svc_loadgen: ok ($((passes * (${#inputs[@]} * 4 + 4))) requests, cache behaved)"

@@ -65,17 +65,12 @@ std::vector<OptionSpec> make_table() {
                      }));
   t.push_back(flag("--run", "execute the SPMD program and check it against the serial result",
                    [](Options& o) { o.run = true; }));
-  t.push_back(valued("--backend=sim|mp", "--backend",
-                     "execution backend for --run: virtual-time SP2 simulator or the real "
-                     "multi-threaded runtime",
+  t.push_back(valued("--backend=sim|mp|shm", "--backend",
+                     "execution backend for --run: virtual-time SP2 simulator, the real "
+                     "multi-threaded message-passing runtime, or the shared-memory "
+                     "threaded runtime",
                      [](Options& o, const std::string& v) {
-                       if (v == "sim")
-                         o.xopt.backend = exec::Backend::Sim;
-                       else if (v == "mp")
-                         o.xopt.backend = exec::Backend::Mp;
-                       else
-                         return false;
-                       return true;
+                       return exec::parse_backend(v, o.xopt.backend);
                      }));
   t.push_back(flag("--verify",
                    "statically verify the compiled plan (read coverage, replica "
@@ -123,17 +118,11 @@ std::vector<OptionSpec> make_table() {
                    "rank by the cost model, measure the top candidates (on "
                    "--backend) and report the best plan",
                    [](Options& o) { o.tune = true; }));
-  t.push_back(valued("--tune-backend=sim|mp", "--tune-backend",
+  t.push_back(valued("--tune-backend=sim|mp|shm", "--tune-backend",
                      "execution backend for --tune's (and --calibrate's) measured "
                      "runs; same as --backend",
                      [](Options& o, const std::string& v) {
-                       if (v == "sim")
-                         o.xopt.backend = exec::Backend::Sim;
-                       else if (v == "mp")
-                         o.xopt.backend = exec::Backend::Mp;
-                       else
-                         return false;
-                       return true;
+                       return exec::parse_backend(v, o.xopt.backend);
                      }));
   t.push_back(valued("--tune-measure=K", "--tune-measure",
                      "measured confirmations for --tune beyond the default variant "
@@ -158,7 +147,7 @@ std::vector<OptionSpec> make_table() {
                      }));
   t.push_back(valued("--trace-out=FILE", "--trace-out",
                      "enable span tracing and write the merged Chrome-trace JSON "
-                     "(compile passes plus, with --run --backend=mp, per-rank "
+                     "(compile passes plus, with --run --backend=mp|shm, per-rank "
                      "runtime spans) to FILE ('-' for stdout)",
                      [](Options& o, const std::string& v) {
                        if (v.empty()) return false;
@@ -172,7 +161,7 @@ std::vector<OptionSpec> make_table() {
                    [](Options& o) { o.profile = true; }));
   t.push_back(valued("--fuzz=N", "--fuzz",
                      "run a differential fuzz campaign of N generated programs "
-                     "(serial oracle vs sim and mp backends, all optimization "
+                     "(serial oracle vs sim, mp and shm backends, all optimization "
                      "variants, static verifier and cost-model cross-checks) "
                      "instead of compiling an input file",
                      [](Options& o, const std::string& v) {

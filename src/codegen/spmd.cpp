@@ -262,6 +262,67 @@ exec::Task exec_event(exec::Channel& p, SpmdContext& ctx, const AnchoredEvent& a
   const int tag = 2000 + static_cast<int>(&ae - ctx.events.data());
   auto& my_store = ctx.stores[static_cast<std::size_t>(me)][ae.ev->array];
 
+  if (ctx.opt.backend == exec::Backend::Shm) {
+    // Shared-memory lowering: no message copies. Every rank reaches every
+    // event instance (the fetch_before/wb_after anchoring is rank-neutral),
+    // so a barrier pair brackets the exchange — the leading barrier orders
+    // the producers' writes before the readers' loads, the trailing one
+    // keeps later writes from racing ahead of a peer still reading. In
+    // between, each rank *pulls* what it needs straight out of the peer
+    // stores; ownership keeps the touched locations disjoint across ranks.
+    // Peer stores are read with .at(): the maps were fully populated before
+    // the threads started, and operator[] insertion would be a data race.
+    //
+    // When no rank has traffic for this prefix the barrier pair is skipped
+    // entirely — the caches are read-only and identical across ranks, so
+    // every rank takes the same branch (and the model's barrier_episodes
+    // count, which only sees prefixes with traffic, stays exact).
+    bool any_traffic = false;
+    for (int q = 0; q < n && !any_traffic; ++q)
+      any_traffic =
+          ae.cache[static_cast<std::size_t>(q)].find(prefix) != ae.cache[static_cast<std::size_t>(q)].end();
+    if (!any_traffic) co_return;
+    shm::barrier(p);
+    std::size_t shared_bytes = 0;
+    if (ae.ev->kind == EventKind::Fetch) {
+      // Pull my needed elements from their owners' storage.
+      const auto mit = ae.cache[static_cast<std::size_t>(me)].find(prefix);
+      if (mit != ae.cache[static_cast<std::size_t>(me)].end()) {
+        for (const auto& [owner, elems] : mit->second) {
+          const auto& src =
+              ctx.stores[static_cast<std::size_t>(owner)].at(ae.ev->array);
+          for (const auto& elem : elems) {
+            std::vector<long> idx(elem.begin(), elem.end());
+            const std::size_t f = flat_index(*ae.ev->array, idx);
+            my_store[f] = src[f];
+          }
+          shared_bytes += elems.size() * sizeof(double);
+        }
+      }
+    } else {
+      // Write-back: as owner, pull what each producer computed of my
+      // section (ascending producer rank — the same last-writer order the
+      // message path's ordered receives impose).
+      for (int q = 0; q < n; ++q) {
+        if (q == me) continue;
+        const auto pit = ae.cache[static_cast<std::size_t>(q)].find(prefix);
+        if (pit == ae.cache[static_cast<std::size_t>(q)].end()) continue;
+        const auto oit = pit->second.find(me);
+        if (oit == pit->second.end()) continue;
+        const auto& src = ctx.stores[static_cast<std::size_t>(q)].at(ae.ev->array);
+        for (const auto& elem : oit->second) {
+          std::vector<long> idx(elem.begin(), elem.end());
+          const std::size_t f = flat_index(*ae.ev->array, idx);
+          my_store[f] = src[f];
+        }
+        shared_bytes += oit->second.size() * sizeof(double);
+      }
+    }
+    shm::note_shared_read(p, shared_bytes);
+    shm::barrier(p);
+    co_return;
+  }
+
   if (ae.ev->kind == EventKind::Fetch) {
     // Serve other ranks' needs from my owned section, then receive mine.
     for (int q = 0; q < n; ++q) {
@@ -529,7 +590,7 @@ SpmdResult run_spmd(const hpf::Program& prog, const cp::CpResult& cps,
     result.elapsed = engine.elapsed();
     result.stats = engine.stats();
     if (opt.record_trace) result.trace = engine.trace();
-  } else {
+  } else if (opt.backend == exec::Backend::Mp) {
     // Real threads: safe because every rank touches only its own slot of
     // ctx.stores / ctx.instances and the event caches are read-only here.
     DHPF_TRACE_SPAN("exec.mp", trace::Kind::Phase);
@@ -538,6 +599,16 @@ SpmdResult run_spmd(const hpf::Program& prog, const cp::CpResult& cps,
     result.wall_seconds = mp::run(nprocs, mpopt, body, &result.mp_stats);
     result.stats.messages = result.mp_stats.messages;
     result.stats.bytes = result.mp_stats.bytes;
+  } else {
+    // Shared memory: same real-thread safety argument as mp for compute,
+    // and the cross-rank store accesses in exec_event's shm path are
+    // bracketed by barriers and disjoint by ownership.
+    DHPF_TRACE_SPAN("exec.shm", trace::Kind::Phase);
+    shm::Options shopt = opt.shm;
+    shopt.machine = machine;
+    result.wall_seconds = shm::run(nprocs, shopt, body, &result.shm_stats);
+    result.stats.messages = result.shm_stats.messages;
+    result.stats.bytes = result.shm_stats.bytes;
   }
   result.instances_per_rank = ctx.instances;
 

@@ -22,6 +22,7 @@
 #include "cp/select.hpp"
 #include "hpf/ir.hpp"
 #include "mp/runtime.hpp"
+#include "shm/runtime.hpp"
 #include "sim/engine.hpp"
 #include "sim/machine.hpp"
 
@@ -39,6 +40,7 @@ Store interpret_serial(const hpf::Program& prog);
 struct SpmdOptions {
   exec::Backend backend = exec::Backend::Sim;
   mp::Options mp;                    ///< mp backend tuning (compute, timeouts)
+  shm::Options shm;                  ///< shm backend tuning (compute, timeouts)
   bool record_trace = false;         ///< sim backend only
   double flops_per_instance = 10.0;  ///< cost model per statement instance
   bool verify = true;                ///< compare against interpret_serial
@@ -51,11 +53,12 @@ struct SpmdOptions {
 
 struct SpmdResult {
   exec::Backend backend = exec::Backend::Sim;
-  double elapsed = 0.0;       ///< simulated seconds (sim backend; 0 on mp)
+  double elapsed = 0.0;       ///< simulated seconds (sim backend; 0 on mp/shm)
   double wall_seconds = 0.0;  ///< real (monotonic-clock) seconds of the run
-  sim::Stats stats;           ///< messages/bytes filled on both backends
+  sim::Stats stats;           ///< messages/bytes filled on every backend
   sim::TraceLog trace;
   mp::Stats mp_stats;     ///< populated on the mp backend
+  shm::Stats shm_stats;   ///< populated on the shm backend
   double max_err = -1.0;  ///< -1 when not verified
   /// Owner copies of the distributed arrays (with collect_result).
   Store gathered;

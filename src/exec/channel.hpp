@@ -15,6 +15,11 @@
 //     and then reports ready), so the coroutine never suspends. compute()
 //     is a no-op by default (timings come from a monotonic clock), or an
 //     optional spin/sleep emulation of the cost model.
+//   * src/shm — the shared-memory threaded runtime. Same real-thread
+//     execution model as mp (mailboxes included, so collectives and
+//     message-passing node programs run unchanged), plus phase barriers
+//     and direct shared reads for codegen's barrier-synchronized data
+//     movement (no message copies).
 //
 // The receive protocol is therefore expressed as three virtuals behind a
 // single awaiter type: recv_ready / recv_suspend / recv_complete. Backends
@@ -36,9 +41,35 @@ namespace dhpf::exec {
 enum class Backend {
   Sim,  ///< deterministic virtual-time simulator (src/sim)
   Mp,   ///< real multi-threaded message-passing runtime (src/mp)
+  Shm,  ///< real threads over one shared address space (src/shm)
 };
 
-inline const char* to_string(Backend b) { return b == Backend::Sim ? "sim" : "mp"; }
+/// Switch-based so a newly added backend without a name is a compile error
+/// (-Werror turns the missing-case warning fatal), not a wrong fallback.
+inline const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::Sim: return "sim";
+    case Backend::Mp: return "mp";
+    case Backend::Shm: return "shm";
+  }
+  return "?";
+}
+
+/// Parse a backend name ("sim" | "mp" | "shm") into `out`. Returns false —
+/// leaving `out` untouched — on anything else. The single parser behind
+/// every --backend-style flag and the service's request field.
+inline bool parse_backend(const std::string& name, Backend& out) {
+  if (name == "sim") {
+    out = Backend::Sim;
+  } else if (name == "mp") {
+    out = Backend::Mp;
+  } else if (name == "shm") {
+    out = Backend::Shm;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 /// Wildcard source for Channel::recv. Determinism caveat: on the simulator
 /// wildcard receives resolve deterministically (earliest virtual arrival,

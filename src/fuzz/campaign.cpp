@@ -23,7 +23,8 @@ std::string CampaignReport::to_string() const {
   std::ostringstream os;
   os << "fuzz campaign: seed=" << seed << " cases=" << cases
      << " plans=" << plans_checked << " sim-runs=" << sim_runs
-     << " mp-runs=" << mp_runs << " failures=" << failures.size() << "\n";
+     << " mp-runs=" << mp_runs << " shm-runs=" << shm_runs
+     << " failures=" << failures.size() << "\n";
   for (const auto& f : failures) {
     os << "case " << f.index << " (seed " << f.case_seed << "): "
        << f.failure.to_string() << "\n";
@@ -46,6 +47,7 @@ CampaignReport run_campaign(const CampaignOptions& opt) {
     report.plans_checked += d.plans_checked;
     report.sim_runs += d.sim_runs;
     report.mp_runs += d.mp_runs;
+    report.shm_runs += d.shm_runs;
 
     if (!d.ok) {
       CaseFailure cf;

@@ -47,6 +47,7 @@ struct CampaignReport {
   long plans_checked = 0;
   long sim_runs = 0;
   long mp_runs = 0;
+  long shm_runs = 0;
   std::vector<CaseFailure> failures;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }

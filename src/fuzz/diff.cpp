@@ -32,6 +32,7 @@ const char* to_string(FailKind k) {
     case FailKind::RunError: return "run-error";
     case FailKind::SimMismatch: return "sim-mismatch";
     case FailKind::MpMismatch: return "mp-mismatch";
+    case FailKind::ShmMismatch: return "shm-mismatch";
     case FailKind::ModelCommMismatch: return "model-comm-mismatch";
     case FailKind::LintFalsePositive: return "lint-false-positive";
   }
@@ -109,6 +110,7 @@ DiffOptions corpus_options() {
   DiffOptions opt;
   opt.variants_per_extra_shape = 1 << 20;  // everything
   opt.mp_variants = 3;
+  opt.shm_variants = 3;
   return opt;
 }
 
@@ -188,6 +190,12 @@ DiffResult run_differential(const std::string& source, std::uint64_t seed,
         opt.run_mp
             ? pick_variants(variants, static_cast<std::size_t>(opt.mp_variants), shape_rng)
             : std::vector<std::size_t>{};
+    // Drawn after mp_picks from the same stream: an independent rotation, so
+    // shm coverage drifts across different variants than mp over a campaign.
+    const std::vector<std::size_t> shm_picks =
+        opt.run_shm
+            ? pick_variants(variants, static_cast<std::size_t>(opt.shm_variants), shape_rng)
+            : std::vector<std::size_t>{};
 
     for (std::size_t vi : indices) {
       const tune::VariantSpec& variant = variants[vi];
@@ -262,6 +270,41 @@ DiffResult run_differential(const std::string& source, std::uint64_t seed,
         if (std::string diff = first_difference(prog, serial, mp_run.gathered);
             !diff.empty())
           return fail(FailKind::MpMismatch, variant.name, shape, diff);
+      }
+
+      // shm backend on its own seeded rotation: real threads over one shared
+      // address space, still bit-for-bit against the serial oracle.
+      if (opt.run_shm &&
+          std::find(shm_picks.begin(), shm_picks.end(), vi) != shm_picks.end()) {
+        codegen::SpmdOptions sopt_ = xopt;
+        sopt_.backend = exec::Backend::Shm;
+        codegen::SpmdResult shm_run;
+        try {
+          shm_run = codegen::run_spmd(prog, cps, plan, machine, sopt_);
+        } catch (const dhpf::Error& e) {
+          return fail(FailKind::RunError, variant.name + " [shm]", shape, e.what());
+        }
+        ++res.shm_runs;
+        if (std::string diff = first_difference(prog, serial, shm_run.gathered);
+            !diff.empty())
+          return fail(FailKind::ShmMismatch, variant.name, shape, diff);
+        // The model's shm aggregates are exact by construction: barrier
+        // episodes and shared-read bytes must match the runtime's counters.
+        if (opt.check_model) {
+          const model::Prediction pred =
+              model::predict(prog, cps, plan, machine, xopt.flops_per_instance);
+          if (pred.barrier_episodes != shm_run.shm_stats.barriers ||
+              static_cast<std::size_t>(pred.bytes) !=
+                  shm_run.shm_stats.shared_read_bytes) {
+            std::ostringstream os;
+            os << "model barriers=" << pred.barrier_episodes
+               << " shared bytes=" << pred.bytes
+               << " vs shm barriers=" << shm_run.shm_stats.barriers
+               << " shared bytes=" << shm_run.shm_stats.shared_read_bytes;
+            return fail(FailKind::ModelCommMismatch, variant.name + " [shm]", shape,
+                        os.str());
+          }
+        }
       }
     }
   }

@@ -14,12 +14,14 @@
 //     disagreement is a failure),
 //   * executed on the deterministic simulator and compared BIT-FOR-BIT
 //     against the serial oracle (owner copies of every distributed array),
-//   * and, for a seeded rotation of variants, executed on the real
-//     multi-threaded mp backend and compared bit-for-bit as well.
+//   * and, for seeded rotations of variants, executed on the real
+//     multi-threaded mp and shm backends and compared bit-for-bit as well.
 //
 // Bit-for-bit is achievable (and therefore demanded) because serial and
-// SPMD execution sum rhs terms in the same order and the mp runtime's
-// named-source receives are deterministic; see docs/fuzzing.md.
+// SPMD execution sum rhs terms in the same order, the mp runtime's
+// named-source receives are deterministic, and the shm backend's
+// barrier-fenced shared reads copy exactly the bytes the message path
+// would have carried; see docs/fuzzing.md.
 //
 // The driver fails fast: the first failure is reported with a structured
 // kind + variant + shape signature, which is the currency the minimizer
@@ -42,6 +44,7 @@ enum class FailKind {
   RunError,           ///< run_spmd threw (sim or mp)
   SimMismatch,        ///< sim result != serial oracle (bitwise)
   MpMismatch,         ///< mp result != serial oracle (bitwise)
+  ShmMismatch,        ///< shm result != serial oracle (bitwise)
   ModelCommMismatch,  ///< model's messages/bytes != simulator's measured
   LintFalsePositive,  ///< dhpf::lint reported an error on a valid program
 };
@@ -59,7 +62,12 @@ struct DiffOptions {
   /// picks, rotating with the case seed so the whole cross product gets mp
   /// coverage across a campaign.
   int mp_variants = 2;
+  /// shm-backend runs per (case, shape): an independently seeded rotation,
+  /// so mp and shm coverage drift across different variants over a
+  /// campaign instead of always shadowing each other.
+  int shm_variants = 2;
   bool run_mp = true;
+  bool run_shm = true;
   bool check_model = true;
   /// Lint every (program, shape): a generated-valid program must produce
   /// zero error-severity findings (dhpf::lint's witnesses are exact, so an
@@ -85,6 +93,7 @@ struct DiffResult {
   int plans_checked = 0;  ///< variant compiles attempted
   int sim_runs = 0;
   int mp_runs = 0;
+  int shm_runs = 0;
 };
 
 /// Differentially check one program. `seed` only steers the deterministic

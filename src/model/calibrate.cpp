@@ -67,6 +67,7 @@ Calibration fit(const std::vector<Sample>& samples, const ModelParams& defaults)
   }
 
   Vec<3> sol = b;
+  cal.params = defaults;  // parameters outside the fitted three keep defaults
   if (binvrhs<3>(A, sol)) {
     cal.params.gamma = std::max(0.0, sol[0]);
     cal.params.alpha = std::max(0.0, sol[1]);
@@ -93,6 +94,8 @@ void params_json(json::Writer& w, const ModelParams& p) {
   w.member("alpha", p.alpha);
   w.member("beta", p.beta);
   w.member("gamma", p.gamma);
+  w.member("delta", p.delta);
+  w.member("sigma", p.sigma);
   w.end_object();
 }
 
@@ -132,14 +135,21 @@ ModelParams load_params(const std::string& path) {
   mp.alpha = p.at("alpha").number();
   mp.beta = p.at("beta").number();
   mp.gamma = p.at("gamma").number();
+  // Calibrations written before the shm backend carry no delta/sigma; fall
+  // back the way from_machine does (barrier priced as a message, shared
+  // read as a wire byte).
+  mp.delta = p.number_or("delta", mp.alpha);
+  mp.sigma = p.number_or("sigma", mp.beta);
   return mp;
 }
 
 std::vector<Sample> samples_from_bench_artifact(std::string_view doc) {
   const json::Value root = json::parse(doc);
-  const bool mp_backend =
+  // Artifacts from the real-thread backends (mp, shm) carry measured
+  // wall-clock seconds; sim artifacts carry modelled elapsed seconds.
+  const bool real_backend =
       root.find("backend") != nullptr && root.at("backend").kind == json::Value::Kind::String &&
-      root.at("backend").string() == "mp";
+      (root.at("backend").string() == "mp" || root.at("backend").string() == "shm");
   std::vector<Sample> samples;
   const json::Value* rows = root.find("rows");
   if (rows == nullptr || !rows->is_array()) return samples;
@@ -150,7 +160,7 @@ std::vector<Sample> samples_from_bench_artifact(std::string_view doc) {
     for (const auto& [key, cell] : row.members) {
       if (!cell.is_object()) continue;
       const double measured =
-          mp_backend ? cell.number_or("wall_seconds", 0.0) : cell.number_or("elapsed", 0.0);
+          real_backend ? cell.number_or("wall_seconds", 0.0) : cell.number_or("elapsed", 0.0);
       if (measured <= 0.0) continue;
       Sample s;
       s.label = key + "@P" + std::to_string(static_cast<int>(np));

@@ -19,12 +19,15 @@ ModelParams ModelParams::from_machine(const exec::Machine& m) {
   p.alpha = m.latency + m.send_overhead + m.recv_overhead;
   p.beta = m.byte_time;
   p.gamma = 1.0;
+  p.delta = p.alpha;
+  p.sigma = p.beta;
   return p;
 }
 
 std::string ModelParams::to_string() const {
   std::ostringstream os;
-  os << "alpha=" << alpha << " s/msg, beta=" << beta << " s/byte, gamma=" << gamma;
+  os << "alpha=" << alpha << " s/msg, beta=" << beta << " s/byte, gamma=" << gamma
+     << ", delta=" << delta << " s/barrier, sigma=" << sigma << " s/shared-byte";
   return os.str();
 }
 
@@ -34,6 +37,14 @@ double Prediction::wall(const ModelParams& p) const {
 
 double Prediction::comm_seconds(const ModelParams& p) const {
   return p.alpha * critical_messages + p.beta * critical_bytes;
+}
+
+double Prediction::wall_shm(const ModelParams& p) const {
+  return p.gamma * compute_seconds_critical + sync_seconds(p);
+}
+
+double Prediction::sync_seconds(const ModelParams& p) const {
+  return p.delta * static_cast<double>(barrier_episodes) + p.sigma * critical_shared_bytes;
 }
 
 namespace {
@@ -165,6 +176,9 @@ Prediction predict(const hpf::Program& prog, const cp::CpResult& cps,
     struct RankLoad {
       std::size_t msgs = 0;
       std::size_t bytes = 0;
+      /// Bytes this rank *pulls* as direct shared reads on shm: the
+      /// enumerating rank for a fetch, the owning peer for a write-back.
+      std::size_t shm_bytes = 0;
     };
     // prefix -> per-rank participation (sender and receiver both loaded).
     std::map<std::vector<i64>, std::vector<RankLoad>> loads;
@@ -195,6 +209,7 @@ Prediction predict(const hpf::Program& prog, const cp::CpResult& cps,
         per_rank[static_cast<std::size_t>(q)].bytes += nbytes;
         per_rank[static_cast<std::size_t>(peer)].msgs += 1;
         per_rank[static_cast<std::size_t>(peer)].bytes += nbytes;
+        per_rank[static_cast<std::size_t>(ec.fetch ? q : peer)].shm_bytes += nbytes;
       }
     }
 
@@ -202,6 +217,7 @@ Prediction predict(const hpf::Program& prog, const cp::CpResult& cps,
     for (const auto& [prefix, per_rank] : loads) {
       double best = -1.0;
       const RankLoad* crit = nullptr;
+      std::size_t max_shm = 0;
       for (const auto& rl : per_rank) {
         const double cost = defaults.alpha * static_cast<double>(rl.msgs) +
                             defaults.beta * static_cast<double>(rl.bytes);
@@ -209,11 +225,17 @@ Prediction predict(const hpf::Program& prog, const cp::CpResult& cps,
           best = cost;
           crit = &rl;
         }
+        max_shm = std::max(max_shm, rl.shm_bytes);
       }
       if (crit != nullptr) {
         ec.critical_messages += static_cast<double>(crit->msgs);
         ec.critical_bytes += static_cast<double>(crit->bytes);
       }
+      // On shm this prefix costs one barrier pair (codegen skips both
+      // barriers when no rank has traffic, which is exactly "no prefix
+      // entry here"), and the critical rank is the largest puller.
+      pred.barrier_episodes += 2;
+      pred.critical_shared_bytes += static_cast<double>(max_shm);
     }
 
     pred.messages += ec.messages;
@@ -240,6 +262,9 @@ std::string Prediction::to_string(const ModelParams& p) const {
   os << "  predicted wall " << wall(p) << " s  (compute "
      << p.gamma * compute_seconds_critical << " s + comm " << comm_seconds(p)
      << " s)\n";
+  os << "  shm:     " << barrier_episodes << " barrier episodes, critical shared bytes "
+     << critical_shared_bytes << "; predicted wall " << wall_shm(p) << " s  (compute "
+     << p.gamma * compute_seconds_critical << " s + sync " << sync_seconds(p) << " s)\n";
   for (const auto& s : stmts)
     os << "    S" << s.stmt_id << ": " << s.total_instances << " instances (max/rank "
        << s.critical_instances << ")  " << s.cp << "\n";
@@ -260,13 +285,19 @@ std::string Prediction::to_json(const ModelParams& p) const {
   w.member("alpha", p.alpha);
   w.member("beta", p.beta);
   w.member("gamma", p.gamma);
+  w.member("delta", p.delta);
+  w.member("sigma", p.sigma);
   w.end_object();
   w.member("predicted_wall_seconds", wall(p));
   w.member("predicted_comm_seconds", comm_seconds(p));
+  w.member("predicted_wall_shm_seconds", wall_shm(p));
+  w.member("predicted_sync_seconds", sync_seconds(p));
   w.member("compute_seconds_critical", compute_seconds_critical);
   w.member("compute_seconds_total", compute_seconds_total);
   w.member("critical_messages", critical_messages);
   w.member("critical_bytes", critical_bytes);
+  w.member("barrier_episodes", static_cast<std::uint64_t>(barrier_episodes));
+  w.member("critical_shared_bytes", critical_shared_bytes);
   w.member("total_instances", static_cast<std::uint64_t>(total_instances));
   w.member("messages", static_cast<std::uint64_t>(messages));
   w.member("bytes", static_cast<std::uint64_t>(bytes));

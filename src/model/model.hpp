@@ -40,15 +40,23 @@
 
 namespace dhpf::model {
 
-/// The three fitted parameters of the linear cost model.
+/// The fitted parameters of the linear cost model. alpha/beta price the
+/// message-passing backends' wall formula; delta/sigma price the
+/// shared-memory backend's (barriers instead of messages, direct shared
+/// reads instead of payload bytes). Both formulas share gamma * C.
 struct ModelParams {
   double alpha = 0.0;  ///< seconds per critical-path message
   double beta = 0.0;   ///< seconds per critical-path payload byte
   double gamma = 1.0;  ///< dimensionless scale on modelled compute seconds
+  double delta = 0.0;  ///< seconds per barrier episode (shm)
+  double sigma = 0.0;  ///< seconds per critical-path shared-read byte (shm)
 
   /// Defaults derived from a machine description: alpha folds the fixed
   /// per-message costs (latency + both software overheads), beta is the
   /// inverse bandwidth, gamma is 1 (modelled compute taken at face value).
+  /// The shm defaults reuse them: a barrier episode is priced like a
+  /// message's fixed cost (delta = alpha) and a shared read like a wire
+  /// byte (sigma = beta) until calibration sharpens both.
   static ModelParams from_machine(const exec::Machine& m);
 
   [[nodiscard]] std::string to_string() const;
@@ -97,12 +105,25 @@ struct Prediction {
   double critical_messages = 0.0;
   double critical_bytes = 0.0;
 
+  // Shared-memory aggregates: on shm every event instance (outer-iteration
+  // prefix with any non-local element) costs one barrier pair, and the
+  // per-prefix critical rank is the one pulling the most shared bytes.
+  // barrier_episodes is exact (= the shm runtime's Stats::barriers for the
+  // same plan); total shared bytes equal `bytes` by construction (every
+  // wire byte becomes a direct read).
+  std::size_t barrier_episodes = 0;
+  double critical_shared_bytes = 0.0;
+
   std::string note;  ///< approximations taken (e.g. opaque callee bounds)
 
   /// gamma*C + alpha*M + beta*B.
   [[nodiscard]] double wall(const ModelParams& p) const;
   /// The communication share of wall (alpha*M + beta*B).
   [[nodiscard]] double comm_seconds(const ModelParams& p) const;
+  /// The shm wall formula: gamma*C + delta*barriers + sigma*shared bytes.
+  [[nodiscard]] double wall_shm(const ModelParams& p) const;
+  /// The synchronization + shared-read share of wall_shm.
+  [[nodiscard]] double sync_seconds(const ModelParams& p) const;
 
   [[nodiscard]] std::string to_string(const ModelParams& p) const;
   [[nodiscard]] std::string to_json(const ModelParams& p) const;

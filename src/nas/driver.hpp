@@ -1,14 +1,16 @@
-// Driver: runs a mini-NAS variant on either execution backend — the
-// virtual-time simulator (sim) or the real multi-threaded runtime (mp) —
-// verifies the result against the serial reference, and reports
-// timing/statistics. This is the layer the benchmark binaries
-// (Tables 8.1/8.2, Figures 8.1-8.4) are built on.
+// Driver: runs a mini-NAS variant on any execution backend — the
+// virtual-time simulator (sim), the real multi-threaded message-passing
+// runtime (mp), or the shared-memory threaded runtime (shm) — verifies the
+// result against the serial reference, and reports timing/statistics. This
+// is the layer the benchmark binaries (Tables 8.1/8.2, Figures 8.1-8.4)
+// are built on.
 #pragma once
 
 #include <optional>
 #include <string>
 
 #include "mp/runtime.hpp"
+#include "shm/runtime.hpp"
 #include "nas/dhpf_style.hpp"
 #include "nas/problem.hpp"
 #include "sim/engine.hpp"
@@ -22,11 +24,12 @@ const char* to_string(Variant v);
 
 struct RunResult {
   exec::Backend backend = exec::Backend::Sim;
-  double elapsed = 0.0;       ///< simulated seconds (sim backend; 0 on mp)
+  double elapsed = 0.0;       ///< simulated seconds (sim backend; 0 on mp/shm)
   double wall_seconds = 0.0;  ///< real (monotonic-clock) seconds of the run
-  sim::Stats stats;           ///< messages/bytes filled on both backends
+  sim::Stats stats;           ///< messages/bytes filled on every backend
   sim::TraceLog trace;        ///< populated when record_trace was requested
   mp::Stats mp_stats;         ///< populated on the mp backend
+  shm::Stats shm_stats;       ///< populated on the shm backend
   double max_err = -1.0;      ///< vs serial reference; -1 when not verified
   double norm = 0.0;          ///< allreduced interior RMS of u (collective)
   bool verified = false;
@@ -35,6 +38,7 @@ struct RunResult {
 struct DriverOptions {
   exec::Backend backend = exec::Backend::Sim;
   mp::Options mp;            ///< mp backend tuning (compute mode, timeouts)
+  shm::Options shm;          ///< shm backend tuning (compute mode, timeouts)
   DhpfOptions dhpf;          ///< options for the dHPF-style variant
   bool record_trace = false; ///< sim backend only
   bool verify = true;        ///< run the serial reference and compare fields

@@ -1,0 +1,127 @@
+// dhpf::shm — the shared-memory threaded runtime.
+//
+// The third execution backend behind exec::Channel: like src/mp it runs the
+// SPMD node programs on real OS threads (one per rank, monotonic-clock
+// time), but the ranks share one address space by construction and the
+// runtime exposes the two primitives a shared-memory lowering needs:
+//
+//   * shm::barrier(ch) — a phase barrier across all ranks of the run. The
+//     codegen layer places a barrier pair around every communication-event
+//     instance derived from the comm plan, which turns each fetch /
+//     write-back into direct reads of the producing rank's storage with no
+//     message copies (see codegen::exec_event and docs/runtime.md).
+//   * shm::note_shared_read(ch, bytes) — accounting for those direct
+//     reads, the shm analogue of message bytes (Stats::shared_read_bytes,
+//     obs counter shm.shared_bytes).
+//
+// Mailboxes, tagged send/recv, wildcard sources, timeouts and the deadlock
+// watchdog all carry over from mp unchanged, so collectives
+// (exec/collectives.hpp) and message-passing node programs (the NAS
+// variants) run on shm as-is; the watchdog additionally understands ranks
+// parked at a barrier, so a rank that dies while its peers wait at a
+// barrier is reported as a deadlock instead of hanging CI.
+//
+// Determinism: identical to mp — named-source receives and barriers are
+// deterministic, wildcard receives match in real arrival order. The
+// barrier-synchronized direct reads are deterministic by construction:
+// within a barrier epoch each rank reads only locations no other rank is
+// writing (ownership-disjoint), so results are bit-identical to the serial
+// oracle, the simulator, and mp.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/channel.hpp"
+#include "exec/task.hpp"
+#include "mp/runtime.hpp"
+
+namespace dhpf::shm {
+
+inline constexpr int kAnySource = exec::kAnySource;
+
+/// compute()/elapse() behaviour — same semantics as mp::ComputeMode.
+using ComputeMode = mp::ComputeMode;
+
+struct Options {
+  ComputeMode compute_mode = ComputeMode::Noop;
+  /// Cost model used to convert flops to seconds for Spin/Sleep and served
+  /// by Channel::machine() for cost heuristics.
+  exec::Machine machine = exec::Machine::sp2();
+  /// Dilation factor applied to modelled compute time in Spin/Sleep modes.
+  double time_scale = 1.0;
+  /// Per-receive / per-barrier timeout in real seconds; waiting longer
+  /// raises dhpf::Error. <= 0 disables (the watchdog still guards CI).
+  double recv_timeout_s = 30.0;
+  /// Blocked-rank watchdog scan period in real seconds; <= 0 disables.
+  /// Overridable at runtime via DHPF_SHM_WATCHDOG_MS (milliseconds; 0
+  /// disables) — see watchdog_period_from_env.
+  double watchdog_period_s = 0.05;
+};
+
+/// Resolve the effective watchdog period: DHPF_SHM_WATCHDOG_MS (a real
+/// number of milliseconds; <= 0 disables the watchdog) when set and
+/// parseable, otherwise `fallback`. Exposed for direct unit testing; run()
+/// applies it to Options::watchdog_period_s.
+double watchdog_period_from_env(double fallback);
+
+/// Per-rank activity counters (real seconds where noted).
+struct RankStats {
+  std::size_t sends = 0;
+  std::size_t recvs = 0;
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
+  std::size_t barriers = 0;            ///< barrier episodes this rank entered
+  std::size_t shared_read_bytes = 0;   ///< direct shared reads (note_shared_read)
+  double wait_seconds = 0.0;     ///< real time blocked in recv or at a barrier
+  double compute_seconds = 0.0;  ///< *modelled* seconds via compute()/elapse()
+};
+
+struct Stats {
+  double wall_seconds = 0.0;  ///< real elapsed time of the run
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  std::size_t barriers = 0;           ///< barrier episodes (global releases)
+  std::size_t shared_read_bytes = 0;  ///< direct shared reads, all ranks
+  std::vector<RankStats> ranks;
+
+  /// Real-time phase breakdown summed over ranks (see mp::Stats::PhaseRow).
+  struct PhaseRow {
+    std::string phase;
+    double busy = 0.0;
+    double wait = 0.0;
+  };
+  std::vector<PhaseRow> phases;
+};
+
+/// Rendezvous of every rank of the current shm run; returns once all ranks
+/// have arrived. `ch` must be a channel handed out by shm::run — calling
+/// this with a sim or mp channel raises dhpf::Error. Throws on timeout or
+/// when the watchdog aborts the run (a peer died before the barrier).
+void barrier(exec::Channel& ch);
+
+/// Account `bytes` of direct shared-memory reads performed by this rank
+/// between two barriers (the shm analogue of received message bytes).
+void note_shared_read(exec::Channel& ch, std::size_t bytes);
+
+/// True iff `ch` belongs to an shm run (barrier()/note_shared_read() work).
+bool is_shm_channel(const exec::Channel& ch);
+
+/// Execute `body(channel)` once per rank, each rank on its own OS thread in
+/// this process's address space, and return the real elapsed seconds.
+/// Throws dhpf::Error if any rank's coroutine throws, a receive or barrier
+/// times out, or the watchdog detects deadlock.
+///
+/// Side effect: bumps dhpf::obs — counters shm.runs / shm.messages /
+/// shm.bytes / shm.barriers / shm.shared_bytes, per-rank gauges
+/// shm.rank<r>.{sends,recvs,wait_seconds}, and timers shm.phase.<label>.
+double run(int nranks, const Options& opt,
+           const std::function<exec::Task(exec::Channel&)>& body, Stats* stats_out = nullptr);
+
+/// Convenience overload with default options.
+double run(int nranks, const std::function<exec::Task(exec::Channel&)>& body,
+           Stats* stats_out = nullptr);
+
+}  // namespace dhpf::shm

@@ -148,7 +148,10 @@ std::string Request::to_json() const {
     w.end_array();
   }
   if (no_cache) w.member("no_cache", true);
-  if (kind == Kind::Tune) w.member("tune_measure", static_cast<std::int64_t>(tune_measure));
+  if (kind == Kind::Tune) {
+    w.member("tune_measure", static_cast<std::int64_t>(tune_measure));
+    w.member("backend", exec::to_string(backend));
+  }
   w.end_object();
   return w.str();
 }
@@ -206,6 +209,11 @@ bool Request::from_json(const std::string& doc, Request& out, std::string* error
         tm->num != static_cast<double>(static_cast<int>(tm->num)))
       return bad("tune_measure must be an integer in [0, 48]");
     r.tune_measure = static_cast<int>(tm->num);
+  }
+  if (const json::Value* be = v.find("backend")) {
+    if (be->kind != json::Value::Kind::String ||
+        !exec::parse_backend(be->string(), r.backend))
+      return bad("backend must be sim|mp|shm");
   }
   out = std::move(r);
   return true;

@@ -28,6 +28,7 @@
 
 #include "comm/comm.hpp"
 #include "cp/select.hpp"
+#include "exec/channel.hpp"
 
 namespace dhpf::svc {
 
@@ -75,6 +76,10 @@ struct Request {
   std::vector<int> grid;  ///< processor-grid extents override; empty = as written
   bool no_cache = false;  ///< bypass the result cache (probe nor fill)
   int tune_measure = 0;   ///< tune requests: measured confirmations beyond default
+  /// tune requests: execution backend for the measured confirmations
+  /// (sim | mp | shm). Part of the cache key — the same program tuned on
+  /// different backends yields different rankings.
+  exec::Backend backend = exec::Backend::Sim;
 
   [[nodiscard]] std::string to_json() const;
   /// Decode a request frame. Returns false and fills `error` on anything

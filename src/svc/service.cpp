@@ -97,6 +97,7 @@ CachedResultPtr run_tune(const Request& req) {
     }
     tune::TuneOptions topt;
     topt.measure_top_k = req.tune_measure;
+    topt.xopt.backend = req.backend;
     out->tune_json = tune::tune(prog, topt).to_json();
   } catch (const dhpf::Error& e) {
     out->ok = false;
@@ -190,8 +191,13 @@ CacheKey request_key(const Request& req) {
   const std::string grid = grid_part(req.grid);
   if (req.kind == Kind::Lint) return content_hash({req.source, "", grid, "lint"});
   const bool is_tune = req.kind == Kind::Tune;
+  // The measured backend is part of a tune key: the same program tuned on
+  // sim and shm can select different variants, so they must not share an
+  // entry.
   const std::string tail =
-      is_tune ? "tune:" + std::to_string(req.tune_measure) : "pipeline";
+      is_tune ? "tune:" + std::string(exec::to_string(req.backend)) + ":" +
+                    std::to_string(req.tune_measure)
+              : "pipeline";
   return content_hash({req.source, req.flags.canonical(), grid, tail});
 }
 

@@ -12,6 +12,26 @@
 
 namespace dhpf::tune {
 
+namespace {
+
+/// Measured time of one run on its backend: simulated seconds on sim, real
+/// wall-clock seconds on the real-thread backends (mp, shm) — one place to
+/// get this right so a new real-time backend is never silently scored by
+/// simulated time.
+double measured_seconds(const codegen::SpmdResult& run) {
+  return run.backend == exec::Backend::Sim ? run.elapsed : run.wall_seconds;
+}
+
+/// Predicted wall for the tuner's execution backend: the shm formula
+/// (barriers + shared reads) when measuring on shm, the message-passing
+/// formula otherwise.
+double predicted_wall_for(const model::Prediction& pred, const model::ModelParams& params,
+                          exec::Backend backend) {
+  return backend == exec::Backend::Shm ? pred.wall_shm(params) : pred.wall(params);
+}
+
+}  // namespace
+
 std::vector<VariantSpec> enumerate_variants() {
   const std::pair<cp::PrivMode, const char*> priv_modes[] = {
       {cp::PrivMode::Propagate, "propagate"},
@@ -73,7 +93,7 @@ TuneReport tune(const hpf::Program& prog, const TuneOptions& opt) {
       }
       r.prediction = model::predict(prog, compiled.cps, compiled.plan, opt.machine,
                                     opt.xopt.flops_per_instance);
-      r.predicted_wall = r.prediction.wall(opt.params);
+      r.predicted_wall = predicted_wall_for(r.prediction, opt.params, opt.xopt.backend);
     } catch (const dhpf::Error& e) {
       r.compiled = false;
       r.note = e.what();
@@ -117,8 +137,7 @@ TuneReport tune(const hpf::Program& prog, const TuneOptions& opt) {
     codegen::CompileResult compiled = codegen::compile(prog, r.spec.sopt, r.spec.copt);
     const codegen::SpmdResult run =
         codegen::run_spmd(prog, compiled.cps, compiled.plan, opt.machine, xopt);
-    r.measured_seconds =
-        run.backend == exec::Backend::Mp ? run.wall_seconds : run.elapsed;
+    r.measured_seconds = measured_seconds(run);
     if (r.measured_seconds > 0.0)
       r.rel_error = std::fabs(r.predicted_wall - r.measured_seconds) / r.measured_seconds;
   }
@@ -163,6 +182,7 @@ model::Calibration calibrate_program(const hpf::Program& prog, const TuneOptions
 
   codegen::SpmdOptions xopt = opt.xopt;
   xopt.verify = false;
+  const bool shm_backend = opt.xopt.backend == exec::Backend::Shm;
   std::vector<model::Sample> samples;
   for (const VariantSpec& v : variants) {
     try {
@@ -174,15 +194,31 @@ model::Calibration calibrate_program(const hpf::Program& prog, const TuneOptions
       model::Sample s;
       s.label = v.name;
       s.compute_seconds = pred.compute_seconds_critical;
-      s.messages = pred.critical_messages;
-      s.bytes = pred.critical_bytes;
-      s.measured_seconds = run.backend == exec::Backend::Mp ? run.wall_seconds : run.elapsed;
+      // The generic 3-column fit prices (C, count, bytes); on shm the count
+      // column holds barrier episodes and the bytes column critical shared
+      // bytes, matching the wall_shm formula term for term.
+      s.messages = shm_backend ? static_cast<double>(pred.barrier_episodes)
+                               : pred.critical_messages;
+      s.bytes = shm_backend ? pred.critical_shared_bytes : pred.critical_bytes;
+      s.measured_seconds = measured_seconds(run);
       if (s.measured_seconds > 0.0) samples.push_back(std::move(s));
     } catch (const dhpf::Error&) {
       // A variant that fails to compile or run contributes no equation.
     }
   }
-  return model::fit(samples, model::ModelParams::from_machine(opt.machine));
+  model::Calibration cal =
+      model::fit(samples, model::ModelParams::from_machine(opt.machine));
+  if (shm_backend) {
+    // fit() solved for (gamma, per-count, per-byte) over the shm columns:
+    // what it calls alpha/beta are really delta/sigma. Move them over and
+    // restore the message-passing prices to defaults — this run carries no
+    // evidence about those.
+    cal.params.delta = cal.params.alpha;
+    cal.params.sigma = cal.params.beta;
+    cal.params.alpha = cal.defaults.alpha;
+    cal.params.beta = cal.defaults.beta;
+  }
+  return cal;
 }
 
 std::string TuneReport::to_string() const {

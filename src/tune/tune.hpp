@@ -4,9 +4,11 @@
 // paper studies (privatizable-CP mode §4.1, LOCALIZE §4.2, comm-sensitive
 // loop distribution §5, §7 data availability, message coalescing), compiles
 // each variant, optionally prunes variants the static verifier rejects,
-// scores the survivors with the analytic cost model (dhpf::model), and then
-// *measures* the top-k predicted variants — always including the
-// default-flags variant — on the chosen execution backend. Selection is by
+// scores the survivors with the analytic cost model (dhpf::model) using the
+// formula that matches the target backend (wall_shm's barrier/shared-read
+// terms on shm, the message/byte terms otherwise), and then *measures* the
+// top-k predicted variants — always including the default-flags variant —
+// on the chosen execution backend. Selection is by
 // best measured time, so the selected plan is never measurably worse than
 // the default configuration: the default is in the measured set and would
 // win a tie.
@@ -83,7 +85,9 @@ TuneReport tune(const hpf::Program& prog, const TuneOptions& opt = {});
 /// of option-variants (each shifts the compute/messages/bytes mix, so the
 /// least-squares system is well-conditioned), measure every one on
 /// opt.xopt.backend, and fit (gamma, alpha, beta) from the exact predicted
-/// aggregates against the measured times (model::fit).
+/// aggregates against the measured times (model::fit). On the shm backend
+/// the fitted columns are barrier episodes and critical shared-read bytes,
+/// yielding (gamma, delta, sigma) with alpha/beta left at defaults.
 model::Calibration calibrate_program(const hpf::Program& prog, const TuneOptions& opt = {});
 
 }  // namespace dhpf::tune

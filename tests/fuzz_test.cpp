@@ -35,6 +35,7 @@ fuzz::DiffOptions quick_diff() {
   d.shapes = 2;
   d.variants_per_extra_shape = 2;
   d.mp_variants = 1;
+  d.shm_variants = 1;
   return d;
 }
 
@@ -111,6 +112,7 @@ TEST(FuzzCampaign, SameSeedSameReportByteForByte) {
   EXPECT_GT(a.plans_checked, 0);
   EXPECT_GT(a.sim_runs, 0);
   EXPECT_GT(a.mp_runs, 0);
+  EXPECT_GT(a.shm_runs, 0);
 }
 
 TEST(FuzzDiff, CleanProgramPasses) {

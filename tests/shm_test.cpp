@@ -1,0 +1,446 @@
+// Tests for dhpf::shm, the shared-memory threaded runtime, and for backend
+// parity: the same node programs (collectives, generated SPMD programs, NAS
+// variants) must produce bit-identical results on the virtual-time
+// simulator, on mp, and on shm.
+//
+// What is shm-specific here (beyond the mailbox behaviour inherited from
+// mp, which tests/mp_test.cpp covers in depth):
+//   * the phase barrier — ordering of side effects, heavy contention,
+//     detection of a peer that dies before arriving;
+//   * the barrier-synchronized direct-read lowering — run_spmd on shm must
+//     match the serial oracle bit-for-bit while sending zero messages, and
+//     its barrier / shared-byte counters must equal the analytic model's
+//     aggregates exactly (the model's exactness contract).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "codegen/spmd.hpp"
+#include "comm/comm.hpp"
+#include "cp/select.hpp"
+#include "exec/collectives.hpp"
+#include "hpf/parser.hpp"
+#include "model/model.hpp"
+#include "nas/driver.hpp"
+#include "shm/runtime.hpp"
+#include "sim/engine.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dhpf {
+namespace {
+
+using exec::Channel;
+using exec::Task;
+
+// ------------------------------------------------------ point-to-point
+//
+// The mailbox path is shared with mp; one smoke test pins that it still
+// works through the shm entry point (collectives and NAS depend on it).
+
+TEST(ShmRuntime, SendRecvDeliversPayload) {
+  std::vector<double> got;
+  shm::run(2, [&](Channel& p) -> Task {
+    if (p.rank() == 0) {
+      p.send(1, 7, {1.5, 2.5, 3.5});
+    } else {
+      got = co_await p.recv(0, 7);
+    }
+    co_return;
+  });
+  EXPECT_EQ(got, (std::vector<double>{1.5, 2.5, 3.5}));
+}
+
+// ------------------------------------------------------------- barrier
+
+TEST(ShmBarrier, OrdersSideEffects) {
+  constexpr int kRanks = 8;
+  std::atomic<int> entered{0};
+  std::vector<int> seen_at_exit(kRanks, -1);
+  shm::run(kRanks, [&](Channel& p) -> Task {
+    entered.fetch_add(1);
+    shm::barrier(p);
+    // After the barrier every rank must observe all kRanks entries.
+    seen_at_exit[static_cast<std::size_t>(p.rank())] = entered.load();
+    co_return;
+  });
+  for (int r = 0; r < kRanks; ++r)
+    EXPECT_EQ(seen_at_exit[static_cast<std::size_t>(r)], kRanks);
+}
+
+TEST(ShmBarrier, ManyRoundsUnderContentionStayInLockstep) {
+  // The sense-reversing barrier must not let a fast rank lap a slow one:
+  // after every round each rank checks that nobody has started the next
+  // round yet (the generation observed at exit equals its own round).
+  constexpr int kRanks = 16;
+  constexpr int kRounds = 200;
+  std::vector<std::atomic<int>> round(kRanks);
+  for (auto& r : round) r.store(0);
+  bool ok = true;
+  shm::Stats stats;
+  shm::run(kRanks, [&](Channel& p) -> Task {
+    const auto me = static_cast<std::size_t>(p.rank());
+    for (int t = 0; t < kRounds; ++t) {
+      round[me].store(t, std::memory_order_relaxed);
+      shm::barrier(p);
+      // Between the two barriers of a round, every rank must be in round t.
+      for (int q = 0; q < kRanks; ++q)
+        if (round[static_cast<std::size_t>(q)].load(std::memory_order_relaxed) != t)
+          ok = false;
+      shm::barrier(p);
+    }
+    co_return;
+  }, &stats);
+  EXPECT_TRUE(ok);
+  // Global episode count: two barriers per round, regardless of rank count.
+  EXPECT_EQ(stats.barriers, static_cast<std::size_t>(2 * kRounds));
+}
+
+TEST(ShmBarrier, PeerDeathBeforeBarrierIsDetected) {
+  // Rank 1 throws before ever reaching the barrier; rank 0 is parked at it.
+  // The abort must release rank 0 (no hang) and report rank 1's failure.
+  shm::Options opt;
+  opt.recv_timeout_s = 0.0;
+  opt.watchdog_period_s = 0.02;
+  try {
+    shm::run(2, opt, [&](Channel& p) -> Task {
+      if (p.rank() == 1) fail("test", "boom");
+      shm::barrier(p);
+      co_return;
+    });
+    FAIL() << "expected rank failure to propagate";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 1 failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("boom"), std::string::npos) << msg;
+  }
+}
+
+TEST(ShmBarrier, PeerExitWithoutBarrierIsDeadlock) {
+  // Rank 1 returns cleanly without joining the barrier: rank 0 can never be
+  // released, which the watchdog must classify as deadlock (a barrier wait
+  // whose generation can no longer advance), not leave hanging.
+  shm::Options opt;
+  opt.recv_timeout_s = 0.0;  // only the watchdog may intervene
+  opt.watchdog_period_s = 0.02;
+  try {
+    shm::run(2, opt, [&](Channel& p) -> Task {
+      if (p.rank() == 0) shm::barrier(p);
+      co_return;
+    });
+    FAIL() << "expected deadlock to be detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ShmBarrier, TimeoutRaisesInsteadOfHanging) {
+  shm::Options opt;
+  opt.recv_timeout_s = 0.05;
+  opt.watchdog_period_s = 0.0;  // timeout path, not the watchdog
+  try {
+    shm::run(2, opt, [&](Channel& p) -> Task {
+      if (p.rank() == 0) shm::barrier(p);  // rank 1 never arrives
+      co_return;
+    });
+    FAIL() << "expected barrier timeout";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("barrier timeout"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ShmBarrier, RejectsForeignChannels) {
+  // barrier()/note_shared_read() are shm-run primitives; handing them a sim
+  // channel must raise, not silently no-op (codegen relies on this).
+  sim::Engine engine(1, sim::Machine::sp2());
+  engine.run([&](sim::Process& p) -> Task {
+    EXPECT_FALSE(shm::is_shm_channel(p));
+    EXPECT_THROW(shm::barrier(p), Error);
+    EXPECT_THROW(shm::note_shared_read(p, 8), Error);
+    co_return;
+  });
+  shm::run(1, [&](Channel& p) -> Task {
+    EXPECT_TRUE(shm::is_shm_channel(p));
+    co_return;
+  });
+}
+
+// ------------------------------------------------------ failure handling
+
+TEST(ShmRuntime, DeadlockWatchdogFires) {
+  shm::Options opt;
+  opt.recv_timeout_s = 0.0;
+  opt.watchdog_period_s = 0.02;
+  try {
+    shm::run(2, opt, [&](Channel& p) -> Task {
+      // Both ranks wait for a message nobody sends.
+      co_await p.recv(1 - p.rank(), 99);
+      co_return;
+    });
+    FAIL() << "expected deadlock to be detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ShmRuntime, WatchdogPeriodFromEnv) {
+  unsetenv("DHPF_SHM_WATCHDOG_MS");
+  EXPECT_DOUBLE_EQ(shm::watchdog_period_from_env(0.05), 0.05);
+
+  setenv("DHPF_SHM_WATCHDOG_MS", "100", 1);
+  EXPECT_DOUBLE_EQ(shm::watchdog_period_from_env(0.05), 0.1);
+  setenv("DHPF_SHM_WATCHDOG_MS", "0", 1);
+  EXPECT_DOUBLE_EQ(shm::watchdog_period_from_env(0.05), 0.0);
+  for (const char* bad : {"", "fast", "12xyz"}) {
+    setenv("DHPF_SHM_WATCHDOG_MS", bad, 1);
+    EXPECT_DOUBLE_EQ(shm::watchdog_period_from_env(0.05), 0.05) << "value: " << bad;
+  }
+  unsetenv("DHPF_SHM_WATCHDOG_MS");
+}
+
+// ---------------------------------------------------------- collectives
+
+TEST(ShmCollectives, ParityWithSim) {
+  // Five ranks (non-power-of-two exercises the binomial trees' edge cases);
+  // the collectives ride the mailbox path, so this pins that shm's channel
+  // is a faithful exec::Channel.
+  constexpr int kRanks = 5;
+  auto contribution = [](int r) {
+    return std::vector<double>{1.0 + r, 0.5 * r, r == 3 ? 100.0 : -1.0};
+  };
+  auto run_with = [&](auto&& runner) {
+    std::vector<std::vector<double>> allreduce(kRanks);
+    runner([&](Channel& p) -> Task {
+      auto sum = contribution(p.rank());
+      co_await exec::allreduce(p, sum, exec::ReduceOp::Sum);
+      allreduce[static_cast<std::size_t>(p.rank())] = sum;
+      co_await exec::barrier(p);
+      co_return;
+    });
+    return allreduce;
+  };
+  const auto on_sim = run_with([&](const std::function<Task(Channel&)>& body) {
+    sim::Engine engine(kRanks, sim::Machine::sp2());
+    engine.run([&](sim::Process& p) -> Task { return body(p); });
+  });
+  const auto on_shm = run_with(
+      [&](const std::function<Task(Channel&)>& body) { shm::run(kRanks, body); });
+  EXPECT_EQ(on_sim, on_shm);
+}
+
+// ------------------------------------------------------------ statistics
+
+TEST(ShmRuntime, StatsCountBarriersAndSharedReads) {
+  shm::Stats stats;
+  const double wall = shm::run(4, [&](Channel& p) -> Task {
+    p.set_phase("exchange");
+    shm::barrier(p);
+    shm::note_shared_read(p, 64);
+    shm::barrier(p);
+    p.set_phase("");
+    co_return;
+  }, &stats);
+  EXPECT_GT(wall, 0.0);
+  EXPECT_EQ(stats.wall_seconds, wall);
+  EXPECT_EQ(stats.barriers, 2u);  // global episodes, not per-rank entries
+  EXPECT_EQ(stats.shared_read_bytes, 4u * 64u);
+  ASSERT_EQ(stats.ranks.size(), 4u);
+  for (const auto& r : stats.ranks) {
+    EXPECT_EQ(r.barriers, 2u);
+    EXPECT_EQ(r.shared_read_bytes, 64u);
+  }
+  bool found = false;
+  for (const auto& row : stats.phases) found = found || row.phase == "exchange";
+  EXPECT_TRUE(found);
+}
+
+TEST(ShmRuntime, SleepComputeModeRealizesModelledTime) {
+  shm::Options opt;
+  opt.compute_mode = shm::ComputeMode::Sleep;
+  opt.time_scale = 1.0;
+  shm::Stats stats;
+  const double wall = shm::run(2, opt, [&](Channel& p) -> Task {
+    p.elapse(0.03);  // 30 ms of modelled compute, slept for real
+    shm::barrier(p);
+    co_return;
+  }, &stats);
+  EXPECT_GE(wall, 0.025);
+  EXPECT_NEAR(stats.ranks[0].compute_seconds, 0.03, 1e-12);
+}
+
+// ------------------------------------------- run_spmd backend cross-check
+//
+// On shm the generated SPMD programs exchange no messages at all: every
+// fetch/write-back becomes barrier-fenced direct reads. Results must still
+// be bit-identical to the serial oracle (max_err == 0), and the barrier /
+// shared-byte counters must equal the model's exact aggregates.
+
+struct ShmRun {
+  codegen::SpmdResult result;
+  model::Prediction pred;
+};
+
+ShmRun compile_and_run_shm(const std::string& src) {
+  hpf::Program prog = hpf::parse(src);
+  cp::CpResult cps = cp::select_cps(prog);
+  comm::CommPlan plan = comm::generate_comm(prog, cps);
+  codegen::SpmdOptions opt;
+  opt.backend = exec::Backend::Shm;
+  ShmRun out;
+  out.pred = model::predict(prog, cps, plan, sim::Machine::sp2(), opt.flops_per_instance);
+  out.result = codegen::run_spmd(prog, cps, plan, sim::Machine::sp2(), opt);
+  return out;
+}
+
+codegen::SpmdResult compile_and_run(const std::string& src, exec::Backend backend) {
+  hpf::Program prog = hpf::parse(src);
+  cp::CpResult cps = cp::select_cps(prog);
+  comm::CommPlan plan = comm::generate_comm(prog, cps);
+  codegen::SpmdOptions opt;
+  opt.backend = backend;
+  return codegen::run_spmd(prog, cps, plan, sim::Machine::sp2(), opt);
+}
+
+std::string stencil_1d(int nprocs) {
+  return R"(
+    processors P()" + std::to_string(nprocs) + R"()
+    array a(64) distribute (block:0) onto P
+    array b(64) distribute (block:0) onto P
+    procedure main()
+      do t = 1, 3
+        do i = 1, 62
+          a(i) = b(i-1) + b(i+1)
+        enddo
+        do i = 1, 62
+          b(i) = a(i)
+        enddo
+      enddo
+    end
+  )";
+}
+
+// §4.1 privatizable-array example (paper Fig 4.1 shape).
+const char* kFig41 = R"(
+  processors P(2, 2)
+  array lhs(12, 12, 5) distribute (block:0, block:1, *) onto P
+  array u(12, 12) distribute (block:0, block:1) onto P
+  array cv(12)
+  procedure main()
+    do[independent, new(cv)] k = 1, 10
+      do j = 0, 11
+        cv(j) = u(j, k)
+      enddo
+      do j = 1, 10
+        lhs(j, k, 2) = cv(j-1) + cv(j) + cv(j+1)
+      enddo
+    enddo
+  end
+)";
+
+// §4.2 LOCALIZE example (paper Fig 4.2 shape).
+const char* kFig42 = R"(
+  processors P(2, 2)
+  array rhs(12, 12, 5) distribute (block:0, block:1, *) onto P
+  array rho_i(12, 12) distribute (block:0, block:1) onto P
+  array us(12, 12) distribute (block:0, block:1) onto P
+  array u(12, 12) distribute (block:0, block:1) onto P
+  procedure main()
+    do[independent, localize(rho_i, us)] onetrip = 1, 1
+      do j = 0, 11
+        do i = 0, 11
+          rho_i(i, j) = u(i, j)
+          us(i, j) = u(i, j) + 1
+        enddo
+      enddo
+      do j = 1, 10
+        do i = 1, 10
+          rhs(i, j, 1) = rho_i(i-1, j) + rho_i(i+1, j) + rho_i(i, j-1) + rho_i(i, j+1)
+          rhs(i, j, 2) = us(i-1, j) + us(i+1, j) + us(i, j-1) + us(i, j+1)
+        enddo
+      enddo
+    enddo
+  end
+)";
+
+TEST(ShmSpmd, Stencil1DMatchesOracleAt2To16Ranks) {
+  for (int nprocs : {2, 4, 8, 16}) {
+    SCOPED_TRACE("nprocs=" + std::to_string(nprocs));
+    auto on_sim = compile_and_run(stencil_1d(nprocs), exec::Backend::Sim);
+    auto on_shm = compile_and_run(stencil_1d(nprocs), exec::Backend::Shm);
+    // Bit-for-bit against the serial interpretation on both backends.
+    EXPECT_EQ(on_sim.max_err, 0.0);
+    EXPECT_EQ(on_shm.max_err, 0.0);
+    EXPECT_EQ(on_sim.instances_per_rank, on_shm.instances_per_rank);
+    EXPECT_GT(on_shm.wall_seconds, 0.0);
+    // No messages: the halo exchange became barrier-fenced direct reads of
+    // exactly the bytes the message path would have carried.
+    EXPECT_EQ(on_shm.shm_stats.messages, 0u);
+    EXPECT_GT(on_shm.shm_stats.barriers, 0u);
+    EXPECT_EQ(on_shm.shm_stats.shared_read_bytes, on_sim.stats.bytes);
+  }
+}
+
+TEST(ShmSpmd, CountersMatchModelExactly) {
+  // The exactness contract: the model's barrier_episodes equals the
+  // runtime's global barrier count, and its total comm bytes equal the
+  // shared bytes actually read (every wire byte becomes one direct read).
+  for (const std::string& src : {stencil_1d(4), std::string(kFig41), std::string(kFig42)}) {
+    const ShmRun run = compile_and_run_shm(src);
+    EXPECT_EQ(run.result.shm_stats.barriers, run.pred.barrier_episodes);
+    EXPECT_EQ(run.result.shm_stats.shared_read_bytes, run.pred.bytes);
+  }
+}
+
+TEST(ShmSpmd, Fig41PrivatizableMatchesOracle) {
+  auto r = compile_and_run(kFig41, exec::Backend::Shm);
+  EXPECT_EQ(r.max_err, 0.0);
+}
+
+TEST(ShmSpmd, Fig42LocalizeMatchesOracle) {
+  auto r = compile_and_run(kFig42, exec::Backend::Shm);
+  EXPECT_EQ(r.max_err, 0.0);
+}
+
+// ------------------------------------------------- NAS variants on shm
+//
+// The NAS node programs are message-passing programs; on shm they run
+// unchanged over the mailbox path (the gather fields stay disjoint per
+// rank), so this pins full-application parity on the third backend.
+
+TEST(ShmNas, DhpfStyleVariantVerifiesOnSharedMemoryThreads) {
+  nas::Problem pb{nas::App::SP, 12, 2, 0.0};
+  nas::DriverOptions opt;
+  opt.backend = exec::Backend::Shm;
+  nas::RunResult r = nas::run_variant(nas::Variant::DhpfStyle, pb, 4, sim::Machine::sp2(), opt);
+  EXPECT_TRUE(r.verified);
+  EXPECT_LT(r.max_err, 1e-10);
+  EXPECT_GT(r.wall_seconds, 0.0);
+}
+
+TEST(ShmNas, HandMpiVariantVerifiesOnSharedMemoryThreads) {
+  nas::Problem pb{nas::App::SP, 12, 2, 0.0};
+  nas::DriverOptions opt;
+  opt.backend = exec::Backend::Shm;
+  nas::RunResult r = nas::run_variant(nas::Variant::HandMPI, pb, 4, sim::Machine::sp2(), opt);
+  EXPECT_TRUE(r.verified);
+  EXPECT_LT(r.max_err, 1e-10);
+}
+
+// ------------------------------------------------------ backend plumbing
+
+TEST(ShmBackend, ParseAndToStringRoundTrip) {
+  for (exec::Backend b : {exec::Backend::Sim, exec::Backend::Mp, exec::Backend::Shm}) {
+    exec::Backend parsed = exec::Backend::Sim;
+    EXPECT_TRUE(exec::parse_backend(exec::to_string(b), parsed));
+    EXPECT_EQ(parsed, b);
+  }
+  exec::Backend out = exec::Backend::Mp;
+  EXPECT_FALSE(exec::parse_backend("tcp", out));
+  EXPECT_EQ(out, exec::Backend::Mp);  // unchanged on failure
+}
+
+}  // namespace
+}  // namespace dhpf

@@ -56,6 +56,7 @@ TEST(SvcProtocol, RequestRoundTrips) {
   req.grid = {2, 2};
   req.no_cache = true;
   req.tune_measure = 2;
+  req.backend = exec::Backend::Shm;
 
   svc::Request back;
   std::string error;
@@ -67,6 +68,7 @@ TEST(SvcProtocol, RequestRoundTrips) {
   EXPECT_EQ(back.grid, req.grid);
   EXPECT_TRUE(back.no_cache);
   EXPECT_EQ(back.tune_measure, 2);
+  EXPECT_EQ(back.backend, exec::Backend::Shm);
 }
 
 TEST(SvcProtocol, ResponseRoundTrips) {
@@ -107,6 +109,12 @@ TEST(SvcProtocol, MalformedRequestRejected) {
       R"({"kind":"tune","source":"s","tune_measure":1.5})", req, &error));
   EXPECT_FALSE(svc::Request::from_json(
       R"({"kind":"tune","source":"s","tune_measure":49})", req, &error));
+  // Unknown measurement backends are a BadRequest, not a silent default.
+  EXPECT_FALSE(svc::Request::from_json(
+      R"({"kind":"tune","source":"s","backend":"tcp"})", req, &error));
+  EXPECT_TRUE(svc::Request::from_json(
+      R"({"kind":"tune","source":"s","backend":"shm"})", req, &error));
+  EXPECT_EQ(req.backend, exec::Backend::Shm);
 }
 
 TEST(SvcProtocol, ErrorCodeNamesAreStable) {
@@ -147,6 +155,13 @@ TEST(SvcCache, KeyDependsOnSourceFlagsAndGrid) {
   EXPECT_EQ(svc::request_key(base), svc::request_key(same));
   same.kind = svc::Kind::Tune;
   EXPECT_FALSE(svc::request_key(base) == svc::request_key(same));
+
+  // The measurement backend is part of a tune key: the same program tuned
+  // on sim and shm can select different variants.
+  svc::Request tune_sim = same;
+  svc::Request tune_shm = same;
+  tune_shm.backend = exec::Backend::Shm;
+  EXPECT_FALSE(svc::request_key(tune_sim) == svc::request_key(tune_shm));
 
   svc::Request flags = base;
   flags.flags.sopt.localize = false;
