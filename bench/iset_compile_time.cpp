@@ -1,0 +1,206 @@
+// End-to-end compile-time bench for the iset speed work (ROADMAP "raw
+// speed of the integer-set core"): the full dHPF pipeline over a NAS-style
+// variant sweep plus a 100-case fuzz campaign, with the hash-consing /
+// memoization layer on (the shipped configuration) and off
+// (ISET_NO_CACHE's pre-optimization reference path). The headline number
+// is the wall-clock ratio reference/cached; scripts/bench_smoke.sh asserts
+// it stays >= 3x.
+//
+// Two workloads, mirroring where compile time actually goes:
+//   * variants — the tuner's flag cross product over a Figure 5.1-style
+//     block-distributed stencil: many compiles of ONE program, the dhpfc
+//     --tune / daemon profile where cross-compile memo sharing pays most;
+//   * fuzz     — 100 distinct generated programs (seeds 1..100), the
+//     cold-ish profile where within-compile reuse dominates.
+//
+// The --json artifact is diffed against bench/baselines/iset_compile_time.json
+// by perf-smoke CI: compared leaves are compile/statement/event counts
+// (deterministic), walls are under the skipped "wall_seconds" name, and
+// the derived speedups go to stdout + the smoke assertion only.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "codegen/driver.hpp"
+#include "compiler_bench_common.hpp"
+#include "fuzz/generator.hpp"
+#include "iset/intern.hpp"
+#include "model/model.hpp"
+#include "tune/tune.hpp"
+#include "verify/verify.hpp"
+
+using namespace dhpf;
+
+namespace {
+
+// The same stencil svc_throughput tunes: small enough that a 48-variant
+// sweep stays fast, rich enough that every flag axis changes the plan.
+const char kTuned[] = R"(
+    processors P(4)
+    array a(64) distribute (block:0) onto P
+    array b(64) distribute (block:0) onto P
+    array c(64) distribute (block:0) onto P
+    procedure main()
+      do i = 1, 62
+        b(i) = a(i-1) + a(i+1)
+        c(i) = b(i) + a(i)
+      enddo
+    end
+)";
+
+// A rank-2 Jacobi-style NAS relaxation sweep: 2D BLOCK distributions make
+// the per-statement set algebra rank-2 (where memoized intersect/subtract
+// save the most; see iset_microbench's per-rank speedups).
+const char kStencil2d[] = R"(
+    processors P(2, 2)
+    array u(32, 32) distribute (block:0, block:1) onto P
+    array v(32, 32) distribute (block:0, block:1) onto P
+    array w(32, 32) distribute (block:0, block:1) onto P
+    procedure main()
+      do j = 1, 30
+        do i = 1, 30
+          v(i, j) = u(i-1, j) + u(i+1, j) + u(i, j-1) + u(i, j+1)
+          w(i, j) = v(i, j) + u(i, j)
+        enddo
+      enddo
+    end
+)";
+
+constexpr std::size_t kFuzzCases = 100;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+struct PhaseResult {
+  std::size_t compiles = 0;
+  std::size_t events = 0;    ///< total comm events planned (work checksum)
+  std::size_t stmts = 0;     ///< total statement CPs selected
+  std::size_t verify_ok = 0; ///< verified plans (all five checks clean)
+  std::size_t instances = 0; ///< model-counted statement instances
+  double wall = 0.0;
+};
+
+/// One full "checked compile": pipeline + static verifier + cost model —
+/// the dhpfc --verify --model-report profile, and the three places the
+/// compiler leans hardest on the set algebra.
+void checked_compile(const std::string& source, const cp::SelectOptions& sopt,
+                     const comm::CommOptions& copt, PhaseResult& p) {
+  hpf::Program prog;
+  const codegen::CompileResult r = codegen::compile_source(source, &prog, sopt, copt);
+  ++p.compiles;
+  p.events += r.plan.events.size();
+  p.stmts += r.cps.stmts.size();
+  const verify::CompiledPlan bound = verify::bind(prog, r.cps, r.plan);
+  const verify::Report report = verify::check(bound);
+  p.verify_ok += report.clean() ? 1u : 0u;
+  const model::Prediction pred = model::predict(prog, r.cps, r.plan);
+  p.instances += pred.total_instances;
+}
+
+PhaseResult run_variants() {
+  PhaseResult p;
+  const double t0 = now_seconds();
+  for (const char* source : {kTuned, kStencil2d})
+    for (const tune::VariantSpec& v : tune::enumerate_variants())
+      checked_compile(source, v.sopt, v.copt, p);
+  p.wall = now_seconds() - t0;
+  return p;
+}
+
+PhaseResult run_fuzz() {
+  PhaseResult p;
+  const double t0 = now_seconds();
+  for (std::size_t seed = 1; seed <= kFuzzCases; ++seed)
+    checked_compile(fuzz::generate(seed).source, {}, {}, p);
+  p.wall = now_seconds() - t0;
+  return p;
+}
+
+void emit_phase(json::Writer& w, const char* key, const PhaseResult& cached,
+                const PhaseResult& reference) {
+  w.key(key);
+  w.begin_object();
+  w.member("compiles", static_cast<std::uint64_t>(cached.compiles));
+  w.member("events", static_cast<std::uint64_t>(cached.events));
+  w.member("stmts", static_cast<std::uint64_t>(cached.stmts));
+  w.member("verify_ok", static_cast<std::uint64_t>(cached.verify_ok));
+  w.member("instances", static_cast<std::uint64_t>(cached.instances));
+  w.key("cached");
+  w.begin_object();
+  w.member("wall_seconds", cached.wall);
+  w.end_object();
+  w.key("reference");
+  w.begin_object();
+  w.member("wall_seconds", reference.wall);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+
+  std::printf("=== iset compile time: full pipeline, cached vs reference ===\n");
+
+  // Reference first (cold by definition), then the cached configuration
+  // from a cold start: the comparison is pre- vs post-optimization, both
+  // starting with empty state.
+  iset::memo::set_cache_enabled(false);
+  const PhaseResult var_ref = run_variants();
+  const PhaseResult fuzz_ref = run_fuzz();
+
+  iset::memo::set_cache_enabled(true);
+  iset::memo::clear_caches();
+  const PhaseResult var_cached = run_variants();
+  const PhaseResult fuzz_cached = run_fuzz();
+
+  if (var_cached.events != var_ref.events || var_cached.stmts != var_ref.stmts ||
+      var_cached.verify_ok != var_ref.verify_ok ||
+      var_cached.instances != var_ref.instances ||
+      fuzz_cached.events != fuzz_ref.events || fuzz_cached.stmts != fuzz_ref.stmts ||
+      fuzz_cached.verify_ok != fuzz_ref.verify_ok ||
+      fuzz_cached.instances != fuzz_ref.instances) {
+    std::fprintf(stderr, "iset_compile_time: cached/reference divergence\n");
+    return 1;
+  }
+
+  const double var_speedup = var_ref.wall / var_cached.wall;
+  const double fuzz_speedup = fuzz_ref.wall / fuzz_cached.wall;
+  const double total_speedup =
+      (var_ref.wall + fuzz_ref.wall) / (var_cached.wall + fuzz_cached.wall);
+  std::printf("  %-10s %9s %12s %12s %9s\n", "phase", "compiles", "cached s",
+              "reference s", "speedup");
+  std::printf("  %-10s %9zu %12.3f %12.3f %8.1fx\n", "variants",
+              var_cached.compiles, var_cached.wall, var_ref.wall, var_speedup);
+  std::printf("  %-10s %9zu %12.3f %12.3f %8.1fx\n", "fuzz", fuzz_cached.compiles,
+              fuzz_cached.wall, fuzz_ref.wall, fuzz_speedup);
+  std::printf("  %-10s %9zu %12.3f %12.3f %8.1fx\n", "total",
+              var_cached.compiles + fuzz_cached.compiles,
+              var_cached.wall + fuzz_cached.wall, var_ref.wall + fuzz_ref.wall,
+              total_speedup);
+
+  const auto stats = iset::memo::cache_stats();
+  std::printf("\n  cache: %llu hits, %llu misses, %llu evictions, %llu nodes\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.intern_nodes));
+
+  if (!json_path.empty()) {
+    json::Writer w;
+    w.begin_object();
+    w.member("bench", "iset_compile_time");
+    emit_phase(w, "variants", var_cached, var_ref);
+    emit_phase(w, "fuzz", fuzz_cached, fuzz_ref);
+    bench::provenance_json(w);
+    w.key("metrics");
+    bench::global_metrics_json(w);
+    w.end_object();
+    if (!bench::write_text_file(json_path, w.str())) return 1;
+  }
+  return 0;
+}

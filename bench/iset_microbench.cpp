@@ -1,0 +1,171 @@
+// dhpf::iset microbench: ns/op of the hot set operations (intersect,
+// difference, cardinality) at tuple ranks 1-4, measured on the cached
+// (hash-consed + memoized) path and on the pre-optimization reference
+// path (memo::set_cache_enabled(false)) — the per-op speedup the compiler
+// passes see.
+//
+// The --json artifact is diffed against bench/baselines/iset_microbench.json
+// by perf-smoke CI. Compared leaves are the deterministic facts (ranks,
+// iteration counts, operand pool size, final cardinality checksum); every
+// timing is emitted under bench_diff's skipped "wall_seconds" name, and
+// derived ns/op numbers go to stdout only.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compiler_bench_common.hpp"
+#include "iset/intern.hpp"
+#include "iset/set.hpp"
+
+using namespace dhpf;
+using iset::i64;
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+iset::Params no_params;
+
+/// Pool of distinct rank-r sets: shifted boxes with a diagonal cut, the
+/// shape of iteration/data sets the passes intersect all day.
+std::vector<iset::Set> operand_pool(std::size_t rank, std::size_t count) {
+  std::vector<iset::Set> pool;
+  pool.reserve(count);
+  for (std::size_t v = 0; v < count; ++v) {
+    iset::BasicSet bs(rank, no_params);
+    const i64 base = static_cast<i64>(v % 8);
+    for (std::size_t d = 0; d < rank; ++d)
+      bs.add_bounds(d, bs.expr_const(base), bs.expr_const(base + 4));
+    iset::LinExpr cut = bs.expr_zero();
+    for (std::size_t d = 0; d < rank; ++d) cut = cut + bs.expr_var(d);
+    cut = cut + bs.expr_const(static_cast<i64>(rank) * 2 - 2 * base);
+    bs.add(iset::Constraint::ge0(cut));
+    pool.push_back(iset::Set(bs));
+  }
+  return pool;
+}
+
+enum class Op { Intersect, Difference, Cardinality };
+
+const char* name_of(Op op) {
+  switch (op) {
+    case Op::Intersect: return "intersect";
+    case Op::Difference: return "difference";
+    case Op::Cardinality: return "cardinality";
+  }
+  return "?";
+}
+
+/// Run `iters` operations cycling through the pool; the checksum keeps the
+/// work observable and doubles as a deterministic compared leaf.
+std::size_t run_ops(Op op, const std::vector<iset::Set>& pool, std::size_t iters) {
+  std::size_t checksum = 0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    const iset::Set& a = pool[i % pool.size()];
+    const iset::Set& b = pool[(i + 1) % pool.size()];
+    switch (op) {
+      case Op::Intersect: checksum += a.intersect(b).parts().size(); break;
+      case Op::Difference: checksum += a.subtract(b).parts().size(); break;
+      case Op::Cardinality: checksum += a.cardinality({}); break;
+    }
+  }
+  return checksum;
+}
+
+struct Measurement {
+  Op op;
+  std::size_t rank = 0;
+  std::size_t iters = 0;
+  std::size_t checksum = 0;  // cached and reference must agree (asserted)
+  double cached_wall = 0.0;
+  double reference_wall = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  constexpr std::size_t kPool = 32;
+
+  std::printf("=== iset microbench: cached vs reference set algebra ===\n");
+  std::printf("  %-12s %5s %8s %12s %12s %9s\n", "op", "rank", "iters",
+              "cached ns/op", "ref ns/op", "speedup");
+
+  std::vector<Measurement> ms;
+  for (std::size_t rank = 1; rank <= 4; ++rank) {
+    const std::vector<iset::Set> pool = operand_pool(rank, kPool);
+    for (Op op : {Op::Intersect, Op::Difference, Op::Cardinality}) {
+      Measurement m;
+      m.op = op;
+      m.rank = rank;
+      m.iters = 4096 / rank;
+
+      iset::memo::set_cache_enabled(true);
+      iset::memo::clear_caches();
+      run_ops(op, pool, pool.size());  // warm the tables once
+      double t0 = now_seconds();
+      m.checksum = run_ops(op, pool, m.iters);
+      m.cached_wall = now_seconds() - t0;
+
+      iset::memo::set_cache_enabled(false);
+      t0 = now_seconds();
+      const std::size_t ref_checksum = run_ops(op, pool, m.iters);
+      m.reference_wall = now_seconds() - t0;
+      iset::memo::set_cache_enabled(true);
+
+      if (ref_checksum != m.checksum) {
+        std::fprintf(stderr, "iset_microbench: cached/reference divergence on %s rank %zu\n",
+                     name_of(op), rank);
+        return 1;
+      }
+
+      const double per = 1e9 / static_cast<double>(m.iters);
+      std::printf("  %-12s %5zu %8zu %12.0f %12.0f %8.1fx\n", name_of(op), rank,
+                  m.iters, m.cached_wall * per, m.reference_wall * per,
+                  m.reference_wall / m.cached_wall);
+      ms.push_back(m);
+    }
+  }
+
+  const auto stats = iset::memo::cache_stats();
+  std::printf("\n  cache: %llu hits, %llu misses, %llu interned nodes\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.intern_nodes));
+
+  if (!json_path.empty()) {
+    json::Writer w;
+    w.begin_object();
+    w.member("bench", "iset_microbench");
+    w.member("pool", static_cast<std::uint64_t>(kPool));
+    w.key("ops");
+    w.begin_array();
+    for (const Measurement& m : ms) {
+      w.begin_object();
+      w.member("op", name_of(m.op));
+      w.member("rank", static_cast<std::uint64_t>(m.rank));
+      w.member("iters", static_cast<std::uint64_t>(m.iters));
+      w.member("checksum", static_cast<std::uint64_t>(m.checksum));
+      w.key("cached");
+      w.begin_object();
+      w.member("wall_seconds", m.cached_wall);
+      w.end_object();
+      w.key("reference");
+      w.begin_object();
+      w.member("wall_seconds", m.reference_wall);
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    bench::provenance_json(w);
+    w.key("metrics");
+    bench::global_metrics_json(w);
+    w.end_object();
+    if (!bench::write_text_file(json_path, w.str())) return 1;
+  }
+  return 0;
+}

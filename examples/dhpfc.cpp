@@ -20,6 +20,7 @@
 
 #include "cli/cli.hpp"
 #include "codegen/driver.hpp"
+#include "exec/parallel.hpp"
 #include "fuzz/campaign.hpp"
 #include "lint/lint.hpp"
 #include "lint/mutate.hpp"
@@ -48,6 +49,8 @@ int main(int argc, char** argv) {
     std::fputs(cli::usage_text().c_str(), stdout);
     return 0;
   }
+
+  if (o.par_passes) exec::set_pass_parallelism(true);
 
   const bool tracing = o.profile || !o.trace_out.empty();
   if (tracing) {

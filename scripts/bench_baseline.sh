@@ -34,6 +34,10 @@ for b in fig_4_1_privatizable fig_4_2_localize fig_5_1_loop_dist \
   "$bench_dir/$b" --json "$out_dir/$b.json" > /dev/null
 done
 
+echo "bench_baseline: iset set-algebra microbench + compile time"
+"$bench_dir/iset_microbench" --json "$out_dir/iset_microbench.json" > /dev/null
+"$bench_dir/iset_compile_time" --json "$out_dir/iset_compile_time.json" > /dev/null
+
 echo "bench_baseline: compile-service throughput (deterministic counters)"
 "$bench_dir/svc_throughput" --json "$out_dir/svc_throughput.json" > /dev/null
 

@@ -154,6 +154,47 @@ assert "git" in doc["build"], "missing build provenance"
 EOF
 echo "  ok: svc_throughput warm-cache and eviction shape"
 
+echo "bench_smoke: iset set-algebra microbench"
+"$bench_dir/iset_microbench" --json "$out_dir/iset_microbench.json" > /dev/null
+check iset_microbench
+
+# Cached and reference paths must compute identical results (the bench
+# exits non-zero on divergence), and every (op, rank) cell must be present.
+python3 - "$out_dir/iset_microbench.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cells = {(o["op"], o["rank"]) for o in doc["ops"]}
+assert len(cells) == 12, f"expected 3 ops x 4 ranks, got {sorted(cells)}"
+assert all(o["iters"] > 0 for o in doc["ops"])
+assert doc["metrics"]["counters"].get("iset.cache.hits", 0) > 0, "no memo hits"
+assert "git" in doc["build"], "missing build provenance"
+EOF
+echo "  ok: iset_microbench op/rank coverage and cache activity"
+
+echo "bench_smoke: iset compile-time (cached vs ISET_NO_CACHE reference)"
+"$bench_dir/iset_compile_time" --json "$out_dir/iset_compile_time.json" > /dev/null
+check iset_compile_time
+
+# The variant sweep is the amortized tune/daemon profile the iset caching
+# targets (ROADMAP "raw speed of the integer-set core"): assert >= 3x
+# there (typ. ~6x; the margin absorbs CI noise). The fuzz campaign of 100
+# distinct programs is enumeration-bound in the verifier, so it only has
+# to not regress.
+python3 - "$out_dir/iset_compile_time.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+var = doc["variants"]
+assert var["compiles"] == 96, var["compiles"]
+speedup = var["reference"]["wall_seconds"] / max(var["cached"]["wall_seconds"], 1e-12)
+assert speedup >= 3.0, f"variant-sweep speedup only {speedup:.1f}x (need >= 3x)"
+fz = doc["fuzz"]
+assert fz["compiles"] == 100, fz["compiles"]
+ratio = fz["reference"]["wall_seconds"] / max(fz["cached"]["wall_seconds"], 1e-12)
+assert ratio >= 0.9, f"fuzz campaign regressed under caching: {ratio:.2f}x"
+assert doc["metrics"]["counters"].get("iset.cache.hits", 0) > 0, "no memo hits"
+EOF
+echo "  ok: iset_compile_time variant-sweep speedup >= 3x"
+
 echo "bench_smoke: fuzz regression corpus replay"
 repo_dir=$(cd "$(dirname "$0")/.." && pwd)
 "$build_dir/examples/dhpfc" --quiet --fuzz-corpus="$repo_dir/tests/corpus" \

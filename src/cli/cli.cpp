@@ -233,6 +233,12 @@ std::vector<OptionSpec> make_table() {
                      [](Options& o, const std::string& v) {
                        return parse_int(v, 0, 1 << 20, o.svc_cache);
                      }));
+  t.push_back(flag("--par-passes",
+                   "fan independent per-statement/per-event set computations in "
+                   "codegen, comm, verify and model across the pass thread pool "
+                   "(same output, schedule-dependent iset.cache.* counters; also "
+                   "DHPF_PAR_PASSES=1)",
+                   [](Options& o) { o.par_passes = true; }));
   t.push_back(flag("--quiet", "suppress the program / CP / plan / SPMD listings",
                    [](Options& o) { o.quiet = true; }));
   t.push_back(flag("--help", "print this help and exit", [](Options& o) { o.help = true; }));

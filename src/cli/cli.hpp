@@ -48,6 +48,8 @@ struct Options {
   std::string server_socket;     ///< --server=SOCK: send the request to a daemon
   int svc_workers = 0;           ///< --svc-workers=N: daemon pool size (0 = auto)
   int svc_cache = 1024;          ///< --svc-cache=N: daemon cache entries (0 = off)
+  bool par_passes = false;       ///< --par-passes: fan independent set computations
+                                 ///< across the pass pool (exec::parallel_for)
   std::string input;             ///< positional file.hpf
 };
 

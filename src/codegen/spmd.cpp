@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "analysis/sets.hpp"
+#include "exec/parallel.hpp"
 #include "support/diagnostics.hpp"
 #include "support/metrics.hpp"
 #include "trace/trace.hpp"
@@ -540,8 +541,13 @@ SpmdResult run_spmd(const hpf::Program& prog, const cp::CpResult& cps,
       ae.outer_vars.push_back(path[static_cast<std::size_t>(d)]->var);
     ctx.events.push_back(std::move(ae));
   }
+  // Each event's per-rank need cache is independent of every other event's,
+  // so the builds fan out across the pass driver; the anchor lists are then
+  // populated serially in event order (their order is observable downstream).
+  exec::parallel_for(ctx.events.size(), [&](std::size_t i) {
+    build_event_cache(prog, ctx.events[i], ctx.dist, nprocs);
+  });
   for (auto& ae : ctx.events) {
-    build_event_cache(prog, ae, ctx.dist, nprocs);
     if (ae.ev->kind == EventKind::Fetch)
       ctx.fetch_before[ae.anchor].push_back(&ae);
     else

@@ -1,0 +1,143 @@
+#include "exec/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "exec/pool.hpp"
+#include "support/metrics.hpp"
+
+namespace dhpf::exec {
+namespace {
+
+std::atomic<int> g_enabled{-1};  // -1 unset, else 0/1
+
+// True while this thread is executing a parallel_for iteration; nested
+// fan-outs fall back to the serial loop instead of waiting on the pool.
+thread_local bool t_in_iteration = false;
+
+int env_workers() {
+  if (const char* e = std::getenv("DHPF_PAR_WORKERS")) {
+    const int v = std::atoi(e);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  int w = hw > 1 ? static_cast<int>(hw) - 1 : 1;
+  if (w > 8) w = 8;
+  return w;
+}
+
+ThreadPool& pass_pool() {
+  // Function-local static object (not a leaked pointer): the destructor
+  // joins the workers at process exit, so LSan sees nothing outstanding.
+  static ThreadPool pool(pass_workers());
+  return pool;
+}
+
+/// Shared state of one parallel_for call. Jobs from different concurrent
+/// calls interleave freely in the pool; each job only touches its own
+/// call's state (shared_ptr keeps it alive past the caller when a job is
+/// still unwinding its last iteration).
+struct Call {
+  std::size_t n;
+  const std::function<void(std::size_t)>* fn;
+  obs::Registry* registry;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first error wins, guarded by mu
+
+  /// Claim-and-run loop shared by the caller and the pool workers. Every
+  /// index is claimed exactly once; after an error the remaining claims
+  /// complete as no-ops so `done` still reaches n.
+  void work() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      bool skip;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        skip = error != nullptr;
+      }
+      if (!skip) {
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (error == nullptr) error = std::current_exception();
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool pass_parallelism_enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* e = std::getenv("DHPF_PAR_PASSES");
+    v = (e != nullptr && *e != '\0' && *e != '0') ? 1 : 0;
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void set_pass_parallelism(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+int pass_workers() {
+  static const int w = env_workers();
+  return w;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || t_in_iteration || !pass_parallelism_enabled()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto call = std::make_shared<Call>();
+  call->n = n;
+  call->fn = &fn;
+  call->registry = &obs::Registry::current();
+
+  ThreadPool& pool = pass_pool();
+  std::size_t helpers = static_cast<std::size_t>(pool.workers());
+  if (helpers > n - 1) helpers = n - 1;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([call] {
+      obs::ScopedRegistry scoped(*call->registry);
+      t_in_iteration = true;
+      call->work();
+      t_in_iteration = false;
+    });
+  }
+
+  // The caller claims indices too — progress never depends on the pool.
+  {
+    t_in_iteration = true;
+    call->work();
+    t_in_iteration = false;
+  }
+  {
+    std::unique_lock<std::mutex> lock(call->mu);
+    call->cv.wait(lock, [&] {
+      return call->done.load(std::memory_order_acquire) == call->n;
+    });
+    if (call->error) std::rethrow_exception(call->error);
+  }
+}
+
+}  // namespace dhpf::exec

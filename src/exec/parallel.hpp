@@ -1,0 +1,49 @@
+// exec::parallel_for — the compiler-side parallel pass driver (tentpole
+// item 4 of the iset speed work). Fans N independent index-addressed
+// computations (per-statement comm events, per-event codegen caches,
+// per-(statement,array) verifier sets, per-statement model cardinalities)
+// across one lazily created process-wide ThreadPool, with the caller
+// participating in the work loop so the driver never deadlocks waiting on
+// its own pool.
+//
+// Semantics contract: parallel_for(n, fn) calls fn(0..n-1) exactly once
+// each, in unspecified order and possibly concurrently. Callers must write
+// results into pre-sized per-index slots and merge in index order — then
+// output is bitwise identical to the serial loop. Exceptions thrown by fn
+// are captured and the first one rethrown on the calling thread after all
+// iterations finish (remaining iterations are skipped, not abandoned).
+//
+// Parallelism is OFF by default and enabled per-process with
+// `set_pass_parallelism(true)`, `dhpfc --par-passes`, or DHPF_PAR_PASSES=1
+// in the environment. Results are deterministic either way; what the
+// default protects is the *counter* stream — the shared iset memo tables
+// make per-op hit/miss counters schedule-dependent once passes race, and
+// perf-smoke diffs those counters exactly. DHPF_PAR_WORKERS caps the pool.
+//
+// The submitting thread's obs::Registry::current() is re-installed on the
+// workers for the duration of each iteration, so per-request metric
+// attribution (the compile service's ScopedRegistry) survives the fan-out.
+//
+// Nested parallel_for calls from inside an iteration run serially on the
+// spot (the pool never waits on itself).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dhpf::exec {
+
+/// Is the pass driver currently fanning out? (default: off)
+[[nodiscard]] bool pass_parallelism_enabled();
+
+/// Turn the pass driver on/off for this process (overrides DHPF_PAR_PASSES).
+void set_pass_parallelism(bool on);
+
+/// Worker count the pass pool uses when it starts (DHPF_PAR_WORKERS, else
+/// hardware concurrency - 1, clamped to [1, 8]). Fixed once the pool runs.
+[[nodiscard]] int pass_workers();
+
+/// Run fn(0..n-1), in parallel when the driver is enabled; serial otherwise.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace dhpf::exec

@@ -11,9 +11,16 @@
 #include <string>
 #include <vector>
 
+#include "iset/smallvec.hpp"
+
 namespace dhpf::iset {
 
 using i64 = std::int64_t;
+
+/// Coefficient row with inline storage: tuples up to rank 8 (every dHPF
+/// workload — data/iteration spaces are rank <= 4, params are lb/ub per
+/// grid dim) never touch the heap; larger rows spill to the iset arena.
+using CoefRow = SmallVec<i64, 8>;
 
 /// The parameter context of a set: an ordered list of parameter names.
 /// Sets/maps operating together must share an identical Params object.
@@ -35,8 +42,8 @@ class Params {
 
 /// Affine expression over n tuple variables and the parameters.
 struct LinExpr {
-  std::vector<i64> var;    // coefficient per tuple variable
-  std::vector<i64> param;  // coefficient per parameter
+  CoefRow var;    // coefficient per tuple variable
+  CoefRow param;  // coefficient per parameter
   i64 cst = 0;
 
   static LinExpr zero(std::size_t nvars, std::size_t nparams);

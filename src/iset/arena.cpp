@@ -1,0 +1,95 @@
+#include "iset/arena.hpp"
+
+#include <new>
+
+namespace dhpf::iset::arena {
+namespace {
+
+// Power-of-two bins from 16 bytes to 1 KiB. A coefficient row at rank 4
+// with two grid params is 48 bytes, so nearly every spill lands in the
+// small bins; anything above kMaxBin goes straight to operator new.
+constexpr std::size_t kMinBinShift = 4;   // 16 B
+constexpr std::size_t kMaxBinShift = 10;  // 1 KiB
+constexpr std::size_t kBins = kMaxBinShift - kMinBinShift + 1;
+constexpr std::size_t kMaxBin = std::size_t{1} << kMaxBinShift;
+// Per-bin cache depth: deep enough to absorb a pass's transient churn,
+// shallow enough that idle threads hold < 100 KiB each.
+constexpr std::size_t kMaxFree = 64;
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+struct Bins {
+  FreeBlock* head[kBins] = {};
+  std::size_t depth[kBins] = {};
+  Stats stats;
+
+  ~Bins() {
+    for (std::size_t b = 0; b < kBins; ++b) {
+      FreeBlock* p = head[b];
+      while (p != nullptr) {
+        FreeBlock* next = p->next;
+        ::operator delete(p);
+        p = next;
+      }
+    }
+  }
+};
+
+Bins& bins() {
+  thread_local Bins tls;
+  return tls;
+}
+
+// Bin index for a request, or kBins if it exceeds the largest bin.
+std::size_t bin_for(std::size_t bytes) {
+  std::size_t size = std::size_t{1} << kMinBinShift;
+  std::size_t b = 0;
+  while (size < bytes && b < kBins) {
+    size <<= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void* alloc(std::size_t bytes) {
+  Bins& tls = bins();
+  ++tls.stats.allocs;
+  if (bytes > kMaxBin) {
+    ++tls.stats.fallbacks;
+    return ::operator new(bytes);
+  }
+  const std::size_t b = bin_for(bytes);
+  if (FreeBlock* p = tls.head[b]) {
+    tls.head[b] = p->next;
+    --tls.depth[b];
+    ++tls.stats.pool_hits;
+    return p;
+  }
+  return ::operator new(std::size_t{1} << (kMinBinShift + b));
+}
+
+void dealloc(void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  if (bytes > kMaxBin) {
+    ::operator delete(p);
+    return;
+  }
+  Bins& tls = bins();
+  const std::size_t b = bin_for(bytes);
+  if (tls.depth[b] >= kMaxFree) {
+    ::operator delete(p);
+    return;
+  }
+  auto* block = static_cast<FreeBlock*>(p);
+  block->next = tls.head[b];
+  tls.head[b] = block;
+  ++tls.depth[b];
+}
+
+Stats stats() { return bins().stats; }
+
+}  // namespace dhpf::iset::arena

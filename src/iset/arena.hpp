@@ -1,0 +1,37 @@
+// Thread-local pool allocator for transient iset nodes (tentpole: arena
+// allocation). Set algebra churns through short-lived coefficient rows and
+// constraint vectors; routing them through a per-thread size-binned
+// freelist turns the vast majority of those malloc/free pairs into two
+// pointer moves with no lock. Blocks above the largest bin fall through to
+// `::operator new`.
+//
+// Thread-safety: each thread owns its bins, so alloc/dealloc never
+// synchronize. A block may legally be freed on a different thread than the
+// one that allocated it (moves hand SmallVec heap blocks across threads in
+// the parallel pass driver) — it is simply recycled into the freeing
+// thread's bin. Bins are bounded, and everything still cached is released
+// on thread exit, so ASan/LSan stay clean.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dhpf::iset::arena {
+
+/// Allocate `bytes` (rounded up to the owning bin's block size).
+[[nodiscard]] void* alloc(std::size_t bytes);
+
+/// Return a block obtained from alloc(). `bytes` must be the size passed
+/// to alloc() (the bin is re-derived from it).
+void dealloc(void* p, std::size_t bytes);
+
+struct Stats {
+  std::uint64_t allocs = 0;      ///< total alloc() calls, this thread
+  std::uint64_t pool_hits = 0;   ///< served from a freelist bin
+  std::uint64_t fallbacks = 0;   ///< above max bin size -> operator new
+};
+
+/// This thread's allocator statistics.
+[[nodiscard]] Stats stats();
+
+}  // namespace dhpf::iset::arena

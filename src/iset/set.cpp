@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "iset/intern.hpp"
 #include "support/diagnostics.hpp"
 #include "support/metrics.hpp"
 
@@ -15,6 +16,7 @@ void BasicSet::add(Constraint c) {
   require(c.e.var.size() == nvars_ && c.e.param.size() == params_.size(), "iset",
           "constraint space mismatch");
   cs_.push_back(std::move(c));
+  rep_.store(0, std::memory_order_relaxed);
 }
 
 void BasicSet::add_bounds(std::size_t v, const LinExpr& lo, const LinExpr& hi) {
@@ -30,6 +32,7 @@ BasicSet BasicSet::intersect(const BasicSet& o) const {
   require(nvars_ == o.nvars_ && params_ == o.params_, "iset", "intersect: space mismatch");
   BasicSet r = *this;
   for (const auto& c : o.cs_) r.cs_.push_back(c);
+  r.rep_.store(0, std::memory_order_relaxed);
   return r;
 }
 
@@ -113,6 +116,7 @@ bool BasicSet::simplify() {
         // Statically infeasible: mark by a canonical false constraint.
         cs_.clear();
         cs_.push_back(Constraint::ge0(expr_const(-1)));
+        rep_.store(0, std::memory_order_relaxed);
         return false;
       }
       continue;  // tautology
@@ -126,35 +130,46 @@ bool BasicSet::simplify() {
     if (!dup) kept.push_back(std::move(c));
   }
   cs_ = std::move(kept);
+  rep_.store(0, std::memory_order_relaxed);
   return true;
 }
 
 bool BasicSet::is_empty() const {
   DHPF_COUNTER("iset.emptiness_tests");
-  BasicSet work = *this;
-  if (!work.simplify()) return true;
-  // Eliminate all tuple variables...
-  while (work.nvars_ > 0) {
-    work = work.project_out(work.nvars_ - 1);
+  std::uint64_t key = 0;
+  const bool cache = memo::enabled();
+  if (cache) {
+    key = rep_id();
+    if (auto hit = memo::bool_lookup(key)) return *hit;
+  }
+  const bool result = [&] {
+    BasicSet work = *this;
     if (!work.simplify()) return true;
-  }
-  // ...then treat parameters as variables and eliminate them too.
-  BasicSet ground(params_.size(), Params{});
-  for (const auto& c : work.cs_) {
-    LinExpr e = LinExpr::zero(params_.size(), 0);
-    e.var = c.e.param;
-    e.cst = c.e.cst;
-    ground.cs_.push_back(Constraint{std::move(e), c.is_eq});
-  }
-  if (!ground.simplify()) return true;
-  while (ground.nvars_ > 0) {
-    ground = ground.project_out(ground.nvars_ - 1);
+    // Eliminate all tuple variables...
+    while (work.nvars_ > 0) {
+      work = work.project_out(work.nvars_ - 1);
+      if (!work.simplify()) return true;
+    }
+    // ...then treat parameters as variables and eliminate them too.
+    BasicSet ground(params_.size(), Params{});
+    for (const auto& c : work.cs_) {
+      LinExpr e = LinExpr::zero(params_.size(), 0);
+      e.var = c.e.param;
+      e.cst = c.e.cst;
+      ground.cs_.push_back(Constraint{std::move(e), c.is_eq});
+    }
     if (!ground.simplify()) return true;
-  }
-  for (const auto& c : ground.cs_) {
-    if (c.is_eq ? (c.e.cst != 0) : (c.e.cst < 0)) return true;
-  }
-  return false;
+    while (ground.nvars_ > 0) {
+      ground = ground.project_out(ground.nvars_ - 1);
+      if (!ground.simplify()) return true;
+    }
+    for (const auto& c : ground.cs_) {
+      if (c.is_eq ? (c.e.cst != 0) : (c.e.cst < 0)) return true;
+    }
+    return false;
+  }();
+  if (cache) memo::bool_store(key, result);
+  return result;
 }
 
 bool BasicSet::contains(const std::vector<i64>& vars, const std::vector<i64>& params) const {
@@ -208,15 +223,25 @@ void Set::add_part(BasicSet bs) {
   require(bs.nvars() == nvars_ && bs.params() == params_, "iset", "add_part: space mismatch");
   DHPF_COUNTER("iset.polyhedra_created");
   if (bs.simplify() && !bs.is_empty()) parts_.push_back(std::move(bs));
+  rep_.store(0, std::memory_order_relaxed);
 }
 
 Set Set::unite(const Set& o) const {
   require(nvars_ == o.nvars_ && params_ == o.params_, "iset", "unite: space mismatch");
   DHPF_COUNTER("iset.op.unions");
   DHPF_COUNTER_ADD("iset.op.operand_parts", parts_.size() + o.parts_.size());
+  std::uint64_t ka = 0, kb = 0;
+  const bool cache = memo::enabled();
+  if (cache) {
+    ka = rep_id();
+    kb = o.rep_id();
+    if (auto hit = memo::set_lookup(memo::Op::Unite, ka, kb)) return *hit;
+  }
   Set r = *this;
   for (const auto& p : o.parts_) r.parts_.push_back(p);
+  r.rep_.store(0, std::memory_order_relaxed);
   note_fragmentation(r.parts_.size());
+  if (cache) memo::set_store(memo::Op::Unite, ka, kb, r);
   return r;
 }
 
@@ -224,10 +249,18 @@ Set Set::intersect(const Set& o) const {
   require(nvars_ == o.nvars_ && params_ == o.params_, "iset", "intersect: space mismatch");
   DHPF_COUNTER("iset.op.intersections");
   DHPF_COUNTER_ADD("iset.op.operand_parts", parts_.size() + o.parts_.size());
+  std::uint64_t ka = 0, kb = 0;
+  const bool cache = memo::enabled();
+  if (cache) {
+    ka = rep_id();
+    kb = o.rep_id();
+    if (auto hit = memo::set_lookup(memo::Op::Intersect, ka, kb)) return *hit;
+  }
   Set r(nvars_, params_);
   for (const auto& a : parts_)
     for (const auto& b : o.parts_) r.add_part(a.intersect(b));
   note_fragmentation(r.parts_.size());
+  if (cache) memo::set_store(memo::Op::Intersect, ka, kb, r);
   return r;
 }
 
@@ -235,6 +268,13 @@ Set Set::subtract(const Set& o) const {
   require(nvars_ == o.nvars_ && params_ == o.params_, "iset", "subtract: space mismatch");
   DHPF_COUNTER("iset.op.differences");
   DHPF_COUNTER_ADD("iset.op.operand_parts", parts_.size() + o.parts_.size());
+  std::uint64_t ka = 0, kb = 0;
+  const bool cache = memo::enabled();
+  if (cache) {
+    ka = rep_id();
+    kb = o.rep_id();
+    if (auto hit = memo::set_lookup(memo::Op::Subtract, ka, kb)) return *hit;
+  }
   // A - (B1 ∪ B2 ∪ ...) = A ∩ ¬B1 ∩ ¬B2 ∩ ...; each ¬Bi is a union over its
   // negated constraints (integer-exact: ¬(e >= 0) is -e-1 >= 0).
   std::vector<BasicSet> acc = parts_;
@@ -265,12 +305,20 @@ Set Set::subtract(const Set& o) const {
   Set r(nvars_, params_);
   for (auto& bs : acc) r.parts_.push_back(std::move(bs));
   note_fragmentation(r.parts_.size());
+  if (cache) memo::set_store(memo::Op::Subtract, ka, kb, r);
   return r;
 }
 
 Set Set::project_out(std::size_t v) const {
+  std::uint64_t ka = 0;
+  const bool cache = memo::enabled();
+  if (cache) {
+    ka = rep_id();
+    if (auto hit = memo::set_lookup(memo::Op::Project, ka, v)) return *hit;
+  }
   Set r(nvars_ - 1, params_);
   for (const auto& p : parts_) r.add_part(p.project_out(v));
+  if (cache) memo::set_store(memo::Op::Project, ka, v, r);
   return r;
 }
 
@@ -288,6 +336,13 @@ bool Set::contains(const std::vector<i64>& vars, const std::vector<i64>& params)
 
 Set Set::apply(const AffineMap& map) const {
   require(map.n_in() == nvars_ && map.params() == params_, "iset", "apply: space mismatch");
+  std::uint64_t ka = 0, kb = 0;
+  const bool cache = memo::enabled();
+  if (cache) {
+    ka = rep_id();
+    kb = memo::intern_key(rep_bytes(map));
+    if (auto hit = memo::set_lookup(memo::Op::Apply, ka, kb)) return *hit;
+  }
   const std::size_t m = map.n_out();
   Set r(m, params_);
   for (const auto& p : parts_) {
@@ -314,12 +369,20 @@ Set Set::apply(const AffineMap& map) const {
     for (std::size_t i = 0; i < nvars_; ++i) proj = proj.project_out(proj.nvars() - 1);
     r.add_part(std::move(proj));
   }
+  if (cache) memo::set_store(memo::Op::Apply, ka, kb, r);
   return r;
 }
 
 Set Set::preimage(const AffineMap& map) const {
   require(map.n_out() == nvars_ && map.params() == params_, "iset",
           "preimage: space mismatch");
+  std::uint64_t ka = 0, kb = 0;
+  const bool cache = memo::enabled();
+  if (cache) {
+    ka = rep_id();
+    kb = memo::intern_key(rep_bytes(map));
+    if (auto hit = memo::set_lookup(memo::Op::Preimage, ka, kb)) return *hit;
+  }
   Set r(map.n_in(), params_);
   for (const auto& p : parts_) {
     BasicSet bs(map.n_in(), params_);
@@ -331,6 +394,7 @@ Set Set::preimage(const AffineMap& map) const {
     }
     r.add_part(std::move(bs));
   }
+  if (cache) memo::set_store(memo::Op::Preimage, ka, kb, r);
   return r;
 }
 
@@ -500,6 +564,13 @@ std::size_t Set::cardinality(const std::vector<i64>& param_values) const {
   require(param_values.size() == params_.size(), "iset", "cardinality: wrong param count");
   DHPF_COUNTER("iset.cardinalities");
   DHPF_COUNTER_ADD("iset.op.operand_parts", parts_.size());
+  std::uint64_t ks = 0, kp = 0;
+  const bool cache = memo::enabled();
+  if (cache) {
+    ks = rep_id();
+    kp = memo::intern_point(param_values);
+    if (auto hit = memo::count_lookup(ks, kp)) return *hit;
+  }
   // Make the union disjoint: piece lists start from each part with every
   // earlier part subtracted (disjointly), so per-piece counts add up exactly.
   std::size_t total = 0;
@@ -513,14 +584,31 @@ std::size_t Set::cardinality(const std::vector<i64>& param_values) const {
     }
     for (const auto& piece : pieces) total += count_basic(piece, param_values);
   }
+  if (cache) memo::count_store(ks, kp, total);
   return total;
 }
 
 std::optional<std::vector<i64>> Set::sample(const std::vector<i64>& param_values) const {
+  std::uint64_t ks = 0, kp = 0;
+  const bool cache = memo::enabled();
+  if (cache) {
+    ks = rep_id();
+    kp = memo::intern_point(param_values);
+    if (auto hit = memo::sample_lookup(ks, kp)) {
+      if (!hit->has) return std::nullopt;
+      return hit->point;
+    }
+  }
   std::optional<std::vector<i64>> first;
   enumerate(param_values, [&](const std::vector<i64>& pt) {
     if (!first) first = pt;
   });
+  if (cache) {
+    memo::SampleResult r;
+    r.has = first.has_value();
+    if (first) r.point = *first;
+    memo::sample_store(ks, kp, r);
+  }
   return first;
 }
 

@@ -12,7 +12,10 @@
 // original constraints, so it is always exact.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -22,12 +25,47 @@
 namespace dhpf::iset {
 
 class AffineMap;
+class Set;
+
+std::shared_ptr<const Set> intern(const Set& s);
 
 /// Conjunction of affine constraints over `nvars` tuple variables + params.
 class BasicSet {
  public:
   BasicSet(std::size_t nvars, Params params)
       : nvars_(nvars), params_(std::move(params)) {}
+
+  // The cached rep id lives in an atomic (lazily computed under concurrent
+  // readers), so copies and moves are spelled out: both carry the cached id
+  // along (it describes the same representation); a moved-from set loses
+  // its constraints, so its id is invalidated.
+  BasicSet(const BasicSet& o)
+      : nvars_(o.nvars_), params_(o.params_), cs_(o.cs_),
+        rep_(o.rep_.load(std::memory_order_relaxed)) {}
+  BasicSet(BasicSet&& o) noexcept
+      : nvars_(o.nvars_), params_(std::move(o.params_)), cs_(std::move(o.cs_)),
+        rep_(o.rep_.load(std::memory_order_relaxed)) {
+    o.rep_.store(0, std::memory_order_relaxed);
+  }
+  BasicSet& operator=(const BasicSet& o) {
+    if (this != &o) {
+      nvars_ = o.nvars_;
+      params_ = o.params_;
+      cs_ = o.cs_;
+      rep_.store(o.rep_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  BasicSet& operator=(BasicSet&& o) noexcept {
+    if (this != &o) {
+      nvars_ = o.nvars_;
+      params_ = std::move(o.params_);
+      cs_ = std::move(o.cs_);
+      rep_.store(o.rep_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      o.rep_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   static BasicSet universe(std::size_t nvars, Params params) {
     return BasicSet(nvars, std::move(params));
@@ -71,11 +109,17 @@ class BasicSet {
 
   [[nodiscard]] std::string to_string(const std::vector<std::string>& var_names = {}) const;
 
+  /// Stable id of this exact representation (constraint order included):
+  /// equal ids <=> bit-identical sets. Computed lazily, cached, invalidated
+  /// on mutation. Memo keys and the property tests build on this.
+  [[nodiscard]] std::uint64_t rep_id() const;
+
  private:
   friend class Set;
   std::size_t nvars_;
   Params params_;
   std::vector<Constraint> cs_;
+  mutable std::atomic<std::uint64_t> rep_{0};  // 0 = not yet computed
 };
 
 /// Finite union of BasicSets of equal arity over shared Params.
@@ -84,6 +128,35 @@ class Set {
   Set(std::size_t nvars, Params params) : nvars_(nvars), params_(std::move(params)) {}
   /// Singleton union.
   explicit Set(BasicSet bs);
+
+  // Same rep-id carrying rules as BasicSet (see above).
+  Set(const Set& o)
+      : nvars_(o.nvars_), params_(o.params_), parts_(o.parts_),
+        rep_(o.rep_.load(std::memory_order_relaxed)) {}
+  Set(Set&& o) noexcept
+      : nvars_(o.nvars_), params_(std::move(o.params_)), parts_(std::move(o.parts_)),
+        rep_(o.rep_.load(std::memory_order_relaxed)) {
+    o.rep_.store(0, std::memory_order_relaxed);
+  }
+  Set& operator=(const Set& o) {
+    if (this != &o) {
+      nvars_ = o.nvars_;
+      params_ = o.params_;
+      parts_ = o.parts_;
+      rep_.store(o.rep_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  Set& operator=(Set&& o) noexcept {
+    if (this != &o) {
+      nvars_ = o.nvars_;
+      params_ = std::move(o.params_);
+      parts_ = std::move(o.parts_);
+      rep_.store(o.rep_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      o.rep_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   static Set empty(std::size_t nvars, Params params) { return Set(nvars, std::move(params)); }
   static Set universe(std::size_t nvars, Params params) {
@@ -144,10 +217,16 @@ class Set {
 
   [[nodiscard]] std::string to_string(const std::vector<std::string>& var_names = {}) const;
 
+  /// Stable id of this exact representation (part and constraint order
+  /// included); see BasicSet::rep_id().
+  [[nodiscard]] std::uint64_t rep_id() const;
+
  private:
+  friend std::shared_ptr<const Set> intern(const Set& s);
   std::size_t nvars_;
   Params params_;
   std::vector<BasicSet> parts_;
+  mutable std::atomic<std::uint64_t> rep_{0};  // 0 = not yet computed
 };
 
 /// Affine map Z^n_in -> Z^n_out (each output an affine expr of inputs+params).

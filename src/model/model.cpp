@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "analysis/sets.hpp"
+#include "exec/parallel.hpp"
 #include "support/diagnostics.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
@@ -122,10 +124,25 @@ Prediction predict(const hpf::Program& prog, const cp::CpResult& cps,
 
   std::vector<double> compute_secs(static_cast<std::size_t>(n), 0.0);
   bool approx = false;
+  std::vector<std::pair<int, const cp::StmtCp*>> counted;
   for (int id : main_ids) {
     const auto it = cps.stmts.find(id);
-    if (it == cps.stmts.end()) continue;
-    const cp::StmtCp& sc = it->second;
+    if (it != cps.stmts.end()) counted.emplace_back(id, &it->second);
+  }
+
+  // Each statement's cost is independent of the others, so the set algebra
+  // (iteration_space + iterations_on_home + per-rank cardinalities) fans out
+  // across the pass pool; per-slot results merge in statement order below.
+  struct StmtSlot {
+    StmtCost sco;
+    std::vector<double> secs;
+    bool approx = false;
+  };
+  std::vector<StmtSlot> stmt_slots(counted.size());
+  exec::parallel_for(counted.size(), [&](std::size_t slot) {
+    const cp::StmtCp& sc = *counted[slot].second;
+    StmtSlot& out = stmt_slots[slot];
+    out.secs.assign(static_cast<std::size_t>(n), 0.0);
 
     const analysis::IterSpace space = analysis::iteration_space(sc.path, params);
     const iset::Set on_home = cp::iterations_on_home(space, sc.cp, params);
@@ -135,24 +152,28 @@ Prediction predict(const hpf::Program& prog, const cp::CpResult& cps,
       const auto* callee = prog.find_procedure(sc.stmt->call().callee);
       if (callee != nullptr) {
         std::map<std::string, long> env;
-        per_invocation = static_cast<double>(callee_instances(callee->body, env, &approx));
+        per_invocation = static_cast<double>(callee_instances(callee->body, env, &out.approx));
       }
     }
 
-    StmtCost sco;
-    sco.stmt_id = id;
-    sco.cp = sc.cp.to_string();
+    out.sco.stmt_id = counted[slot].first;
+    out.sco.cp = sc.cp.to_string();
     for (int q = 0; q < n; ++q) {
       const std::size_t inst = static_cast<std::size_t>(
           static_cast<double>(on_home.cardinality(vals[static_cast<std::size_t>(q)])) *
           per_invocation);
-      sco.total_instances += inst;
-      sco.critical_instances = std::max(sco.critical_instances, inst);
-      compute_secs[static_cast<std::size_t>(q)] +=
+      out.sco.total_instances += inst;
+      out.sco.critical_instances = std::max(out.sco.critical_instances, inst);
+      out.secs[static_cast<std::size_t>(q)] +=
           static_cast<double>(inst) * flops_per_instance * machine.flop_time;
     }
-    pred.total_instances += sco.total_instances;
-    pred.stmts.push_back(std::move(sco));
+  });
+  for (StmtSlot& out : stmt_slots) {
+    approx = approx || out.approx;
+    for (int q = 0; q < n; ++q)
+      compute_secs[static_cast<std::size_t>(q)] += out.secs[static_cast<std::size_t>(q)];
+    pred.total_instances += out.sco.total_instances;
+    pred.stmts.push_back(std::move(out.sco));
   }
   if (approx)
     pred.note = "callee loop bounds depend on call arguments; extents taken as 1";
@@ -169,8 +190,23 @@ Prediction predict(const hpf::Program& prog, const cp::CpResult& cps,
   // participation (sends + receives), weighted with the *default* machine
   // constants so the aggregate is a fixed number during calibration.
   const ModelParams defaults = ModelParams::from_machine(machine);
-  for (const auto& ev : plan.events) {
-    if (ev.eliminated) continue;
+  std::vector<const comm::CommEvent*> live;
+  for (const auto& ev_ref : plan.events)
+    if (!ev_ref.eliminated) live.push_back(&ev_ref);
+
+  // Event enumeration dominates model time; each event's loads are private,
+  // so the per-event sweep fans out and the slots merge in event order.
+  struct EventSlot {
+    EventCost ec;
+    std::size_t barrier_episodes = 0;
+    double critical_shared_bytes = 0.0;
+    double critical_messages = 0.0;
+    double critical_bytes = 0.0;
+  };
+  std::vector<EventSlot> event_slots(live.size());
+  exec::parallel_for(live.size(), [&](std::size_t slot) {
+    const auto& ev = *live[slot];
+    EventSlot& out = event_slots[slot];
     const auto depth = static_cast<std::size_t>(ev.placement_depth);
 
     struct RankLoad {
@@ -183,7 +219,7 @@ Prediction predict(const hpf::Program& prog, const cp::CpResult& cps,
     // prefix -> per-rank participation (sender and receiver both loaded).
     std::map<std::vector<i64>, std::vector<RankLoad>> loads;
 
-    EventCost ec;
+    EventCost& ec = out.ec;
     ec.event_id = ev.id;
     ec.array = ev.array->name;
     ec.fetch = ev.kind == comm::EventKind::Fetch;
@@ -234,16 +270,21 @@ Prediction predict(const hpf::Program& prog, const cp::CpResult& cps,
       // On shm this prefix costs one barrier pair (codegen skips both
       // barriers when no rank has traffic, which is exactly "no prefix
       // entry here"), and the critical rank is the largest puller.
-      pred.barrier_episodes += 2;
-      pred.critical_shared_bytes += static_cast<double>(max_shm);
+      out.barrier_episodes += 2;
+      out.critical_shared_bytes += static_cast<double>(max_shm);
     }
-
-    pred.messages += ec.messages;
-    pred.bytes += ec.bytes;
-    pred.critical_messages += ec.critical_messages;
-    pred.critical_bytes += ec.critical_bytes;
+    out.critical_messages = ec.critical_messages;
+    out.critical_bytes = ec.critical_bytes;
     DHPF_COUNTER("model.event_costs");
-    pred.events.push_back(std::move(ec));
+  });
+  for (EventSlot& out : event_slots) {
+    pred.barrier_episodes += out.barrier_episodes;
+    pred.critical_shared_bytes += out.critical_shared_bytes;
+    pred.messages += out.ec.messages;
+    pred.bytes += out.ec.bytes;
+    pred.critical_messages += out.critical_messages;
+    pred.critical_bytes += out.critical_bytes;
+    pred.events.push_back(std::move(out.ec));
   }
 
   DHPF_COUNTER_ADD("model.instances_counted", pred.total_instances);

@@ -395,6 +395,7 @@ Service::Stats Service::stats() const {
     s.by_kind[i] = impl_->by_kind[i].load(std::memory_order_relaxed);
   s.cache = impl_->cache.stats();
   s.pool = impl_->pool.stats();
+  s.iset = iset::memo::cache_stats();
   s.workers = impl_->pool.workers();
   return s;
 }
@@ -429,6 +430,16 @@ std::string Service::stats_json() const {
   w.member("executed", s.pool.executed);
   w.member("stolen", s.pool.stolen);
   w.member("queue_depth", static_cast<std::uint64_t>(s.pool.queue_depth));
+  w.end_object();
+  // Process-wide set-algebra cache health: interned representations and the
+  // memoized-operation hit rate shared by every compile this daemon served.
+  w.key("iset");
+  w.begin_object();
+  w.member("intern_nodes", s.iset.intern_nodes);
+  w.member("intern_reuses", s.iset.intern_reuses);
+  w.member("hits", s.iset.hits);
+  w.member("misses", s.iset.misses);
+  w.member("evictions", s.iset.evictions);
   w.end_object();
   w.end_object();
   return w.str();

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "exec/pool.hpp"
+#include "iset/intern.hpp"
 #include "svc/cache.hpp"
 #include "svc/request.hpp"
 
@@ -82,6 +83,7 @@ class Service {
     std::uint64_t by_kind[kNumKinds] = {};  ///< indexed by Kind
     ResultCache::Stats cache;
     exec::ThreadPool::Stats pool;
+    iset::memo::CacheStats iset;  ///< process-wide set-algebra intern/memo stats
     int workers = 0;
   };
   [[nodiscard]] Stats stats() const;
